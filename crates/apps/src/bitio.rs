@@ -1,0 +1,572 @@
+//! Bit-level entropy coding: a JPEG-flavoured variable-length code with
+//! magnitude classes, plus the bit-writer/bit-reader plumbing — in golden
+//! Rust and as assembler emitters with identical semantics.
+//!
+//! Why it matters for the study: bit-serial entropy coding is the
+//! canonical *non-vectorisable* part of media codecs. The bit buffer
+//! forms a serial dependence chain, so this code neither vectorises nor
+//! speeds up on wider superscalars — it is what Amdahl's law leaves
+//! behind once the kernels are vectorised (Figure 6's white bars).
+//!
+//! ## Code format (per 8×8 block, scan order, DC-predicted)
+//!
+//! * DC: 4-bit magnitude class `c`, then `c` bits of the diff (JPEG
+//!   one's-complement convention for negatives);
+//! * AC: 6-bit zero-run (`0..=62`), 4-bit class `c ≥ 1`, `c` value bits;
+//! * end of block: the reserved 6-bit run value `63`.
+
+use simdsim_asm::Asm;
+use simdsim_isa::{Cond, IReg};
+
+/// Reserved run value marking end-of-block.
+pub const EOB_RUN: u8 = 63;
+
+// ======================================================================
+// Golden implementation
+// ======================================================================
+
+/// Golden MSB-first bit writer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    /// Output bytes.
+    pub bytes: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `v` (MSB first), `n ≤ 32`.
+    pub fn put(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 32 && (n == 64 || v < (1 << n)));
+        self.acc = (self.acc << n) | v;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push(((self.acc >> self.nbits) & 0xff) as u8);
+        }
+    }
+
+    /// Flushes remaining bits, padding with zeros to a byte boundary.
+    pub fn flush(&mut self) {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            let v = (self.acc << pad) & 0xff;
+            self.bytes.push(v as u8);
+            self.nbits = 0;
+            self.acc = 0;
+        }
+    }
+}
+
+/// Golden MSB-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Current byte position.
+    pub pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data` starting at byte `pos`.
+    #[must_use]
+    pub fn new(data: &'a [u8], pos: usize) -> Self {
+        Self {
+            data,
+            pos,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Reads `n ≤ 32` bits (MSB first).
+    pub fn get(&mut self, n: u32) -> u64 {
+        while self.nbits < n {
+            self.acc = (self.acc << 8) | u64::from(self.data[self.pos]);
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        self.nbits -= n;
+        (self.acc >> self.nbits) & ((1 << n) - 1)
+    }
+
+    /// Discards buffered sub-byte bits (block streams are byte-aligned
+    /// only at plane boundaries; this is used at stream switch points).
+    pub fn align(&mut self) {
+        self.acc = 0;
+        self.nbits = 0;
+    }
+}
+
+/// Magnitude class of `v`: the number of bits in `|v|` (0 for 0).
+#[must_use]
+pub fn magnitude_class(v: i32) -> u32 {
+    let mut t = v.unsigned_abs();
+    let mut c = 0;
+    while t > 0 {
+        t >>= 1;
+        c += 1;
+    }
+    c
+}
+
+/// JPEG one's-complement mapping of a value into its class bits.
+#[must_use]
+pub fn value_bits(v: i32, class: u32) -> u64 {
+    if v >= 0 {
+        v as u64
+    } else {
+        ((v - 1) as u32 as u64) & ((1u64 << class) - 1)
+    }
+}
+
+/// Inverse of [`value_bits`].
+#[must_use]
+pub fn value_from_bits(bits: u64, class: u32) -> i32 {
+    if class == 0 {
+        return 0;
+    }
+    let b = bits as i64;
+    if b < (1 << (class - 1)) {
+        (b - (1 << class) + 1) as i32
+    } else {
+        b as i32
+    }
+}
+
+/// Encodes one scan-order block; returns the new DC predictor.
+pub fn golden_vlc_encode(qscan: &[i16; 64], prev_dc: i16, bw: &mut BitWriter) -> i16 {
+    let dc_diff = i32::from(qscan[0]) - i32::from(prev_dc);
+    let c = magnitude_class(dc_diff);
+    bw.put(u64::from(c), 4);
+    bw.put(value_bits(dc_diff, c), c);
+    let mut run = 0u64;
+    for &q in &qscan[1..] {
+        if q == 0 {
+            run += 1;
+        } else {
+            let v = i32::from(q);
+            let c = magnitude_class(v);
+            bw.put(run, 6);
+            bw.put(u64::from(c), 4);
+            bw.put(value_bits(v, c), c);
+            run = 0;
+        }
+    }
+    bw.put(u64::from(EOB_RUN), 6);
+    qscan[0]
+}
+
+/// Decodes one block; returns the scan-order coefficients and the new DC
+/// predictor.
+pub fn golden_vlc_decode(br: &mut BitReader<'_>, prev_dc: i16) -> ([i16; 64], i16) {
+    let mut q = [0i16; 64];
+    let c = br.get(4) as u32;
+    let dc_diff = value_from_bits(br.get(c), c);
+    let dc = prev_dc.wrapping_add(dc_diff as i16);
+    q[0] = dc;
+    let mut i = 1usize;
+    loop {
+        let run = br.get(6);
+        if run == u64::from(EOB_RUN) {
+            break;
+        }
+        i += run as usize;
+        let c = br.get(4) as u32;
+        q[i] = value_from_bits(br.get(c), c) as i16;
+        i += 1;
+    }
+    (q, dc)
+}
+
+// ======================================================================
+// Assembler emitters
+// ======================================================================
+
+/// Bit-writer state registers threaded through emitted code.
+#[derive(Debug, Clone, Copy)]
+pub struct BwRegs {
+    /// Accumulator register.
+    pub acc: IReg,
+    /// Bit count register.
+    pub nbits: IReg,
+    /// Output byte cursor (advanced).
+    pub outp: IReg,
+}
+
+/// Initialises an emitted bit writer.
+pub fn emit_bw_init(a: &mut Asm, bw: &BwRegs) {
+    a.li(bw.acc, 0);
+    a.li(bw.nbits, 0);
+}
+
+/// Emits `put(value_reg, nbits_reg)`; both registers are preserved.
+pub fn emit_putbits(a: &mut Asm, bw: &BwRegs, value: IReg, nbits: IReg) {
+    let t = a.ireg();
+    // acc = (acc << n) | v ; nbits += n
+    a.alu(simdsim_isa::AluOp::Sll, bw.acc, bw.acc, nbits);
+    a.or(bw.acc, bw.acc, value);
+    a.add(bw.nbits, bw.nbits, nbits);
+    // while nbits >= 8 emit a byte
+    a.while_(Cond::Ge, bw.nbits, 8, |a| {
+        a.subi(bw.nbits, bw.nbits, 8);
+        a.alu(simdsim_isa::AluOp::Srl, t, bw.acc, bw.nbits);
+        a.and(t, t, 255);
+        a.sb(t, bw.outp, 0);
+        a.addi(bw.outp, bw.outp, 1);
+    });
+    a.release_ireg(t);
+}
+
+/// Emits `put` with a constant bit count.
+pub fn emit_putbits_const(a: &mut Asm, bw: &BwRegs, value: IReg, nbits: i64) {
+    let n = a.ireg();
+    a.li(n, nbits);
+    emit_putbits(a, bw, value, n);
+    a.release_ireg(n);
+}
+
+/// Emits the final flush (zero padding to a byte boundary).
+pub fn emit_bw_flush(a: &mut Asm, bw: &BwRegs) {
+    let t = a.ireg();
+    a.if_(Cond::Gt, bw.nbits, 0, |a| {
+        a.li(t, 8);
+        a.sub(t, t, bw.nbits);
+        a.alu(simdsim_isa::AluOp::Sll, t, bw.acc, t);
+        a.and(t, t, 255);
+        a.sb(t, bw.outp, 0);
+        a.addi(bw.outp, bw.outp, 1);
+        a.li(bw.nbits, 0);
+        a.li(bw.acc, 0);
+    });
+    a.release_ireg(t);
+}
+
+/// Bit-reader state registers.
+#[derive(Debug, Clone, Copy)]
+pub struct BrRegs {
+    /// Accumulator register.
+    pub acc: IReg,
+    /// Buffered bit count.
+    pub nbits: IReg,
+    /// Input byte cursor (advanced).
+    pub inp: IReg,
+}
+
+/// Initialises an emitted bit reader.
+pub fn emit_br_init(a: &mut Asm, br: &BrRegs) {
+    a.li(br.acc, 0);
+    a.li(br.nbits, 0);
+}
+
+/// Emits `dst = get(nbits_reg)`; `nbits` preserved, `dst` must differ
+/// from the state registers.
+pub fn emit_getbits(a: &mut Asm, br: &BrRegs, dst: IReg, nbits: IReg) {
+    let t = a.ireg();
+    a.while_(Cond::Lt, br.nbits, simdsim_isa::Operand2::Reg(nbits), |a| {
+        a.slli(br.acc, br.acc, 8);
+        a.lbu(t, br.inp, 0);
+        a.or(br.acc, br.acc, t);
+        a.addi(br.inp, br.inp, 1);
+        a.addi(br.nbits, br.nbits, 8);
+    });
+    a.sub(br.nbits, br.nbits, nbits);
+    a.alu(simdsim_isa::AluOp::Srl, dst, br.acc, br.nbits);
+    a.li(t, 1);
+    a.alu(simdsim_isa::AluOp::Sll, t, t, nbits);
+    a.subi(t, t, 1);
+    a.and(dst, dst, t);
+    a.release_ireg(t);
+}
+
+/// Emits `dst = get(n)` with a constant count.
+pub fn emit_getbits_const(a: &mut Asm, br: &BrRegs, dst: IReg, nbits: i64) {
+    let n = a.ireg();
+    a.li(n, nbits);
+    emit_getbits(a, br, dst, n);
+    a.release_ireg(n);
+}
+
+/// Emits the magnitude-class computation: `class = bitlen(|v|)`.
+/// `v` is preserved; `class` and `absv` are outputs.
+pub fn emit_magnitude_class(a: &mut Asm, v: IReg, class: IReg, absv: IReg) {
+    a.mv(absv, v);
+    a.if_(Cond::Lt, absv, 0, |a| {
+        a.li(class, 0);
+        a.sub(absv, class, absv);
+    });
+    a.li(class, 0);
+    let t = a.ireg();
+    a.mv(t, absv);
+    a.while_(Cond::Gt, t, 0, |a| {
+        a.srai(t, t, 1);
+        a.addi(class, class, 1);
+    });
+    a.release_ireg(t);
+}
+
+/// Emits the one's-complement value mapping into `bits`
+/// (`bits = v >= 0 ? v : (v-1) & ((1<<class)-1)`).
+pub fn emit_value_bits(a: &mut Asm, v: IReg, class: IReg, bits: IReg) {
+    let t = a.ireg();
+    a.mv(bits, v);
+    a.if_(Cond::Lt, v, 0, |a| {
+        a.subi(bits, v, 1);
+    });
+    a.li(t, 1);
+    a.alu(simdsim_isa::AluOp::Sll, t, t, class);
+    a.subi(t, t, 1);
+    a.and(bits, bits, t);
+    a.release_ireg(t);
+}
+
+/// Emits the inverse mapping: `v = bits < 1<<(class-1) ? bits - (1<<class) + 1 : bits`
+/// (class 0 → 0).
+pub fn emit_value_from_bits(a: &mut Asm, bits: IReg, class: IReg, v: IReg) {
+    let t = a.ireg();
+    a.mv(v, bits);
+    a.if_(Cond::Gt, class, 0, |a| {
+        a.subi(t, class, 1);
+        a.li(v, 1);
+        a.alu(simdsim_isa::AluOp::Sll, v, v, t);
+        // t = threshold = 1 << (class-1), currently in v; compare bits.
+        a.mv(t, v);
+        a.mv(v, bits);
+        a.if_(Cond::Lt, bits, simdsim_isa::Operand2::Reg(t), |a| {
+            a.slli(t, t, 1); // 1 << class
+            a.sub(v, bits, t);
+            a.addi(v, v, 1);
+        });
+    });
+    a.if_(Cond::Eq, class, 0, |a| a.li(v, 0));
+    a.release_ireg(t);
+}
+
+/// Emits the VLC encoder over a scan-order block (mirror of
+/// [`golden_vlc_encode`]). The bit-writer state and `prev_dc` are updated.
+pub fn emit_vlc_encode(a: &mut Asm, qscanp: IReg, bw: &BwRegs, prev_dc: IReg) {
+    let (i, q, run, sp, class, bits) = (
+        a.ireg(),
+        a.ireg(),
+        a.ireg(),
+        a.ireg(),
+        a.ireg(),
+        a.ireg(),
+    );
+    a.mv(sp, qscanp);
+    // DC.
+    a.lh(q, sp, 0);
+    let diff = a.ireg();
+    a.sub(diff, q, prev_dc);
+    a.mv(prev_dc, q);
+    emit_magnitude_class(a, diff, class, bits);
+    emit_putbits_const(a, bw, class, 4);
+    {
+        let vb = a.ireg();
+        emit_value_bits(a, diff, class, vb);
+        emit_putbits(a, bw, vb, class);
+        a.release_ireg(vb);
+    }
+    a.release_ireg(diff);
+    a.addi(sp, sp, 2);
+    // AC.
+    a.li(run, 0);
+    a.li(i, 1);
+    a.for_loop(i, 64, |a| {
+        a.lh(q, sp, 0);
+        a.if_else(
+            Cond::Eq,
+            q,
+            0,
+            |a| {
+                a.addi(run, run, 1);
+            },
+            |a| {
+                emit_putbits_const(a, bw, run, 6);
+                emit_magnitude_class(a, q, class, bits);
+                emit_putbits_const(a, bw, class, 4);
+                let vb = a.ireg();
+                emit_value_bits(a, q, class, vb);
+                emit_putbits(a, bw, vb, class);
+                a.li(run, 0);
+                a.release_ireg(vb);
+            },
+        );
+        a.addi(sp, sp, 2);
+    });
+    a.li(q, i64::from(EOB_RUN));
+    emit_putbits_const(a, bw, q, 6);
+    for r in [i, q, run, sp, class, bits] {
+        a.release_ireg(r);
+    }
+}
+
+/// Emits the VLC decoder for one block into the (cleared) scan buffer.
+pub fn emit_vlc_decode(a: &mut Asm, br: &BrRegs, qscanp: IReg, prev_dc: IReg) {
+    let (i, b, v, sp, class) = (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
+    // Clear.
+    a.mv(sp, qscanp);
+    a.li(v, 0);
+    a.li(i, 0);
+    a.for_loop(i, 64, |a| {
+        a.sh(v, sp, 0);
+        a.addi(sp, sp, 2);
+    });
+    // DC.
+    emit_getbits_const(a, br, class, 4);
+    emit_getbits(a, br, b, class);
+    emit_value_from_bits(a, b, class, v);
+    a.add(prev_dc, prev_dc, v);
+    a.slli(prev_dc, prev_dc, 48);
+    a.srai(prev_dc, prev_dc, 48);
+    a.sh(prev_dc, qscanp, 0);
+    // AC.
+    a.li(i, 1);
+    let done = a.label();
+    let head = a.label();
+    a.bind(head);
+    emit_getbits_const(a, br, b, 6);
+    a.branch(Cond::Eq, b, i64::from(EOB_RUN) as i32, done);
+    a.add(i, i, b);
+    emit_getbits_const(a, br, class, 4);
+    emit_getbits(a, br, b, class);
+    emit_value_from_bits(a, b, class, v);
+    a.slli(b, i, 1);
+    a.add(b, qscanp, b);
+    a.sh(v, b, 0);
+    a.addi(i, i, 1);
+    a.jump(head);
+    a.bind(done);
+    for r in [i, b, v, sp, class] {
+        a.release_ireg(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdsim_emu::{Machine, NullSink};
+    use simdsim_isa::Ext;
+
+    #[test]
+    fn golden_bitio_roundtrip() {
+        let mut bw = BitWriter::new();
+        bw.put(0b101, 3);
+        bw.put(0xABCD, 16);
+        bw.put(1, 1);
+        bw.flush();
+        let mut br = BitReader::new(&bw.bytes, 0);
+        assert_eq!(br.get(3), 0b101);
+        assert_eq!(br.get(16), 0xABCD);
+        assert_eq!(br.get(1), 1);
+    }
+
+    #[test]
+    fn magnitude_roundtrip() {
+        for v in [-2048i32, -255, -128, -1, 0, 1, 2, 127, 255, 1024, 2047] {
+            let c = magnitude_class(v);
+            assert_eq!(value_from_bits(value_bits(v, c), c), v, "v={v}");
+        }
+        assert_eq!(magnitude_class(0), 0);
+        assert_eq!(magnitude_class(1), 1);
+        assert_eq!(magnitude_class(-3), 2);
+        assert_eq!(magnitude_class(255), 8);
+    }
+
+    #[test]
+    fn golden_vlc_roundtrip() {
+        let mut q = [0i16; 64];
+        q[0] = -57;
+        q[1] = 3;
+        q[20] = -1;
+        q[63] = 12;
+        let mut bw = BitWriter::new();
+        let dc = golden_vlc_encode(&q, 5, &mut bw);
+        bw.flush();
+        assert_eq!(dc, -57);
+        let mut br = BitReader::new(&bw.bytes, 0);
+        let (q2, dc2) = golden_vlc_decode(&mut br, 5);
+        assert_eq!(q, q2);
+        assert_eq!(dc2, -57);
+    }
+
+    #[test]
+    fn emitted_vlc_encoder_matches_golden() {
+        let mut q = [0i16; 64];
+        q[0] = 100;
+        q[2] = -30;
+        q[35] = 7;
+        q[62] = -500;
+
+        let mut asm = simdsim_asm::Asm::new();
+        let (qscanp, outp, cell) = (asm.arg(0), asm.arg(1), asm.arg(2));
+        let bw = BwRegs {
+            acc: asm.ireg(),
+            nbits: asm.ireg(),
+            outp,
+        };
+        let prev_dc = asm.ireg();
+        asm.li(prev_dc, -9);
+        emit_bw_init(&mut asm, &bw);
+        emit_vlc_encode(&mut asm, qscanp, &bw, prev_dc);
+        emit_bw_flush(&mut asm, &bw);
+        asm.sd(outp, cell, 0);
+        asm.sd(prev_dc, cell, 8);
+        asm.halt();
+        let prog = asm.finish();
+
+        let mut m = Machine::new(Ext::Mmx64, 1 << 16);
+        m.write_i16s(256, &q).unwrap();
+        m.set_ireg(0, 256);
+        m.set_ireg(1, 1024);
+        m.set_ireg(2, 8192);
+        m.run(&prog, &mut NullSink, 1_000_000).unwrap();
+
+        let mut bwg = BitWriter::new();
+        let dcg = golden_vlc_encode(&q, -9, &mut bwg);
+        bwg.flush();
+        let end = m.read_i32s(8192, 1).unwrap()[0] as usize;
+        assert_eq!(m.read_bytes(1024, end - 1024).unwrap(), &bwg.bytes[..]);
+        assert_eq!(m.read_i32s(8200, 1).unwrap()[0], i32::from(dcg));
+    }
+
+    #[test]
+    fn emitted_vlc_decoder_matches_golden() {
+        let mut q = [0i16; 64];
+        q[0] = -1;
+        q[7] = 15;
+        q[8] = -15;
+        q[63] = 2;
+        let mut bw = BitWriter::new();
+        golden_vlc_encode(&q, 100, &mut bw);
+        bw.flush();
+
+        let mut asm = simdsim_asm::Asm::new();
+        let (inp, qscanp) = (asm.arg(0), asm.arg(1));
+        let br = BrRegs {
+            acc: asm.ireg(),
+            nbits: asm.ireg(),
+            inp,
+        };
+        let prev_dc = asm.ireg();
+        asm.li(prev_dc, 100);
+        emit_br_init(&mut asm, &br);
+        emit_vlc_decode(&mut asm, &br, qscanp, prev_dc);
+        asm.halt();
+        let prog = asm.finish();
+
+        let mut m = Machine::new(Ext::Mmx64, 1 << 16);
+        m.write_bytes(512, &bw.bytes).unwrap();
+        m.set_ireg(0, 512);
+        m.set_ireg(1, 2048);
+        m.run(&prog, &mut NullSink, 1_000_000).unwrap();
+        assert_eq!(m.read_i16s(2048, 64).unwrap(), q.to_vec());
+    }
+}

@@ -1,0 +1,463 @@
+//! Block-transform coding machinery shared by the JPEG and MPEG-2
+//! applications: zigzag scan, quantization, RLE entropy coding, block
+//! extraction/insertion — each as a golden Rust function *and* an
+//! assembler emitter with bit-identical arithmetic.
+
+use simdsim_asm::Asm;
+use simdsim_isa::{Cond, IReg, MemSz};
+
+/// The standard 8×8 zigzag scan: `ZIGZAG[i]` is the block position of
+/// scan index `i`.
+pub const ZIGZAG: [u8; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// End-of-block marker byte in the RLE entropy stream.
+pub const EOB: u8 = 0xFF;
+
+/// Quantizer steps in scan order: coarser for higher frequencies.
+/// `base` sets the overall rate (8 for luma, 12 for chroma, 10 for video).
+#[must_use]
+pub fn qsteps(base: i16) -> [i16; 64] {
+    let mut q = [0i16; 64];
+    for (i, slot) in q.iter_mut().enumerate() {
+        let pos = ZIGZAG[i] as usize;
+        let (r, c) = (pos / 8, pos % 8);
+        *slot = base + 2 * (r + c) as i16;
+    }
+    q
+}
+
+// ======================================================================
+// Golden reference functions
+// ======================================================================
+
+/// Extracts the 8×8 block at `(bx, by)` from a `w`-wide byte plane with
+/// the JPEG level shift (−128).
+#[must_use]
+pub fn golden_extract_block(plane: &[u8], w: usize, bx: usize, by: usize) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for r in 0..8 {
+        for c in 0..8 {
+            out[r * 8 + c] = i16::from(plane[(by * 8 + r) * w + bx * 8 + c]) - 128;
+        }
+    }
+    out
+}
+
+/// Inserts an 8×8 `i16` block into a byte plane with the inverse level
+/// shift (+128) and clamping.
+pub fn golden_insert_block(plane: &mut [u8], w: usize, bx: usize, by: usize, block: &[i16; 64]) {
+    for r in 0..8 {
+        for c in 0..8 {
+            let v = i32::from(block[r * 8 + c]) + 128;
+            plane[(by * 8 + r) * w + bx * 8 + c] = v.clamp(0, 255) as u8;
+        }
+    }
+}
+
+/// Quantizes a coefficient block into scan order:
+/// `q[i] = coef[ZIGZAG[i]] / qstep[i]` (truncating division).
+#[must_use]
+pub fn golden_quant_scan(coef: &[i16; 64], qstep: &[i16; 64]) -> [i16; 64] {
+    let mut q = [0i16; 64];
+    for i in 0..64 {
+        q[i] = (i32::from(coef[ZIGZAG[i] as usize]) / i32::from(qstep[i])) as i16;
+    }
+    q
+}
+
+/// Dequantizes a scan-order block back to natural order:
+/// `coef[ZIGZAG[i]] = q[i] * qstep[i]`.
+#[must_use]
+pub fn golden_dequant_descan(qscan: &[i16; 64], qstep: &[i16; 64]) -> [i16; 64] {
+    let mut coef = [0i16; 64];
+    for i in 0..64 {
+        coef[ZIGZAG[i] as usize] = qscan[i].wrapping_mul(qstep[i]);
+    }
+    coef
+}
+
+/// RLE-encodes a scan-order quantized block with DC prediction.
+/// Returns the updated DC predictor.
+pub fn golden_rle_encode(qscan: &[i16; 64], prev_dc: i16, out: &mut Vec<u8>) -> i16 {
+    let dc_diff = qscan[0].wrapping_sub(prev_dc);
+    out.extend_from_slice(&dc_diff.to_le_bytes());
+    let mut run = 0u8;
+    for &q in &qscan[1..] {
+        if q == 0 {
+            run += 1;
+        } else {
+            out.push(run);
+            out.extend_from_slice(&q.to_le_bytes());
+            run = 0;
+        }
+    }
+    out.push(EOB);
+    qscan[0]
+}
+
+/// RLE-decodes one block from `data[*pos..]` into scan order.
+/// Returns the updated DC predictor.
+pub fn golden_rle_decode(data: &[u8], pos: &mut usize, prev_dc: i16) -> ([i16; 64], i16) {
+    let mut q = [0i16; 64];
+    let dc_diff = i16::from_le_bytes([data[*pos], data[*pos + 1]]);
+    *pos += 2;
+    let dc = prev_dc.wrapping_add(dc_diff);
+    q[0] = dc;
+    let mut i = 1usize;
+    loop {
+        let b = data[*pos];
+        *pos += 1;
+        if b == EOB {
+            break;
+        }
+        i += b as usize;
+        q[i] = i16::from_le_bytes([data[*pos], data[*pos + 1]]);
+        *pos += 2;
+        i += 1;
+    }
+    (q, dc)
+}
+
+/// 2×2-average chroma subsampling (`w`,`h` of the source, even).
+#[must_use]
+pub fn golden_subsample(plane: &[u8], w: usize, h: usize) -> Vec<u8> {
+    let (w2, h2) = (w / 2, h / 2);
+    let mut out = vec![0u8; w2 * h2];
+    for y in 0..h2 {
+        for x in 0..w2 {
+            let s = u32::from(plane[2 * y * w + 2 * x])
+                + u32::from(plane[2 * y * w + 2 * x + 1])
+                + u32::from(plane[(2 * y + 1) * w + 2 * x])
+                + u32::from(plane[(2 * y + 1) * w + 2 * x + 1])
+                + 2;
+            out[y * w2 + x] = (s >> 2) as u8;
+        }
+    }
+    out
+}
+
+// ======================================================================
+// Assembler emitters (scalar phases)
+// ======================================================================
+
+/// Loads 64-bit parameter slot `idx` from the parameter block.
+pub fn emit_load_param(a: &mut Asm, params: IReg, idx: usize, dst: IReg) {
+    a.ld(dst, params, (8 * idx) as i32);
+}
+
+/// Emits the block extraction loop: `blockp[i16] = plane[...] − 128`.
+/// `srcp` must point at the block's top-left pixel; `stride` is the plane
+/// width.  Both pointer registers are preserved.
+pub fn emit_extract_block(a: &mut Asm, srcp: IReg, stride: IReg, blockp: IReg) {
+    let (rp, bp, t, r) = (a.ireg(), a.ireg(), a.ireg(), a.ireg());
+    a.mv(rp, srcp);
+    a.mv(bp, blockp);
+    a.li(r, 0);
+    a.for_loop(r, 8, |a| {
+        for c in 0..8 {
+            a.lbu(t, rp, c);
+            a.subi(t, t, 128);
+            a.sh(t, bp, 2 * c);
+        }
+        a.add(rp, rp, stride);
+        a.addi(bp, bp, 16);
+    });
+    for reg in [rp, bp, t, r] {
+        a.release_ireg(reg);
+    }
+}
+
+/// Emits the block insertion loop: `plane[...] = clamp(block + 128)`.
+pub fn emit_insert_block(a: &mut Asm, dstp: IReg, stride: IReg, blockp: IReg) {
+    let (rp, bp, t, r) = (a.ireg(), a.ireg(), a.ireg(), a.ireg());
+    a.mv(rp, dstp);
+    a.mv(bp, blockp);
+    a.li(r, 0);
+    a.for_loop(r, 8, |a| {
+        for c in 0..8 {
+            a.lh(t, bp, 2 * c);
+            a.addi(t, t, 128);
+            a.if_(Cond::Lt, t, 0, |a| a.li(t, 0));
+            a.if_(Cond::Gt, t, 255, |a| a.li(t, 255));
+            a.sb(t, rp, c);
+        }
+        a.add(rp, rp, stride);
+        a.addi(bp, bp, 16);
+    });
+    for reg in [rp, bp, t, r] {
+        a.release_ireg(reg);
+    }
+}
+
+/// Emits the quantization loop (natural-order coefficients → scan-order
+/// quantized values). All pointers preserved.
+pub fn emit_quant_scan(a: &mut Asm, coefp: IReg, qstepp: IReg, zigzagp: IReg, qscanp: IReg) {
+    let (i, t, v, qs, qp, sp) = (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
+    a.mv(qp, qstepp);
+    a.mv(sp, qscanp);
+    a.li(i, 0);
+    a.for_loop(i, 64, |a| {
+        a.add(t, zigzagp, i);
+        a.lbu(t, t, 0);
+        a.slli(t, t, 1);
+        a.add(t, coefp, t);
+        a.lh(v, t, 0);
+        a.lh(qs, qp, 0);
+        a.alu(simdsim_isa::AluOp::Div, v, v, qs);
+        a.sh(v, sp, 0);
+        a.addi(qp, qp, 2);
+        a.addi(sp, sp, 2);
+    });
+    for reg in [i, t, v, qs, qp, sp] {
+        a.release_ireg(reg);
+    }
+}
+
+/// Emits the dequantization loop (scan order → natural order).
+/// The destination block is fully overwritten.
+pub fn emit_dequant_descan(a: &mut Asm, qscanp: IReg, qstepp: IReg, zigzagp: IReg, coefp: IReg) {
+    let (i, t, v, qs, qp, sp) = (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
+    a.mv(qp, qstepp);
+    a.mv(sp, qscanp);
+    a.li(i, 0);
+    a.for_loop(i, 64, |a| {
+        a.lh(v, sp, 0);
+        a.lh(qs, qp, 0);
+        a.mul(v, v, qs);
+        a.add(t, zigzagp, i);
+        a.lbu(t, t, 0);
+        a.slli(t, t, 1);
+        a.add(t, coefp, t);
+        a.sh(v, t, 0);
+        a.addi(qp, qp, 2);
+        a.addi(sp, sp, 2);
+    });
+    for reg in [i, t, v, qs, qp, sp] {
+        a.release_ireg(reg);
+    }
+}
+
+/// Emits the RLE encoder over a scan-order block. `outp` (the stream
+/// cursor) is advanced; `prev_dc` is updated.
+pub fn emit_rle_encode(a: &mut Asm, qscanp: IReg, outp: IReg, prev_dc: IReg) {
+    let (i, q, run, sp) = (a.ireg(), a.ireg(), a.ireg(), a.ireg());
+    a.mv(sp, qscanp);
+    // DC with prediction.
+    a.lh(q, sp, 0);
+    let t = a.ireg();
+    a.sub(t, q, prev_dc);
+    a.store(MemSz::H, t, outp, 0);
+    a.addi(outp, outp, 2);
+    a.mv(prev_dc, q);
+    a.addi(sp, sp, 2);
+    // AC run-length loop.
+    a.li(run, 0);
+    a.li(i, 1);
+    a.for_loop(i, 64, |a| {
+        a.lh(q, sp, 0);
+        a.if_else(
+            Cond::Eq,
+            q,
+            0,
+            |a| {
+                a.addi(run, run, 1);
+            },
+            |a| {
+                a.sb(run, outp, 0);
+                a.store(MemSz::H, q, outp, 1);
+                a.addi(outp, outp, 3);
+                a.li(run, 0);
+            },
+        );
+        a.addi(sp, sp, 2);
+    });
+    a.li(t, i64::from(EOB));
+    a.sb(t, outp, 0);
+    a.addi(outp, outp, 1);
+    for reg in [i, q, run, sp, t] {
+        a.release_ireg(reg);
+    }
+}
+
+/// Emits the RLE decoder: parses one block from `inp` (advanced) into the
+/// scan-order buffer (cleared first); `prev_dc` is updated.
+pub fn emit_rle_decode(a: &mut Asm, inp: IReg, qscanp: IReg, prev_dc: IReg) {
+    let (i, b, v, sp, t) = (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
+    // Clear the scan buffer.
+    a.mv(sp, qscanp);
+    a.li(v, 0);
+    a.li(i, 0);
+    a.for_loop(i, 64, |a| {
+        a.sh(v, sp, 0);
+        a.addi(sp, sp, 2);
+    });
+    // DC.
+    a.lh(v, inp, 0);
+    a.addi(inp, inp, 2);
+    a.add(prev_dc, prev_dc, v);
+    // Keep the predictor in 16-bit range like the golden `wrapping_add`.
+    a.slli(prev_dc, prev_dc, 48);
+    a.srai(prev_dc, prev_dc, 48);
+    a.sh(prev_dc, qscanp, 0);
+    // AC loop.
+    a.li(i, 1);
+    let done = a.label();
+    let head = a.label();
+    a.bind(head);
+    a.lbu(b, inp, 0);
+    a.addi(inp, inp, 1);
+    a.branch(Cond::Eq, b, i64::from(EOB) as i32, done);
+    a.add(i, i, b);
+    a.lh(v, inp, 0);
+    a.addi(inp, inp, 2);
+    a.slli(t, i, 1);
+    a.add(t, qscanp, t);
+    a.sh(v, t, 0);
+    a.addi(i, i, 1);
+    a.jump(head);
+    a.bind(done);
+    for reg in [i, b, v, sp, t] {
+        a.release_ireg(reg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdsim_emu::{Machine, NullSink};
+    use simdsim_isa::Ext;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for z in ZIGZAG {
+            assert!(!seen[z as usize]);
+            seen[z as usize] = true;
+        }
+    }
+
+    #[test]
+    fn golden_rle_roundtrip() {
+        let mut q = [0i16; 64];
+        q[0] = 37;
+        q[5] = -3;
+        q[63] = 7;
+        let mut out = Vec::new();
+        let dc = golden_rle_encode(&q, 10, &mut out);
+        assert_eq!(dc, 37);
+        let mut pos = 0;
+        let (q2, dc2) = golden_rle_decode(&out, &mut pos, 10);
+        assert_eq!(q, q2);
+        assert_eq!(dc2, 37);
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn golden_quant_dequant_scale() {
+        let qstep = qsteps(8);
+        let mut coef = [0i16; 64];
+        coef[0] = 800;
+        coef[9] = -333;
+        let q = golden_quant_scan(&coef, &qstep);
+        let back = golden_dequant_descan(&q, &qstep);
+        assert!((i32::from(back[0]) - 800).abs() < i32::from(qstep[0]));
+        assert!((i32::from(back[9]) + 333).abs() < 2 * i32::from(qstep[4]));
+    }
+
+    #[test]
+    fn emitted_rle_matches_golden() {
+        // Encode a block with the emitter and compare the bytes.
+        let mut q = [0i16; 64];
+        q[0] = -5;
+        q[1] = 2;
+        q[17] = 300;
+        q[63] = -1;
+
+        let mut asm = Asm::new();
+        let (qscanp, outp, dc_cell) = (asm.arg(0), asm.arg(1), asm.arg(2));
+        let prev_dc = asm.ireg();
+        asm.li(prev_dc, 10);
+        emit_rle_encode(&mut asm, qscanp, outp, prev_dc);
+        asm.sd(outp, dc_cell, 8); // final stream cursor
+        asm.sd(prev_dc, dc_cell, 0);
+        asm.halt();
+        let prog = asm.finish();
+
+        let mut m = Machine::new(Ext::Mmx64, 1 << 16);
+        m.write_i16s(256, &q).unwrap();
+        m.set_ireg(0, 256);
+        m.set_ireg(1, 1024);
+        m.set_ireg(2, 4096);
+        m.run(&prog, &mut NullSink, 100_000).unwrap();
+
+        let mut golden = Vec::new();
+        let dc = golden_rle_encode(&q, 10, &mut golden);
+        let end = m.read_i32s(4104, 1).unwrap()[0] as usize;
+        let got = m.read_bytes(1024, end - 1024).unwrap();
+        assert_eq!(got, &golden[..]);
+        assert_eq!(m.ireg(0), 256); // preserved
+        let got_dc = m.read_i32s(4096, 1).unwrap()[0];
+        assert_eq!(got_dc, i32::from(dc));
+    }
+
+    #[test]
+    fn emitted_rle_decode_matches_golden() {
+        let mut q = [0i16; 64];
+        q[0] = 100;
+        q[3] = -4;
+        q[40] = 9;
+        let mut stream = Vec::new();
+        golden_rle_encode(&q, 0, &mut stream);
+
+        let mut asm = Asm::new();
+        let (inp, qscanp) = (asm.arg(0), asm.arg(1));
+        let prev_dc = asm.ireg();
+        asm.li(prev_dc, 0);
+        emit_rle_decode(&mut asm, inp, qscanp, prev_dc);
+        asm.halt();
+        let prog = asm.finish();
+
+        let mut m = Machine::new(Ext::Mmx64, 1 << 16);
+        m.write_bytes(512, &stream).unwrap();
+        m.set_ireg(0, 512);
+        m.set_ireg(1, 2048);
+        m.run(&prog, &mut NullSink, 100_000).unwrap();
+        assert_eq!(m.read_i16s(2048, 64).unwrap(), q.to_vec());
+    }
+
+    #[test]
+    fn emitted_quant_matches_golden() {
+        let qstep = qsteps(8);
+        let mut rng = simdsim_kernels::data::Rng64::new(3);
+        let coef: Vec<i16> = rng.i16s_in(64, -2000, 2000);
+        let coef_arr: [i16; 64] = coef.clone().try_into().unwrap();
+
+        let mut asm = Asm::new();
+        let (coefp, qstepp, zigzagp, qscanp) =
+            (asm.arg(0), asm.arg(1), asm.arg(2), asm.arg(3));
+        emit_quant_scan(&mut asm, coefp, qstepp, zigzagp, qscanp);
+        emit_dequant_descan(&mut asm, qscanp, qstepp, zigzagp, coefp);
+        asm.halt();
+        let prog = asm.finish();
+
+        let mut m = Machine::new(Ext::Mmx64, 1 << 16);
+        m.write_i16s(256, &coef).unwrap();
+        m.write_i16s(512, &qstep).unwrap();
+        m.write_bytes(1024, &ZIGZAG).unwrap();
+        m.write_i16s(2048, &[0; 64]).unwrap();
+        m.set_ireg(0, 256);
+        m.set_ireg(1, 512);
+        m.set_ireg(2, 1024);
+        m.set_ireg(3, 2048);
+        m.run(&prog, &mut NullSink, 100_000).unwrap();
+
+        let q = golden_quant_scan(&coef_arr, &qstep);
+        assert_eq!(m.read_i16s(2048, 64).unwrap(), q.to_vec());
+        let deq = golden_dequant_descan(&q, &qstep);
+        assert_eq!(m.read_i16s(256, 64).unwrap(), deq.to_vec());
+    }
+}

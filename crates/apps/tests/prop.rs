@@ -1,0 +1,92 @@
+//! Property-based tests of the entropy-coding layers shared by the JPEG
+//! and MPEG-2 applications.
+
+use proptest::prelude::*;
+use simdsim_apps::bitio::{
+    golden_vlc_decode, golden_vlc_encode, magnitude_class, value_bits, value_from_bits, BitReader,
+    BitWriter,
+};
+use simdsim_apps::common::{
+    golden_dequant_descan, golden_quant_scan, golden_rle_decode, golden_rle_encode, qsteps,
+};
+
+fn sparse_block() -> impl Strategy<Value = [i16; 64]> {
+    prop::collection::vec((0usize..64, -2040i16..2040), 0..12).prop_map(|entries| {
+        let mut b = [0i16; 64];
+        for (pos, val) in entries {
+            b[pos] = val;
+        }
+        b
+    })
+}
+
+proptest! {
+    /// VLC encode/decode round-trips any sparse block and DC predictor.
+    #[test]
+    fn vlc_roundtrip(block in sparse_block(), prev_dc in -2000i16..2000) {
+        let mut bw = BitWriter::new();
+        let dc = golden_vlc_encode(&block, prev_dc, &mut bw);
+        bw.flush();
+        prop_assert_eq!(dc, block[0]);
+        let mut br = BitReader::new(&bw.bytes, 0);
+        let (decoded, dc2) = golden_vlc_decode(&mut br, prev_dc);
+        prop_assert_eq!(decoded, block);
+        prop_assert_eq!(dc2, block[0]);
+    }
+
+    /// Several blocks back-to-back share the bit stream without aliasing.
+    #[test]
+    fn vlc_stream_of_blocks(blocks in prop::collection::vec(sparse_block(), 1..6)) {
+        let mut bw = BitWriter::new();
+        let mut dc = 0i16;
+        for b in &blocks {
+            dc = golden_vlc_encode(b, dc, &mut bw);
+        }
+        bw.flush();
+        let mut br = BitReader::new(&bw.bytes, 0);
+        let mut dc = 0i16;
+        for b in &blocks {
+            let (decoded, ndc) = golden_vlc_decode(&mut br, dc);
+            prop_assert_eq!(&decoded, b);
+            dc = ndc;
+        }
+    }
+
+    /// The byte-RLE code (simple profile) round-trips too.
+    #[test]
+    fn rle_roundtrip(block in sparse_block(), prev_dc in -2000i16..2000) {
+        let mut out = Vec::new();
+        let dc = golden_rle_encode(&block, prev_dc, &mut out);
+        let mut pos = 0;
+        let (decoded, dc2) = golden_rle_decode(&out, &mut pos, prev_dc);
+        prop_assert_eq!(decoded, block);
+        prop_assert_eq!(dc, dc2);
+        prop_assert_eq!(pos, out.len());
+    }
+
+    /// Magnitude coding is a bijection on its class.
+    #[test]
+    fn magnitude_bijection(v in -30000i32..30000) {
+        let c = magnitude_class(v);
+        prop_assert!(c <= 15);
+        prop_assert_eq!(value_from_bits(value_bits(v, c), c), v);
+        // Class is minimal: v doesn't fit class-1 bits.
+        if c > 0 {
+            prop_assert!(v.unsigned_abs() >= (1 << (c - 1)));
+        }
+    }
+
+    /// Quantize→dequantize error is bounded by the step size.
+    #[test]
+    fn quant_error_bounded(coef_v in prop::collection::vec(-4000i16..4000, 64), base in 4i16..16) {
+        let coef: [i16; 64] = coef_v.try_into().unwrap();
+        let qstep = qsteps(base);
+        let q = golden_quant_scan(&coef, &qstep);
+        let back = golden_dequant_descan(&q, &qstep);
+        for i in 0..64 {
+            let step = i32::from(qstep[simdsim_apps::common::ZIGZAG.iter().position(|z| usize::from(*z) == i).unwrap()]);
+            let err = (i32::from(back[i]) - i32::from(coef[i])).abs();
+            prop_assert!(err < step, "pos {i}: err {err} step {step}");
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! The [`Asm`] program builder.
+
+use crate::ralloc::RegPool;
+use simdsim_isa::{
+    AccOp, AluOp, AReg, Cond, Esz, FOp, FReg, IReg, Instr, MOperand, MReg, MemSz, Operand2,
+    Program, Region, Sat, VLoc, VOp, VReg, VShiftOp,
+};
+
+/// A symbolic label, created by [`Asm::label`] and bound by [`Asm::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Structured assembler building a resolved [`Program`].
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct Asm {
+    code: Vec<Instr>,
+    region: Vec<Region>,
+    cur_region: Region,
+    labels: Vec<Option<u32>>,
+    patches: Vec<(usize, Label)>,
+    iregs: RegPool,
+    fregs: RegPool,
+    vregs: RegPool,
+    mregs: RegPool,
+    aregs: RegPool,
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Asm {
+    /// Number of argument registers (`r0`..`r7`) excluded from the scratch
+    /// allocator.
+    pub const NUM_ARG_REGS: u8 = 8;
+
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            code: Vec::new(),
+            region: Vec::new(),
+            cur_region: Region::Scalar,
+            labels: Vec::new(),
+            patches: Vec::new(),
+            iregs: RegPool::new(Self::NUM_ARG_REGS, simdsim_isa::NUM_IREGS as u8),
+            fregs: RegPool::new(0, simdsim_isa::NUM_FREGS as u8),
+            vregs: RegPool::new(0, simdsim_isa::NUM_VREGS as u8),
+            mregs: RegPool::new(0, simdsim_isa::NUM_MREGS as u8),
+            aregs: RegPool::new(0, simdsim_isa::NUM_AREGS as u8),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registers
+    // ------------------------------------------------------------------
+
+    /// Argument register `i` (`r0`..`r7`), set by the harness before a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn arg(&self, i: u8) -> IReg {
+        assert!(i < Self::NUM_ARG_REGS, "argument registers are r0..r7");
+        IReg::new(i)
+    }
+
+    /// Allocates a scratch integer register.
+    pub fn ireg(&mut self) -> IReg {
+        IReg::new(self.iregs.alloc())
+    }
+    /// Releases a scratch integer register.
+    pub fn release_ireg(&mut self, r: IReg) {
+        self.iregs.release(r.index() as u8);
+    }
+    /// Allocates a scratch floating-point register.
+    pub fn freg(&mut self) -> FReg {
+        FReg::new(self.fregs.alloc())
+    }
+    /// Releases a scratch floating-point register.
+    pub fn release_freg(&mut self, r: FReg) {
+        self.fregs.release(r.index() as u8);
+    }
+    /// Allocates a scratch SIMD register.
+    pub fn vreg(&mut self) -> VReg {
+        VReg::new(self.vregs.alloc())
+    }
+    /// Releases a scratch SIMD register.
+    pub fn release_vreg(&mut self, r: VReg) {
+        self.vregs.release(r.index() as u8);
+    }
+    /// Allocates a scratch matrix register.
+    pub fn mreg(&mut self) -> MReg {
+        MReg::new(self.mregs.alloc())
+    }
+    /// Releases a scratch matrix register.
+    pub fn release_mreg(&mut self, r: MReg) {
+        self.mregs.release(r.index() as u8);
+    }
+    /// Allocates a packed accumulator.
+    pub fn areg(&mut self) -> AReg {
+        AReg::new(self.aregs.alloc())
+    }
+    /// Releases a packed accumulator.
+    pub fn release_areg(&mut self, r: AReg) {
+        self.aregs.release(r.index() as u8);
+    }
+
+    // ------------------------------------------------------------------
+    // Core emission, labels, regions
+    // ------------------------------------------------------------------
+
+    /// Appends a raw instruction.
+    pub fn emit(&mut self, i: Instr) {
+        self.code.push(i);
+        self.region.push(self.cur_region);
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.code.len() as u32);
+    }
+
+    /// Runs `body` with the current region set to [`Region::Vector`];
+    /// instructions emitted inside are attributed to vectorised kernel code.
+    pub fn vector_region<R>(&mut self, body: impl FnOnce(&mut Asm) -> R) -> R {
+        let prev = self.cur_region;
+        self.cur_region = Region::Vector;
+        let r = body(self);
+        self.cur_region = prev;
+        r
+    }
+
+    /// Current instruction index (useful for size accounting in tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` when nothing has been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Resolves labels and returns the finished program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn finish(mut self) -> Program {
+        for (at, label) in std::mem::take(&mut self.patches) {
+            let target = self.labels[label.0 as usize].expect("unbound label referenced");
+            match &mut self.code[at] {
+                Instr::Branch { target: t, .. } | Instr::Jump { target: t } => *t = target,
+                other => unreachable!("patch site is not a branch: {other}"),
+            }
+        }
+        Program::new(self.code, self.region)
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar integer emitters
+    // ------------------------------------------------------------------
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: IReg, imm: i64) {
+        self.emit(Instr::Li { rd, imm });
+    }
+    /// `rd = rs` (register move).
+    pub fn mv(&mut self, rd: IReg, rs: IReg) {
+        self.alu(AluOp::Add, rd, rs, 0);
+    }
+    /// Generic ALU operation with register-or-immediate second operand.
+    pub fn alu(&mut self, op: AluOp, rd: IReg, ra: IReg, b: impl Into<Operand2>) {
+        self.emit(Instr::IntOp {
+            op,
+            rd,
+            ra,
+            b: b.into(),
+        });
+    }
+    /// `rd = ra + rb`.
+    pub fn add(&mut self, rd: IReg, ra: IReg, rb: IReg) {
+        self.alu(AluOp::Add, rd, ra, rb);
+    }
+    /// `rd = ra + imm`.
+    pub fn addi(&mut self, rd: IReg, ra: IReg, imm: i32) {
+        self.alu(AluOp::Add, rd, ra, imm);
+    }
+    /// `rd = ra - rb`.
+    pub fn sub(&mut self, rd: IReg, ra: IReg, rb: IReg) {
+        self.alu(AluOp::Sub, rd, ra, rb);
+    }
+    /// `rd = ra - imm`.
+    pub fn subi(&mut self, rd: IReg, ra: IReg, imm: i32) {
+        self.alu(AluOp::Sub, rd, ra, imm);
+    }
+    /// `rd = ra * rb`.
+    pub fn mul(&mut self, rd: IReg, ra: IReg, rb: IReg) {
+        self.alu(AluOp::Mul, rd, ra, rb);
+    }
+    /// `rd = ra * imm`.
+    pub fn muli(&mut self, rd: IReg, ra: IReg, imm: i32) {
+        self.alu(AluOp::Mul, rd, ra, imm);
+    }
+    /// `rd = ra << imm`.
+    pub fn slli(&mut self, rd: IReg, ra: IReg, imm: i32) {
+        self.alu(AluOp::Sll, rd, ra, imm);
+    }
+    /// `rd = (u64)ra >> imm`.
+    pub fn srli(&mut self, rd: IReg, ra: IReg, imm: i32) {
+        self.alu(AluOp::Srl, rd, ra, imm);
+    }
+    /// `rd = ra >> imm` (arithmetic).
+    pub fn srai(&mut self, rd: IReg, ra: IReg, imm: i32) {
+        self.alu(AluOp::Sra, rd, ra, imm);
+    }
+    /// `rd = ra & b`.
+    pub fn and(&mut self, rd: IReg, ra: IReg, b: impl Into<Operand2>) {
+        self.alu(AluOp::And, rd, ra, b);
+    }
+    /// `rd = ra | b`.
+    pub fn or(&mut self, rd: IReg, ra: IReg, b: impl Into<Operand2>) {
+        self.alu(AluOp::Or, rd, ra, b);
+    }
+    /// `rd = ra ^ b`.
+    pub fn xor(&mut self, rd: IReg, ra: IReg, b: impl Into<Operand2>) {
+        self.alu(AluOp::Xor, rd, ra, b);
+    }
+
+    /// Scalar load.
+    pub fn load(&mut self, sz: MemSz, sext: bool, rd: IReg, base: IReg, off: i32) {
+        self.emit(Instr::Load {
+            sz,
+            sext,
+            rd,
+            base,
+            off,
+        });
+    }
+    /// Unsigned byte load.
+    pub fn lbu(&mut self, rd: IReg, base: IReg, off: i32) {
+        self.load(MemSz::B, false, rd, base, off);
+    }
+    /// Signed 16-bit load.
+    pub fn lh(&mut self, rd: IReg, base: IReg, off: i32) {
+        self.load(MemSz::H, true, rd, base, off);
+    }
+    /// Unsigned 16-bit load.
+    pub fn lhu(&mut self, rd: IReg, base: IReg, off: i32) {
+        self.load(MemSz::H, false, rd, base, off);
+    }
+    /// Signed 32-bit load.
+    pub fn lw(&mut self, rd: IReg, base: IReg, off: i32) {
+        self.load(MemSz::W, true, rd, base, off);
+    }
+    /// 64-bit load.
+    pub fn ld(&mut self, rd: IReg, base: IReg, off: i32) {
+        self.load(MemSz::D, true, rd, base, off);
+    }
+    /// Scalar store.
+    pub fn store(&mut self, sz: MemSz, rs: IReg, base: IReg, off: i32) {
+        self.emit(Instr::Store { sz, rs, base, off });
+    }
+    /// Byte store.
+    pub fn sb(&mut self, rs: IReg, base: IReg, off: i32) {
+        self.store(MemSz::B, rs, base, off);
+    }
+    /// 16-bit store.
+    pub fn sh(&mut self, rs: IReg, base: IReg, off: i32) {
+        self.store(MemSz::H, rs, base, off);
+    }
+    /// 32-bit store.
+    pub fn sw(&mut self, rs: IReg, base: IReg, off: i32) {
+        self.store(MemSz::W, rs, base, off);
+    }
+    /// 64-bit store.
+    pub fn sd(&mut self, rs: IReg, base: IReg, off: i32) {
+        self.store(MemSz::D, rs, base, off);
+    }
+
+    // ------------------------------------------------------------------
+    // Control flow
+    // ------------------------------------------------------------------
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: Cond, ra: IReg, b: impl Into<Operand2>, target: Label) {
+        self.patches.push((self.code.len(), target));
+        self.emit(Instr::Branch {
+            cond,
+            ra,
+            b: b.into(),
+            target: u32::MAX,
+        });
+    }
+    /// Unconditional jump to a label.
+    pub fn jump(&mut self, target: Label) {
+        self.patches.push((self.code.len(), target));
+        self.emit(Instr::Jump { target: u32::MAX });
+    }
+    /// Terminates the program.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// Bottom-tested loop: executes `body` while `i < end`, incrementing
+    /// `i` by 1 per iteration.  `i` must be initialised before the call and
+    /// the loop body runs **at least once** (like a compiler-generated
+    /// `do-while` for a trip count known to be positive).
+    pub fn for_loop(&mut self, i: IReg, end: impl Into<Operand2>, body: impl FnOnce(&mut Asm)) {
+        self.for_loop_step(i, end, 1, body);
+    }
+
+    /// Bottom-tested loop with explicit step (see [`Asm::for_loop`]).
+    pub fn for_loop_step(
+        &mut self,
+        i: IReg,
+        end: impl Into<Operand2>,
+        step: i32,
+        body: impl FnOnce(&mut Asm),
+    ) {
+        let end = end.into();
+        let head = self.label();
+        self.bind(head);
+        body(self);
+        self.addi(i, i, step);
+        self.branch(Cond::Lt, i, end, head);
+    }
+
+    /// Top-tested counted loop: `for i in start..end { body }` with a guard
+    /// branch, safe for possibly-empty ranges.  Allocates and releases the
+    /// induction register, passing it to `body`.
+    pub fn for_range(
+        &mut self,
+        start: i64,
+        end: impl Into<Operand2>,
+        body: impl FnOnce(&mut Asm, IReg),
+    ) {
+        let end = end.into();
+        let i = self.ireg();
+        self.li(i, start);
+        let exit = self.label();
+        let head = self.label();
+        self.branch(Cond::Ge, i, end, exit);
+        self.bind(head);
+        body(self, i);
+        self.addi(i, i, 1);
+        self.branch(Cond::Lt, i, end, head);
+        self.bind(exit);
+        self.release_ireg(i);
+    }
+
+    /// `if cond(ra, b) { then }`.
+    pub fn if_(
+        &mut self,
+        cond: Cond,
+        ra: IReg,
+        b: impl Into<Operand2>,
+        then: impl FnOnce(&mut Asm),
+    ) {
+        let skip = self.label();
+        self.branch(cond.negated(), ra, b, skip);
+        then(self);
+        self.bind(skip);
+    }
+
+    /// `if cond(ra, b) { then } else { otherwise }`.
+    pub fn if_else(
+        &mut self,
+        cond: Cond,
+        ra: IReg,
+        b: impl Into<Operand2> + Copy,
+        then: impl FnOnce(&mut Asm),
+        otherwise: impl FnOnce(&mut Asm),
+    ) {
+        let els = self.label();
+        let done = self.label();
+        self.branch(cond.negated(), ra, b, els);
+        then(self);
+        self.jump(done);
+        self.bind(els);
+        otherwise(self);
+        self.bind(done);
+    }
+
+    /// Top-tested while loop: repeats `body` while `cond(ra, b)` holds.
+    pub fn while_(
+        &mut self,
+        cond: Cond,
+        ra: IReg,
+        b: impl Into<Operand2> + Copy,
+        body: impl FnOnce(&mut Asm),
+    ) {
+        let head = self.label();
+        let exit = self.label();
+        self.bind(head);
+        self.branch(cond.negated(), ra, b, exit);
+        body(self);
+        self.jump(head);
+        self.bind(exit);
+    }
+
+    // ------------------------------------------------------------------
+    // Floating point
+    // ------------------------------------------------------------------
+
+    /// Floating-point ALU operation.
+    pub fn fop(&mut self, op: FOp, fd: FReg, fa: FReg, fb: FReg) {
+        self.emit(Instr::FpOp { op, fd, fa, fb });
+    }
+    /// Floating-point load.
+    pub fn fld(&mut self, fd: FReg, base: IReg, off: i32) {
+        self.emit(Instr::FpLoad { fd, base, off });
+    }
+    /// Floating-point store.
+    pub fn fst(&mut self, fs: FReg, base: IReg, off: i32) {
+        self.emit(Instr::FpStore { fs, base, off });
+    }
+    /// Integer→double conversion.
+    pub fn cvt_if(&mut self, fd: FReg, ra: IReg) {
+        self.emit(Instr::CvtIF { fd, ra });
+    }
+    /// Double→integer conversion.
+    pub fn cvt_fi(&mut self, rd: IReg, fa: FReg) {
+        self.emit(Instr::CvtFI { rd, fa });
+    }
+
+    // ------------------------------------------------------------------
+    // 1-word SIMD
+    // ------------------------------------------------------------------
+
+    /// Element-wise SIMD operation.
+    pub fn simd(&mut self, op: VOp, dst: impl Into<VLoc>, a: impl Into<VLoc>, b: impl Into<VLoc>) {
+        self.emit(Instr::Simd {
+            op,
+            dst: dst.into(),
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+    /// Element-wise shift by immediate.
+    pub fn vshift(&mut self, op: VShiftOp, dst: impl Into<VLoc>, src: impl Into<VLoc>, amount: u8) {
+        self.emit(Instr::SimdShift {
+            op,
+            dst: dst.into(),
+            src: src.into(),
+            amount,
+        });
+    }
+    /// SIMD move.
+    pub fn vmov(&mut self, dst: impl Into<VLoc>, src: impl Into<VLoc>) {
+        self.emit(Instr::VMov {
+            dst: dst.into(),
+            src: src.into(),
+        });
+    }
+    /// Broadcast scalar into all elements.
+    pub fn vsplat(&mut self, dst: impl Into<VLoc>, src: IReg, esz: Esz) {
+        self.emit(Instr::VSplat {
+            dst: dst.into(),
+            src,
+            esz,
+        });
+    }
+    /// Extract element `lane` into a scalar register.
+    pub fn movsv(&mut self, rd: IReg, src: impl Into<VLoc>, lane: u8, esz: Esz, sext: bool) {
+        self.emit(Instr::MovSV {
+            rd,
+            src: src.into(),
+            lane,
+            esz,
+            sext,
+        });
+    }
+    /// Insert a scalar into element `lane`.
+    pub fn movvs(&mut self, dst: impl Into<VLoc>, src: IReg, lane: u8, esz: Esz) {
+        self.emit(Instr::MovVS {
+            dst: dst.into(),
+            src,
+            lane,
+            esz,
+        });
+    }
+    /// SIMD load of `bytes` bytes.
+    pub fn vload(&mut self, dst: impl Into<VLoc>, base: IReg, off: i32, bytes: u8) {
+        self.emit(Instr::VLoad {
+            dst: dst.into(),
+            base,
+            off,
+            bytes,
+        });
+    }
+    /// SIMD store of `bytes` bytes.
+    pub fn vstore(&mut self, src: impl Into<VLoc>, base: IReg, off: i32, bytes: u8) {
+        self.emit(Instr::VStore {
+            src: src.into(),
+            base,
+            off,
+            bytes,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix extension
+    // ------------------------------------------------------------------
+
+    /// Sets the vector length.
+    pub fn setvl(&mut self, src: impl Into<Operand2>) {
+        self.emit(Instr::SetVl { src: src.into() });
+    }
+    /// Strided matrix load.
+    pub fn mload(&mut self, dst: MReg, base: IReg, stride: impl Into<Operand2>, row_bytes: u8) {
+        self.emit(Instr::MLoad {
+            dst,
+            base,
+            stride: stride.into(),
+            row_bytes,
+        });
+    }
+    /// Strided matrix store.
+    pub fn mstore(&mut self, src: MReg, base: IReg, stride: impl Into<Operand2>, row_bytes: u8) {
+        self.emit(Instr::MStore {
+            src,
+            base,
+            stride: stride.into(),
+            row_bytes,
+        });
+    }
+    /// Full-VL element-wise matrix operation.
+    pub fn mop(&mut self, op: VOp, dst: MReg, a: MReg, b: impl Into<MOperand>) {
+        self.emit(Instr::MOp {
+            op,
+            dst,
+            a,
+            b: b.into(),
+        });
+    }
+    /// Full-VL shift by immediate.
+    pub fn mshift(&mut self, op: VShiftOp, dst: MReg, src: MReg, amount: u8) {
+        self.emit(Instr::MShift {
+            op,
+            dst,
+            src,
+            amount,
+        });
+    }
+    /// Broadcast scalar into all rows/elements.
+    pub fn msplat(&mut self, dst: MReg, src: IReg, esz: Esz) {
+        self.emit(Instr::MSplat { dst, src, esz });
+    }
+    /// Matrix move.
+    pub fn mmov(&mut self, dst: MReg, src: MReg) {
+        self.emit(Instr::MMov { dst, src });
+    }
+    /// Matrix transpose.
+    pub fn mtrans(&mut self, dst: MReg, src: MReg, esz: Esz) {
+        self.emit(Instr::MTranspose { dst, src, esz });
+    }
+    /// Full-VL accumulator operation.
+    pub fn macc(&mut self, op: AccOp, acc: AReg, a: MReg, b: MReg) {
+        self.emit(Instr::MAcc { op, acc, a, b });
+    }
+    /// Single-word accumulator operation.
+    pub fn vacc(&mut self, op: AccOp, acc: AReg, a: impl Into<VLoc>, b: impl Into<VLoc>) {
+        self.emit(Instr::VAcc {
+            op,
+            acc,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+    /// Reduces an accumulator into a scalar register.
+    pub fn accsum(&mut self, rd: IReg, acc: AReg) {
+        self.emit(Instr::AccSum { rd, acc });
+    }
+    /// Clears an accumulator.
+    pub fn accclear(&mut self, acc: AReg) {
+        self.emit(Instr::AccClear { acc });
+    }
+    /// Packs accumulator lanes into a SIMD word.
+    pub fn accpack(&mut self, dst: impl Into<VLoc>, acc: AReg, esz: Esz, sat: Sat, shift: u8) {
+        self.emit(Instr::AccPack {
+            dst: dst.into(),
+            acc,
+            esz,
+            sat,
+            shift,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdsim_isa::Class;
+
+    #[test]
+    fn loop_shapes() {
+        let mut a = Asm::new();
+        let i = a.ireg();
+        let n = a.arg(0);
+        a.li(i, 0);
+        a.for_loop(i, n, |a| {
+            a.nop_marker();
+        });
+        a.halt();
+        let p = a.finish();
+        // li, nop, addi, branch, halt
+        assert_eq!(p.len(), 5);
+        p.validate(false).unwrap();
+    }
+
+    impl Asm {
+        fn nop_marker(&mut self) {
+            self.emit(Instr::Nop);
+        }
+    }
+
+    #[test]
+    fn if_else_targets_resolve() {
+        let mut a = Asm::new();
+        let x = a.arg(0);
+        a.if_else(
+            Cond::Eq,
+            x,
+            0,
+            |a| a.li(IReg::new(9), 1),
+            |a| a.li(IReg::new(9), 2),
+        );
+        a.halt();
+        let p = a.finish();
+        p.validate(false).unwrap();
+        // branch, li, jump, li, halt
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn vector_region_tagging() {
+        let mut a = Asm::new();
+        a.li(a.arg(0), 1);
+        a.vector_region(|a| {
+            let v = a.vreg();
+            a.simd(VOp::Add(Esz::B), v, v, v);
+        });
+        a.halt();
+        let p = a.finish();
+        assert_eq!(p.regions()[0], Region::Scalar);
+        assert_eq!(p.regions()[1], Region::Vector);
+        assert_eq!(p.regions()[2], Region::Scalar);
+        assert_eq!(p.code()[1].class(), Class::VArith);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jump(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    fn while_and_for_range() {
+        let mut a = Asm::new();
+        let n = a.arg(0);
+        let acc = a.arg(1);
+        a.li(acc, 0);
+        a.for_range(0, n, |a, i| {
+            a.add(acc, acc, i);
+        });
+        let c = a.ireg();
+        a.li(c, 3);
+        a.while_(Cond::Gt, c, 0, |a| {
+            a.subi(c, c, 1);
+        });
+        a.halt();
+        let p = a.finish();
+        p.validate(false).unwrap();
+    }
+}

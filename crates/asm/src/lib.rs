@@ -1,0 +1,49 @@
+//! Structured macro-assembler for the `simdsim` ISA.
+//!
+//! Kernels and applications in this workspace are written against this
+//! builder — the moral equivalent of the paper's C-with-emulation-macros
+//! sources.  The builder provides:
+//!
+//! * emitter methods for every instruction of [`simdsim_isa`];
+//! * symbolic labels with late binding ([`Asm::label`] / [`Asm::bind`]);
+//! * structured control flow ([`Asm::for_range`], [`Asm::if_`],
+//!   [`Asm::while_`]) that lowers to the scalar branches whose overhead the
+//!   paper measures;
+//! * a register allocator for scratch registers per register file;
+//! * region tagging ([`Asm::vector_region`]) separating vectorised kernel
+//!   code from scalar application code (Figure 6 of the paper).
+//!
+//! # Example
+//!
+//! Sum the bytes of an array with a scalar loop:
+//!
+//! ```
+//! use simdsim_asm::Asm;
+//! use simdsim_isa::{Cond, MemSz};
+//!
+//! let mut a = Asm::new();
+//! let ptr = a.arg(0); // r0 = array base
+//! let n = a.arg(1);   // r1 = length
+//! let sum = a.arg(2); // r2 = result
+//! let i = a.ireg();
+//! let t = a.ireg();
+//! a.li(sum, 0);
+//! a.li(i, 0);
+//! a.for_loop(i, n, |a| {
+//!     a.load(MemSz::B, false, t, ptr, 0);
+//!     a.add(sum, sum, t);
+//!     a.addi(ptr, ptr, 1);
+//! });
+//! a.halt();
+//! let prog = a.finish();
+//! assert!(prog.validate(false).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod ralloc;
+
+pub use builder::{Asm, Label};
+pub use ralloc::RegPool;

@@ -1,0 +1,94 @@
+//! Scratch-register pools.
+
+/// A simple stack allocator over register indices `lo..hi`.
+///
+/// Used for scratch registers while building programs; allocation order is
+/// deterministic so generated programs are reproducible.
+#[derive(Debug, Clone)]
+pub struct RegPool {
+    free: Vec<u8>,
+    lo: u8,
+    hi: u8,
+}
+
+impl RegPool {
+    /// Creates a pool handing out indices in `lo..hi` (ascending).
+    #[must_use]
+    pub fn new(lo: u8, hi: u8) -> Self {
+        assert!(lo <= hi, "invalid register pool range");
+        Self {
+            free: (lo..hi).rev().collect(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Allocates the lowest free index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool is exhausted — generated programs must fit the
+    /// architectural register file, like compiled code would.
+    pub fn alloc(&mut self) -> u8 {
+        self.free.pop().expect("register pool exhausted")
+    }
+
+    /// Returns an index to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the pool range or already free
+    /// (double free).
+    pub fn release(&mut self, idx: u8) {
+        assert!(
+            idx >= self.lo && idx < self.hi,
+            "register {idx} not part of this pool"
+        );
+        assert!(!self.free.contains(&idx), "register {idx} double-freed");
+        self.free.push(idx);
+        // Keep allocation order deterministic (lowest index next).
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    /// Number of currently free registers.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut p = RegPool::new(8, 12);
+        assert_eq!(p.available(), 4);
+        let a = p.alloc();
+        let b = p.alloc();
+        assert_eq!((a, b), (8, 9));
+        p.release(a);
+        assert_eq!(p.alloc(), 8);
+        p.release(8);
+        p.release(b);
+        assert_eq!(p.available(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-freed")]
+    fn double_free_panics() {
+        let mut p = RegPool::new(0, 4);
+        let a = p.alloc();
+        p.release(a);
+        p.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut p = RegPool::new(0, 1);
+        let _ = p.alloc();
+        let _ = p.alloc();
+    }
+}

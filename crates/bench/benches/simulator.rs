@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the cycle-accurate simulation path: emulator +
+//! out-of-order timing model, for one kernel and one application per
+//! extension class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simdsim::kernels::{by_name, Variant};
+use simdsim::pipe::{simulate, PipeConfig};
+use simdsim_isa::Ext;
+
+fn bench_timing_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing-simulation");
+    g.sample_size(10);
+    let kernel = by_name("motion1").expect("motion1 exists");
+    for ext in Ext::ALL {
+        let built = kernel.build(Variant::for_ext(ext));
+        let cfg = PipeConfig::paper(2, ext);
+        // Report simulated instructions per second.
+        let (_, stats) =
+            simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates");
+        g.throughput(Throughput::Elements(stats.instrs));
+        g.bench_with_input(BenchmarkId::new("motion1-2way", ext.name()), &built, |b, built| {
+            b.iter(|| simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_app_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app-simulation");
+    g.sample_size(10);
+    let app = simdsim_apps::by_name("gsmdec").expect("gsmdec exists");
+    for ext in [Ext::Mmx64, Ext::Vmmx128] {
+        let built = app.build(Variant::for_ext(ext));
+        let cfg = PipeConfig::paper(2, ext);
+        g.bench_with_input(BenchmarkId::new("gsmdec-2way", ext.name()), &built, |b, built| {
+            b.iter(|| simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_timing_model, bench_app_simulation);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Runs the ablation sweeps: lanes, L2 port width, matrix register file
+//! size and redirect penalty (see `simdsim::ablations`).
+fn main() {
+    for (title, rows) in [
+        ("Vector lanes (2-way VMMX128)", simdsim::ablations::lanes()),
+        ("L2 vector-port width (2-way VMMX128)", simdsim::ablations::l2_port_width()),
+        ("Physical matrix registers (2-way VMMX128)", simdsim::ablations::matrix_registers()),
+        ("Branch redirect penalty (2-way MMX64)", simdsim::ablations::redirect_penalty()),
+    ] {
+        println!("=== {title} ===\n{}", simdsim::ablations::render(&rows));
+        let name = title.split(' ').next().unwrap().to_lowercase();
+        let path = simdsim_bench::results_dir().join(format!("ablation-{name}.json"));
+        std::fs::write(&path, simdsim::report::to_json(&rows)).unwrap();
+    }
+}

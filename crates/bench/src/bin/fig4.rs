@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 4: kernel speed-ups on the 2-way core,
+//! relative to 2-way MMX64.
+fn main() {
+    let rows = simdsim::experiments::fig4();
+    println!("Figure 4 — kernel speed-ups (2-way, baseline 2-way MMX64)\n");
+    println!("{}", simdsim::report::render_fig4(&rows));
+    let path = simdsim_bench::results_dir().join("fig4.json");
+    std::fs::write(&path, simdsim::report::to_json(&rows)).unwrap();
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 5: full-application speed-ups for the
+//! twelve processor configurations, relative to 2-way MMX64.
+fn main() {
+    let rows = simdsim_bench::fig5_rows_cached();
+    println!("Figure 5 — application speed-ups (baseline: 2-way MMX64 per app)\n");
+    println!("{}", simdsim::report::render_fig5(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 6: jpegdec cycle-count distribution
+//! (vector vs scalar cycles), normalized to the 2-way MMX64 total.
+fn main() {
+    let rows = simdsim_bench::fig5_rows_cached();
+    let jd = simdsim::experiments::fig6(&rows);
+    println!("Figure 6 — jpegdec cycle breakdown (normalized to 2-way MMX64 = 100)\n");
+    println!("{}", simdsim::report::render_fig6(&jd));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 7: dynamic instruction count by class,
+//! per application, normalized to MMX64.
+fn main() {
+    let rows = simdsim_bench::fig5_rows_cached();
+    let f7 = simdsim::experiments::fig7(&rows);
+    println!("Figure 7 — dynamic instruction mix (normalized to MMX64 = 100)\n");
+    println!("{}", simdsim::report::render_fig7(&f7));
+}

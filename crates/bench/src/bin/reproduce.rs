@@ -1,0 +1,24 @@
+//! Runs every regenerator in sequence: the full paper reproduction.
+fn main() {
+    println!("=== Table I ===\n{}", simdsim::report::render_table1(&simdsim::tables::table1()));
+    println!("=== Table II ===\n{}", simdsim::report::render_table2(&simdsim::tables::table2()));
+    println!("=== Table III ===\n{}", simdsim::report::render_table3(&simdsim::tables::table3()));
+    println!("=== Table IV ===\n{}", simdsim::report::render_table4());
+    let f4 = simdsim::experiments::fig4();
+    println!("=== Figure 4 ===\n{}", simdsim::report::render_fig4(&f4));
+    std::fs::write(
+        simdsim_bench::results_dir().join("fig4.json"),
+        simdsim::report::to_json(&f4),
+    )
+    .unwrap();
+    let rows = simdsim_bench::fig5_rows_cached();
+    println!("=== Figure 5 ===\n{}", simdsim::report::render_fig5(&rows));
+    println!(
+        "=== Figure 6 ===\n{}",
+        simdsim::report::render_fig6(&simdsim::experiments::fig6(&rows))
+    );
+    println!(
+        "=== Figure 7 ===\n{}",
+        simdsim::report::render_fig7(&simdsim::experiments::fig7(&rows))
+    );
+}

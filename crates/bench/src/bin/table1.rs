@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table I (register-file scaling).
+fn main() {
+    let rows = simdsim::tables::table1();
+    println!("Table I — register file scaling (area model vs paper)\n");
+    println!("{}", simdsim::report::render_table1(&rows));
+    let path = simdsim_bench::results_dir().join("table1.json");
+    std::fs::write(&path, simdsim::report::to_json(&rows)).unwrap();
+    eprintln!("wrote {}", path.display());
+}

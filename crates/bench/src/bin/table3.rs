@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table III (modelled processors).
+fn main() {
+    println!("Table III — processor configurations\n");
+    println!("{}", simdsim::report::render_table3(&simdsim::tables::table3()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table IV (memory hierarchy).
+fn main() {
+    println!("Table IV — memory hierarchy\n");
+    println!("{}", simdsim::report::render_table4());
+}

@@ -1,0 +1,31 @@
+//! Benchmark-harness support: result caching shared by the per-figure
+//! regenerator binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Directory where regenerators cache their JSON results.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target/simdsim-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Loads cached Figure-5 rows if present, otherwise runs the full sweep
+/// and caches it.  Figure 5, 6 and 7 all derive from the same sweep.
+#[must_use]
+pub fn fig5_rows_cached() -> Vec<simdsim::experiments::AppResult> {
+    let path = results_dir().join("fig5.json");
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(rows) = serde_json::from_str(&text) {
+            eprintln!("(using cached {})", path.display());
+            return rows;
+        }
+    }
+    let rows = simdsim::experiments::fig5();
+    std::fs::write(&path, simdsim::report::to_json(&rows)).expect("write fig5 cache");
+    rows
+}

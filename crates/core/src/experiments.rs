@@ -1,0 +1,199 @@
+//! Experiment drivers: one function per figure of the paper.
+
+use crate::INSTR_LIMIT;
+use serde::{Deserialize, Serialize};
+use simdsim_isa::{ClassCounts, Ext};
+use simdsim_kernels::{registry, Variant};
+use simdsim_pipe::{simulate, PipeConfig, PipeStats};
+
+/// Result of simulating one kernel on one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Kernel name.
+    pub kernel: String,
+    /// Extension.
+    pub ext: String,
+    /// Processor width.
+    pub way: usize,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instrs: u64,
+    /// Speed-up over the same-width MMX64 baseline (filled by the driver).
+    pub speedup: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+}
+
+/// Figure 4: all kernels × four extensions on the 2-way core, speed-ups
+/// relative to 2-way MMX64.
+#[must_use]
+pub fn fig4() -> Vec<KernelResult> {
+    fig4_at_way(2)
+}
+
+/// Figure-4-style kernel sweep at an arbitrary width (the paper shows
+/// 2-way; wider cores are useful for ablations).
+#[must_use]
+pub fn fig4_at_way(way: usize) -> Vec<KernelResult> {
+    let mut rows = Vec::new();
+    let kernels = registry();
+    let results: Vec<Vec<(Ext, u64, u64, f64)>> = run_parallel(&kernels, |k| {
+        let mut per_ext = Vec::new();
+        for ext in Ext::ALL {
+            let built = k.build(Variant::for_ext(ext));
+            let cfg = PipeConfig::paper(way, ext);
+            let (_, stats) =
+                simulate(&built.program, &built.machine, &cfg, INSTR_LIMIT).expect("kernel runs");
+            per_ext.push((ext, stats.cycles, stats.instrs, stats.ipc()));
+        }
+        per_ext
+    });
+    for (k, per_ext) in kernels.iter().zip(results) {
+        let base = per_ext
+            .iter()
+            .find(|(e, ..)| *e == Ext::Mmx64)
+            .expect("baseline present")
+            .1;
+        for (ext, cycles, instrs, ipc) in per_ext {
+            rows.push(KernelResult {
+                kernel: k.spec().name.to_owned(),
+                ext: ext.name().to_owned(),
+                way,
+                cycles,
+                instrs,
+                speedup: base as f64 / cycles as f64,
+                ipc,
+            });
+        }
+    }
+    rows
+}
+
+/// Result of simulating one application on one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppResult {
+    /// Application name.
+    pub app: String,
+    /// Extension.
+    pub ext: String,
+    /// Processor width.
+    pub way: usize,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instrs: u64,
+    /// Cycles attributed to vectorised kernel regions.
+    pub vector_cycles: u64,
+    /// Cycles attributed to scalar application code.
+    pub scalar_cycles: u64,
+    /// Dynamic instruction mix.
+    pub counts: ClassCounts,
+    /// Speed-up over 2-way MMX64 of the same application.
+    pub speedup: f64,
+}
+
+/// Figure 5 (plus the data behind Figures 6 and 7): every application on
+/// every extension × width, speed-ups normalized to the application's
+/// 2-way MMX64 run.
+#[must_use]
+pub fn fig5() -> Vec<AppResult> {
+    let apps = simdsim_apps::registry();
+    let jobs: Vec<(usize, Ext)> = crate::WAYS
+        .iter()
+        .flat_map(|w| Ext::ALL.iter().map(move |e| (*w, *e)))
+        .collect();
+
+    let mut rows = Vec::new();
+    let all: Vec<Vec<(usize, Ext, PipeStats)>> = run_parallel(&apps, |app| {
+        jobs.iter()
+            .map(|(way, ext)| {
+                let built = app.build(Variant::for_ext(*ext));
+                let cfg = PipeConfig::paper(*way, *ext);
+                let (_, stats) = simulate(&built.program, &built.machine, &cfg, INSTR_LIMIT)
+                    .expect("app runs");
+                (*way, *ext, stats)
+            })
+            .collect()
+    });
+    for (app, results) in apps.iter().zip(all) {
+        let base = results
+            .iter()
+            .find(|(w, e, _)| *w == 2 && *e == Ext::Mmx64)
+            .expect("baseline present")
+            .2
+            .cycles;
+        for (way, ext, stats) in results {
+            rows.push(AppResult {
+                app: app.spec().name.to_owned(),
+                ext: ext.name().to_owned(),
+                way,
+                cycles: stats.cycles,
+                instrs: stats.instrs,
+                vector_cycles: stats.vector_region_cycles,
+                scalar_cycles: stats.scalar_region_cycles,
+                counts: stats.counts,
+                speedup: base as f64 / stats.cycles as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 6: the jpegdec cycle breakdown (vector vs scalar cycles),
+/// normalized to the 2-way MMX64 total.  Returns the relevant subset of
+/// [`fig5`] rows.
+#[must_use]
+pub fn fig6(rows: &[AppResult]) -> Vec<AppResult> {
+    rows.iter().filter(|r| r.app == "jpegdec").cloned().collect()
+}
+
+/// Figure 7: dynamic instruction mix per application × extension,
+/// normalized to MMX64 (instruction counts do not depend on width, so the
+/// 2-way rows are used).
+#[must_use]
+pub fn fig7(rows: &[AppResult]) -> Vec<AppResult> {
+    rows.iter().filter(|r| r.way == 2).cloned().collect()
+}
+
+/// Runs a closure over every item on a crossbeam thread per item
+/// (simulations are independent and CPU-bound).
+fn run_parallel<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (item, slot) in items.iter().zip(out.iter_mut()) {
+            let f = &f;
+            handles.push(s.spawn(move |_| {
+                *slot = Some(f(item));
+            }));
+        }
+        for h in handles {
+            h.join().expect("simulation thread panicked");
+        }
+    })
+    .expect("scope");
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_has_all_cells() {
+        // Smoke-test on the real driver is exercised by integration tests
+        // and the bench harness; here check the row structure only for a
+        // single cheap kernel.
+        let rows = fig4();
+        assert_eq!(rows.len(), registry().len() * 4);
+        for r in &rows {
+            assert!(r.speedup > 0.05, "{}-{} speedup {}", r.kernel, r.ext, r.speedup);
+        }
+        // Baselines are exactly 1.
+        for r in rows.iter().filter(|r| r.ext == "mmx64") {
+            assert!((r.speedup - 1.0).abs() < 1e-9);
+        }
+    }
+}

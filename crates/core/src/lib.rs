@@ -1,0 +1,47 @@
+//! `simdsim` — a reproduction of *"On the Scalability of 1- and
+//! 2-Dimensional SIMD Extensions for Multimedia Applications"*
+//! (ISPASS 2005).
+//!
+//! This facade crate wires the workspace together and exposes one entry
+//! point per experiment of the paper:
+//!
+//! | item | paper artefact | function |
+//! |---|---|---|
+//! | Table I   | register-file scaling | [`tables::table1`] |
+//! | Table II  | benchmark set | [`tables::table2`] |
+//! | Table III | processor models | [`tables::table3`] |
+//! | Table IV  | memory hierarchy | [`tables::table4`] |
+//! | Figure 4  | kernel speed-ups (2-way) | [`experiments::fig4`] |
+//! | Figure 5  | application speed-ups (2/4/8-way) | [`experiments::fig5`] |
+//! | Figure 6  | cycle breakdown (jpegdec) | [`experiments::fig6`] |
+//! | Figure 7  | dynamic instruction mix | [`experiments::fig7`] |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! // Reproduce the paper's Figure 4 (kernel speed-ups over 2-way MMX64):
+//! let rows = simdsim::experiments::fig4();
+//! println!("{}", simdsim::report::render_fig4(&rows));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod report;
+pub mod tables;
+
+pub use simdsim_asm as asm;
+pub use simdsim_emu as emu;
+pub use simdsim_isa as isa;
+pub use simdsim_kernels as kernels;
+pub use simdsim_mem as mem;
+pub use simdsim_pipe as pipe;
+pub use simdsim_rf as rf;
+
+/// The three processor widths evaluated in the paper.
+pub const WAYS: [usize; 3] = [2, 4, 8];
+
+/// Dynamic-instruction budget for a single simulated workload.
+pub const INSTR_LIMIT: u64 = 500_000_000;

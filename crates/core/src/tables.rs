@@ -1,0 +1,88 @@
+//! Regenerators for the paper's configuration tables (I–IV).
+
+use simdsim_isa::Ext;
+use simdsim_kernels::registry;
+use simdsim_mem::MemConfig;
+use simdsim_pipe::PipeConfig;
+use simdsim_rf::Table1Row;
+
+/// Table I: register-file scaling (see [`simdsim_rf`]).
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    simdsim_rf::table1()
+}
+
+/// One row of Table II (benchmark set description).
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Application the kernel belongs to.
+    pub app: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Kernel description.
+    pub description: &'static str,
+    /// Data size column.
+    pub data_size: &'static str,
+}
+
+/// Table II: the benchmark set.
+#[must_use]
+pub fn table2() -> Vec<Table2Row> {
+    registry()
+        .iter()
+        .map(|k| {
+            let s = k.spec();
+            Table2Row {
+                app: s.app,
+                kernel: s.name,
+                description: s.description,
+                data_size: s.data_size,
+            }
+        })
+        .collect()
+}
+
+/// Table III: the twelve modelled processors.
+#[must_use]
+pub fn table3() -> Vec<PipeConfig> {
+    crate::WAYS
+        .iter()
+        .flat_map(|w| Ext::ALL.iter().map(move |e| PipeConfig::paper(*w, *e)))
+        .collect()
+}
+
+/// Table IV: the memory hierarchies (MMX and VMMX flavours per width).
+#[must_use]
+pub fn table4() -> Vec<(usize, bool, MemConfig)> {
+    let mut rows = Vec::new();
+    for way in crate::WAYS {
+        for matrix in [false, true] {
+            rows.push((way, matrix, MemConfig::paper(way, matrix)));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_paper_shapes() {
+        assert_eq!(table1().len(), 8);
+        assert_eq!(table2().len(), 11); // 10 kernels of Table II + fdct under jpegenc and mpeg2*
+        assert_eq!(table3().len(), 12);
+        assert_eq!(table4().len(), 6);
+    }
+
+    #[test]
+    fn table2_contains_every_paper_kernel() {
+        let t = table2();
+        for name in [
+            "rgb", "fdct", "h2v2", "ycc", "motion1", "motion2", "idct", "comp", "addblock",
+            "ltppar", "ltpfilt",
+        ] {
+            assert!(t.iter().any(|r| r.kernel == name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Emulation errors.
+
+use std::fmt;
+
+/// Error raised while emulating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// A memory access fell outside the allocated memory image.
+    OutOfBounds {
+        /// Faulting byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// An instruction was illegal for the configured extension or had
+    /// inconsistent operands.
+    InvalidInstr {
+        /// Program counter.
+        pc: u32,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The dynamic instruction limit was exceeded (runaway loop guard).
+    InstrLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The program failed structural validation before execution.
+    Validation(String),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::OutOfBounds { addr, size, pc } => write!(
+                f,
+                "out-of-bounds access of {size} bytes at {addr:#x} (pc {pc})"
+            ),
+            EmuError::InvalidInstr { pc, reason } => {
+                write!(f, "invalid instruction at pc {pc}: {reason}")
+            }
+            EmuError::InstrLimit { limit } => {
+                write!(f, "dynamic instruction limit of {limit} exceeded")
+            }
+            EmuError::Validation(msg) => write!(f, "program validation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}

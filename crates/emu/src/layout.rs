@@ -1,0 +1,80 @@
+//! Memory-image layout helper.
+//!
+//! Kernels and applications receive pointers to their inputs in argument
+//! registers; [`Layout`] hands out non-overlapping, aligned regions of the
+//! machine's flat memory image for the harness to fill.
+
+/// Bump allocator over a memory image of a fixed size.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next: u64,
+    size: u64,
+}
+
+impl Layout {
+    /// Creates a layout for an image of `size` bytes.  The first 64 bytes
+    /// are reserved (null-pointer guard).
+    #[must_use]
+    pub fn new(size: u64) -> Self {
+        Self { next: 64, size }
+    }
+
+    /// Reserves `bytes` bytes aligned to `align` and returns the address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is exhausted or `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        assert!(
+            addr + bytes <= self.size,
+            "memory image exhausted: need {bytes} at {addr:#x}, image is {:#x}",
+            self.size
+        );
+        self.next = addr + bytes;
+        addr
+    }
+
+    /// Reserves space for `n` elements of `elem_bytes` each, 64-byte
+    /// aligned (cache-line aligned, matching how media frameworks allocate
+    /// frame buffers).
+    pub fn alloc_array(&mut self, n: u64, elem_bytes: u64) -> u64 {
+        self.alloc(n * elem_bytes, 64)
+    }
+
+    /// Bytes consumed so far.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+
+    /// Total image size.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_respected() {
+        let mut l = Layout::new(1 << 20);
+        let a = l.alloc(3, 1);
+        let b = l.alloc(16, 16);
+        assert_eq!(b % 16, 0);
+        assert!(b >= a + 3);
+        let c = l.alloc_array(10, 2);
+        assert_eq!(c % 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut l = Layout::new(128);
+        let _ = l.alloc(256, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Functional emulator for the `simdsim` ISA.
+//!
+//! This crate is the study's equivalent of the paper's *emulation
+//! libraries*: it executes programs written against the MMX64 / MMX128 /
+//! VMMX64 / VMMX128 extensions, producing
+//!
+//! * architectural results (register and memory state) used by the
+//!   correctness tests against golden Rust implementations, and
+//! * a streamed **dynamic instruction trace** ([`DynInstr`]) consumed by
+//!   the `simdsim-pipe` timing model — the trace-driven half of the
+//!   paper's ATOM-based methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use simdsim_asm::Asm;
+//! use simdsim_emu::{Machine, NullSink};
+//! use simdsim_isa::Ext;
+//!
+//! // r2 = r0 + r1
+//! let mut a = Asm::new();
+//! let (x, y, z) = (a.arg(0), a.arg(1), a.arg(2));
+//! a.add(z, x, y);
+//! a.halt();
+//! let prog = a.finish();
+//!
+//! let mut m = Machine::new(Ext::Mmx64, 1024);
+//! m.set_ireg(0, 30);
+//! m.set_ireg(1, 12);
+//! m.run(&prog, &mut NullSink, 1000)?;
+//! assert_eq!(m.ireg(2), 42);
+//! # Ok::<(), simdsim_emu::EmuError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod layout;
+mod machine;
+pub mod subword;
+mod trace;
+
+pub use error::EmuError;
+pub use layout::Layout;
+pub use machine::{Machine, RunStats};
+pub use trace::{DynInstr, MemAccess, NullSink, TraceSink, VecSink};

@@ -1,0 +1,350 @@
+//! Pure sub-word arithmetic on SIMD words.
+//!
+//! A SIMD word is represented as a `u128`; operations take the register
+//! width in bytes (8 for the 64-bit extensions, 16 for the 128-bit ones)
+//! and only the low `width` bytes participate.  All functions are pure and
+//! extensively property-tested — they are the semantic ground truth the
+//! kernels' correctness tests rest on.
+
+use simdsim_isa::{Esz, VOp, VShiftOp};
+
+/// Extracts element `lane` of size `esz` as an unsigned value.
+#[must_use]
+pub fn get_lane_u(word: u128, esz: Esz, lane: usize) -> u64 {
+    let bits = esz.bits();
+    let mask: u128 = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+    ((word >> (lane * bits)) & mask) as u64
+}
+
+/// Extracts element `lane` of size `esz` as a signed value.
+#[must_use]
+pub fn get_lane_i(word: u128, esz: Esz, lane: usize) -> i64 {
+    let v = get_lane_u(word, esz, lane);
+    match esz {
+        Esz::B => v as u8 as i8 as i64,
+        Esz::H => v as u16 as i16 as i64,
+        Esz::W => v as u32 as i32 as i64,
+        Esz::D => v as i64,
+    }
+}
+
+/// Writes element `lane` of size `esz` (low bits of `val`).
+#[must_use]
+pub fn set_lane(word: u128, esz: Esz, lane: usize, val: u64) -> u128 {
+    let bits = esz.bits();
+    let mask: u128 = ((1u128 << bits) - 1) << (lane * bits);
+    let v = ((val as u128) << (lane * bits)) & mask;
+    (word & !mask) | v
+}
+
+fn sat_s(v: i64, esz: Esz) -> u64 {
+    let (lo, hi) = match esz {
+        Esz::B => (i8::MIN as i64, i8::MAX as i64),
+        Esz::H => (i16::MIN as i64, i16::MAX as i64),
+        Esz::W => (i32::MIN as i64, i32::MAX as i64),
+        Esz::D => (i64::MIN, i64::MAX),
+    };
+    (v.clamp(lo, hi) as u64) & (u64::MAX >> (64 - esz.bits()))
+}
+
+fn sat_u(v: i64, esz: Esz) -> u64 {
+    let hi = match esz {
+        Esz::B => u8::MAX as i64,
+        Esz::H => u16::MAX as i64,
+        Esz::W => u32::MAX as i64,
+        Esz::D => i64::MAX, // unsigned-64 saturation clips at i64::MAX in this model
+    };
+    v.clamp(0, hi) as u64
+}
+
+/// Saturates `v` to a signed value of size `esz` (public for `AccPack`).
+#[must_use]
+pub fn saturate_signed(v: i64, esz: Esz) -> u64 {
+    sat_s(v, esz)
+}
+
+/// Saturates `v` to an unsigned value of size `esz`.
+#[must_use]
+pub fn saturate_unsigned(v: i64, esz: Esz) -> u64 {
+    sat_u(v, esz)
+}
+
+fn lanewise(a: u128, b: u128, esz: Esz, width: usize, f: impl Fn(i64, i64) -> u64) -> u128 {
+    let n = esz.lanes(width * 8);
+    let mut out = 0u128;
+    for l in 0..n {
+        let r = f(get_lane_i(a, esz, l), get_lane_i(b, esz, l));
+        out = set_lane(out, esz, l, r);
+    }
+    out
+}
+
+fn lanewise_u(a: u128, b: u128, esz: Esz, width: usize, f: impl Fn(u64, u64) -> u64) -> u128 {
+    let n = esz.lanes(width * 8);
+    let mut out = 0u128;
+    for l in 0..n {
+        let r = f(get_lane_u(a, esz, l), get_lane_u(b, esz, l));
+        out = set_lane(out, esz, l, r);
+    }
+    out
+}
+
+/// `psadbw`-style sum of absolute byte differences: one 64-bit sum per
+/// 64-bit group of the register.
+#[must_use]
+pub fn sad(a: u128, b: u128, width: usize) -> u128 {
+    let mut out = 0u128;
+    for g in 0..width / 8 {
+        let mut sum = 0u64;
+        for j in 0..8 {
+            let l = g * 8 + j;
+            let x = get_lane_u(a, Esz::B, l) as i64;
+            let y = get_lane_u(b, Esz::B, l) as i64;
+            sum += x.abs_diff(y);
+        }
+        out |= (sum as u128) << (g * 64);
+    }
+    out
+}
+
+/// `pmaddwd`: multiply signed 16-bit lanes, add adjacent 32-bit products.
+#[must_use]
+pub fn madd(a: u128, b: u128, width: usize) -> u128 {
+    let mut out = 0u128;
+    for l in 0..width / 4 {
+        let p0 = get_lane_i(a, Esz::H, 2 * l) * get_lane_i(b, Esz::H, 2 * l);
+        let p1 = get_lane_i(a, Esz::H, 2 * l + 1) * get_lane_i(b, Esz::H, 2 * l + 1);
+        let s = (p0 as i32).wrapping_add(p1 as i32);
+        out = set_lane(out, Esz::W, l, s as u32 as u64);
+    }
+    out
+}
+
+/// Pack elements of size `esz` from `a` (low half of the result) and `b`
+/// (high half) into elements of half the size.
+#[must_use]
+pub fn pack(a: u128, b: u128, esz: Esz, width: usize, unsigned: bool) -> u128 {
+    let dst = match esz {
+        Esz::H => Esz::B,
+        Esz::W => Esz::H,
+        Esz::D => Esz::W,
+        Esz::B => panic!("cannot pack byte elements"),
+    };
+    let n = esz.lanes(width * 8);
+    let mut out = 0u128;
+    for l in 0..n {
+        let v = get_lane_i(a, esz, l);
+        let r = if unsigned { sat_u(v, dst) } else { sat_s(v, dst) };
+        out = set_lane(out, dst, l, r);
+    }
+    for l in 0..n {
+        let v = get_lane_i(b, esz, l);
+        let r = if unsigned { sat_u(v, dst) } else { sat_s(v, dst) };
+        out = set_lane(out, dst, n + l, r);
+    }
+    out
+}
+
+/// Interleave elements from the low (`hi = false`) or high halves of `a`
+/// and `b` (`punpckl*` / `punpckh*`).
+#[must_use]
+pub fn unpack(a: u128, b: u128, esz: Esz, width: usize, hi: bool) -> u128 {
+    let n = esz.lanes(width * 8);
+    let half = n / 2;
+    let base = if hi { half } else { 0 };
+    let mut out = 0u128;
+    for l in 0..half {
+        out = set_lane(out, esz, 2 * l, get_lane_u(a, esz, base + l));
+        out = set_lane(out, esz, 2 * l + 1, get_lane_u(b, esz, base + l));
+    }
+    out
+}
+
+/// Applies a binary [`VOp`] to two SIMD words of `width` bytes.
+///
+/// # Panics
+///
+/// Panics on `pack` with byte source elements (not representable).
+#[must_use]
+pub fn apply_vop(op: VOp, a: u128, b: u128, width: usize) -> u128 {
+    let mask: u128 = if width == 16 { u128::MAX } else { (1u128 << (width * 8)) - 1 };
+    let r = match op {
+        VOp::Add(e) => lanewise_u(a, b, e, width, |x, y| x.wrapping_add(y)),
+        VOp::AddS(e) => lanewise(a, b, e, width, |x, y| sat_s(x + y, e)),
+        VOp::AddU(e) => lanewise_u(a, b, e, width, |x, y| sat_u((x + y) as i64, e)),
+        VOp::Sub(e) => lanewise_u(a, b, e, width, |x, y| x.wrapping_sub(y)),
+        VOp::SubS(e) => lanewise(a, b, e, width, |x, y| sat_s(x - y, e)),
+        VOp::SubU(e) => lanewise_u(a, b, e, width, |x, y| sat_u(x as i64 - y as i64, e)),
+        VOp::Mullo(e) => lanewise(a, b, e, width, |x, y| (x.wrapping_mul(y)) as u64),
+        VOp::Mulhi(e) => lanewise(a, b, e, width, |x, y| ((x * y) >> e.bits()) as u64),
+        VOp::Madd => madd(a, b, width),
+        VOp::Sad => sad(a, b, width),
+        VOp::Avg(e) => lanewise_u(a, b, e, width, |x, y| (x + y + 1) >> 1),
+        VOp::MinS(e) => lanewise(a, b, e, width, |x, y| x.min(y) as u64),
+        VOp::MinU(e) => lanewise_u(a, b, e, width, |x, y| x.min(y)),
+        VOp::MaxS(e) => lanewise(a, b, e, width, |x, y| x.max(y) as u64),
+        VOp::MaxU(e) => lanewise_u(a, b, e, width, |x, y| x.max(y)),
+        VOp::CmpEq(e) => lanewise_u(a, b, e, width, |x, y| if x == y { u64::MAX } else { 0 }),
+        VOp::CmpGt(e) => lanewise(a, b, e, width, |x, y| if x > y { u64::MAX } else { 0 }),
+        VOp::And => a & b,
+        VOp::Or => a | b,
+        VOp::Xor => a ^ b,
+        VOp::AndNot => a & !b,
+        VOp::PackS(e) => pack(a, b, e, width, false),
+        VOp::PackU(e) => pack(a, b, e, width, true),
+        VOp::UnpackLo(e) => unpack(a, b, e, width, false),
+        VOp::UnpackHi(e) => unpack(a, b, e, width, true),
+    };
+    r & mask
+}
+
+/// Applies an element-wise shift-by-immediate.
+#[must_use]
+pub fn apply_shift(op: VShiftOp, a: u128, amount: u8, width: usize) -> u128 {
+    let mask: u128 = if width == 16 { u128::MAX } else { (1u128 << (width * 8)) - 1 };
+    let (esz, kind) = match op {
+        VShiftOp::Sll(e) => (e, 0),
+        VShiftOp::Srl(e) => (e, 1),
+        VShiftOp::Sra(e) => (e, 2),
+    };
+    let bits = esz.bits() as u32;
+    let amt = (amount as u32).min(bits); // shifting by >= width clears (or fills with sign)
+    let n = esz.lanes(width * 8);
+    let mut out = 0u128;
+    for l in 0..n {
+        let v = get_lane_u(a, esz, l);
+        let r = match kind {
+            0 => {
+                if amt >= bits {
+                    0
+                } else {
+                    (v << amt) & (u64::MAX >> (64 - bits))
+                }
+            }
+            1 => {
+                if amt >= bits {
+                    0
+                } else {
+                    v >> amt
+                }
+            }
+            _ => {
+                let s = get_lane_i(a, esz, l);
+                let sh = amt.min(bits - 1);
+                ((s >> sh) as u64) & (u64::MAX >> (64 - bits))
+            }
+        };
+        out = set_lane(out, esz, l, r);
+    }
+    out & mask
+}
+
+/// Broadcasts the low `esz` bits of `v` to every lane of a `width`-byte word.
+#[must_use]
+pub fn splat(v: u64, esz: Esz, width: usize) -> u128 {
+    let n = esz.lanes(width * 8);
+    let mut out = 0u128;
+    for l in 0..n {
+        out = set_lane(out, esz, l, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_accessors() {
+        let w: u128 = 0x8899_aabb_ccdd_eeff;
+        assert_eq!(get_lane_u(w, Esz::B, 0), 0xff);
+        assert_eq!(get_lane_u(w, Esz::B, 7), 0x88);
+        assert_eq!(get_lane_i(w, Esz::B, 0), -1);
+        assert_eq!(get_lane_u(w, Esz::H, 1), 0xccdd);
+        assert_eq!(get_lane_i(w, Esz::H, 3), 0x8899u16 as i16 as i64);
+        let w2 = set_lane(w, Esz::H, 0, 0x1234);
+        assert_eq!(get_lane_u(w2, Esz::H, 0), 0x1234);
+        assert_eq!(get_lane_u(w2, Esz::H, 1), 0xccdd);
+    }
+
+    #[test]
+    fn saturating_add_bytes() {
+        let a = splat(0x7f, Esz::B, 8);
+        let b = splat(0x01, Esz::B, 8);
+        let r = apply_vop(VOp::AddS(Esz::B), a, b, 8);
+        assert_eq!(r, splat(0x7f, Esz::B, 8));
+        let r = apply_vop(VOp::AddU(Esz::B), splat(0xff, Esz::B, 8), b, 8);
+        assert_eq!(r, splat(0xff, Esz::B, 8));
+        let r = apply_vop(VOp::Add(Esz::B), splat(0xff, Esz::B, 8), b, 8);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn sad_basic() {
+        let a = u128::from_le_bytes([10, 0, 5, 200, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0]);
+        let b = u128::from_le_bytes([0, 10, 15, 100, 0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 0, 0]);
+        let r = sad(a, b, 16);
+        assert_eq!(r as u64, 10 + 10 + 10 + 100);
+        assert_eq!((r >> 64) as u64, 4);
+    }
+
+    #[test]
+    fn madd_pairs() {
+        // lanes (i16): a = [2, 3, -1, 4, ...], b = [10, 100, 7, -2, ...]
+        let mut a = 0u128;
+        let mut b = 0u128;
+        for (l, (x, y)) in [(2i64, 10i64), (3, 100), (-1, 7), (4, -2)].iter().enumerate() {
+            a = set_lane(a, Esz::H, l, *x as u64);
+            b = set_lane(b, Esz::H, l, *y as u64);
+        }
+        let r = madd(a, b, 8);
+        assert_eq!(get_lane_i(r, Esz::W, 0), 2 * 10 + 3 * 100);
+        assert_eq!(get_lane_i(r, Esz::W, 1), -7 - 8);
+    }
+
+    #[test]
+    fn pack_and_unpack() {
+        let mut a = 0u128;
+        for l in 0..4 {
+            a = set_lane(a, Esz::H, l, 300 + l as u64); // >255 saturates unsigned pack
+        }
+        let r = pack(a, 0, Esz::H, 8, true);
+        for l in 0..4 {
+            assert_eq!(get_lane_u(r, Esz::B, l), 255);
+        }
+        for l in 4..8 {
+            assert_eq!(get_lane_u(r, Esz::B, l), 0);
+        }
+
+        let x = u128::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let y = u128::from_le_bytes([11, 12, 13, 14, 15, 16, 17, 18, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let lo = unpack(x, y, Esz::B, 8, false);
+        assert_eq!(
+            lo.to_le_bytes()[..8],
+            [1, 11, 2, 12, 3, 13, 4, 14][..]
+        );
+        let hi = unpack(x, y, Esz::B, 8, true);
+        assert_eq!(
+            hi.to_le_bytes()[..8],
+            [5, 15, 6, 16, 7, 17, 8, 18][..]
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        let a = splat(0x8000, Esz::H, 8);
+        let r = apply_shift(VShiftOp::Sra(Esz::H), a, 15, 8);
+        assert_eq!(r, splat(0xffff, Esz::H, 8));
+        let r = apply_shift(VShiftOp::Srl(Esz::H), a, 15, 8);
+        assert_eq!(r, splat(1, Esz::H, 8));
+        let r = apply_shift(VShiftOp::Sll(Esz::H), splat(1, Esz::H, 8), 3, 8);
+        assert_eq!(r, splat(8, Esz::H, 8));
+    }
+
+    #[test]
+    fn width64_masks_upper() {
+        let a = u128::MAX;
+        let r = apply_vop(VOp::Add(Esz::B), a, 0, 8);
+        assert_eq!(r >> 64, 0);
+    }
+}

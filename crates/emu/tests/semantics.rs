@@ -1,0 +1,237 @@
+//! Directed semantic tests for instructions not covered by the kernel
+//! suite: lane moves, accumulator packing, compares, min/max, floating
+//! point and partial stores.
+
+use simdsim_asm::Asm;
+use simdsim_emu::{Machine, NullSink};
+use simdsim_isa::{AccOp, Esz, Ext, FOp, Sat, VOp, VShiftOp};
+
+fn run(ext: Ext, build: impl FnOnce(&mut Asm)) -> Machine {
+    let mut a = Asm::new();
+    build(&mut a);
+    a.halt();
+    let prog = a.finish();
+    let mut m = Machine::new(ext, 1 << 16);
+    m.set_ireg(0, 1024);
+    m.run(&prog, &mut NullSink, 1_000_000).unwrap();
+    m
+}
+
+#[test]
+fn lane_insert_extract_roundtrip() {
+    let m = run(Ext::Mmx128, |a| {
+        let p = a.arg(0);
+        let v = a.vreg();
+        let t = a.ireg();
+        let zero = a.ireg();
+        a.li(zero, 0);
+        a.vsplat(v, zero, Esz::B);
+        for lane in 0..8u8 {
+            a.li(t, i64::from(lane) * 100 - 300);
+            a.movvs(v, t, lane, Esz::H);
+        }
+        for lane in 0..8u8 {
+            a.movsv(t, v, lane, Esz::H, true);
+            a.sw(t, p, i32::from(lane) * 4);
+        }
+    });
+    let got = m.read_i32s(1024, 8).unwrap();
+    let want: Vec<i32> = (0..8).map(|l| l * 100 - 300).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn unsigned_extract_zero_extends() {
+    let m = run(Ext::Mmx64, |a| {
+        let p = a.arg(0);
+        let v = a.vreg();
+        let t = a.ireg();
+        a.li(t, -1); // 0xFFFF in the lane
+        a.vsplat(v, t, Esz::H);
+        a.movsv(t, v, 0, Esz::H, false);
+        a.sd(t, p, 0);
+        a.movsv(t, v, 0, Esz::H, true);
+        a.sd(t, p, 8);
+    });
+    let got = m.read_i32s(1024, 4).unwrap();
+    assert_eq!(got[0], 0xFFFF);
+    assert_eq!(got[2], -1);
+}
+
+#[test]
+fn accpack_saturates_per_mode() {
+    // Accumulate large values, pack with each saturation mode.
+    let m = run(Ext::Vmmx128, |a| {
+        let p = a.arg(0);
+        let acc = a.areg();
+        let (v, t) = (a.vreg(), a.ireg());
+        a.accclear(acc);
+        // acc lanes += 1000 * 8 rows... use a splatted matrix and AddH.
+        let mreg = a.mreg();
+        a.setvl(16);
+        a.li(t, 30000);
+        a.msplat(mreg, t, Esz::H);
+        a.macc(AccOp::AddH, acc, mreg, mreg); // lanes = 16 * 30000 = 480000
+        a.accpack(v, acc, Esz::H, Sat::Signed, 0);
+        a.vstore(v, p, 0, 16);
+        a.accpack(v, acc, Esz::H, Sat::Signed, 5); // 480000 >> 5 = 15000
+        a.vstore(v, p, 16, 16);
+        a.accpack(v, acc, Esz::H, Sat::Unsigned, 3); // 60000 fits u16
+        a.vstore(v, p, 32, 16);
+    });
+    let signed = m.read_i16s(1024, 8).unwrap();
+    assert!(signed.iter().all(|v| *v == i16::MAX), "{signed:?}");
+    let shifted = m.read_i16s(1024 + 16, 8).unwrap();
+    assert!(shifted.iter().all(|v| *v == 15000), "{shifted:?}");
+    let unsigned = m.read_bytes(1024 + 32, 16).unwrap();
+    let u: Vec<u16> = unsigned
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect();
+    assert!(u.iter().all(|v| *v == 60000), "{u:?}");
+}
+
+#[test]
+fn compares_produce_masks() {
+    let m = run(Ext::Mmx64, |a| {
+        let p = a.arg(0);
+        let (va, vb, vr) = (a.vreg(), a.vreg(), a.vreg());
+        let t = a.ireg();
+        a.li(t, 5);
+        a.vsplat(va, t, Esz::H);
+        a.li(t, 3);
+        a.vsplat(vb, t, Esz::H);
+        a.simd(VOp::CmpGt(Esz::H), vr, va, vb);
+        a.vstore(vr, p, 0, 8);
+        a.simd(VOp::CmpEq(Esz::H), vr, va, va);
+        a.vstore(vr, p, 8, 8);
+        a.simd(VOp::CmpGt(Esz::H), vr, vb, va);
+        a.vstore(vr, p, 16, 8);
+    });
+    assert!(m.read_i16s(1024, 4).unwrap().iter().all(|v| *v == -1));
+    assert!(m.read_i16s(1032, 4).unwrap().iter().all(|v| *v == -1));
+    assert!(m.read_i16s(1040, 4).unwrap().iter().all(|v| *v == 0));
+}
+
+#[test]
+fn min_max_follow_signedness() {
+    let m = run(Ext::Mmx64, |a| {
+        let p = a.arg(0);
+        let (va, vb, vr) = (a.vreg(), a.vreg(), a.vreg());
+        let t = a.ireg();
+        a.li(t, -1); // unsigned max / signed min-ish
+        a.vsplat(va, t, Esz::B);
+        a.li(t, 1);
+        a.vsplat(vb, t, Esz::B);
+        a.simd(VOp::MinS(Esz::B), vr, va, vb);
+        a.vstore(vr, p, 0, 8);
+        a.simd(VOp::MinU(Esz::B), vr, va, vb);
+        a.vstore(vr, p, 8, 8);
+        a.simd(VOp::MaxS(Esz::B), vr, va, vb);
+        a.vstore(vr, p, 16, 8);
+        a.simd(VOp::MaxU(Esz::B), vr, va, vb);
+        a.vstore(vr, p, 24, 8);
+    });
+    let b = m.read_bytes(1024, 32).unwrap();
+    assert!(b[0..8].iter().all(|v| *v == 0xFF)); // signed min: -1
+    assert!(b[8..16].iter().all(|v| *v == 1)); // unsigned min: 1
+    assert!(b[16..24].iter().all(|v| *v == 1)); // signed max: 1
+    assert!(b[24..32].iter().all(|v| *v == 0xFF)); // unsigned max: 255
+}
+
+#[test]
+fn mulhi_recovers_high_product_bits() {
+    let m = run(Ext::Mmx64, |a| {
+        let p = a.arg(0);
+        let (va, vb, lo, hi) = (a.vreg(), a.vreg(), a.vreg(), a.vreg());
+        let t = a.ireg();
+        a.li(t, -1234);
+        a.vsplat(va, t, Esz::H);
+        a.li(t, 5678);
+        a.vsplat(vb, t, Esz::H);
+        a.simd(VOp::Mullo(Esz::H), lo, va, vb);
+        a.simd(VOp::Mulhi(Esz::H), hi, va, vb);
+        a.simd(VOp::UnpackLo(Esz::H), lo, lo, hi);
+        a.vstore(lo, p, 0, 8);
+    });
+    let got = m.read_i32s(1024, 2).unwrap();
+    assert_eq!(got[0], -1234 * 5678);
+    assert_eq!(got[1], -1234 * 5678);
+}
+
+#[test]
+fn partial_vstore_leaves_neighbours() {
+    let m = run(Ext::Mmx128, |a| {
+        let p = a.arg(0);
+        let v = a.vreg();
+        let t = a.ireg();
+        a.li(t, 0x55);
+        a.vsplat(v, t, Esz::B);
+        a.vstore(v, p, 0, 16);
+        a.li(t, 0xAA);
+        a.vsplat(v, t, Esz::B);
+        a.vstore(v, p, 4, 4); // 4-byte partial store in the middle
+    });
+    let b = m.read_bytes(1024, 16).unwrap();
+    assert_eq!(&b[0..4], &[0x55; 4]);
+    assert_eq!(&b[4..8], &[0xAA; 4]);
+    assert_eq!(&b[8..16], &[0x55; 8]);
+}
+
+#[test]
+fn floating_point_path_works() {
+    let m = run(Ext::Mmx64, |a| {
+        let p = a.arg(0);
+        let (fa, fb, fc) = (a.freg(), a.freg(), a.freg());
+        let t = a.ireg();
+        a.li(t, 7);
+        a.cvt_if(fa, t);
+        a.li(t, 2);
+        a.cvt_if(fb, t);
+        a.fop(FOp::Div, fc, fa, fb); // 3.5
+        a.fop(FOp::Mul, fc, fc, fb); // 7.0
+        a.fop(FOp::Add, fc, fc, fa); // 14.0
+        a.fop(FOp::Sub, fc, fc, fb); // 12.0
+        a.cvt_fi(t, fc);
+        a.sd(t, p, 0);
+        a.fst(fc, p, 8);
+    });
+    assert_eq!(m.read_i32s(1024, 1).unwrap()[0], 12);
+    let bits = u64::from_le_bytes(m.read_bytes(1032, 8).unwrap().try_into().unwrap());
+    assert_eq!(f64::from_bits(bits), 12.0);
+}
+
+#[test]
+fn mshift_and_msplat_cover_all_rows() {
+    let m = run(Ext::Vmmx128, |a| {
+        let p = a.arg(0);
+        let mreg = a.mreg();
+        let t = a.ireg();
+        a.setvl(5);
+        a.li(t, 0x0100);
+        a.msplat(mreg, t, Esz::H);
+        a.mshift(VShiftOp::Srl(Esz::H), mreg, mreg, 4);
+        a.mstore(mreg, p, 16, 16);
+    });
+    for row in 0..5 {
+        let r = m.read_i16s(1024 + row * 16, 8).unwrap();
+        assert!(r.iter().all(|v| *v == 0x10), "row {row}: {r:?}");
+    }
+}
+
+#[test]
+fn setvl_clamps_to_max() {
+    let m = run(Ext::Vmmx128, |a| {
+        let p = a.arg(0);
+        let t = a.ireg();
+        a.li(t, 99);
+        a.setvl(t);
+        let mreg = a.mreg();
+        a.li(t, 1);
+        a.msplat(mreg, t, Esz::H);
+        a.mstore(mreg, p, 16, 16); // writes VL=16 rows, not 99
+    });
+    assert_eq!(m.vl(), 16);
+    let r = m.read_i16s(1024 + 15 * 16, 8).unwrap();
+    assert!(r.iter().all(|v| *v == 1));
+}

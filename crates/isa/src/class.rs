@@ -1,0 +1,271 @@
+//! Instruction classification.
+//!
+//! Two orthogonal classifications are provided:
+//!
+//! * [`Class`] — the five categories of the paper's Figure 7 (dynamic
+//!   instruction count breakdown): scalar memory, scalar arithmetic,
+//!   control, vector memory and vector arithmetic;
+//! * [`FuKind`] — which functional-unit pool executes the instruction in
+//!   the timing model.
+
+use crate::{Instr, VLoc};
+use serde::{Deserialize, Serialize};
+
+/// Figure-7 instruction category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Class {
+    /// Scalar memory (`smem`).
+    SMem,
+    /// Scalar arithmetic, moves, immediates (`sarith`).
+    SArith,
+    /// Control transfer (`sctrl`).
+    SCtrl,
+    /// SIMD / vector memory (`vmem`).
+    VMem,
+    /// SIMD / vector arithmetic (`varith`).
+    VArith,
+}
+
+impl Class {
+    /// All categories in the order the paper's Figure 7 stacks them.
+    pub const ALL: [Class; 5] = [
+        Class::VArith,
+        Class::VMem,
+        Class::SCtrl,
+        Class::SArith,
+        Class::SMem,
+    ];
+
+    /// Short label used in reports (`smem`, `sarith`, ...).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Class::SMem => "smem",
+            Class::SArith => "sarith",
+            Class::SCtrl => "sctrl",
+            Class::VMem => "vmem",
+            Class::VArith => "varith",
+        }
+    }
+
+    /// `true` for the two vector categories.
+    #[must_use]
+    pub const fn is_vector(self) -> bool {
+        matches!(self, Class::VMem | Class::VArith)
+    }
+}
+
+/// Functional-unit pool an instruction issues to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Scalar integer ALU.
+    IntAlu,
+    /// Scalar integer multiplier/divider (shares the integer pool with a
+    /// longer latency).
+    IntMul,
+    /// Floating-point unit.
+    Fp,
+    /// Scalar-side memory port (L1 data cache).
+    Mem,
+    /// SIMD / vector arithmetic pipeline.
+    Simd,
+    /// Vector memory (matrix loads/stores through the L2 vector cache;
+    /// 1D SIMD loads/stores map to [`FuKind::Mem`] instead).
+    VecMem,
+    /// Front-end only (no execution resource: `nop`, `halt`).
+    None,
+}
+
+impl Instr {
+    /// The paper's Figure-7 category of this instruction.
+    #[must_use]
+    pub fn class(&self) -> Class {
+        match self {
+            Instr::Load { .. } | Instr::Store { .. } | Instr::FpLoad { .. } | Instr::FpStore { .. } => {
+                Class::SMem
+            }
+            Instr::IntOp { .. }
+            | Instr::Li { .. }
+            | Instr::FpOp { .. }
+            | Instr::CvtIF { .. }
+            | Instr::CvtFI { .. } => Class::SArith,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Halt => Class::SCtrl,
+            Instr::VLoad { .. }
+            | Instr::VStore { .. }
+            | Instr::MLoad { .. }
+            | Instr::MStore { .. } => Class::VMem,
+            Instr::Simd { .. }
+            | Instr::SimdShift { .. }
+            | Instr::VMov { .. }
+            | Instr::VSplat { .. }
+            | Instr::MovSV { .. }
+            | Instr::MovVS { .. }
+            | Instr::SetVl { .. }
+            | Instr::MOp { .. }
+            | Instr::MShift { .. }
+            | Instr::MSplat { .. }
+            | Instr::MMov { .. }
+            | Instr::MTranspose { .. }
+            | Instr::MAcc { .. }
+            | Instr::VAcc { .. }
+            | Instr::AccSum { .. }
+            | Instr::AccClear { .. }
+            | Instr::AccPack { .. } => Class::VArith,
+            Instr::Nop => Class::SArith,
+        }
+    }
+
+    /// The functional-unit pool this instruction executes on.
+    #[must_use]
+    pub fn fu_kind(&self) -> FuKind {
+        match self {
+            Instr::IntOp { op, .. } => {
+                use crate::AluOp::*;
+                match op {
+                    Mul | Div | Rem => FuKind::IntMul,
+                    _ => FuKind::IntAlu,
+                }
+            }
+            Instr::Li { .. } => FuKind::IntAlu,
+            Instr::Branch { .. } | Instr::Jump { .. } => FuKind::IntAlu,
+            Instr::Load { .. } | Instr::Store { .. } | Instr::FpLoad { .. } | Instr::FpStore { .. } => {
+                FuKind::Mem
+            }
+            Instr::FpOp { .. } | Instr::CvtIF { .. } | Instr::CvtFI { .. } => FuKind::Fp,
+            Instr::VLoad { .. } | Instr::VStore { .. } => FuKind::Mem,
+            Instr::MLoad { .. } | Instr::MStore { .. } => FuKind::VecMem,
+            Instr::Simd { .. }
+            | Instr::SimdShift { .. }
+            | Instr::VMov { .. }
+            | Instr::VSplat { .. }
+            | Instr::MovSV { .. }
+            | Instr::MovVS { .. }
+            | Instr::SetVl { .. }
+            | Instr::MOp { .. }
+            | Instr::MShift { .. }
+            | Instr::MSplat { .. }
+            | Instr::MMov { .. }
+            | Instr::MTranspose { .. }
+            | Instr::MAcc { .. }
+            | Instr::VAcc { .. }
+            | Instr::AccSum { .. }
+            | Instr::AccClear { .. }
+            | Instr::AccPack { .. } => FuKind::Simd,
+            Instr::Halt | Instr::Nop => FuKind::None,
+        }
+    }
+
+    /// `true` when this is a full-vector-length matrix operation whose
+    /// execution occupancy depends on the current vector length.
+    #[must_use]
+    pub fn is_full_vl(&self) -> bool {
+        matches!(
+            self,
+            Instr::MLoad { .. }
+                | Instr::MStore { .. }
+                | Instr::MOp { .. }
+                | Instr::MShift { .. }
+                | Instr::MSplat { .. }
+                | Instr::MMov { .. }
+                | Instr::MTranspose { .. }
+                | Instr::MAcc { .. }
+        )
+    }
+
+    /// `true` when executing this instruction requires matrix-register or
+    /// accumulator state, i.e. it is only legal on VMMX machines.
+    #[must_use]
+    pub fn requires_matrix_ext(&self) -> bool {
+        if self.is_full_vl() {
+            return true;
+        }
+        let touches_row = |l: &VLoc| matches!(l, VLoc::Row(..));
+        match self {
+            Instr::SetVl { .. }
+            | Instr::VAcc { .. }
+            | Instr::AccSum { .. }
+            | Instr::AccClear { .. }
+            | Instr::AccPack { .. } => true,
+            Instr::Simd { dst, a, b, .. } => touches_row(dst) || touches_row(a) || touches_row(b),
+            Instr::SimdShift { dst, src, .. } | Instr::VMov { dst, src } => {
+                touches_row(dst) || touches_row(src)
+            }
+            Instr::VSplat { dst, .. } | Instr::MovVS { dst, .. } | Instr::VLoad { dst, .. } => {
+                touches_row(dst)
+            }
+            Instr::MovSV { src, .. } | Instr::VStore { src, .. } => touches_row(src),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Esz, IReg, MReg, MemSz, Operand2, VOp, VReg};
+
+    fn ir(i: u8) -> IReg {
+        IReg::new(i)
+    }
+
+    #[test]
+    fn classes() {
+        let ld = Instr::Load {
+            sz: MemSz::W,
+            sext: true,
+            rd: ir(1),
+            base: ir(2),
+            off: 4,
+        };
+        assert_eq!(ld.class(), Class::SMem);
+        assert_eq!(ld.fu_kind(), FuKind::Mem);
+
+        let add = Instr::IntOp {
+            op: AluOp::Add,
+            rd: ir(1),
+            ra: ir(2),
+            b: Operand2::Imm(1),
+        };
+        assert_eq!(add.class(), Class::SArith);
+        assert_eq!(add.fu_kind(), FuKind::IntAlu);
+
+        let mul = Instr::IntOp {
+            op: AluOp::Mul,
+            rd: ir(1),
+            ra: ir(2),
+            b: Operand2::Reg(ir(3)),
+        };
+        assert_eq!(mul.fu_kind(), FuKind::IntMul);
+
+        let mld = Instr::MLoad {
+            dst: MReg::new(0),
+            base: ir(1),
+            stride: Operand2::Imm(16),
+            row_bytes: 16,
+        };
+        assert_eq!(mld.class(), Class::VMem);
+        assert_eq!(mld.fu_kind(), FuKind::VecMem);
+        assert!(mld.is_full_vl());
+        assert!(mld.requires_matrix_ext());
+    }
+
+    #[test]
+    fn row_ops_require_matrix() {
+        let row_add = Instr::Simd {
+            op: VOp::Add(Esz::H),
+            dst: VLoc::Row(MReg::new(1), 0),
+            a: VLoc::Row(MReg::new(1), 1),
+            b: VLoc::Row(MReg::new(1), 2),
+        };
+        assert!(row_add.requires_matrix_ext());
+        assert!(!row_add.is_full_vl());
+
+        let v_add = Instr::Simd {
+            op: VOp::Add(Esz::H),
+            dst: VLoc::V(VReg::new(0)),
+            a: VLoc::V(VReg::new(1)),
+            b: VLoc::V(VReg::new(2)),
+        };
+        assert!(!v_add.requires_matrix_ext());
+    }
+}

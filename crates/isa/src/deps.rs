@@ -1,0 +1,291 @@
+//! Register def/use extraction, used by the out-of-order timing model for
+//! dependency tracking and renaming.
+
+use crate::{Instr, MOperand, Operand2, VLoc};
+use serde::{Deserialize, Serialize};
+
+/// An architectural register name, across all register files.
+///
+/// The vector-length register [`RegId::Vl`] is modelled as an ordinary
+/// renamed register so that `setvl` serialises against in-flight matrix
+/// operations exactly like a real implementation's VL checkpointing would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegId {
+    /// Scalar integer register.
+    I(u8),
+    /// Scalar floating-point register.
+    F(u8),
+    /// 1-dimensional SIMD register.
+    V(u8),
+    /// Matrix register.
+    M(u8),
+    /// Packed accumulator.
+    A(u8),
+    /// The vector-length control register.
+    Vl,
+}
+
+impl RegId {
+    /// `true` for registers renamed out of the SIMD/matrix physical file
+    /// (the resource the paper's Table I sizes).
+    #[must_use]
+    pub const fn is_simd_file(self) -> bool {
+        matches!(self, RegId::V(_) | RegId::M(_))
+    }
+}
+
+/// Def/use sets of one instruction.  Sized for the worst case in the ISA.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefUse {
+    /// Registers read.
+    pub uses: Vec<RegId>,
+    /// Registers written.
+    pub defs: Vec<RegId>,
+}
+
+fn vloc_reg(l: VLoc) -> RegId {
+    match l {
+        VLoc::V(v) => RegId::V(v.index() as u8),
+        // A row is tracked at whole-matrix-register granularity; real MOM
+        // implementations rename matrix registers as a unit too.
+        VLoc::Row(m, _) => RegId::M(m.index() as u8),
+    }
+}
+
+fn op2_use(b: Operand2, uses: &mut Vec<RegId>) {
+    if let Operand2::Reg(r) = b {
+        uses.push(RegId::I(r.index() as u8));
+    }
+}
+
+impl Instr {
+    /// Computes the registers this instruction reads and writes.
+    ///
+    /// Partial writes (element inserts, row writes, accumulator updates)
+    /// are modelled as read-modify-write: the destination also appears in
+    /// `uses`.
+    #[must_use]
+    pub fn def_use(&self) -> DefUse {
+        let mut du = DefUse::default();
+        let u = &mut du.uses;
+        let d = &mut du.defs;
+        match *self {
+            Instr::IntOp { rd, ra, b, .. } => {
+                u.push(RegId::I(ra.index() as u8));
+                op2_use(b, u);
+                d.push(RegId::I(rd.index() as u8));
+            }
+            Instr::Li { rd, .. } => d.push(RegId::I(rd.index() as u8)),
+            Instr::Load { rd, base, .. } => {
+                u.push(RegId::I(base.index() as u8));
+                d.push(RegId::I(rd.index() as u8));
+            }
+            Instr::Store { rs, base, .. } => {
+                u.push(RegId::I(rs.index() as u8));
+                u.push(RegId::I(base.index() as u8));
+            }
+            Instr::Branch { ra, b, .. } => {
+                u.push(RegId::I(ra.index() as u8));
+                op2_use(b, u);
+            }
+            Instr::Jump { .. } | Instr::Halt | Instr::Nop => {}
+            Instr::FpOp { fd, fa, fb, .. } => {
+                u.push(RegId::F(fa.index() as u8));
+                u.push(RegId::F(fb.index() as u8));
+                d.push(RegId::F(fd.index() as u8));
+            }
+            Instr::FpLoad { fd, base, .. } => {
+                u.push(RegId::I(base.index() as u8));
+                d.push(RegId::F(fd.index() as u8));
+            }
+            Instr::FpStore { fs, base, .. } => {
+                u.push(RegId::F(fs.index() as u8));
+                u.push(RegId::I(base.index() as u8));
+            }
+            Instr::CvtIF { fd, ra } => {
+                u.push(RegId::I(ra.index() as u8));
+                d.push(RegId::F(fd.index() as u8));
+            }
+            Instr::CvtFI { rd, fa } => {
+                u.push(RegId::F(fa.index() as u8));
+                d.push(RegId::I(rd.index() as u8));
+            }
+            Instr::Simd { dst, a, b, .. } => {
+                u.push(vloc_reg(a));
+                u.push(vloc_reg(b));
+                if matches!(dst, VLoc::Row(..)) {
+                    u.push(vloc_reg(dst));
+                }
+                d.push(vloc_reg(dst));
+            }
+            Instr::SimdShift { dst, src, .. } => {
+                u.push(vloc_reg(src));
+                if matches!(dst, VLoc::Row(..)) {
+                    u.push(vloc_reg(dst));
+                }
+                d.push(vloc_reg(dst));
+            }
+            Instr::VMov { dst, src } => {
+                u.push(vloc_reg(src));
+                if matches!(dst, VLoc::Row(..)) {
+                    u.push(vloc_reg(dst));
+                }
+                d.push(vloc_reg(dst));
+            }
+            Instr::VSplat { dst, src, .. } => {
+                u.push(RegId::I(src.index() as u8));
+                if matches!(dst, VLoc::Row(..)) {
+                    u.push(vloc_reg(dst));
+                }
+                d.push(vloc_reg(dst));
+            }
+            Instr::MovSV { rd, src, .. } => {
+                u.push(vloc_reg(src));
+                d.push(RegId::I(rd.index() as u8));
+            }
+            Instr::MovVS { dst, src, .. } => {
+                u.push(RegId::I(src.index() as u8));
+                u.push(vloc_reg(dst)); // lane insert preserves other lanes
+                d.push(vloc_reg(dst));
+            }
+            Instr::VLoad { dst, base, .. } => {
+                u.push(RegId::I(base.index() as u8));
+                if matches!(dst, VLoc::Row(..)) {
+                    u.push(vloc_reg(dst));
+                }
+                d.push(vloc_reg(dst));
+            }
+            Instr::VStore { src, base, .. } => {
+                u.push(vloc_reg(src));
+                u.push(RegId::I(base.index() as u8));
+            }
+            Instr::SetVl { src } => {
+                op2_use(src, u);
+                d.push(RegId::Vl);
+            }
+            Instr::MLoad { dst, base, stride, .. } => {
+                u.push(RegId::I(base.index() as u8));
+                op2_use(stride, u);
+                u.push(RegId::Vl);
+                u.push(RegId::M(dst.index() as u8)); // rows ≥ VL preserved
+                d.push(RegId::M(dst.index() as u8));
+            }
+            Instr::MStore { src, base, stride, .. } => {
+                u.push(RegId::M(src.index() as u8));
+                u.push(RegId::I(base.index() as u8));
+                op2_use(stride, u);
+                u.push(RegId::Vl);
+            }
+            Instr::MOp { dst, a, b, .. } => {
+                u.push(RegId::M(a.index() as u8));
+                match b {
+                    MOperand::M(m) | MOperand::RowBcast(m, _) => {
+                        u.push(RegId::M(m.index() as u8));
+                    }
+                }
+                u.push(RegId::Vl);
+                u.push(RegId::M(dst.index() as u8));
+                d.push(RegId::M(dst.index() as u8));
+            }
+            Instr::MShift { dst, src, .. } => {
+                u.push(RegId::M(src.index() as u8));
+                u.push(RegId::Vl);
+                u.push(RegId::M(dst.index() as u8));
+                d.push(RegId::M(dst.index() as u8));
+            }
+            Instr::MSplat { dst, src, .. } => {
+                u.push(RegId::I(src.index() as u8));
+                u.push(RegId::Vl);
+                u.push(RegId::M(dst.index() as u8));
+                d.push(RegId::M(dst.index() as u8));
+            }
+            Instr::MMov { dst, src } => {
+                u.push(RegId::M(src.index() as u8));
+                u.push(RegId::Vl);
+                u.push(RegId::M(dst.index() as u8));
+                d.push(RegId::M(dst.index() as u8));
+            }
+            Instr::MTranspose { dst, src, .. } => {
+                u.push(RegId::M(src.index() as u8));
+                u.push(RegId::Vl);
+                d.push(RegId::M(dst.index() as u8));
+            }
+            Instr::MAcc { acc, a, b, .. } => {
+                u.push(RegId::M(a.index() as u8));
+                u.push(RegId::M(b.index() as u8));
+                u.push(RegId::Vl);
+                u.push(RegId::A(acc.index() as u8));
+                d.push(RegId::A(acc.index() as u8));
+            }
+            Instr::VAcc { acc, a, b, .. } => {
+                u.push(vloc_reg(a));
+                u.push(vloc_reg(b));
+                u.push(RegId::A(acc.index() as u8));
+                d.push(RegId::A(acc.index() as u8));
+            }
+            Instr::AccSum { rd, acc } => {
+                u.push(RegId::A(acc.index() as u8));
+                d.push(RegId::I(rd.index() as u8));
+            }
+            Instr::AccClear { acc } => d.push(RegId::A(acc.index() as u8)),
+            Instr::AccPack { dst, acc, .. } => {
+                u.push(RegId::A(acc.index() as u8));
+                if matches!(dst, VLoc::Row(..)) {
+                    u.push(vloc_reg(dst));
+                }
+                d.push(vloc_reg(dst));
+            }
+        }
+        du
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Esz, IReg, MReg, VOp, VReg};
+
+    #[test]
+    fn defuse_alu() {
+        let i = Instr::IntOp {
+            op: AluOp::Add,
+            rd: IReg::new(1),
+            ra: IReg::new(2),
+            b: Operand2::Reg(IReg::new(3)),
+        };
+        let du = i.def_use();
+        assert_eq!(du.defs, vec![RegId::I(1)]);
+        assert!(du.uses.contains(&RegId::I(2)) && du.uses.contains(&RegId::I(3)));
+    }
+
+    #[test]
+    fn defuse_matrix_uses_vl() {
+        let i = Instr::MOp {
+            op: VOp::Add(Esz::H),
+            dst: MReg::new(0),
+            a: MReg::new(1),
+            b: MOperand::M(MReg::new(2)),
+        };
+        let du = i.def_use();
+        assert!(du.uses.contains(&RegId::Vl));
+        assert!(du.uses.contains(&RegId::M(1)));
+        assert!(du.uses.contains(&RegId::M(0)), "dst is RMW at VL<rows");
+        assert_eq!(du.defs, vec![RegId::M(0)]);
+    }
+
+    #[test]
+    fn defuse_row_write_is_rmw() {
+        let i = Instr::Simd {
+            op: VOp::Add(Esz::H),
+            dst: VLoc::Row(MReg::new(3), 1),
+            a: VLoc::Row(MReg::new(3), 0),
+            b: VLoc::V(VReg::new(2)),
+        };
+        let du = i.def_use();
+        assert_eq!(du.defs, vec![RegId::M(3)]);
+        // dst row preserved lanes → matrix also read.
+        assert!(du.uses.iter().filter(|r| **r == RegId::M(3)).count() >= 1);
+        assert!(RegId::M(3).is_simd_file());
+        assert!(!RegId::Vl.is_simd_file());
+    }
+}

@@ -1,0 +1,258 @@
+//! Assembly-style `Display` implementations (disassembler).
+
+use crate::{AccOp, AluOp, Cond, FOp, Instr, MOperand, Operand2, Sat, VLoc, VOp, VShiftOp};
+use std::fmt;
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand2::Reg(r) => write!(f, "{r}"),
+            Operand2::Imm(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+impl fmt::Display for VLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VLoc::V(v) => write!(f, "{v}"),
+            VLoc::Row(m, r) => write!(f, "{m}[{r}]"),
+        }
+    }
+}
+
+impl fmt::Display for MOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MOperand::M(m) => write!(f, "{m}"),
+            MOperand::RowBcast(m, r) => write!(f, "{m}[{r}]:bcast"),
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Seq => "seq",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::LtU => "ltu",
+            Cond::GeU => "geu",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for FOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FOp::Add => "fadd",
+            FOp::Sub => "fsub",
+            FOp::Mul => "fmul",
+            FOp::Div => "fdiv",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for VOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VOp::Add(e) => write!(f, "vadd.{}", e.suffix()),
+            VOp::AddS(e) => write!(f, "vadds.{}", e.suffix()),
+            VOp::AddU(e) => write!(f, "vaddu.{}", e.suffix()),
+            VOp::Sub(e) => write!(f, "vsub.{}", e.suffix()),
+            VOp::SubS(e) => write!(f, "vsubs.{}", e.suffix()),
+            VOp::SubU(e) => write!(f, "vsubu.{}", e.suffix()),
+            VOp::Mullo(e) => write!(f, "vmullo.{}", e.suffix()),
+            VOp::Mulhi(e) => write!(f, "vmulhi.{}", e.suffix()),
+            VOp::Madd => write!(f, "vmadd.h"),
+            VOp::Sad => write!(f, "vsad.b"),
+            VOp::Avg(e) => write!(f, "vavg.{}", e.suffix()),
+            VOp::MinS(e) => write!(f, "vmins.{}", e.suffix()),
+            VOp::MinU(e) => write!(f, "vminu.{}", e.suffix()),
+            VOp::MaxS(e) => write!(f, "vmaxs.{}", e.suffix()),
+            VOp::MaxU(e) => write!(f, "vmaxu.{}", e.suffix()),
+            VOp::CmpEq(e) => write!(f, "vcmpeq.{}", e.suffix()),
+            VOp::CmpGt(e) => write!(f, "vcmpgt.{}", e.suffix()),
+            VOp::And => write!(f, "vand"),
+            VOp::Or => write!(f, "vor"),
+            VOp::Xor => write!(f, "vxor"),
+            VOp::AndNot => write!(f, "vandn"),
+            VOp::PackS(e) => write!(f, "vpacks.{}", e.suffix()),
+            VOp::PackU(e) => write!(f, "vpacku.{}", e.suffix()),
+            VOp::UnpackLo(e) => write!(f, "vunpklo.{}", e.suffix()),
+            VOp::UnpackHi(e) => write!(f, "vunpkhi.{}", e.suffix()),
+        }
+    }
+}
+
+impl fmt::Display for VShiftOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VShiftOp::Sll(e) => write!(f, "vsll.{}", e.suffix()),
+            VShiftOp::Srl(e) => write!(f, "vsrl.{}", e.suffix()),
+            VShiftOp::Sra(e) => write!(f, "vsra.{}", e.suffix()),
+        }
+    }
+}
+
+impl fmt::Display for AccOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccOp::Sad => "sad",
+            AccOp::Mac => "mac",
+            AccOp::AddH => "addh",
+            AccOp::Ssd => "ssd",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Sat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sat::Wrap => "wrap",
+            Sat::Signed => "sat",
+            Sat::Unsigned => "satu",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::IntOp { op, rd, ra, b } => write!(f, "{op} {rd}, {ra}, {b}"),
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Load { sz, sext, rd, base, off } => {
+                let s = if *sext { "l" } else { "lu" };
+                write!(f, "{s}{} {rd}, {off}({base})", sz.suffix())
+            }
+            Instr::Store { sz, rs, base, off } => {
+                write!(f, "s{} {rs}, {off}({base})", sz.suffix())
+            }
+            Instr::Branch { cond, ra, b, target } => {
+                write!(f, "b{cond} {ra}, {b}, @{target}")
+            }
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::FpOp { op, fd, fa, fb } => write!(f, "{op} {fd}, {fa}, {fb}"),
+            Instr::FpLoad { fd, base, off } => write!(f, "fld {fd}, {off}({base})"),
+            Instr::FpStore { fs, base, off } => write!(f, "fst {fs}, {off}({base})"),
+            Instr::CvtIF { fd, ra } => write!(f, "cvtif {fd}, {ra}"),
+            Instr::CvtFI { rd, fa } => write!(f, "cvtfi {rd}, {fa}"),
+            Instr::Simd { op, dst, a, b } => {
+                // Strip the leading 'v' already present in the op mnemonic.
+                write!(f, "{op} {dst}, {a}, {b}")
+            }
+            Instr::SimdShift { op, dst, src, amount } => {
+                write!(f, "{op} {dst}, {src}, #{amount}")
+            }
+            Instr::VMov { dst, src } => write!(f, "vmov {dst}, {src}"),
+            Instr::VSplat { dst, src, esz } => write!(f, "vsplat.{} {dst}, {src}", esz.suffix()),
+            Instr::MovSV { rd, src, lane, esz, sext } => {
+                let s = if *sext { "" } else { "u" };
+                write!(f, "movsv{s}.{} {rd}, {src}[{lane}]", esz.suffix())
+            }
+            Instr::MovVS { dst, src, lane, esz } => {
+                write!(f, "movvs.{} {dst}[{lane}], {src}", esz.suffix())
+            }
+            Instr::VLoad { dst, base, off, bytes } => {
+                write!(f, "vld.{bytes} {dst}, {off}({base})")
+            }
+            Instr::VStore { src, base, off, bytes } => {
+                write!(f, "vst.{bytes} {src}, {off}({base})")
+            }
+            Instr::SetVl { src } => write!(f, "setvl {src}"),
+            Instr::MLoad { dst, base, stride, row_bytes } => {
+                write!(f, "mld.{row_bytes} {dst}, ({base}) vs={stride}")
+            }
+            Instr::MStore { src, base, stride, row_bytes } => {
+                write!(f, "mst.{row_bytes} {src}, ({base}) vs={stride}")
+            }
+            Instr::MOp { op, dst, a, b } => write!(f, "m{op} {dst}, {a}, {b}"),
+            Instr::MShift { op, dst, src, amount } => {
+                write!(f, "m{op} {dst}, {src}, #{amount}")
+            }
+            Instr::MSplat { dst, src, esz } => write!(f, "msplat.{} {dst}, {src}", esz.suffix()),
+            Instr::MMov { dst, src } => write!(f, "mmov {dst}, {src}"),
+            Instr::MTranspose { dst, src, esz } => {
+                write!(f, "mtrans.{} {dst}, {src}", esz.suffix())
+            }
+            Instr::MAcc { op, acc, a, b } => write!(f, "macc.{op} {acc}, {a}, {b}"),
+            Instr::VAcc { op, acc, a, b } => write!(f, "vacc.{op} {acc}, {a}, {b}"),
+            Instr::AccSum { rd, acc } => write!(f, "accsum {rd}, {acc}"),
+            Instr::AccClear { acc } => write!(f, "accclr {acc}"),
+            Instr::AccPack { dst, acc, esz, sat, shift } => {
+                write!(f, "accpack.{}.{sat} {dst}, {acc}, >>{shift}", esz.suffix())
+            }
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IReg, MReg, VReg};
+
+    #[test]
+    fn display_samples() {
+        let i = Instr::IntOp {
+            op: AluOp::Add,
+            rd: IReg::new(1),
+            ra: IReg::new(2),
+            b: Operand2::Imm(8),
+        };
+        assert_eq!(i.to_string(), "add r1, r2, #8");
+
+        let m = Instr::MLoad {
+            dst: MReg::new(3),
+            base: IReg::new(4),
+            stride: Operand2::Reg(IReg::new(5)),
+            row_bytes: 16,
+        };
+        assert_eq!(m.to_string(), "mld.16 m3, (r4) vs=r5");
+
+        let s = Instr::Simd {
+            op: VOp::Sad,
+            dst: VLoc::V(VReg::new(1)),
+            a: VLoc::Row(MReg::new(2), 3),
+            b: VLoc::V(VReg::new(4)),
+        };
+        assert_eq!(s.to_string(), "vsad.b v1, m2[3], v4");
+    }
+
+    #[test]
+    fn display_never_empty() {
+        // C-DEBUG-NONEMPTY analogue for Display.
+        assert!(!Instr::Nop.to_string().is_empty());
+        assert!(!Instr::Halt.to_string().is_empty());
+    }
+}

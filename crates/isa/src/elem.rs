@@ -1,0 +1,127 @@
+//! Sub-word element and scalar memory access sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-word element size of a SIMD / matrix operation.
+///
+/// Multimedia data is dominated by 8-bit pixels and 16-bit coefficients;
+/// 32-bit elements appear as intermediate precision (e.g. `pmaddwd`-style
+/// products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Esz {
+    /// 8-bit elements (pixels).
+    B,
+    /// 16-bit elements (DCT coefficients, audio samples).
+    H,
+    /// 32-bit elements (products, sums).
+    W,
+    /// 64-bit elements (whole MMX words inside a 128-bit register —
+    /// `punpcklqdq`-style data movement).
+    D,
+}
+
+impl Esz {
+    /// Element size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> usize {
+        match self {
+            Esz::B => 1,
+            Esz::H => 2,
+            Esz::W => 4,
+            Esz::D => 8,
+        }
+    }
+
+    /// Element size in bits.
+    #[must_use]
+    pub const fn bits(self) -> usize {
+        self.bytes() * 8
+    }
+
+    /// Number of elements of this size in a word of `width_bits`.
+    #[must_use]
+    pub const fn lanes(self, width_bits: usize) -> usize {
+        width_bits / self.bits()
+    }
+
+    /// Assembly suffix (`.b`, `.h`, `.w`, `.d`).
+    #[must_use]
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            Esz::B => "b",
+            Esz::H => "h",
+            Esz::W => "w",
+            Esz::D => "d",
+        }
+    }
+
+    /// The next wider element size, if any (`B → H → W → D`).
+    #[must_use]
+    pub const fn widened(self) -> Option<Esz> {
+        match self {
+            Esz::B => Some(Esz::H),
+            Esz::H => Some(Esz::W),
+            Esz::W => Some(Esz::D),
+            Esz::D => None,
+        }
+    }
+}
+
+/// Scalar memory access size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemSz {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    D,
+}
+
+impl MemSz {
+    /// Access size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> usize {
+        match self {
+            MemSz::B => 1,
+            MemSz::H => 2,
+            MemSz::W => 4,
+            MemSz::D => 8,
+        }
+    }
+
+    /// Assembly suffix (`b`, `h`, `w`, `d`).
+    #[must_use]
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            MemSz::B => "b",
+            MemSz::H => "h",
+            MemSz::W => "w",
+            MemSz::D => "d",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Esz::B.bytes(), 1);
+        assert_eq!(Esz::H.bits(), 16);
+        assert_eq!(Esz::W.lanes(128), 4);
+        assert_eq!(Esz::B.lanes(64), 8);
+        assert_eq!(MemSz::D.bytes(), 8);
+    }
+
+    #[test]
+    fn widening_chain() {
+        assert_eq!(Esz::B.widened(), Some(Esz::H));
+        assert_eq!(Esz::H.widened(), Some(Esz::W));
+        assert_eq!(Esz::W.widened(), Some(Esz::D));
+        assert_eq!(Esz::D.widened(), None);
+    }
+}

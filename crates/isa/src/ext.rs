@@ -1,0 +1,77 @@
+//! The four modelled multimedia extensions.
+
+use serde::{Deserialize, Serialize};
+
+/// Which SIMD multimedia extension a modelled processor implements.
+///
+/// These are the four architectures compared throughout the paper:
+/// two 1-dimensional (MMX-like) and two 2-dimensional (MOM/VMMX) variants,
+/// each at 64-bit and 128-bit register width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ext {
+    /// 1-dimensional, 64-bit registers (Intel MMX-like). The study baseline.
+    Mmx64,
+    /// 1-dimensional, 128-bit registers (Intel SSE2-like).
+    Mmx128,
+    /// 2-dimensional, 16 × 64-bit matrix registers (original MOM).
+    Vmmx64,
+    /// 2-dimensional, 16 × 128-bit matrix registers (scaled MOM).
+    Vmmx128,
+}
+
+impl Ext {
+    /// All four extensions in the paper's presentation order.
+    pub const ALL: [Ext; 4] = [Ext::Mmx64, Ext::Mmx128, Ext::Vmmx64, Ext::Vmmx128];
+
+    /// SIMD register width in bytes (8 or 16).
+    #[must_use]
+    pub const fn width_bytes(self) -> usize {
+        match self {
+            Ext::Mmx64 | Ext::Vmmx64 => 8,
+            Ext::Mmx128 | Ext::Vmmx128 => 16,
+        }
+    }
+
+    /// SIMD register width in bits.
+    #[must_use]
+    pub const fn width_bits(self) -> usize {
+        self.width_bytes() * 8
+    }
+
+    /// `true` for the 2-dimensional (matrix) extensions.
+    #[must_use]
+    pub const fn is_matrix(self) -> bool {
+        matches!(self, Ext::Vmmx64 | Ext::Vmmx128)
+    }
+
+    /// Lower-case name used in reports (`mmx64`, `vmmx128`, ...).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Ext::Mmx64 => "mmx64",
+            Ext::Mmx128 => "mmx128",
+            Ext::Vmmx64 => "vmmx64",
+            Ext::Vmmx128 => "vmmx128",
+        }
+    }
+}
+
+impl std::fmt::Display for Ext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Ext::Mmx64.width_bytes(), 8);
+        assert_eq!(Ext::Vmmx128.width_bits(), 128);
+        assert!(Ext::Vmmx64.is_matrix());
+        assert!(!Ext::Mmx128.is_matrix());
+        assert_eq!(Ext::Mmx128.to_string(), "mmx128");
+    }
+}

@@ -1,0 +1,667 @@
+//! The instruction set.
+//!
+//! A [`Instr`] is already *resolved*: branch targets are instruction indices
+//! within a [`Program`](crate::Program) (the `simdsim-asm` crate turns
+//! symbolic labels into these indices).
+
+use crate::{AReg, Esz, FReg, IReg, MReg, MemSz, VReg};
+use serde::{Deserialize, Serialize};
+
+/// Scalar integer ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping 64-bit addition.
+    Add,
+    /// Wrapping 64-bit subtraction.
+    Sub,
+    /// Wrapping 64-bit multiplication (low half).
+    Mul,
+    /// Signed 64-bit division (rounds toward zero). Division by zero yields 0,
+    /// matching the emulator's defined semantics.
+    Div,
+    /// Signed 64-bit remainder. Remainder by zero yields the dividend.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (amount masked to 6 bits).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set if less than (signed): `rd = (ra < b) as i64`.
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+    /// Set if equal.
+    Seq,
+}
+
+/// Scalar floating-point operation (double precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Branch condition comparing two scalar integer registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed greater or equal.
+    Ge,
+    /// Signed less or equal.
+    Le,
+    /// Signed greater than.
+    Gt,
+    /// Unsigned less than.
+    LtU,
+    /// Unsigned greater or equal.
+    GeU,
+}
+
+impl Cond {
+    /// Evaluates the condition on two 64-bit register values.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::LtU => (a as u64) < (b as u64),
+            Cond::GeU => (a as u64) >= (b as u64),
+        }
+    }
+
+    /// The condition with operands swapped preserved under negation, i.e.
+    /// `!cond(a,b) == negated(a,b)`.
+    #[must_use]
+    pub const fn negated(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::LtU => Cond::GeU,
+            Cond::GeU => Cond::LtU,
+        }
+    }
+}
+
+/// Second operand of a scalar ALU operation or of a vector-stride field:
+/// either a register or a small immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand2 {
+    /// A scalar register operand.
+    Reg(IReg),
+    /// An immediate operand.
+    Imm(i32),
+}
+
+impl From<IReg> for Operand2 {
+    fn from(r: IReg) -> Self {
+        Operand2::Reg(r)
+    }
+}
+
+impl From<i32> for Operand2 {
+    fn from(imm: i32) -> Self {
+        Operand2::Imm(imm)
+    }
+}
+
+/// Location of a 1-word SIMD operand: either a 1-dimensional SIMD register
+/// (MMX-like extensions) or one row of a matrix register (VMMX row-addressed
+/// operations — the "MMX half" of the fused MOM ISA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VLoc {
+    /// A 1-dimensional SIMD register.
+    V(VReg),
+    /// Row `1` of matrix register `0` (row index `0..MAX_VL`).
+    Row(MReg, u8),
+}
+
+impl From<VReg> for VLoc {
+    fn from(v: VReg) -> Self {
+        VLoc::V(v)
+    }
+}
+
+/// Second source of a full-vector-length matrix operation: a whole matrix
+/// register, or a single row broadcast to every row (vector-scalar form,
+/// used e.g. to multiply every row of a block by one coefficient row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MOperand {
+    /// Element-wise with another matrix register.
+    M(MReg),
+    /// One row of a matrix register broadcast to all rows.
+    RowBcast(MReg, u8),
+}
+
+impl From<MReg> for MOperand {
+    fn from(m: MReg) -> Self {
+        MOperand::M(m)
+    }
+}
+
+/// Saturation mode for [`Instr::AccPack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sat {
+    /// Truncate (wrap-around).
+    Wrap,
+    /// Signed saturation.
+    Signed,
+    /// Unsigned saturation.
+    Unsigned,
+}
+
+/// Element-wise sub-word operation, shared by the 1D SIMD extension,
+/// VMMX row operations and full-VL matrix operations.
+///
+/// The vocabulary is the intersection of Intel MMX/SSE2 and the MOM
+/// proposal: saturating arithmetic, sub-word multiplies, `pmaddwd`-style
+/// pairwise multiply-add, `psadbw`-style sums of absolute differences,
+/// pack/unpack and logical operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VOp {
+    /// Wrapping addition per element.
+    Add(Esz),
+    /// Signed saturating addition.
+    AddS(Esz),
+    /// Unsigned saturating addition.
+    AddU(Esz),
+    /// Wrapping subtraction.
+    Sub(Esz),
+    /// Signed saturating subtraction.
+    SubS(Esz),
+    /// Unsigned saturating subtraction.
+    SubU(Esz),
+    /// Low half of the element-wise product.
+    Mullo(Esz),
+    /// High half of the element-wise signed product.
+    Mulhi(Esz),
+    /// Pairwise multiply of signed 16-bit elements, adding adjacent 32-bit
+    /// products (`pmaddwd`).
+    Madd,
+    /// Sum of absolute differences of unsigned bytes; one 64-bit sum per
+    /// 64-bit group (`psadbw` generalised to the register width).
+    Sad,
+    /// Unsigned rounding average (`pavgb`/`pavgw`).
+    Avg(Esz),
+    /// Signed minimum.
+    MinS(Esz),
+    /// Unsigned minimum.
+    MinU(Esz),
+    /// Signed maximum.
+    MaxS(Esz),
+    /// Unsigned maximum.
+    MaxU(Esz),
+    /// Element-wise equality: all-ones where equal.
+    CmpEq(Esz),
+    /// Element-wise signed greater-than: all-ones where `a > b`.
+    CmpGt(Esz),
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise AND-NOT (`a & !b`).
+    AndNot,
+    /// Pack elements of size `1` from both sources into elements half the
+    /// size with signed saturation (`packsswb`/`packssdw` style: low half
+    /// from `a`, high half from `b`).
+    PackS(Esz),
+    /// Pack with unsigned saturation.
+    PackU(Esz),
+    /// Interleave the low halves of `a` and `b` (`punpckl*`).
+    UnpackLo(Esz),
+    /// Interleave the high halves of `a` and `b` (`punpckh*`).
+    UnpackHi(Esz),
+}
+
+impl VOp {
+    /// `true` for multiply-class operations (longer latency, multiplier FU).
+    #[must_use]
+    pub const fn is_multiply(self) -> bool {
+        matches!(
+            self,
+            VOp::Mullo(_) | VOp::Mulhi(_) | VOp::Madd | VOp::Sad
+        )
+    }
+}
+
+/// Element-wise shift with an immediate amount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VShiftOp {
+    /// Logical shift left.
+    Sll(Esz),
+    /// Logical shift right.
+    Srl(Esz),
+    /// Arithmetic shift right.
+    Sra(Esz),
+}
+
+/// Packed-accumulator operation of the matrix extension.
+///
+/// Packed accumulators give MOM reductions without inter-element
+/// communication inside the datapath: each column of the matrix operand
+/// accumulates into a wide (64-bit) lane, and [`Instr::AccSum`] performs the
+/// final cross-lane reduction (see "On the efficiency of reductions in
+/// micro-SIMD media extensions", PACT'01).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccOp {
+    /// `acc[lane] += |a.byte[c] - b.byte[c]|` over all rows and byte columns
+    /// (two byte columns per 16-bit accumulator lane).
+    Sad,
+    /// `acc[lane] += a.h[c] * b.h[c]` over all rows, signed 16-bit products.
+    Mac,
+    /// `acc[lane] += sext(a.h[c])` over all rows (`b` is ignored).
+    AddH,
+    /// `acc[lane] += (a.h[c]-b.h[c])^2` over all rows — squared differences
+    /// for the motion2 kernel.
+    Ssd,
+}
+
+/// A fully resolved machine instruction.
+///
+/// Branch targets are instruction indices within the owning
+/// [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    // ------------------------------------------------------------------
+    // Scalar integer
+    // ------------------------------------------------------------------
+    /// Integer ALU operation `rd = ra <op> b`.
+    IntOp {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: IReg,
+        /// First source register.
+        ra: IReg,
+        /// Second operand.
+        b: Operand2,
+    },
+    /// Load a 64-bit immediate: `rd = imm`.
+    Li {
+        /// Destination register.
+        rd: IReg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Scalar load: `rd = mem[base + off]`, optionally sign-extended.
+    Load {
+        /// Access size.
+        sz: MemSz,
+        /// Sign-extend the loaded value.
+        sext: bool,
+        /// Destination register.
+        rd: IReg,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Scalar store: `mem[base + off] = rs`.
+    Store {
+        /// Access size.
+        sz: MemSz,
+        /// Source register.
+        rs: IReg,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Conditional branch to instruction index `target`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First compared register.
+        ra: IReg,
+        /// Second operand.
+        b: Operand2,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Terminate the program.
+    Halt,
+
+    // ------------------------------------------------------------------
+    // Scalar floating point (minimal; multimedia kernels are fixed-point)
+    // ------------------------------------------------------------------
+    /// Floating-point ALU operation `fd = fa <op> fb`.
+    FpOp {
+        /// Operation.
+        op: FOp,
+        /// Destination register.
+        fd: FReg,
+        /// First source.
+        fa: FReg,
+        /// Second source.
+        fb: FReg,
+    },
+    /// Load a 64-bit IEEE double: `fd = mem[base + off]`.
+    FpLoad {
+        /// Destination register.
+        fd: FReg,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Store a 64-bit IEEE double.
+    FpStore {
+        /// Source register.
+        fs: FReg,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Convert scalar integer to double: `fd = ra as f64`.
+    CvtIF {
+        /// Destination register.
+        fd: FReg,
+        /// Source integer register.
+        ra: IReg,
+    },
+    /// Convert double to scalar integer (truncating): `rd = fa as i64`.
+    CvtFI {
+        /// Destination integer register.
+        rd: IReg,
+        /// Source register.
+        fa: FReg,
+    },
+
+    // ------------------------------------------------------------------
+    // 1-word SIMD (MMX-like; also VMMX row operations)
+    // ------------------------------------------------------------------
+    /// Element-wise SIMD operation `dst = a <op> b` on one SIMD word.
+    Simd {
+        /// Sub-word operation.
+        op: VOp,
+        /// Destination.
+        dst: VLoc,
+        /// First source.
+        a: VLoc,
+        /// Second source.
+        b: VLoc,
+    },
+    /// Element-wise shift by immediate on one SIMD word.
+    SimdShift {
+        /// Shift kind and element size.
+        op: VShiftOp,
+        /// Destination.
+        dst: VLoc,
+        /// Source.
+        src: VLoc,
+        /// Shift amount in bits.
+        amount: u8,
+    },
+    /// SIMD register move `dst = src` (also moves matrix rows).
+    VMov {
+        /// Destination.
+        dst: VLoc,
+        /// Source.
+        src: VLoc,
+    },
+    /// Broadcast a scalar register into every element of a SIMD word.
+    VSplat {
+        /// Destination.
+        dst: VLoc,
+        /// Scalar source.
+        src: IReg,
+        /// Element size to replicate.
+        esz: Esz,
+    },
+    /// Extract one element into a scalar register.
+    MovSV {
+        /// Scalar destination.
+        rd: IReg,
+        /// SIMD source.
+        src: VLoc,
+        /// Element lane index.
+        lane: u8,
+        /// Element size.
+        esz: Esz,
+        /// Sign-extend the element.
+        sext: bool,
+    },
+    /// Insert a scalar register into one element lane.
+    MovVS {
+        /// SIMD destination (other lanes preserved).
+        dst: VLoc,
+        /// Scalar source.
+        src: IReg,
+        /// Element lane index.
+        lane: u8,
+        /// Element size.
+        esz: Esz,
+    },
+    /// SIMD load of `bytes` bytes (partial loads zero-fill the upper part):
+    /// `dst = mem[base + off]`.
+    VLoad {
+        /// Destination.
+        dst: VLoc,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        off: i32,
+        /// Bytes transferred (1..=16).
+        bytes: u8,
+    },
+    /// SIMD store of the low `bytes` bytes.
+    VStore {
+        /// Source.
+        src: VLoc,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        off: i32,
+        /// Bytes transferred (1..=16).
+        bytes: u8,
+    },
+
+    // ------------------------------------------------------------------
+    // 2-dimensional matrix extension (MOM / VMMX)
+    // ------------------------------------------------------------------
+    /// Set the vector length for subsequent matrix operations
+    /// (clamped to [`MAX_VL`](crate::MAX_VL)).
+    SetVl {
+        /// New vector length (register or immediate).
+        src: Operand2,
+    },
+    /// Strided matrix load: row `r` of `dst` comes from
+    /// `mem[base + r*stride .. +row_bytes]`, for `r < VL`.
+    ///
+    /// `row_bytes` smaller than the register width models the partial
+    /// data-movement instructions added to the scaled VMMX128 ISA.
+    MLoad {
+        /// Destination matrix register.
+        dst: MReg,
+        /// Base address register.
+        base: IReg,
+        /// Row stride in bytes.
+        stride: Operand2,
+        /// Bytes per row (1..=16); upper bytes zero-filled.
+        row_bytes: u8,
+    },
+    /// Strided matrix store (mirror of [`Instr::MLoad`]).
+    MStore {
+        /// Source matrix register.
+        src: MReg,
+        /// Base address register.
+        base: IReg,
+        /// Row stride in bytes.
+        stride: Operand2,
+        /// Bytes per row (1..=16).
+        row_bytes: u8,
+    },
+    /// Full-vector-length element-wise matrix operation
+    /// `dst[r] = a[r] <op> b[r]` for `r < VL`.
+    MOp {
+        /// Sub-word operation.
+        op: VOp,
+        /// Destination matrix register.
+        dst: MReg,
+        /// First source.
+        a: MReg,
+        /// Second source (matrix or broadcast row).
+        b: MOperand,
+    },
+    /// Full-VL element-wise shift by immediate.
+    MShift {
+        /// Shift kind and element size.
+        op: VShiftOp,
+        /// Destination matrix register.
+        dst: MReg,
+        /// Source matrix register.
+        src: MReg,
+        /// Shift amount in bits.
+        amount: u8,
+    },
+    /// Broadcast a scalar into every element of every row (`VL` rows).
+    MSplat {
+        /// Destination matrix register.
+        dst: MReg,
+        /// Scalar source.
+        src: IReg,
+        /// Element size to replicate.
+        esz: Esz,
+    },
+    /// Matrix move `dst = src` (`VL` rows).
+    MMov {
+        /// Destination.
+        dst: MReg,
+        /// Source.
+        src: MReg,
+    },
+    /// Transpose the `VL × (width/esz)` element matrix. The emulator
+    /// requires the matrix to be square (`VL == width/esz`).
+    MTranspose {
+        /// Destination matrix register.
+        dst: MReg,
+        /// Source matrix register.
+        src: MReg,
+        /// Element size (16-bit in all paper kernels).
+        esz: Esz,
+    },
+    /// Packed-accumulator reduction over all `VL` rows of the operands.
+    MAcc {
+        /// Accumulation operation.
+        op: AccOp,
+        /// Destination accumulator.
+        acc: AReg,
+        /// First source matrix.
+        a: MReg,
+        /// Second source matrix (ignored by [`AccOp::AddH`]).
+        b: MReg,
+    },
+    /// Row-addressed accumulator op: accumulate a single SIMD word
+    /// (used by MMX-style code sequences inside VMMX programs).
+    VAcc {
+        /// Accumulation operation.
+        op: AccOp,
+        /// Destination accumulator.
+        acc: AReg,
+        /// First source.
+        a: VLoc,
+        /// Second source (ignored by [`AccOp::AddH`]).
+        b: VLoc,
+    },
+    /// Cross-lane reduction of an accumulator into a scalar register.
+    AccSum {
+        /// Scalar destination.
+        rd: IReg,
+        /// Source accumulator.
+        acc: AReg,
+    },
+    /// Clear an accumulator.
+    AccClear {
+        /// Accumulator to clear.
+        acc: AReg,
+    },
+    /// Pack accumulator lanes into elements of one SIMD word / matrix row.
+    AccPack {
+        /// Destination.
+        dst: VLoc,
+        /// Source accumulator.
+        acc: AReg,
+        /// Destination element size.
+        esz: Esz,
+        /// Saturation mode.
+        sat: Sat,
+        /// Right-shift applied to each lane before packing (fixed-point
+        /// descaling, as in DCT final stages).
+        shift: u8,
+    },
+    /// No operation (alignment/padding in generated code).
+    Nop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_and_negate() {
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(!Cond::LtU.eval(-1, 0)); // -1 is huge unsigned
+        assert!(Cond::GeU.eval(-1, 0));
+        for c in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lt,
+            Cond::Ge,
+            Cond::Le,
+            Cond::Gt,
+            Cond::LtU,
+            Cond::GeU,
+        ] {
+            for (a, b) in [(0i64, 0i64), (1, 2), (-5, 3), (i64::MAX, i64::MIN)] {
+                assert_eq!(c.eval(a, b), !c.negated().eval(a, b), "{c:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn vop_multiply_class() {
+        assert!(VOp::Madd.is_multiply());
+        assert!(VOp::Sad.is_multiply());
+        assert!(!VOp::Add(Esz::B).is_multiply());
+        assert!(!VOp::PackS(Esz::H).is_multiply());
+    }
+
+    #[test]
+    fn operand2_from() {
+        assert_eq!(Operand2::from(7i32), Operand2::Imm(7));
+        assert_eq!(Operand2::from(IReg::new(3)), Operand2::Reg(IReg::new(3)));
+    }
+}

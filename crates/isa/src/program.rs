@@ -1,0 +1,242 @@
+//! Program container: resolved instructions plus per-instruction metadata.
+
+use crate::{Class, Instr};
+use serde::{Deserialize, Serialize};
+
+/// Code region an instruction belongs to, used for the paper's Figure 6
+/// (scalar-cycles vs vector-cycles breakdown of full applications).
+///
+/// "Vector" regions are the vectorised kernel bodies; everything else
+/// (protocol handling, entropy coding, file manipulation) is "scalar".
+/// Scalar-ISA overhead instructions *inside* a vectorised kernel (pointer
+/// updates, loop control) count as part of the vector region, exactly as a
+/// profiler attributing time to the kernel function would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Region {
+    /// Non-vectorised application code.
+    #[default]
+    Scalar,
+    /// Vectorised kernel code.
+    Vector,
+}
+
+/// A resolved program: instruction sequence plus per-instruction region tags.
+///
+/// Programs are produced by the `simdsim-asm` builder; branch targets inside
+/// [`Instr`] are indices into [`Program::code`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    code: Vec<Instr>,
+    region: Vec<Region>,
+}
+
+impl Program {
+    /// Creates a program from parallel instruction and region vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    #[must_use]
+    pub fn new(code: Vec<Instr>, region: Vec<Region>) -> Self {
+        assert_eq!(code.len(), region.len(), "code/region length mismatch");
+        Self { code, region }
+    }
+
+    /// The instruction sequence.
+    #[must_use]
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// Region tag of each instruction (same indexing as [`Program::code`]).
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.region
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` when the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Static instruction count per Figure-7 class.
+    #[must_use]
+    pub fn static_class_counts(&self) -> ClassCounts {
+        let mut c = ClassCounts::default();
+        for i in &self.code {
+            c.add(i.class(), 1);
+        }
+        c
+    }
+
+    /// Validates structural well-formedness: branch targets in range and,
+    /// when `matrix_ext` is false, absence of matrix instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, matrix_ext: bool) -> Result<(), String> {
+        for (idx, ins) in self.code.iter().enumerate() {
+            match ins {
+                Instr::Branch { target, .. } | Instr::Jump { target } => {
+                    if *target as usize >= self.code.len() {
+                        return Err(format!(
+                            "instruction {idx}: branch target {target} out of range"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            if !matrix_ext && ins.requires_matrix_ext() {
+                return Err(format!(
+                    "instruction {idx}: {ins} requires the matrix extension"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the program as an assembly listing.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, ins) in self.code.iter().enumerate() {
+            let tag = match self.region[i] {
+                Region::Scalar => ' ',
+                Region::Vector => 'V',
+            };
+            let _ = writeln!(s, "{i:6} {tag} {ins}");
+        }
+        s
+    }
+}
+
+/// Dynamic or static instruction counts per Figure-7 class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Scalar memory instructions.
+    pub smem: u64,
+    /// Scalar arithmetic instructions.
+    pub sarith: u64,
+    /// Control instructions.
+    pub sctrl: u64,
+    /// Vector memory instructions.
+    pub vmem: u64,
+    /// Vector arithmetic instructions.
+    pub varith: u64,
+}
+
+impl ClassCounts {
+    /// Adds `n` to the counter for `class`.
+    pub fn add(&mut self, class: Class, n: u64) {
+        match class {
+            Class::SMem => self.smem += n,
+            Class::SArith => self.sarith += n,
+            Class::SCtrl => self.sctrl += n,
+            Class::VMem => self.vmem += n,
+            Class::VArith => self.varith += n,
+        }
+    }
+
+    /// Counter value for `class`.
+    #[must_use]
+    pub fn get(&self, class: Class) -> u64 {
+        match class {
+            Class::SMem => self.smem,
+            Class::SArith => self.sarith,
+            Class::SCtrl => self.sctrl,
+            Class::VMem => self.vmem,
+            Class::VArith => self.varith,
+        }
+    }
+
+    /// Total across all classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.smem + self.sarith + self.sctrl + self.vmem + self.varith
+    }
+
+    /// Total of the two vector classes.
+    #[must_use]
+    pub fn vector_total(&self) -> u64 {
+        self.vmem + self.varith
+    }
+}
+
+impl std::ops::Add for ClassCounts {
+    type Output = ClassCounts;
+    fn add(self, rhs: ClassCounts) -> ClassCounts {
+        ClassCounts {
+            smem: self.smem + rhs.smem,
+            sarith: self.sarith + rhs.sarith,
+            sctrl: self.sctrl + rhs.sctrl,
+            vmem: self.vmem + rhs.vmem,
+            varith: self.varith + rhs.varith,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ClassCounts {
+    fn add_assign(&mut self, rhs: ClassCounts) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond, IReg, Operand2};
+
+    fn add_i(rd: u8) -> Instr {
+        Instr::IntOp {
+            op: AluOp::Add,
+            rd: IReg::new(rd),
+            ra: IReg::new(0),
+            b: Operand2::Imm(1),
+        }
+    }
+
+    #[test]
+    fn validate_branch_range() {
+        let p = Program::new(
+            vec![
+                add_i(1),
+                Instr::Branch {
+                    cond: Cond::Ne,
+                    ra: IReg::new(1),
+                    b: Operand2::Imm(0),
+                    target: 9,
+                },
+            ],
+            vec![Region::Scalar; 2],
+        );
+        assert!(p.validate(false).is_err());
+    }
+
+    #[test]
+    fn class_counts_sum() {
+        let p = Program::new(
+            vec![add_i(1), add_i(2), Instr::Halt],
+            vec![Region::Scalar; 3],
+        );
+        let c = p.static_class_counts();
+        assert_eq!(c.sarith, 2);
+        assert_eq!(c.sctrl, 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.vector_total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_regions_panic() {
+        let _ = Program::new(vec![Instr::Halt], vec![]);
+    }
+}

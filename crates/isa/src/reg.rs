@@ -1,0 +1,117 @@
+//! Register newtypes.
+//!
+//! Each register file gets its own index newtype so that a matrix register
+//! can never be passed where a scalar register is expected
+//! (C-NEWTYPE static distinctions).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! reg_newtype {
+    ($(#[$doc:meta])* $name:ident, $count:expr, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Number of architectural registers in this file.
+            pub const COUNT: usize = $count;
+
+            /// Creates a register index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index >= Self::COUNT`.
+            #[must_use]
+            pub const fn new(index: u8) -> Self {
+                assert!((index as usize) < $count, "register index out of range");
+                Self(index)
+            }
+
+            /// Creates a register index, returning `None` when out of range.
+            #[must_use]
+            pub const fn try_new(index: u8) -> Option<Self> {
+                if (index as usize) < $count {
+                    Some(Self(index))
+                } else {
+                    None
+                }
+            }
+
+            /// The raw register number.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+reg_newtype!(
+    /// A scalar integer register (`r0`..`r31`).
+    IReg,
+    crate::NUM_IREGS,
+    "r"
+);
+reg_newtype!(
+    /// A scalar floating-point register (`f0`..`f31`).
+    FReg,
+    crate::NUM_FREGS,
+    "f"
+);
+reg_newtype!(
+    /// A 1-dimensional SIMD register (`v0`..`v31`), 64 or 128 bits wide
+    /// depending on the modelled extension.
+    VReg,
+    crate::NUM_VREGS,
+    "v"
+);
+reg_newtype!(
+    /// A matrix (2-dimensional vector) register (`m0`..`m15`) of up to
+    /// [`MAX_VL`](crate::MAX_VL) rows.
+    MReg,
+    crate::NUM_MREGS,
+    "m"
+);
+reg_newtype!(
+    /// A packed accumulator register (`acc0`..`acc3`).
+    AReg,
+    crate::NUM_AREGS,
+    "acc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        let r = IReg::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.to_string(), "r7");
+        assert_eq!(MReg::new(15).to_string(), "m15");
+        assert_eq!(AReg::new(0).to_string(), "acc0");
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(MReg::try_new(15).is_some());
+        assert!(MReg::try_new(16).is_none());
+        assert!(VReg::try_new(31).is_some());
+        assert!(VReg::try_new(32).is_none());
+        assert!(AReg::try_new(4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_panics_out_of_range() {
+        let _ = IReg::new(32);
+    }
+}

@@ -1,0 +1,241 @@
+//! A set-associative cache tag model with LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+    /// Number of ports.
+    pub ports: usize,
+    /// Port width in bytes.
+    pub port_width: usize,
+    /// Number of banks (informational; bank conflicts are folded into the
+    /// port model).
+    pub banks: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.size / (self.line * self.assoc)
+    }
+}
+
+/// Hit/miss counters of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Lines invalidated by the coherency protocol.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]` (0 when no accesses were made).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A set-associative cache tag array with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two or the geometry is
+    /// inconsistent.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.sets() > 0, "cache too small for its line size/assoc");
+        Self {
+            sets: vec![vec![Line::default(); cfg.assoc]; cfg.sets()],
+            cfg,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line as u64;
+        ((line as usize) % self.cfg.sets(), line)
+    }
+
+    /// Looks up the line containing `addr`, installing it on a miss.
+    /// Returns `true` on a hit.  `store` marks the line dirty.
+    pub fn access(&mut self, addr: u64, store: bool) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let lines = &mut self.sets[set];
+        if let Some(l) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = self.tick;
+            l.dirty |= store;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Evict LRU.
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("non-zero associativity");
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: store,
+            lru: self.tick,
+        };
+        false
+    }
+
+    /// Probes without installing. Returns `true` on a hit.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr`; returns `true` when the
+    /// line was present and dirty (a writeback is required).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        for l in &mut self.sets[set] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                self.stats.invalidations += 1;
+                return l.dirty;
+            }
+        }
+        false
+    }
+
+    /// Iterates over the line-aligned addresses covered by
+    /// `[addr, addr+len)`.
+    pub fn lines_covering(&self, addr: u64, len: u64) -> impl Iterator<Item = u64> + use<> {
+        let line = self.cfg.line as u64;
+        let first = addr / line;
+        let last = (addr + len.max(1) - 1) / line;
+        (first..=last).map(move |l| l * line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            size: 1024,
+            assoc: 2,
+            line: 32,
+            latency: 3,
+            ports: 1,
+            port_width: 8,
+            banks: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_install() {
+        let mut c = small();
+        assert!(!c.access(0x100, false));
+        assert!(c.access(0x100, false));
+        assert!(c.access(0x11f, false), "same line");
+        assert!(!c.access(0x120, false), "next line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = small();
+        let sets = c.config().sets(); // 16
+        let way_stride = (sets * 32) as u64;
+        c.access(0, false);
+        c.access(way_stride, false);
+        c.access(0, false); // refresh line 0
+        c.access(2 * way_stride, false); // evicts way_stride
+        assert!(c.probe(0));
+        assert!(!c.probe(way_stride));
+    }
+
+    #[test]
+    fn invalidate_reports_dirty() {
+        let mut c = small();
+        c.access(0x40, true);
+        assert!(c.invalidate(0x40));
+        assert!(!c.probe(0x40));
+        assert!(!c.invalidate(0x40), "already gone");
+    }
+
+    #[test]
+    fn writeback_counted() {
+        let mut c = small();
+        let sets = c.config().sets();
+        let way_stride = (sets * 32) as u64;
+        c.access(0, true);
+        c.access(way_stride, false);
+        c.access(2 * way_stride, false); // evicts dirty line 0
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn lines_covering_range() {
+        let c = small();
+        let v: Vec<u64> = c.lines_covering(0x21, 0x40).collect();
+        assert_eq!(v, vec![0x20, 0x40, 0x60]);
+        let single: Vec<u64> = c.lines_covering(0x20, 1).collect();
+        assert_eq!(single, vec![0x20]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Memory-hierarchy timing model (the paper's Table IV).
+//!
+//! Two on-chip cache levels plus a high-latency main memory:
+//!
+//! * **L1 data cache** — 32 KB, 4-way, 32-byte lines, 3-cycle latency,
+//!   1/2/4 ports of 8 bytes (scalar and 1D-SIMD accesses);
+//! * **L2 vector cache** — 512 KB, 2-way, 128-byte lines, 12-cycle
+//!   latency, one `B×64-bit` port, two interleaved banks.  Vector (matrix)
+//!   accesses **bypass the L1** and stream from the L2: stride-one
+//!   requests transfer `B` 64-bit elements per cycle, any other stride one
+//!   element per cycle;
+//! * **main memory** — 500 cycles (Direct-RDRAM-like), with pipelined
+//!   line streaming for multi-line vector misses.
+//!
+//! Coherency follows the paper's exclusive-bit + inclusion policy:
+//! vector stores invalidate overlapping L1 lines, vector loads force
+//! writeback of dirty L1 lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use system::{MemConfig, MemSystem, MemTimingStats};

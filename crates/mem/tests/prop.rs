@@ -1,0 +1,96 @@
+//! Property-based tests of the cache model and the memory system.
+
+use proptest::prelude::*;
+use simdsim_emu::MemAccess;
+use simdsim_mem::{Cache, CacheConfig, MemConfig, MemSystem};
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig {
+        size: 2048,
+        assoc: 2,
+        line: 32,
+        latency: 3,
+        ports: 1,
+        port_width: 8,
+        banks: 1,
+    }
+}
+
+proptest! {
+    /// A probe immediately after an access always hits; the line stays
+    /// resident at least until `assoc` distinct conflicting lines arrive.
+    #[test]
+    fn recently_accessed_lines_are_resident(addrs in prop::collection::vec(0u64..65536, 1..200)) {
+        let mut c = Cache::new(small_cfg());
+        for a in &addrs {
+            c.access(*a, false);
+            prop_assert!(c.probe(*a));
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+    }
+
+    /// Accessing a working set that fits the cache converges to all-hits.
+    #[test]
+    fn small_working_set_converges(base in 0u64..4096) {
+        let mut c = Cache::new(small_cfg());
+        let lines: Vec<u64> = (0..8).map(|i| base + i * 32).collect();
+        for _ in 0..4 {
+            for l in &lines {
+                c.access(*l, false);
+            }
+        }
+        let s = c.stats();
+        // At most one cold miss per distinct line (some lines may alias).
+        prop_assert!(s.misses <= 2 * lines.len() as u64);
+        prop_assert!(s.hits >= 3 * lines.len() as u64 - 8);
+    }
+
+    /// Invalidation removes residency and at most reports dirty once.
+    #[test]
+    fn invalidate_is_idempotent(addr in 0u64..65536, store in any::<bool>()) {
+        let mut c = Cache::new(small_cfg());
+        c.access(addr, store);
+        let first = c.invalidate(addr);
+        prop_assert_eq!(first, store);
+        prop_assert!(!c.probe(addr));
+        prop_assert!(!c.invalidate(addr));
+    }
+
+    /// Memory-system completion times are causal (>= request time + hit
+    /// latency) and port-monotonic.
+    #[test]
+    fn completions_are_causal(
+        reqs in prop::collection::vec((0u64..100_000, 1u64..64, any::<bool>()), 1..50),
+    ) {
+        let mut m = MemSystem::new(MemConfig::paper(2, false));
+        let mut now = 0u64;
+        for (addr, bytes, store) in reqs {
+            let done = m.scalar_access(now, addr, bytes, store);
+            prop_assert!(done >= now + 3, "completion {done} before {now}+latency");
+            now += 1;
+        }
+    }
+
+    /// Vector accesses: unit-stride transfers never take longer than the
+    /// same access at a non-unit stride (the paper's bandwidth rule).
+    #[test]
+    fn unit_stride_is_never_slower(rows in 1u16..16, row_bytes in prop::sample::select(vec![8u16, 16])) {
+        let mk = |stride: i64| MemAccess {
+            addr: 4096,
+            row_bytes,
+            rows,
+            stride,
+            store: false,
+            vector_path: true,
+        };
+        let mut a = MemSystem::new(MemConfig::paper(8, true));
+        let mut b = MemSystem::new(MemConfig::paper(8, true));
+        // Warm both.
+        let wa = a.vector_access(0, &mk(i64::from(row_bytes)));
+        let wb = b.vector_access(0, &mk(800));
+        let ta = a.vector_access(wa, &mk(i64::from(row_bytes))) - wa;
+        let tb = b.vector_access(wb, &mk(800)) - wb;
+        prop_assert!(ta <= tb, "unit {ta} vs strided {tb}");
+    }
+}

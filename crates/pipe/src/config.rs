@@ -1,0 +1,148 @@
+//! Processor configurations (the paper's Table III).
+
+use serde::{Deserialize, Serialize};
+use simdsim_isa::Ext;
+use simdsim_mem::MemConfig;
+
+/// Parameters of one modelled processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipeConfig {
+    /// Fetch/decode/graduate width (2, 4 or 8).
+    pub way: usize,
+    /// The multimedia extension implemented.
+    pub ext: Ext,
+    /// Re-order buffer entries.
+    pub rob: usize,
+    /// Unified issue-queue (scheduler window) entries; dispatch stalls
+    /// when full.  This is what keeps wide cores from scaling linearly on
+    /// scalar code.
+    pub iq: usize,
+    /// Physical integer registers.
+    pub phys_int: usize,
+    /// Physical floating-point registers.
+    pub phys_fp: usize,
+    /// Physical SIMD/matrix registers (Table III: 40/64/96 for MMX,
+    /// 20/36/64 for VMMX).
+    pub phys_simd: usize,
+    /// Integer ALUs.
+    pub int_fus: usize,
+    /// Floating-point units.
+    pub fp_fus: usize,
+    /// SIMD instructions issued per cycle.
+    pub simd_issue: usize,
+    /// SIMD functional units.
+    pub simd_fus: usize,
+    /// Parallel vector lanes per SIMD unit (1 on MMX, 4 on VMMX).
+    pub lanes: usize,
+    /// Scalar memory ports (equals the L1 port count).
+    pub mem_fus: usize,
+    /// Front-end depth in cycles (decode + rename + dispatch).
+    pub frontend_depth: u64,
+    /// Cycles between branch resolution and fetch restart on a mispredict.
+    pub redirect_penalty: u64,
+    /// Branch predictor entries.
+    pub bpred_entries: usize,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+}
+
+impl PipeConfig {
+    /// The paper's Table III configuration for `way` ∈ {2,4,8} and the
+    /// given extension (plus the Table IV memory hierarchy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `way` is not 2, 4 or 8.
+    #[must_use]
+    pub fn paper(way: usize, ext: Ext) -> Self {
+        let idx = match way {
+            2 => 0,
+            4 => 1,
+            8 => 2,
+            _ => panic!("way must be 2, 4 or 8"),
+        };
+        let matrix = ext.is_matrix();
+        let phys_simd = if matrix {
+            [20, 36, 64][idx]
+        } else {
+            [40, 64, 96][idx]
+        };
+        let simd_issue = if matrix { [1, 2, 3][idx] } else { [2, 4, 8][idx] };
+        let mem_fus = if matrix { [1, 1, 2][idx] } else { [1, 2, 4][idx] };
+        Self {
+            way,
+            ext,
+            // R10000-like active list, scaling sub-linearly with width
+            // (wide machines are window-limited, as the paper's weak
+            // superscalar scaling shows).
+            rob: [32, 48, 72][idx],
+            iq: [16, 24, 36][idx],
+            phys_int: [48, 64, 96][idx],
+            phys_fp: [48, 64, 96][idx],
+            phys_simd,
+            int_fus: [2, 4, 8][idx],
+            fp_fus: [1, 2, 4][idx],
+            simd_issue,
+            simd_fus: simd_issue,
+            lanes: if matrix { 4 } else { 1 },
+            mem_fus,
+            frontend_depth: 4,
+            redirect_penalty: 5,
+            bpred_entries: 4096,
+            mem: MemConfig::paper(way, matrix),
+        }
+    }
+
+    /// Number of logical registers in the SIMD/matrix file (32 for MMX,
+    /// 16 for VMMX).
+    #[must_use]
+    pub fn logical_simd(&self) -> usize {
+        if self.ext.is_matrix() {
+            simdsim_isa::NUM_MREGS
+        } else {
+            simdsim_isa::NUM_VREGS
+        }
+    }
+
+    /// Maximum in-flight SIMD-register-writing instructions before rename
+    /// stalls.
+    #[must_use]
+    pub fn simd_inflight(&self) -> usize {
+        self.phys_simd.saturating_sub(self.logical_simd()).max(1)
+    }
+
+    /// Short label for reports, e.g. `"4way-vmmx128"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}way-{}", self.way, self.ext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let c = PipeConfig::paper(4, Ext::Mmx128);
+        assert_eq!(c.phys_simd, 64);
+        assert_eq!(c.simd_issue, 4);
+        assert_eq!(c.lanes, 1);
+        assert_eq!(c.mem_fus, 2);
+
+        let v = PipeConfig::paper(8, Ext::Vmmx128);
+        assert_eq!(v.phys_simd, 64);
+        assert_eq!(v.simd_issue, 3);
+        assert_eq!(v.lanes, 4);
+        assert_eq!(v.mem_fus, 2);
+        assert_eq!(v.mem.l2.port_width, 64);
+        assert_eq!(v.simd_inflight(), 64 - 16);
+        assert_eq!(v.label(), "8way-vmmx128");
+    }
+
+    #[test]
+    #[should_panic(expected = "way must be")]
+    fn bad_way_panics() {
+        let _ = PipeConfig::paper(3, Ext::Mmx64);
+    }
+}

@@ -1,0 +1,37 @@
+//! Out-of-order superscalar timing model with decoupled vector lanes —
+//! the study's equivalent of the Jinks simulator.
+//!
+//! The model consumes the dynamic instruction stream produced by
+//! [`simdsim_emu`] (trace-driven timing, execution-driven functional
+//! semantics) and computes cycle timestamps per instruction through a
+//! renamed, windowed dataflow model:
+//!
+//! * **front end** — `way`-wide fetch, taken branches end a fetch group,
+//!   gshare branch prediction with a redirect penalty on mispredicts,
+//!   re-order-buffer occupancy stalls;
+//! * **rename** — per-file physical-register budgets (Table III: e.g.
+//!   40 physical MMX registers vs 20 matrix registers at 2-way);
+//! * **issue** — per-class issue bandwidth and functional-unit pools;
+//!   full-vector-length matrix operations occupy a SIMD unit for
+//!   `ceil(VL / lanes)` cycles (the distributed-lane datapath of Fig. 2);
+//! * **memory** — scalar/1D accesses through the L1 ports, matrix accesses
+//!   through the L2 vector cache port ([`simdsim_mem`]);
+//! * **commit** — in-order, `way` per cycle; each committed instruction
+//!   attributes its commit-to-commit gap to its code region, giving the
+//!   paper's Figure-6 scalar/vector cycle split.
+//!
+//! Simplifications (documented in DESIGN.md): wrong-path instructions are
+//! not simulated (mispredicts stall the front end), store-to-load
+//! forwarding is modelled conservatively at cache-line granularity, and
+//! issue-queue capacity is subsumed by the ROB window.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bpred;
+mod config;
+mod model;
+
+pub use bpred::Gshare;
+pub use config::PipeConfig;
+pub use model::{simulate, PipeStats, Pipeline};

@@ -1,0 +1,641 @@
+//! The timestamp-based out-of-order pipeline model.
+
+use crate::{Gshare, PipeConfig};
+use serde::{Deserialize, Serialize};
+use simdsim_emu::{DynInstr, EmuError, Machine, MemAccess, RunStats, TraceSink};
+use simdsim_isa::{ClassCounts, FuKind, Instr, Program, RegId, Region, VOp};
+use simdsim_mem::{CacheStats, MemSystem, MemTimingStats};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+const RING: usize = 1 << 14;
+const CLS_INT: usize = 0;
+const CLS_FP: usize = 1;
+const CLS_MEM: usize = 2;
+const CLS_SIMD: usize = 3;
+const CLS_VMEM: usize = 4;
+
+/// Timing statistics of one simulated run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipeStats {
+    /// Total execution cycles (cycle of the last commit).
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instrs: u64,
+    /// Committed instructions per Figure-7 class.
+    pub counts: ClassCounts,
+    /// Cycles attributed to scalar-region code (Figure 6).
+    pub scalar_region_cycles: u64,
+    /// Cycles attributed to vector-region (kernel) code.
+    pub vector_region_cycles: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// L1 cache counters.
+    pub l1: CacheStats,
+    /// L2 cache counters.
+    pub l2: CacheStats,
+    /// Memory-system timing counters.
+    pub memsys: MemTimingStats,
+}
+
+impl PipeStats {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction ratio.
+    #[must_use]
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// The pipeline model; implements [`TraceSink`] so the emulator can
+/// stream instructions straight into it.
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: PipeConfig,
+    mem: MemSystem,
+    bpred: Gshare,
+    reg_ready: HashMap<RegId, u64>,
+    int_fu: Vec<u64>,
+    fp_fu: Vec<u64>,
+    simd_fu: Vec<u64>,
+    ring: Vec<(u64, [u8; 5])>,
+    limits: [u8; 5],
+    next_fetch: u64,
+    fetch_used: usize,
+    rob: VecDeque<u64>,
+    iq: BinaryHeap<Reverse<u64>>,
+    commit_cursor: u64,
+    commit_used: usize,
+    rename: [VecDeque<u64>; 3],
+    rename_caps: [usize; 3],
+    store_lines: HashMap<u64, u64>,
+    region_cycles: [u64; 2],
+    last_commit: u64,
+    instrs: u64,
+    counts: ClassCounts,
+    branches: u64,
+    mispredicts: u64,
+    cleanup_at: u64,
+}
+
+fn rename_class(r: RegId) -> Option<usize> {
+    match r {
+        RegId::I(_) => Some(0),
+        RegId::F(_) => Some(1),
+        RegId::V(_) | RegId::M(_) => Some(2),
+        RegId::A(_) | RegId::Vl => None, // small dedicated files
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline in its reset state.
+    #[must_use]
+    pub fn new(cfg: PipeConfig) -> Self {
+        let limits = [
+            cfg.int_fus as u8,
+            cfg.fp_fus as u8,
+            cfg.mem_fus as u8,
+            cfg.simd_issue as u8,
+            1,
+        ];
+        let rename_caps = [
+            cfg.phys_int.saturating_sub(simdsim_isa::NUM_IREGS).max(1),
+            cfg.phys_fp.saturating_sub(simdsim_isa::NUM_FREGS).max(1),
+            cfg.simd_inflight(),
+        ];
+        Self {
+            mem: MemSystem::new(cfg.mem),
+            bpred: Gshare::new(cfg.bpred_entries),
+            reg_ready: HashMap::new(),
+            int_fu: vec![0; cfg.int_fus],
+            fp_fu: vec![0; cfg.fp_fus],
+            simd_fu: vec![0; cfg.simd_fus],
+            ring: vec![(u64::MAX, [0; 5]); RING],
+            limits,
+            next_fetch: 0,
+            fetch_used: 0,
+            rob: VecDeque::with_capacity(cfg.rob + 1),
+            iq: BinaryHeap::new(),
+            commit_cursor: 0,
+            commit_used: 0,
+            rename: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            rename_caps,
+            store_lines: HashMap::new(),
+            region_cycles: [0; 2],
+            last_commit: 0,
+            instrs: 0,
+            counts: ClassCounts::default(),
+            branches: 0,
+            mispredicts: 0,
+            cleanup_at: 1 << 16,
+            cfg,
+        }
+    }
+
+    fn slot(&mut self, cls: usize, from: u64) -> u64 {
+        let lim = self.limits[cls];
+        let mut c = from;
+        loop {
+            let e = &mut self.ring[(c as usize) & (RING - 1)];
+            if e.0 != c {
+                *e = (c, [0; 5]);
+            }
+            if e.1[cls] < lim {
+                e.1[cls] += 1;
+                return c;
+            }
+            c += 1;
+        }
+    }
+
+    fn fu_issue(&mut self, pool: usize, cls: usize, ready: u64, occupancy: u64) -> u64 {
+        let pool_vec = match pool {
+            0 => &self.int_fu,
+            1 => &self.fp_fu,
+            _ => &self.simd_fu,
+        };
+        let (idx, free) = pool_vec
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| **f)
+            .map(|(i, f)| (i, *f))
+            .expect("non-empty FU pool");
+        let candidate = ready.max(free);
+        let issue = self.slot(cls, candidate);
+        let pool_vec = match pool {
+            0 => &mut self.int_fu,
+            1 => &mut self.fp_fu,
+            _ => &mut self.simd_fu,
+        };
+        pool_vec[idx] = issue + occupancy;
+        issue
+    }
+
+    fn simd_timing(&self, di: &DynInstr) -> (u64, u64) {
+        // (base latency, occupancy)
+        let base = match di.instr {
+            Instr::Simd { op, .. } | Instr::MOp { op, .. } => {
+                if op.is_multiply() {
+                    3
+                } else {
+                    1
+                }
+            }
+            Instr::MAcc { .. } | Instr::VAcc { .. } => 3,
+            Instr::AccSum { .. } => 4,
+            Instr::MTranspose { .. } => 2,
+            Instr::MovSV { .. } | Instr::MovVS { .. } | Instr::VSplat { .. } => 2,
+            _ => 1,
+        };
+        let occ = if di.instr.is_full_vl() {
+            u64::from(di.vl).div_ceil(self.cfg.lanes as u64).max(1)
+        } else {
+            1
+        };
+        (base, occ)
+    }
+
+    fn push_instr(&mut self, di: &DynInstr) {
+        let instr = di.instr;
+        let du = instr.def_use();
+
+        // ------------------------------------------------------------
+        // Fetch
+        // ------------------------------------------------------------
+        if self.fetch_used >= self.cfg.way {
+            self.next_fetch += 1;
+            self.fetch_used = 0;
+        }
+        let mut fetch = self.next_fetch;
+        if self.rob.len() >= self.cfg.rob {
+            let oldest = self.rob.pop_front().expect("rob non-empty");
+            fetch = fetch.max(oldest);
+        }
+        if fetch > self.next_fetch {
+            self.next_fetch = fetch;
+            self.fetch_used = 0;
+        }
+        self.fetch_used += 1;
+
+        // ------------------------------------------------------------
+        // Rename (physical register budgets) and issue-queue occupancy
+        // ------------------------------------------------------------
+        let mut dispatch = fetch + self.cfg.frontend_depth;
+        // Entries leave the scheduler when they issue; dispatch stalls
+        // while the queue is full.
+        while let Some(Reverse(t)) = self.iq.peek().copied() {
+            if t <= dispatch {
+                self.iq.pop();
+            } else if self.iq.len() >= self.cfg.iq {
+                self.iq.pop();
+                dispatch = dispatch.max(t + 1);
+            } else {
+                break;
+            }
+        }
+        for d in &du.defs {
+            if let Some(c) = rename_class(*d) {
+                while self.rename[c].len() >= self.rename_caps[c] {
+                    let t = self.rename[c].pop_front().expect("rename fifo non-empty");
+                    dispatch = dispatch.max(t);
+                }
+            }
+        }
+
+        // ------------------------------------------------------------
+        // Operand readiness
+        // ------------------------------------------------------------
+        let mut ready = dispatch;
+        for u in &du.uses {
+            if let Some(t) = self.reg_ready.get(u) {
+                ready = ready.max(*t);
+            }
+        }
+
+        // ------------------------------------------------------------
+        // Issue and execute
+        // ------------------------------------------------------------
+        let complete = match instr.fu_kind() {
+            FuKind::None => ready,
+            FuKind::IntAlu => {
+                let issue = self.fu_issue(0, CLS_INT, ready, 1);
+                issue + 1
+            }
+            FuKind::IntMul => {
+                use simdsim_isa::AluOp;
+                let (lat, occ) = match instr {
+                    Instr::IntOp { op: AluOp::Mul, .. } => (6, 1),
+                    _ => (20, 20), // div/rem, unpipelined
+                };
+                let issue = self.fu_issue(0, CLS_INT, ready, occ);
+                issue + lat
+            }
+            FuKind::Fp => {
+                use simdsim_isa::FOp;
+                let (lat, occ) = match instr {
+                    Instr::FpOp { op: FOp::Div, .. } => (16, 16),
+                    _ => (4, 1),
+                };
+                let issue = self.fu_issue(1, CLS_FP, ready, occ);
+                issue + lat
+            }
+            FuKind::Simd => {
+                let (base, occ) = self.simd_timing(di);
+                let issue = self.fu_issue(2, CLS_SIMD, ready, occ);
+                issue + occ - 1 + base
+            }
+            FuKind::Mem => {
+                let acc = di.mem.expect("memory instruction carries an access");
+                let issue = self.slot(CLS_MEM, ready);
+                let start = self.order_against_stores(issue, &acc);
+                let done =
+                    self.mem
+                        .scalar_access(start, acc.addr, u64::from(acc.row_bytes), acc.store);
+                self.record_store(&acc, done);
+                if acc.store {
+                    start + 1 // retire via store buffer
+                } else {
+                    done
+                }
+            }
+            FuKind::VecMem => {
+                let acc = di.mem.expect("vector memory instruction carries an access");
+                let issue = self.slot(CLS_VMEM, ready);
+                let start = self.order_against_stores(issue, &acc);
+                let done = self.mem.vector_access(start, &acc);
+                self.record_store(&acc, done);
+                if acc.store {
+                    start + 1
+                } else {
+                    done
+                }
+            }
+        };
+
+        for d in &du.defs {
+            self.reg_ready.insert(*d, complete);
+        }
+        // Scheduler entry is held from dispatch to issue; completion is a
+        // safe upper bound for memory operations whose issue the memory
+        // system decides.
+        let iq_leave = match instr.fu_kind() {
+            FuKind::None => dispatch,
+            FuKind::Mem | FuKind::VecMem => ready.max(dispatch),
+            _ => complete.saturating_sub(1).max(dispatch),
+        };
+        self.iq.push(Reverse(iq_leave.min(dispatch + 64)));
+
+        // ------------------------------------------------------------
+        // Control flow
+        // ------------------------------------------------------------
+        match instr {
+            Instr::Branch { .. } => {
+                self.branches += 1;
+                let actual = di.taken.is_some();
+                let predicted = self.bpred.predict(di.pc);
+                self.bpred.update(di.pc, actual);
+                if predicted != actual {
+                    self.mispredicts += 1;
+                    let restart = complete + self.cfg.redirect_penalty;
+                    if restart > self.next_fetch {
+                        self.next_fetch = restart;
+                        self.fetch_used = 0;
+                    }
+                } else {
+                    // One branch prediction per cycle: every branch ends
+                    // its fetch group (era-typical front end; this is what
+                    // keeps wide fetch from scaling on branchy scalar
+                    // code).
+                    self.next_fetch += 1;
+                    self.fetch_used = 0;
+                }
+            }
+            Instr::Jump { .. } => {
+                self.next_fetch += 1;
+                self.fetch_used = 0;
+            }
+            _ => {}
+        }
+
+        // ------------------------------------------------------------
+        // Commit (in order, `way` per cycle)
+        // ------------------------------------------------------------
+        let mut c = (complete + 1).max(self.commit_cursor);
+        if c == self.commit_cursor && self.commit_used >= self.cfg.way {
+            c += 1;
+        }
+        if c > self.commit_cursor {
+            self.commit_cursor = c;
+            self.commit_used = 0;
+        }
+        self.commit_used += 1;
+
+        self.rob.push_back(c);
+        for d in &du.defs {
+            if let Some(cl) = rename_class(*d) {
+                self.rename[cl].push_back(c);
+            }
+        }
+
+        let region_idx = match di.region {
+            Region::Scalar => 0,
+            Region::Vector => 1,
+        };
+        self.region_cycles[region_idx] += c.saturating_sub(self.last_commit);
+        self.last_commit = c;
+        self.instrs += 1;
+        self.counts.add(instr.class(), 1);
+
+        if self.instrs >= self.cleanup_at {
+            let cursor = self.commit_cursor;
+            self.store_lines.retain(|_, v| *v >= cursor);
+            self.cleanup_at = self.instrs + (1 << 16);
+        }
+    }
+
+    fn store_line_keys(&self, acc: &MemAccess) -> Vec<u64> {
+        let mut keys = Vec::new();
+        for r in 0..u64::from(acc.rows) {
+            let row_addr = (acc.addr as i64 + acc.stride * r as i64) as u64;
+            let first = row_addr / 32;
+            let last = (row_addr + u64::from(acc.row_bytes).max(1) - 1) / 32;
+            keys.extend(first..=last);
+        }
+        keys
+    }
+
+    fn order_against_stores(&self, issue: u64, acc: &MemAccess) -> u64 {
+        let mut start = issue;
+        for key in self.store_line_keys(acc) {
+            if let Some(t) = self.store_lines.get(&key) {
+                start = start.max(*t);
+            }
+        }
+        start
+    }
+
+    fn record_store(&mut self, acc: &MemAccess, done: u64) {
+        if !acc.store {
+            return;
+        }
+        for key in self.store_line_keys(acc) {
+            let e = self.store_lines.entry(key).or_insert(0);
+            *e = (*e).max(done);
+        }
+    }
+
+    /// Consumes the pipeline and returns the run statistics.
+    #[must_use]
+    pub fn finalize(self) -> PipeStats {
+        PipeStats {
+            cycles: self.last_commit,
+            instrs: self.instrs,
+            counts: self.counts,
+            scalar_region_cycles: self.region_cycles[0],
+            vector_region_cycles: self.region_cycles[1],
+            branches: self.branches,
+            mispredicts: self.mispredicts,
+            l1: self.mem.l1_stats(),
+            l2: self.mem.l2_stats(),
+            memsys: self.mem.stats(),
+        }
+    }
+}
+
+impl TraceSink for Pipeline {
+    fn push(&mut self, di: &DynInstr) {
+        self.push_instr(di);
+    }
+}
+
+/// Runs `program` on a clone of `machine`, streaming the dynamic trace
+/// through a [`Pipeline`] configured by `cfg`.
+///
+/// Returns the architectural statistics (from the emulator) and the
+/// timing statistics (from the pipeline).
+///
+/// # Errors
+///
+/// Propagates emulation errors ([`EmuError`]).
+pub fn simulate(
+    program: &Program,
+    machine: &Machine,
+    cfg: &PipeConfig,
+    max_instrs: u64,
+) -> Result<(RunStats, PipeStats), EmuError> {
+    let mut m = machine.clone();
+    let mut pipe = Pipeline::new(*cfg);
+    let rs = m.run(program, &mut pipe, max_instrs)?;
+    Ok((rs, pipe.finalize()))
+}
+
+// Silence the unused-import lint for VOp used only through is_multiply.
+const _: fn(VOp) -> bool = VOp::is_multiply;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdsim_asm::Asm;
+    use simdsim_isa::{Cond, Esz, Ext};
+
+    fn run(cfg: &PipeConfig, build: impl FnOnce(&mut Asm)) -> PipeStats {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.halt();
+        let prog = a.finish();
+        let machine = Machine::new(cfg.ext, 1 << 20);
+        let (_, stats) = simulate(&prog, &machine, cfg, 10_000_000).unwrap();
+        stats
+    }
+
+    #[test]
+    fn wider_machine_is_faster_on_parallel_code() {
+        // Independent ALU ops: 8-way should beat 2-way clearly.
+        let body = |a: &mut Asm| {
+            let regs: Vec<_> = (0..16).map(|_| a.ireg()).collect();
+            for r in &regs {
+                a.li(*r, 1);
+            }
+            for _ in 0..200 {
+                for r in &regs {
+                    a.addi(*r, *r, 1);
+                }
+            }
+        };
+        let s2 = run(&PipeConfig::paper(2, Ext::Mmx64), body);
+        let s8 = run(&PipeConfig::paper(8, Ext::Mmx64), body);
+        assert!(
+            s2.cycles > s8.cycles * 2,
+            "2-way {} vs 8-way {}",
+            s2.cycles,
+            s8.cycles
+        );
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc() {
+        let stats = run(&PipeConfig::paper(8, Ext::Mmx64), |a| {
+            let r = a.ireg();
+            a.li(r, 0);
+            for _ in 0..1000 {
+                a.addi(r, r, 1);
+            }
+        });
+        assert!(stats.ipc() < 1.3, "serial chain IPC {}", stats.ipc());
+    }
+
+    #[test]
+    fn loads_wait_for_memory() {
+        let cfg = PipeConfig::paper(2, Ext::Mmx64);
+        let stats = run(&cfg, |a| {
+            let (p, t) = (a.ireg(), a.ireg());
+            a.li(p, 4096);
+            // 64 cold loads, each to a fresh line, dependent on the last.
+            for _ in 0..64 {
+                a.ld(t, p, 0);
+                a.add(p, p, t); // fake dependency
+                a.addi(p, p, 64);
+            }
+        });
+        // Every second access misses to memory (~500 cycles), the rest hit
+        // the 128-byte L2 lines.
+        assert!(stats.cycles > 15_000, "cycles {}", stats.cycles);
+        assert!(stats.l1.misses >= 64);
+    }
+
+    #[test]
+    fn branch_mispredicts_counted() {
+        let cfg = PipeConfig::paper(2, Ext::Mmx64);
+        let stats = run(&cfg, |a| {
+            // Data-dependent branch pattern from a pseudo-random register.
+            let (x, i, t) = (a.ireg(), a.ireg(), a.ireg());
+            a.li(x, 0x9e3779b9);
+            a.li(i, 0);
+            a.for_loop(i, 500, |a| {
+                a.muli(x, x, 1103515245);
+                a.addi(x, x, 12345);
+                a.srli(t, x, 16);
+                a.and(t, t, 1);
+                a.if_(Cond::Eq, t, 0, |a| {
+                    a.addi(x, x, 7);
+                });
+            });
+        });
+        assert!(stats.branches >= 1000);
+        assert!(stats.mispredicts > 50, "mispredicts {}", stats.mispredicts);
+        assert!(stats.mispredict_ratio() < 0.9);
+    }
+
+    #[test]
+    fn vector_occupancy_scales_with_vl() {
+        // Same number of matrix ops at VL=4 vs VL=16: the latter should
+        // take roughly 4x the SIMD execution time.
+        let cfg = PipeConfig::paper(2, Ext::Vmmx128);
+        let mk = |vl: i32| {
+            move |a: &mut Asm| {
+                let (m1, m2) = (a.mreg(), a.mreg());
+                let p = a.arg(0);
+                a.setvl(vl);
+                a.mload(m1, p, 16, 16);
+                a.mload(m2, p, 16, 16);
+                // long dependent chain of full-VL ops
+                for _ in 0..300 {
+                    a.mop(VOp::Add(Esz::H), m1, m1, m2);
+                }
+            }
+        };
+        let s4 = run(&cfg, mk(4));
+        let s16 = run(&cfg, mk(16));
+        let ratio = s16.cycles as f64 / s4.cycles as f64;
+        assert!(ratio > 2.0, "occupancy ratio {ratio}");
+    }
+
+    #[test]
+    fn store_load_ordering_respected() {
+        let cfg = PipeConfig::paper(4, Ext::Mmx64);
+        let stats = run(&cfg, |a| {
+            let (p, t) = (a.ireg(), a.ireg());
+            a.li(p, 8192);
+            a.li(t, 42);
+            for _ in 0..50 {
+                a.sd(t, p, 0);
+                a.ld(t, p, 0); // must wait for the store
+                a.addi(t, t, 1);
+            }
+        });
+        assert!(stats.instrs > 100);
+    }
+
+    #[test]
+    fn ipc_bounded_by_width() {
+        let cfg = PipeConfig::paper(2, Ext::Mmx64);
+        let stats = run(&cfg, |a| {
+            let regs: Vec<_> = (0..8).map(|_| a.ireg()).collect();
+            for r in &regs {
+                a.li(*r, 1);
+            }
+            for _ in 0..500 {
+                for r in &regs {
+                    a.addi(*r, *r, 1);
+                }
+            }
+        });
+        assert!(stats.ipc() <= 2.05, "IPC {} exceeds width", stats.ipc());
+        assert!(stats.ipc() > 1.2, "IPC {} too low for parallel code", stats.ipc());
+    }
+}

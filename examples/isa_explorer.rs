@@ -1,0 +1,72 @@
+//! ISA explorer: assemble a small matrix-extension program, print its
+//! disassembly, single-run it and inspect the architectural state — a
+//! tour of the `asm`/`isa`/`emu` layers.
+//!
+//! ```sh
+//! cargo run --release --example isa_explorer
+//! ```
+
+use simdsim::asm::Asm;
+use simdsim::emu::{Machine, VecSink};
+use simdsim_isa::{AccOp, Esz, Ext, MOperand, VOp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8×8 16-bit tile: load it strided, scale every element by 3 with
+    // a broadcast row, accumulate column sums, and reduce to a scalar.
+    let mut a = Asm::new();
+    let (src, dst, out) = (a.arg(0), a.arg(1), a.arg(2));
+    let (m1, coef) = (a.mreg(), a.mreg());
+    let acc = a.areg();
+    let t = a.ireg();
+
+    a.setvl(8);
+    a.li(t, 3);
+    a.msplat(coef, t, Esz::H);
+    a.mload(m1, src, 16, 16);
+    a.mop(VOp::Mullo(Esz::H), m1, m1, MOperand::RowBcast(coef, 0));
+    a.mtrans(m1, m1, Esz::H);
+    a.accclear(acc);
+    a.macc(AccOp::AddH, acc, m1, m1);
+    a.accsum(t, acc);
+    a.sd(t, out, 0);
+    a.mstore(m1, dst, 16, 16);
+    a.halt();
+    let program = a.finish();
+
+    println!("=== disassembly ===");
+    print!("{}", program.listing());
+    println!(
+        "static mix: {:?}\n",
+        program.static_class_counts()
+    );
+
+    // Fill an 8×8 matrix with 0..64 and run.
+    let values: Vec<i16> = (0..64).collect();
+    let mut m = Machine::new(Ext::Vmmx128, 1 << 16);
+    m.write_i16s(256, &values)?;
+    m.set_ireg(0, 256);
+    m.set_ireg(1, 1024);
+    m.set_ireg(2, 4096);
+
+    let mut sink = VecSink::default();
+    let stats = m.run(&program, &mut sink, 10_000)?;
+
+    println!("=== execution ===");
+    println!("dynamic instructions : {}", stats.dyn_instrs);
+    println!("element operations   : {}", stats.element_ops);
+    let expect: i64 = values.iter().map(|v| 3 * i64::from(*v)).sum();
+    let got = m.read_i32s(4096, 1)?[0];
+    println!("memory result        : {got} (expected {expect})");
+    assert_eq!(i64::from(got), expect);
+
+    println!("\n=== first rows of the transposed, scaled tile ===");
+    let out_rows = m.read_i16s(1024, 16)?;
+    println!("{:?}", &out_rows[..8]);
+    println!("{:?}", &out_rows[8..16]);
+
+    println!("\n=== trace excerpt (matrix ops carry their VL) ===");
+    for d in sink.trace.iter().take(12) {
+        println!("  pc {:>2}  vl {:>2}  {}", d.pc, d.vl, d.instr);
+    }
+    Ok(())
+}

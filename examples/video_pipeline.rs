@@ -1,0 +1,60 @@
+//! A complete application under the microscope: run the MPEG-2-style
+//! encoder on every extension × width and reproduce the paper's
+//! headline comparison (a simple matrix-extension processor versus an
+//! aggressive 1-D SIMD one).
+//!
+//! ```sh
+//! cargo run --release --example video_pipeline
+//! ```
+
+use simdsim::kernels::Variant;
+use simdsim::pipe::{simulate, PipeConfig};
+use simdsim_isa::Ext;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = simdsim_apps::by_name("mpeg2enc").ok_or("app not found")?;
+    println!("application: {} — {}\n", app.spec().name, app.spec().description);
+    println!(
+        "{:<6} {:<9} {:>10} {:>12} {:>8} {:>7}",
+        "way", "ext", "instrs", "cycles", "speedup", "vector%"
+    );
+
+    let mut baseline = None;
+    let mut cells = Vec::new();
+    for way in [2usize, 4, 8] {
+        for ext in Ext::ALL {
+            let built = app.build(Variant::for_ext(ext));
+            let cfg = PipeConfig::paper(way, ext);
+            let (_, t) = simulate(&built.program, &built.machine, &cfg, u64::MAX)?;
+            if way == 2 && ext == Ext::Mmx64 {
+                baseline = Some(t.cycles);
+            }
+            let base = baseline.expect("baseline computed first");
+            println!(
+                "{:<6} {:<9} {:>10} {:>12} {:>7.2}x {:>6.0}%",
+                way,
+                ext.name(),
+                t.instrs,
+                t.cycles,
+                base as f64 / t.cycles as f64,
+                100.0 * t.vector_region_cycles as f64
+                    / (t.vector_region_cycles + t.scalar_region_cycles) as f64,
+            );
+            cells.push((way, ext, t.cycles));
+        }
+    }
+
+    let get = |w: usize, e: Ext| {
+        cells
+            .iter()
+            .find(|(cw, ce, _)| *cw == w && *ce == e)
+            .map(|(_, _, c)| *c)
+            .expect("cell simulated")
+    };
+    println!(
+        "\nThe paper's complexity argument: the 2-way VMMX128 core reaches {:.0}% of the\n\
+         8-way MMX128 core's performance with a fraction of its register-file area.",
+        100.0 * get(8, Ext::Mmx128) as f64 / get(2, Ext::Vmmx128) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Shape tests for the paper's figures: the qualitative results the
+//! reproduction must preserve (who wins, and roughly where), run on a
+//! subset of workloads to stay fast in CI.
+
+use simdsim::kernels::{by_name, Variant};
+use simdsim::pipe::{simulate, PipeConfig};
+use simdsim_isa::Ext;
+
+fn kernel_cycles(name: &str, ext: Ext, way: usize) -> u64 {
+    let k = by_name(name).unwrap_or_else(|| panic!("kernel {name}"));
+    let built = k.build(Variant::for_ext(ext));
+    let cfg = PipeConfig::paper(way, ext);
+    let (_, t) = simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates");
+    t.cycles
+}
+
+/// Figure 4's core ordering: on the 2-way core the matrix extensions beat
+/// the 1-D ones, and the wide variants beat the narrow ones.
+#[test]
+fn fig4_extension_ordering_holds() {
+    for name in ["idct", "motion1", "ycc"] {
+        let mmx64 = kernel_cycles(name, Ext::Mmx64, 2);
+        let mmx128 = kernel_cycles(name, Ext::Mmx128, 2);
+        let vmmx64 = kernel_cycles(name, Ext::Vmmx64, 2);
+        let vmmx128 = kernel_cycles(name, Ext::Vmmx128, 2);
+        assert!(mmx128 <= mmx64, "{name}: mmx128 not faster than mmx64");
+        assert!(vmmx64 <= mmx64, "{name}: vmmx64 not faster than mmx64");
+        assert!(vmmx128 <= vmmx64, "{name}: vmmx128 not faster than vmmx64");
+    }
+}
+
+/// The paper: scaling MMX64→MMX128 gives at most modest kernel gains
+/// (the best case in Fig. 4 is ~1.5×).
+#[test]
+fn fig4_mmx_scaling_is_modest() {
+    for name in ["idct", "comp", "addblock", "ltpfilt"] {
+        let mmx64 = kernel_cycles(name, Ext::Mmx64, 2) as f64;
+        let mmx128 = kernel_cycles(name, Ext::Mmx128, 2) as f64;
+        let speedup = mmx64 / mmx128;
+        assert!(
+            (0.95..1.75).contains(&speedup),
+            "{name}: mmx64→mmx128 speed-up {speedup:.2} outside the paper's band"
+        );
+    }
+}
+
+/// The paper: `comp` gains almost nothing from any scaling (8×4 blocks
+/// use a fraction of the wider registers).
+#[test]
+fn fig4_comp_is_insensitive() {
+    let mmx64 = kernel_cycles("comp", Ext::Mmx64, 2) as f64;
+    for ext in [Ext::Mmx128, Ext::Vmmx64, Ext::Vmmx128] {
+        let c = kernel_cycles("comp", ext, 2) as f64;
+        assert!(
+            mmx64 / c < 1.45,
+            "comp speed-up on {ext} is {:.2}, should be small",
+            mmx64 / c
+        );
+    }
+}
+
+/// The paper: short GSM segments mean VMMX128 adds almost nothing over
+/// VMMX64 for `ltppar`.
+#[test]
+fn fig4_ltppar_saturates_at_vmmx64() {
+    let v64 = kernel_cycles("ltppar", Ext::Vmmx64, 2) as f64;
+    let v128 = kernel_cycles("ltppar", Ext::Vmmx128, 2) as f64;
+    let ratio = v64 / v128;
+    assert!(
+        (0.9..1.15).contains(&ratio),
+        "ltppar vmmx64/vmmx128 ratio {ratio:.2} should be ~1"
+    );
+}
+
+/// Figure 5's headline for the decoder: a 2-way VMMX128 core is in the
+/// same performance class as the 8-way MMX128 core (within 20%).
+#[test]
+fn fig5_simple_vmmx_matches_aggressive_mmx() {
+    let app = simdsim_apps::by_name("jpegdec").expect("jpegdec");
+    let run = |way, ext| {
+        let built = app.build(Variant::for_ext(ext));
+        let cfg = PipeConfig::paper(way, ext);
+        simulate(&built.program, &built.machine, &cfg, u64::MAX)
+            .expect("simulates")
+            .1
+            .cycles as f64
+    };
+    let vmmx_2way = run(2, Ext::Vmmx128);
+    let mmx_8way = run(8, Ext::Mmx128);
+    let ratio = vmmx_2way / mmx_8way;
+    assert!(
+        (0.75..1.35).contains(&ratio),
+        "2-way vmmx128 vs 8-way mmx128 cycle ratio {ratio:.2}"
+    );
+}
+
+/// Figure 5: the GSM applications barely react to SIMD scaling.
+#[test]
+fn fig5_gsm_is_flat_across_extensions() {
+    let app = simdsim_apps::by_name("gsmdec").expect("gsmdec");
+    let mut cycles = Vec::new();
+    for ext in Ext::ALL {
+        let built = app.build(Variant::for_ext(ext));
+        let cfg = PipeConfig::paper(2, ext);
+        let (_, t) = simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates");
+        cycles.push(t.cycles as f64);
+    }
+    let max = cycles.iter().cloned().fold(0.0f64, f64::max);
+    let min = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max / min < 1.25, "gsmdec spread {:.2} should be small", max / min);
+}
+
+/// Figure 6: scaling the extension shrinks the vector-cycle share, until
+/// the scalar code dominates (Amdahl).
+#[test]
+fn fig6_vector_share_shrinks() {
+    let app = simdsim_apps::by_name("jpegdec").expect("jpegdec");
+    let share = |way, ext| {
+        let built = app.build(Variant::for_ext(ext));
+        let cfg = PipeConfig::paper(way, ext);
+        let (_, t) = simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates");
+        t.vector_region_cycles as f64 / t.cycles as f64
+    };
+    let base = share(2, Ext::Mmx64);
+    let best = share(8, Ext::Vmmx128);
+    assert!(
+        best < base,
+        "vector share should shrink: {base:.2} -> {best:.2}"
+    );
+}
+
+/// Figure 7: the matrix ISAs execute clearly fewer instructions, and the
+/// reduction comes from the scalar overhead categories.
+#[test]
+fn fig7_instruction_reduction() {
+    let app = simdsim_apps::by_name("mpeg2dec").expect("mpeg2dec");
+    let counts = |ext| {
+        let built = app.build(Variant::for_ext(ext));
+        let cfg = PipeConfig::paper(2, ext);
+        simulate(&built.program, &built.machine, &cfg, u64::MAX)
+            .expect("simulates")
+            .1
+            .counts
+    };
+    let mmx64 = counts(Ext::Mmx64);
+    let mmx128 = counts(Ext::Mmx128);
+    let vmmx128 = counts(Ext::Vmmx128);
+    assert!(mmx128.total() < mmx64.total());
+    assert!(vmmx128.total() < mmx128.total());
+    // The win is mostly overhead elimination: scalar arithmetic + control.
+    let overhead = |c: simdsim_isa::ClassCounts| c.sarith + c.sctrl + c.smem;
+    assert!(overhead(vmmx128) < overhead(mmx64));
+}

@@ -1,0 +1,75 @@
+//! Cross-crate integration tests: every kernel and every application, in
+//! every ISA variant, must match its golden Rust implementation, and the
+//! timing model must simulate all of them without error.
+
+use simdsim::kernels::{registry, Variant};
+use simdsim::pipe::{simulate, PipeConfig};
+use simdsim_isa::Ext;
+
+#[test]
+fn every_kernel_variant_matches_golden() {
+    for kernel in registry() {
+        for v in Variant::ALL {
+            let built = kernel.build(v);
+            built
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{} {v}: {e}", kernel.spec().name));
+        }
+    }
+}
+
+#[test]
+fn every_app_variant_matches_golden() {
+    for app in simdsim_apps::registry() {
+        for v in Variant::ALL {
+            let built = app.build(v);
+            built
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{} {v}: {e}", app.spec().name));
+        }
+    }
+}
+
+#[test]
+fn every_kernel_simulates_on_every_width() {
+    for kernel in registry() {
+        for ext in Ext::ALL {
+            let built = kernel.build(Variant::for_ext(ext));
+            for way in simdsim::WAYS {
+                let cfg = PipeConfig::paper(way, ext);
+                let (arch, timing) =
+                    simulate(&built.program, &built.machine, &cfg, u64::MAX)
+                        .unwrap_or_else(|e| panic!("{} {ext} {way}: {e}", kernel.spec().name));
+                assert_eq!(arch.dyn_instrs, timing.instrs);
+                assert!(timing.cycles > 0);
+                assert!(
+                    timing.ipc() <= way as f64 + 1e-9,
+                    "{} {ext} {way}-way IPC {} exceeds width",
+                    kernel.spec().name,
+                    ext,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn region_cycles_partition_total() {
+    // Scalar + vector region cycles must account for the whole run.
+    let kernel = simdsim::kernels::by_name("ycc").expect("ycc exists");
+    let built = kernel.build(Variant::Vmmx128);
+    let cfg = PipeConfig::paper(2, Ext::Vmmx128);
+    let (_, t) = simulate(&built.program, &built.machine, &cfg, u64::MAX).unwrap();
+    assert_eq!(t.scalar_region_cycles + t.vector_region_cycles, t.cycles);
+    assert!(t.vector_region_cycles > t.scalar_region_cycles, "ycc is kernel-dominated");
+}
+
+#[test]
+fn dynamic_mix_matches_between_emulator_and_pipeline() {
+    let app = simdsim_apps::by_name("gsmdec").expect("gsmdec exists");
+    let built = app.build(Variant::Mmx128);
+    let cfg = PipeConfig::paper(4, Ext::Mmx128);
+    let (arch, timing) = simulate(&built.program, &built.machine, &cfg, u64::MAX).unwrap();
+    assert_eq!(arch.counts, timing.counts);
+    assert_eq!(arch.dyn_instrs, timing.instrs);
+}

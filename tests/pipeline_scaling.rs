@@ -1,0 +1,79 @@
+//! Sanity properties of the timing model across configurations.
+
+use simdsim::kernels::{by_name, Variant};
+use simdsim::pipe::{simulate, PipeConfig, PipeStats};
+use simdsim_isa::Ext;
+
+fn run(name: &str, ext: Ext, way: usize) -> PipeStats {
+    let k = by_name(name).unwrap_or_else(|| panic!("kernel {name}"));
+    let built = k.build(Variant::for_ext(ext));
+    let cfg = PipeConfig::paper(way, ext);
+    simulate(&built.program, &built.machine, &cfg, u64::MAX)
+        .expect("simulates")
+        .1
+}
+
+#[test]
+fn wider_cores_never_slow_down() {
+    for name in ["rgb", "addblock", "ltpfilt"] {
+        for ext in [Ext::Mmx64, Ext::Vmmx128] {
+            let c2 = run(name, ext, 2).cycles;
+            let c4 = run(name, ext, 4).cycles;
+            let c8 = run(name, ext, 8).cycles;
+            assert!(c4 <= c2 + c2 / 20, "{name} {ext}: 4-way {c4} vs 2-way {c2}");
+            assert!(c8 <= c4 + c4 / 20, "{name} {ext}: 8-way {c8} vs 4-way {c4}");
+        }
+    }
+}
+
+#[test]
+fn instruction_counts_are_width_invariant() {
+    // Dynamic instruction counts depend on the ISA only, not the core.
+    for ext in Ext::ALL {
+        let i2 = run("motion2", ext, 2).instrs;
+        let i8 = run("motion2", ext, 8).instrs;
+        assert_eq!(i2, i8, "{ext}");
+    }
+}
+
+#[test]
+fn branch_stats_are_sane() {
+    let s = run("h2v2", Ext::Mmx64, 2);
+    assert!(s.branches > 0);
+    assert!(s.mispredicts <= s.branches);
+    // The loop branches in kernels are highly regular.
+    assert!(s.mispredict_ratio() < 0.2, "ratio {}", s.mispredict_ratio());
+}
+
+#[test]
+fn caches_see_traffic_and_mostly_hit() {
+    let s = run("ycc", Ext::Mmx64, 2);
+    assert!(s.l1.hits + s.l1.misses > 1000);
+    assert!(s.l1.miss_ratio() < 0.5, "L1 miss ratio {}", s.l1.miss_ratio());
+
+    // VMMX accesses bypass the L1: vector traffic shows up at the L2 port.
+    let v = run("ycc", Ext::Vmmx128, 2);
+    assert!(v.memsys.vector_accesses > 50);
+    assert!(v.memsys.l2_port_busy > 0);
+}
+
+#[test]
+fn unit_stride_kernels_use_the_fast_path() {
+    // ycc streams planar data: nearly all vector accesses are stride-one.
+    let v = run("ycc", Ext::Vmmx128, 2);
+    let unit_frac = v.memsys.unit_stride_accesses as f64 / v.memsys.vector_accesses as f64;
+    assert!(unit_frac > 0.9, "unit-stride fraction {unit_frac}");
+
+    // motion1 loads 16×16 blocks out of a wide frame: strided.
+    let m = run("motion1", Ext::Vmmx128, 2);
+    let unit_frac = m.memsys.unit_stride_accesses as f64 / m.memsys.vector_accesses as f64;
+    assert!(unit_frac < 0.2, "motion unit-stride fraction {unit_frac}");
+}
+
+#[test]
+fn rename_pressure_hits_small_matrix_files() {
+    // The 2-way VMMX file has only 4 spare physical registers; the DCT
+    // kernel should still complete (stalls, not deadlock).
+    let s = run("idct", Ext::Vmmx64, 2);
+    assert!(s.cycles > 0);
+}
