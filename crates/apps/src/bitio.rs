@@ -352,14 +352,7 @@ pub fn emit_value_from_bits(a: &mut Asm, bits: IReg, class: IReg, v: IReg) {
 /// Emits the VLC encoder over a scan-order block (mirror of
 /// [`golden_vlc_encode`]). The bit-writer state and `prev_dc` are updated.
 pub fn emit_vlc_encode(a: &mut Asm, qscanp: IReg, bw: &BwRegs, prev_dc: IReg) {
-    let (i, q, run, sp, class, bits) = (
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-    );
+    let (i, q, run, sp, class, bits) = (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
     a.mv(sp, qscanp);
     // DC.
     a.lh(q, sp, 0);

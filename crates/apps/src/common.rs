@@ -9,9 +9,9 @@ use simdsim_isa::{Cond, IReg, MemSz};
 /// The standard 8×8 zigzag scan: `ZIGZAG[i]` is the block position of
 /// scan index `i`.
 pub const ZIGZAG: [u8; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// End-of-block marker byte in the RLE entropy stream.
@@ -437,8 +437,7 @@ mod tests {
         let coef_arr: [i16; 64] = coef.clone().try_into().unwrap();
 
         let mut asm = Asm::new();
-        let (coefp, qstepp, zigzagp, qscanp) =
-            (asm.arg(0), asm.arg(1), asm.arg(2), asm.arg(3));
+        let (coefp, qstepp, zigzagp, qscanp) = (asm.arg(0), asm.arg(1), asm.arg(2), asm.arg(3));
         emit_quant_scan(&mut asm, coefp, qstepp, zigzagp, qscanp);
         emit_dequant_descan(&mut asm, qscanp, qstepp, zigzagp, coefp);
         asm.halt();

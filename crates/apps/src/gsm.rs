@@ -135,7 +135,7 @@ pub fn golden_gsmenc() -> GoldenGsm {
             }
             // RPE weighting filter (Q13, 5 taps, zero boundary).
             let mut xw = [0i16; SUBFRAME];
-            for k in 0..SUBFRAME {
+            for (k, xwk) in xw.iter_mut().enumerate() {
                 let mut acc = 0i64;
                 for (i, w) in WEIGHT.iter().enumerate() {
                     let idx = k as i64 + i as i64 - 2;
@@ -143,7 +143,7 @@ pub fn golden_gsmenc() -> GoldenGsm {
                         acc += w * i64::from(e[idx as usize]);
                     }
                 }
-                xw[k] = sat16(acc >> 13);
+                *xwk = sat16(acc >> 13);
             }
             // Grid selection: the 3-decimated grid with most energy.
             let mut grid = 0usize;
@@ -379,8 +379,8 @@ impl App for GsmEnc {
             // --- 3. coefficients: arq[j] = ((ac[j]<<10)/(ac[0]+1)).clamp(±800) >> 4 << 4
             let den = a.ireg();
             a.addi(den, acs[0], 1);
-            for j in 1..=TAPS {
-                a.slli(t, acs[j], 10);
+            for (j, &acj) in acs.iter().enumerate().skip(1) {
+                a.slli(t, acj, 10);
                 a.alu(simdsim_isa::AluOp::Div, t, t, den);
                 a.if_(Cond::Gt, t, 800, |a| a.li(t, 800));
                 a.if_(Cond::Lt, t, -800, |a| a.li(t, -800));
@@ -814,7 +814,11 @@ mod tests {
         // Decoded signal correlates with the input.
         let x = test_signal();
         let energy_in: i64 = x.iter().map(|v| i64::from(*v) * i64::from(*v)).sum();
-        let energy_out: i64 = g.decoded.iter().map(|v| i64::from(*v) * i64::from(*v)).sum();
+        let energy_out: i64 = g
+            .decoded
+            .iter()
+            .map(|v| i64::from(*v) * i64::from(*v))
+            .sum();
         assert!(energy_out > energy_in / 64, "{energy_out} vs {energy_in}");
     }
 

@@ -12,8 +12,8 @@
 //! `ycc`].
 
 use crate::bitio::{
-    emit_br_init, emit_bw_flush, emit_bw_init, emit_vlc_decode, emit_vlc_encode,
-    golden_vlc_decode, golden_vlc_encode, BitReader, BitWriter, BrRegs, BwRegs,
+    emit_br_init, emit_bw_flush, emit_bw_init, emit_vlc_decode, emit_vlc_encode, golden_vlc_decode,
+    golden_vlc_encode, BitReader, BitWriter, BrRegs, BwRegs,
 };
 use crate::common::{
     emit_dequant_descan, emit_extract_block, emit_insert_block, emit_load_param, emit_quant_scan,
@@ -194,10 +194,18 @@ fn make_buffers(v: Variant, forward_dct: bool) -> JpegBuffers {
             .write_bytes(params_addr + (8 * i) as u64, &(*addr as i64).to_le_bytes())
             .unwrap();
     }
-    machine.write_i16s(slots[slot::QSTEP_L], &qsteps(8)).unwrap();
-    machine.write_i16s(slots[slot::QSTEP_C], &qsteps(12)).unwrap();
+    machine
+        .write_i16s(slots[slot::QSTEP_L], &qsteps(8))
+        .unwrap();
+    machine
+        .write_i16s(slots[slot::QSTEP_C], &qsteps(12))
+        .unwrap();
     machine.write_bytes(slots[slot::ZIGZAG], &ZIGZAG).unwrap();
-    let dct_coef = if forward_dct { fdct_matrix() } else { idct_matrix() };
+    let dct_coef = if forward_dct {
+        fdct_matrix()
+    } else {
+        idct_matrix()
+    };
     machine
         .write_bytes(slots[slot::DCT_COLTAB], &dct_coltab(&dct_coef, v.width()))
         .unwrap();
@@ -754,9 +762,12 @@ mod tests {
     fn vector_share_shrinks_with_better_extension() {
         let s64 = JpegDec.build(Variant::Mmx64).run_checked().unwrap();
         let s128 = JpegDec.build(Variant::Vmmx128).run_checked().unwrap();
-        let frac = |s: &simdsim_emu::RunStats| {
-            s.vector_region_instrs as f64 / s.dyn_instrs as f64
-        };
-        assert!(frac(&s128) < frac(&s64), "{} vs {}", frac(&s128), frac(&s64));
+        let frac = |s: &simdsim_emu::RunStats| s.vector_region_instrs as f64 / s.dyn_instrs as f64;
+        assert!(
+            frac(&s128) < frac(&s64),
+            "{} vs {}",
+            frac(&s128),
+            frac(&s64)
+        );
     }
 }

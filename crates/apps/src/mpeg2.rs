@@ -17,8 +17,8 @@
 //! against the golden Rust implementation.
 
 use crate::bitio::{
-    emit_br_init, emit_bw_flush, emit_bw_init, emit_vlc_decode, emit_vlc_encode,
-    golden_vlc_encode, BitWriter, BrRegs, BwRegs,
+    emit_br_init, emit_bw_flush, emit_bw_init, emit_vlc_decode, emit_vlc_encode, golden_vlc_encode,
+    BitWriter, BrRegs, BwRegs,
 };
 use crate::common::{
     emit_dequant_descan, emit_extract_block, emit_insert_block, emit_load_param, emit_quant_scan,
@@ -29,9 +29,7 @@ use crate::{App, AppSpec};
 use simdsim_asm::Asm;
 use simdsim_emu::{Layout, Machine};
 use simdsim_isa::{Cond, IReg};
-use simdsim_kernels::dct::{
-    dct_coltab, fdct_matrix, golden_transform, idct_matrix, DctArgs,
-};
+use simdsim_kernels::dct::{dct_coltab, fdct_matrix, golden_transform, idct_matrix, DctArgs};
 use simdsim_kernels::motion::{
     emit_comp, emit_motion1, emit_motion2, golden_addblock, golden_comp, golden_sad, golden_ssd,
     CompArgs, SadArgs,
@@ -117,10 +115,16 @@ fn make_buffers(v: Variant) -> Buffers {
     machine.write_i16s(slots[slot::QSTEP], &qsteps(10)).unwrap();
     machine.write_bytes(slots[slot::ZIGZAG], &ZIGZAG).unwrap();
     machine
-        .write_bytes(slots[slot::FDCT_COLTAB], &dct_coltab(&fdct_matrix(), v.width()))
+        .write_bytes(
+            slots[slot::FDCT_COLTAB],
+            &dct_coltab(&fdct_matrix(), v.width()),
+        )
         .unwrap();
     machine
-        .write_bytes(slots[slot::IDCT_COLTAB], &dct_coltab(&idct_matrix(), v.width()))
+        .write_bytes(
+            slots[slot::IDCT_COLTAB],
+            &dct_coltab(&idct_matrix(), v.width()),
+        )
         .unwrap();
     machine.set_ireg(0, params_addr as i64);
     Buffers { machine, slots }
@@ -535,6 +539,7 @@ fn emit_intra_decode_plane(
 /// `dstp` (stride `stride`): the `comp` averaging kernel in mode 1, a
 /// plain 16×16 copy otherwise.  `cx`/`cy` are the absolute reference
 /// coordinates.
+#[allow(clippy::too_many_arguments)] // emitter helper: the args are the register operands
 fn emit_prediction(
     a: &mut Asm,
     v: Variant,
@@ -607,10 +612,19 @@ impl App for Mpeg2Enc {
         let im = idct_matrix();
 
         let mut bufs = make_buffers(v);
-        bufs.machine.write_bytes(bufs.slots[slot::CUR0], &f0).unwrap();
-        bufs.machine.write_bytes(bufs.slots[slot::CUR1], &f1).unwrap();
-        for (i, s) in [slot::CB0, slot::CR0, slot::CB1, slot::CR1].iter().enumerate() {
-            bufs.machine.write_bytes(bufs.slots[*s], &chroma[i]).unwrap();
+        bufs.machine
+            .write_bytes(bufs.slots[slot::CUR0], &f0)
+            .unwrap();
+        bufs.machine
+            .write_bytes(bufs.slots[slot::CUR1], &f1)
+            .unwrap();
+        for (i, s) in [slot::CB0, slot::CR0, slot::CB1, slot::CR1]
+            .iter()
+            .enumerate()
+        {
+            bufs.machine
+                .write_bytes(bufs.slots[*s], &chroma[i])
+                .unwrap();
         }
 
         let mut a = Asm::new();
@@ -625,9 +639,42 @@ impl App for Mpeg2Enc {
         emit_bw_init(&mut a, &bw);
 
         // Intra frame + its chroma.
-        emit_intra_plane(&mut a, v, params, slot::CUR0, slot::RECON0, W, H, &fm, &im, &bw);
-        emit_intra_plane(&mut a, v, params, slot::CB0, slot::RCB0, WC, HC, &fm, &im, &bw);
-        emit_intra_plane(&mut a, v, params, slot::CR0, slot::RCR0, WC, HC, &fm, &im, &bw);
+        emit_intra_plane(
+            &mut a,
+            v,
+            params,
+            slot::CUR0,
+            slot::RECON0,
+            W,
+            H,
+            &fm,
+            &im,
+            &bw,
+        );
+        emit_intra_plane(
+            &mut a,
+            v,
+            params,
+            slot::CB0,
+            slot::RCB0,
+            WC,
+            HC,
+            &fm,
+            &im,
+            &bw,
+        );
+        emit_intra_plane(
+            &mut a,
+            v,
+            params,
+            slot::CR0,
+            slot::RCR0,
+            WC,
+            HC,
+            &fm,
+            &im,
+            &bw,
+        );
 
         // Predicted frame, pass A: motion estimation. Best vectors and the
         // SQD metric land in a small MV table in the scratch area.
@@ -638,7 +685,8 @@ impl App for Mpeg2Enc {
             emit_load_param(&mut a, params, slot::SCRATCH, mvp);
             a.addi(mvp, mvp, 256);
             a.li(stride, W as i64);
-            let (mby, mbx, bestx, besty, best_sad) = (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
+            let (mby, mbx, bestx, besty, best_sad) =
+                (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
             let (cx, cy, t, u, p1, p2, sad) = (
                 a.ireg(),
                 a.ireg(),
@@ -720,8 +768,8 @@ impl App for Mpeg2Enc {
                 });
             });
             for reg in [
-                cur1, recon0, stride, mvp, mby, mbx, bestx, besty, best_sad, cx, cy, t, u, p1,
-                p2, sad,
+                cur1, recon0, stride, mvp, mby, mbx, bestx, besty, best_sad, cx, cy, t, u, p1, p2,
+                sad,
             ] {
                 a.release_ireg(reg);
             }
@@ -729,14 +777,8 @@ impl App for Mpeg2Enc {
 
         // Pass B: prediction, residual coding and reconstruction.
         {
-            let (recon0, recon1, stride, mvp, mb, prev_dc) = (
-                a.ireg(),
-                a.ireg(),
-                a.ireg(),
-                a.ireg(),
-                a.ireg(),
-                a.ireg(),
-            );
+            let (recon0, recon1, stride, mvp, mb, prev_dc) =
+                (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
             let (t, p1, p2) = (a.ireg(), a.ireg(), a.ireg());
             emit_load_param(&mut a, params, slot::RECON0, recon0);
             emit_load_param(&mut a, params, slot::RECON1, recon1);
@@ -776,7 +818,7 @@ impl App for Mpeg2Enc {
                     for c2 in 0..2i32 {
                         let off = r2 * 8 * W as i32 + c2 * 8;
                         a.addi(p2, p1, off); // pred/recon position
-                        // current position = cur1 + same offset as p1/p2
+                                             // current position = cur1 + same offset as p1/p2
                         let cur1 = p_reg(a, params, slot::CUR1);
                         let recon1b = p_reg(a, params, slot::RECON1);
                         a.sub(t, p2, recon1b);
@@ -812,8 +854,30 @@ impl App for Mpeg2Enc {
         }
 
         // Second frame's chroma.
-        emit_intra_plane(&mut a, v, params, slot::CB1, slot::RCB1, WC, HC, &fm, &im, &bw);
-        emit_intra_plane(&mut a, v, params, slot::CR1, slot::RCR1, WC, HC, &fm, &im, &bw);
+        emit_intra_plane(
+            &mut a,
+            v,
+            params,
+            slot::CB1,
+            slot::RCB1,
+            WC,
+            HC,
+            &fm,
+            &im,
+            &bw,
+        );
+        emit_intra_plane(
+            &mut a,
+            v,
+            params,
+            slot::CR1,
+            slot::RCR1,
+            WC,
+            HC,
+            &fm,
+            &im,
+            &bw,
+        );
 
         // Flush and store stream length.
         emit_bw_flush(&mut a, &bw);
@@ -907,13 +971,8 @@ impl App for Mpeg2Dec {
 
         // Predicted frame.
         {
-            let (recon0, recon1, stride, mb, prev_dc) = (
-                a.ireg(),
-                a.ireg(),
-                a.ireg(),
-                a.ireg(),
-                a.ireg(),
-            );
+            let (recon0, recon1, stride, mb, prev_dc) =
+                (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
             let (t, p1, p2) = (a.ireg(), a.ireg(), a.ireg());
             emit_load_param(&mut a, params, slot::RECON0, recon0);
             emit_load_param(&mut a, params, slot::RECON1, recon1);
@@ -1008,10 +1067,22 @@ mod tests {
         // Reconstruction should be close to the source frames (lossy).
         let (f0, f1, _) = test_sequence();
         let mae = |a: &[u8], b: &[u8]| {
-            a.iter().zip(b).map(|(x, y)| u64::from(x.abs_diff(*y))).sum::<u64>() / a.len() as u64
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| u64::from(x.abs_diff(*y)))
+                .sum::<u64>()
+                / a.len() as u64
         };
-        assert!(mae(&f0, &g.recon0) < 14, "I-frame error {}", mae(&f0, &g.recon0));
-        assert!(mae(&f1, &g.recon1) < 14, "P-frame error {}", mae(&f1, &g.recon1));
+        assert!(
+            mae(&f0, &g.recon0) < 14,
+            "I-frame error {}",
+            mae(&f0, &g.recon0)
+        );
+        assert!(
+            mae(&f1, &g.recon1) < 14,
+            "P-frame error {}",
+            mae(&f1, &g.recon1)
+        );
     }
 
     #[test]

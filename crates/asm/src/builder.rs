@@ -2,7 +2,7 @@
 
 use crate::ralloc::RegPool;
 use simdsim_isa::{
-    AccOp, AluOp, AReg, Cond, Esz, FOp, FReg, IReg, Instr, MOperand, MReg, MemSz, Operand2,
+    AReg, AccOp, AluOp, Cond, Esz, FOp, FReg, IReg, Instr, MOperand, MReg, MemSz, Operand2,
     Program, Region, Sat, VLoc, VOp, VReg, VShiftOp,
 };
 

@@ -18,9 +18,15 @@ fn bench_timing_model(c: &mut Criterion) {
         let (_, stats) =
             simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates");
         g.throughput(Throughput::Elements(stats.instrs));
-        g.bench_with_input(BenchmarkId::new("motion1-2way", ext.name()), &built, |b, built| {
-            b.iter(|| simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates"));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("motion1-2way", ext.name()),
+            &built,
+            |b, built| {
+                b.iter(|| {
+                    simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates")
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -32,9 +38,15 @@ fn bench_app_simulation(c: &mut Criterion) {
     for ext in [Ext::Mmx64, Ext::Vmmx128] {
         let built = app.build(Variant::for_ext(ext));
         let cfg = PipeConfig::paper(2, ext);
-        g.bench_with_input(BenchmarkId::new("gsmdec-2way", ext.name()), &built, |b, built| {
-            b.iter(|| simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates"));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("gsmdec-2way", ext.name()),
+            &built,
+            |b, built| {
+                b.iter(|| {
+                    simulate(&built.program, &built.machine, &cfg, u64::MAX).expect("simulates")
+                });
+            },
+        );
     }
     g.finish();
 }

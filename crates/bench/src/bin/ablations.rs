@@ -3,9 +3,18 @@
 fn main() {
     for (title, rows) in [
         ("Vector lanes (2-way VMMX128)", simdsim::ablations::lanes()),
-        ("L2 vector-port width (2-way VMMX128)", simdsim::ablations::l2_port_width()),
-        ("Physical matrix registers (2-way VMMX128)", simdsim::ablations::matrix_registers()),
-        ("Branch redirect penalty (2-way MMX64)", simdsim::ablations::redirect_penalty()),
+        (
+            "L2 vector-port width (2-way VMMX128)",
+            simdsim::ablations::l2_port_width(),
+        ),
+        (
+            "Physical matrix registers (2-way VMMX128)",
+            simdsim::ablations::matrix_registers(),
+        ),
+        (
+            "Branch redirect penalty (2-way MMX64)",
+            simdsim::ablations::redirect_penalty(),
+        ),
     ] {
         println!("=== {title} ===\n{}", simdsim::ablations::render(&rows));
         let name = title.split(' ').next().unwrap().to_lowercase();

@@ -1,8 +1,17 @@
 //! Runs every regenerator in sequence: the full paper reproduction.
 fn main() {
-    println!("=== Table I ===\n{}", simdsim::report::render_table1(&simdsim::tables::table1()));
-    println!("=== Table II ===\n{}", simdsim::report::render_table2(&simdsim::tables::table2()));
-    println!("=== Table III ===\n{}", simdsim::report::render_table3(&simdsim::tables::table3()));
+    println!(
+        "=== Table I ===\n{}",
+        simdsim::report::render_table1(&simdsim::tables::table1())
+    );
+    println!(
+        "=== Table II ===\n{}",
+        simdsim::report::render_table2(&simdsim::tables::table2())
+    );
+    println!(
+        "=== Table III ===\n{}",
+        simdsim::report::render_table3(&simdsim::tables::table3())
+    );
     println!("=== Table IV ===\n{}", simdsim::report::render_table4());
     let f4 = simdsim::experiments::fig4();
     println!("=== Figure 4 ===\n{}", simdsim::report::render_fig4(&f4));

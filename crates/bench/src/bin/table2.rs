@@ -1,5 +1,8 @@
 //! Regenerates the paper's Table II (benchmark set description).
 fn main() {
     println!("Table II — benchmark set\n");
-    println!("{}", simdsim::report::render_table2(&simdsim::tables::table2()));
+    println!(
+        "{}",
+        simdsim::report::render_table2(&simdsim::tables::table2())
+    );
 }

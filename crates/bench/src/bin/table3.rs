@@ -1,5 +1,8 @@
 //! Regenerates the paper's Table III (modelled processors).
 fn main() {
     println!("Table III — processor configurations\n");
-    println!("{}", simdsim::report::render_table3(&simdsim::tables::table3()));
+    println!(
+        "{}",
+        simdsim::report::render_table3(&simdsim::tables::table3())
+    );
 }

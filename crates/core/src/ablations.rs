@@ -164,7 +164,10 @@ mod tests {
             let tiny = per.iter().find(|r| r.setting == "17").unwrap().cycles;
             let paper = per.iter().find(|r| r.setting == "20").unwrap().cycles;
             let big = per.iter().find(|r| r.setting == "64").unwrap().cycles;
-            assert!(tiny >= paper, "{w}: fewer physical registers can't be faster");
+            assert!(
+                tiny >= paper,
+                "{w}: fewer physical registers can't be faster"
+            );
             assert!(paper >= big, "{w}: more physical registers can't be slower");
         }
     }

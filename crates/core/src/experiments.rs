@@ -110,8 +110,8 @@ pub fn fig5() -> Vec<AppResult> {
             .map(|(way, ext)| {
                 let built = app.build(Variant::for_ext(*ext));
                 let cfg = PipeConfig::paper(*way, *ext);
-                let (_, stats) = simulate(&built.program, &built.machine, &cfg, INSTR_LIMIT)
-                    .expect("app runs");
+                let (_, stats) =
+                    simulate(&built.program, &built.machine, &cfg, INSTR_LIMIT).expect("app runs");
                 (*way, *ext, stats)
             })
             .collect()
@@ -145,7 +145,10 @@ pub fn fig5() -> Vec<AppResult> {
 /// [`fig5`] rows.
 #[must_use]
 pub fn fig6(rows: &[AppResult]) -> Vec<AppResult> {
-    rows.iter().filter(|r| r.app == "jpegdec").cloned().collect()
+    rows.iter()
+        .filter(|r| r.app == "jpegdec")
+        .cloned()
+        .collect()
 }
 
 /// Figure 7: dynamic instruction mix per application × extension,
@@ -156,24 +159,23 @@ pub fn fig7(rows: &[AppResult]) -> Vec<AppResult> {
     rows.iter().filter(|r| r.way == 2).cloned().collect()
 }
 
-/// Runs a closure over every item on a crossbeam thread per item
+/// Runs a closure over every item on a scoped thread per item
 /// (simulations are independent and CPU-bound).
 fn run_parallel<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let n = items.len();
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (item, slot) in items.iter().zip(out.iter_mut()) {
             let f = &f;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 *slot = Some(f(item));
             }));
         }
         for h in handles {
             h.join().expect("simulation thread panicked");
         }
-    })
-    .expect("scope");
+    });
     out.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -189,7 +191,13 @@ mod tests {
         let rows = fig4();
         assert_eq!(rows.len(), registry().len() * 4);
         for r in &rows {
-            assert!(r.speedup > 0.05, "{}-{} speedup {}", r.kernel, r.ext, r.speedup);
+            assert!(
+                r.speedup > 0.05,
+                "{}-{} speedup {}",
+                r.kernel,
+                r.ext,
+                r.speedup
+            );
         }
         // Baselines are exactly 1.
         for r in rows.iter().filter(|r| r.ext == "mmx64") {

@@ -2,7 +2,7 @@
 //! the layout of the paper's artefacts, plus JSON export.
 
 use crate::experiments::{AppResult, KernelResult};
-use crate::tables::{Table2Row, table4};
+use crate::tables::{table4, Table2Row};
 use simdsim_isa::{Class, Ext};
 use simdsim_rf::Table1Row;
 use std::fmt::Write as _;
@@ -16,8 +16,16 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         s,
         "{:<14} {:>7} {:>8} {:>5} {:>10} {:>6} {:>6} {:>11} {:>9} {:>9}",
-        "config", "logical", "physical", "lanes", "banks/lane", "rports", "wports", "storage KB",
-        "area", "paper"
+        "config",
+        "logical",
+        "physical",
+        "lanes",
+        "banks/lane",
+        "rports",
+        "wports",
+        "storage KB",
+        "area",
+        "paper"
     );
     for r in rows {
         let _ = writeln!(
@@ -45,8 +53,8 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<10} {:<10} {:<42} {}",
-        "app", "kernel", "description", "data size"
+        "{:<10} {:<10} {:<42} data size",
+        "app", "kernel", "description"
     );
     for r in rows {
         let _ = writeln!(
@@ -65,7 +73,15 @@ pub fn render_table3(rows: &[simdsim_pipe::PipeConfig]) -> String {
     let _ = writeln!(
         s,
         "{:<14} {:>9} {:>4} {:>4} {:>7} {:>8} {:>8} {:>6} {:>8} {:>8}",
-        "config", "phys-simd", "rob", "iq", "int-fus", "fp-fus", "simd-iss", "lanes", "mem-fus",
+        "config",
+        "phys-simd",
+        "rob",
+        "iq",
+        "int-fus",
+        "fp-fus",
+        "simd-iss",
+        "lanes",
+        "mem-fus",
         "l2-port"
     );
     for c in rows {

@@ -4,8 +4,8 @@ use crate::subword;
 use crate::trace::{DynInstr, MemAccess, TraceSink};
 use crate::EmuError;
 use simdsim_isa::{
-    AccOp, AluOp, Esz, Ext, FOp, Instr, MOperand, MemSz, Operand2, Program, Sat, VLoc,
-    ClassCounts, Region, MAX_VL,
+    AccOp, AluOp, ClassCounts, Esz, Ext, FOp, Instr, MOperand, MemSz, Operand2, Program, Region,
+    Sat, VLoc, MAX_VL,
 };
 
 /// Architectural statistics of one emulated run.
@@ -202,11 +202,13 @@ impl Machine {
     }
 
     fn load_uint(&self, addr: u64, len: usize, pc: u32) -> Result<u64, EmuError> {
-        let b = self.read_bytes(addr, len).map_err(|_| EmuError::OutOfBounds {
-            addr,
-            size: len as u64,
-            pc,
-        })?;
+        let b = self
+            .read_bytes(addr, len)
+            .map_err(|_| EmuError::OutOfBounds {
+                addr,
+                size: len as u64,
+                pc,
+            })?;
         let mut v = 0u64;
         for (i, byte) in b.iter().enumerate() {
             v |= u64::from(*byte) << (8 * i);
@@ -225,11 +227,13 @@ impl Machine {
     }
 
     fn load_word(&self, addr: u64, len: usize, pc: u32) -> Result<u128, EmuError> {
-        let b = self.read_bytes(addr, len).map_err(|_| EmuError::OutOfBounds {
-            addr,
-            size: len as u64,
-            pc,
-        })?;
+        let b = self
+            .read_bytes(addr, len)
+            .map_err(|_| EmuError::OutOfBounds {
+                addr,
+                size: len as u64,
+                pc,
+            })?;
         let mut v = 0u128;
         for (i, byte) in b.iter().enumerate() {
             v |= u128::from(*byte) << (8 * i);
@@ -387,7 +391,13 @@ impl Machine {
                 self.iregs[rd.index()] = r;
             }
             Instr::Li { rd, imm } => self.iregs[rd.index()] = imm,
-            Instr::Load { sz, sext, rd, base, off } => {
+            Instr::Load {
+                sz,
+                sext,
+                rd,
+                base,
+                off,
+            } => {
                 let addr = (self.iregs[base.index()].wrapping_add(i64::from(off))) as u64;
                 let raw = self.load_uint(addr, sz.bytes(), pc)?;
                 let v = if sext {
@@ -422,7 +432,12 @@ impl Machine {
                     vector_path: false,
                 });
             }
-            Instr::Branch { cond, ra, b, target } => {
+            Instr::Branch {
+                cond,
+                ra,
+                b,
+                target,
+            } => {
                 let a = self.iregs[ra.index()];
                 let bv = self.op2(b);
                 if cond.eval(a, bv) {
@@ -479,7 +494,12 @@ impl Machine {
                 self.write_vloc(dst, subword::apply_vop(op, av, bv, width));
                 stats.element_ops += self.simd_elems(op) as u64;
             }
-            Instr::SimdShift { op, dst, src, amount } => {
+            Instr::SimdShift {
+                op,
+                dst,
+                src,
+                amount,
+            } => {
                 let v = self.read_vloc(src);
                 self.write_vloc(dst, subword::apply_shift(op, v, amount, width));
                 let esz = match op {
@@ -497,7 +517,13 @@ impl Machine {
                 let v = subword::splat(self.iregs[src.index()] as u64, esz, width);
                 self.write_vloc(dst, v);
             }
-            Instr::MovSV { rd, src, lane, esz, sext } => {
+            Instr::MovSV {
+                rd,
+                src,
+                lane,
+                esz,
+                sext,
+            } => {
                 let n = esz.lanes(width * 8);
                 if lane as usize >= n {
                     return Err(EmuError::InvalidInstr {
@@ -512,7 +538,12 @@ impl Machine {
                     subword::get_lane_u(v, esz, lane as usize) as i64
                 };
             }
-            Instr::MovVS { dst, src, lane, esz } => {
+            Instr::MovVS {
+                dst,
+                src,
+                lane,
+                esz,
+            } => {
                 let n = esz.lanes(width * 8);
                 if lane as usize >= n {
                     return Err(EmuError::InvalidInstr {
@@ -524,7 +555,12 @@ impl Machine {
                 let v = subword::set_lane(old, esz, lane as usize, self.iregs[src.index()] as u64);
                 self.write_vloc(dst, v);
             }
-            Instr::VLoad { dst, base, off, bytes } => {
+            Instr::VLoad {
+                dst,
+                base,
+                off,
+                bytes,
+            } => {
                 if bytes as usize > width || bytes == 0 {
                     return Err(EmuError::InvalidInstr {
                         pc,
@@ -543,7 +579,12 @@ impl Machine {
                     vector_path: matches!(dst, VLoc::Row(..)),
                 });
             }
-            Instr::VStore { src, base, off, bytes } => {
+            Instr::VStore {
+                src,
+                base,
+                off,
+                bytes,
+            } => {
                 if bytes as usize > width || bytes == 0 {
                     return Err(EmuError::InvalidInstr {
                         pc,
@@ -576,7 +617,12 @@ impl Machine {
                 }
                 self.vl = (v as usize).min(MAX_VL);
             }
-            Instr::MLoad { dst, base, stride, row_bytes } => {
+            Instr::MLoad {
+                dst,
+                base,
+                stride,
+                row_bytes,
+            } => {
                 if row_bytes as usize > width || row_bytes == 0 {
                     return Err(EmuError::InvalidInstr {
                         pc,
@@ -599,7 +645,12 @@ impl Machine {
                     vector_path: true,
                 });
             }
-            Instr::MStore { src, base, stride, row_bytes } => {
+            Instr::MStore {
+                src,
+                base,
+                stride,
+                row_bytes,
+            } => {
                 if row_bytes as usize > width || row_bytes == 0 {
                     return Err(EmuError::InvalidInstr {
                         pc,
@@ -633,7 +684,12 @@ impl Machine {
                 }
                 stats.element_ops += (self.simd_elems(op) * self.vl) as u64;
             }
-            Instr::MShift { op, dst, src, amount } => {
+            Instr::MShift {
+                op,
+                dst,
+                src,
+                amount,
+            } => {
                 for r in 0..self.vl {
                     let v = self.mregs[src.index()][r];
                     self.mregs[dst.index()][r] = subword::apply_shift(op, v, amount, width);
@@ -676,9 +732,7 @@ impl Machine {
                     }
                     *row = w;
                 }
-                for r in 0..n {
-                    self.mregs[dst.index()][r] = rows[r];
-                }
+                self.mregs[dst.index()][..n].copy_from_slice(&rows[..n]);
                 stats.element_ops += (n * n) as u64;
             }
             Instr::MAcc { op, acc, a, b } => {
@@ -703,7 +757,13 @@ impl Machine {
                 self.iregs[rd.index()] = s;
             }
             Instr::AccClear { acc } => self.accs[acc.index()] = [0; 8],
-            Instr::AccPack { dst, acc, esz, sat, shift } => {
+            Instr::AccPack {
+                dst,
+                acc,
+                esz,
+                sat,
+                shift,
+            } => {
                 let lanes = self.acc_lanes();
                 let n = esz.lanes(width * 8);
                 let mut out = 0u128;
@@ -758,12 +818,25 @@ impl Machine {
         use simdsim_isa::VOp;
         let width_bits = self.width() * 8;
         match op {
-            VOp::Add(e) | VOp::AddS(e) | VOp::AddU(e) | VOp::Sub(e) | VOp::SubS(e)
-            | VOp::SubU(e) | VOp::Mullo(e) | VOp::Mulhi(e) | VOp::Avg(e) | VOp::MinS(e)
-            | VOp::MinU(e) | VOp::MaxS(e) | VOp::MaxU(e) | VOp::CmpEq(e) | VOp::CmpGt(e)
-            | VOp::PackS(e) | VOp::PackU(e) | VOp::UnpackLo(e) | VOp::UnpackHi(e) => {
-                e.lanes(width_bits)
-            }
+            VOp::Add(e)
+            | VOp::AddS(e)
+            | VOp::AddU(e)
+            | VOp::Sub(e)
+            | VOp::SubS(e)
+            | VOp::SubU(e)
+            | VOp::Mullo(e)
+            | VOp::Mulhi(e)
+            | VOp::Avg(e)
+            | VOp::MinS(e)
+            | VOp::MinU(e)
+            | VOp::MaxS(e)
+            | VOp::MaxU(e)
+            | VOp::CmpEq(e)
+            | VOp::CmpGt(e)
+            | VOp::PackS(e)
+            | VOp::PackU(e)
+            | VOp::UnpackLo(e)
+            | VOp::UnpackHi(e) => e.lanes(width_bits),
             VOp::Madd | VOp::Sad => self.width(),
             VOp::And | VOp::Or | VOp::Xor | VOp::AndNot => self.width() / 8,
         }

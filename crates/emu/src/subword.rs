@@ -12,7 +12,11 @@ use simdsim_isa::{Esz, VOp, VShiftOp};
 #[must_use]
 pub fn get_lane_u(word: u128, esz: Esz, lane: usize) -> u64 {
     let bits = esz.bits();
-    let mask: u128 = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+    let mask: u128 = if bits == 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    };
     ((word >> (lane * bits)) & mask) as u64
 }
 
@@ -134,12 +138,20 @@ pub fn pack(a: u128, b: u128, esz: Esz, width: usize, unsigned: bool) -> u128 {
     let mut out = 0u128;
     for l in 0..n {
         let v = get_lane_i(a, esz, l);
-        let r = if unsigned { sat_u(v, dst) } else { sat_s(v, dst) };
+        let r = if unsigned {
+            sat_u(v, dst)
+        } else {
+            sat_s(v, dst)
+        };
         out = set_lane(out, dst, l, r);
     }
     for l in 0..n {
         let v = get_lane_i(b, esz, l);
-        let r = if unsigned { sat_u(v, dst) } else { sat_s(v, dst) };
+        let r = if unsigned {
+            sat_u(v, dst)
+        } else {
+            sat_s(v, dst)
+        };
         out = set_lane(out, dst, n + l, r);
     }
     out
@@ -167,7 +179,11 @@ pub fn unpack(a: u128, b: u128, esz: Esz, width: usize, hi: bool) -> u128 {
 /// Panics on `pack` with byte source elements (not representable).
 #[must_use]
 pub fn apply_vop(op: VOp, a: u128, b: u128, width: usize) -> u128 {
-    let mask: u128 = if width == 16 { u128::MAX } else { (1u128 << (width * 8)) - 1 };
+    let mask: u128 = if width == 16 {
+        u128::MAX
+    } else {
+        (1u128 << (width * 8)) - 1
+    };
     let r = match op {
         VOp::Add(e) => lanewise_u(a, b, e, width, |x, y| x.wrapping_add(y)),
         VOp::AddS(e) => lanewise(a, b, e, width, |x, y| sat_s(x + y, e)),
@@ -201,7 +217,11 @@ pub fn apply_vop(op: VOp, a: u128, b: u128, width: usize) -> u128 {
 /// Applies an element-wise shift-by-immediate.
 #[must_use]
 pub fn apply_shift(op: VShiftOp, a: u128, amount: u8, width: usize) -> u128 {
-    let mask: u128 = if width == 16 { u128::MAX } else { (1u128 << (width * 8)) - 1 };
+    let mask: u128 = if width == 16 {
+        u128::MAX
+    } else {
+        (1u128 << (width * 8)) - 1
+    };
     let (esz, kind) = match op {
         VShiftOp::Sll(e) => (e, 0),
         VShiftOp::Srl(e) => (e, 1),
@@ -293,7 +313,10 @@ mod tests {
         // lanes (i16): a = [2, 3, -1, 4, ...], b = [10, 100, 7, -2, ...]
         let mut a = 0u128;
         let mut b = 0u128;
-        for (l, (x, y)) in [(2i64, 10i64), (3, 100), (-1, 7), (4, -2)].iter().enumerate() {
+        for (l, (x, y)) in [(2i64, 10i64), (3, 100), (-1, 7), (4, -2)]
+            .iter()
+            .enumerate()
+        {
             a = set_lane(a, Esz::H, l, *x as u64);
             b = set_lane(b, Esz::H, l, *y as u64);
         }
@@ -319,15 +342,9 @@ mod tests {
         let x = u128::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 0, 0, 0, 0, 0, 0]);
         let y = u128::from_le_bytes([11, 12, 13, 14, 15, 16, 17, 18, 0, 0, 0, 0, 0, 0, 0, 0]);
         let lo = unpack(x, y, Esz::B, 8, false);
-        assert_eq!(
-            lo.to_le_bytes()[..8],
-            [1, 11, 2, 12, 3, 13, 4, 14][..]
-        );
+        assert_eq!(lo.to_le_bytes()[..8], [1, 11, 2, 12, 3, 13, 4, 14][..]);
         let hi = unpack(x, y, Esz::B, 8, true);
-        assert_eq!(
-            hi.to_le_bytes()[..8],
-            [5, 15, 6, 16, 7, 17, 8, 18][..]
-        );
+        assert_eq!(hi.to_le_bytes()[..8], [5, 15, 6, 16, 7, 17, 8, 18][..]);
     }
 
     #[test]

@@ -129,7 +129,9 @@ fn vmmx_strided_sad_matches_scalar() {
         .filter(|a| !a.store)
         .collect();
     assert_eq!(loads.len(), 2);
-    assert!(loads.iter().all(|l| l.rows == 16 && l.stride == 40 && l.vector_path));
+    assert!(loads
+        .iter()
+        .all(|l| l.rows == 16 && l.stride == 40 && l.vector_path));
 }
 
 #[test]
@@ -219,13 +221,7 @@ fn control_flow_if_else() {
         let mut asm = Asm::new();
         let xr = asm.arg(0);
         let out = asm.arg(1);
-        asm.if_else(
-            Cond::Gt,
-            xr,
-            0,
-            |a| a.li(out, 1),
-            |a| a.li(out, 2),
-        );
+        asm.if_else(Cond::Gt, xr, 0, |a| a.li(out, 1), |a| a.li(out, 2));
         asm.halt();
         let prog = asm.finish();
         let mut m = Machine::new(Ext::Mmx64, 64);

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use simdsim_asm::Asm;
-use simdsim_emu::subword::{
-    apply_shift, apply_vop, get_lane_i, get_lane_u, sad, set_lane, splat,
-};
+use simdsim_emu::subword::{apply_shift, apply_vop, get_lane_i, get_lane_u, sad, set_lane, splat};
 use simdsim_emu::{Machine, NullSink};
 use simdsim_isa::{AluOp, Esz, Ext, VOp, VShiftOp};
 

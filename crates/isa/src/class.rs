@@ -81,9 +81,10 @@ impl Instr {
     #[must_use]
     pub fn class(&self) -> Class {
         match self {
-            Instr::Load { .. } | Instr::Store { .. } | Instr::FpLoad { .. } | Instr::FpStore { .. } => {
-                Class::SMem
-            }
+            Instr::Load { .. }
+            | Instr::Store { .. }
+            | Instr::FpLoad { .. }
+            | Instr::FpStore { .. } => Class::SMem,
             Instr::IntOp { .. }
             | Instr::Li { .. }
             | Instr::FpOp { .. }
@@ -128,9 +129,10 @@ impl Instr {
             }
             Instr::Li { .. } => FuKind::IntAlu,
             Instr::Branch { .. } | Instr::Jump { .. } => FuKind::IntAlu,
-            Instr::Load { .. } | Instr::Store { .. } | Instr::FpLoad { .. } | Instr::FpStore { .. } => {
-                FuKind::Mem
-            }
+            Instr::Load { .. }
+            | Instr::Store { .. }
+            | Instr::FpLoad { .. }
+            | Instr::FpStore { .. } => FuKind::Mem,
             Instr::FpOp { .. } | Instr::CvtIF { .. } | Instr::CvtFI { .. } => FuKind::Fp,
             Instr::VLoad { .. } | Instr::VStore { .. } => FuKind::Mem,
             Instr::MLoad { .. } | Instr::MStore { .. } => FuKind::VecMem,

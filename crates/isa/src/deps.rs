@@ -163,14 +163,18 @@ impl Instr {
                 op2_use(src, u);
                 d.push(RegId::Vl);
             }
-            Instr::MLoad { dst, base, stride, .. } => {
+            Instr::MLoad {
+                dst, base, stride, ..
+            } => {
                 u.push(RegId::I(base.index() as u8));
                 op2_use(stride, u);
                 u.push(RegId::Vl);
                 u.push(RegId::M(dst.index() as u8)); // rows ≥ VL preserved
                 d.push(RegId::M(dst.index() as u8));
             }
-            Instr::MStore { src, base, stride, .. } => {
+            Instr::MStore {
+                src, base, stride, ..
+            } => {
                 u.push(RegId::M(src.index() as u8));
                 u.push(RegId::I(base.index() as u8));
                 op2_use(stride, u);

@@ -150,14 +150,25 @@ impl fmt::Display for Instr {
         match self {
             Instr::IntOp { op, rd, ra, b } => write!(f, "{op} {rd}, {ra}, {b}"),
             Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
-            Instr::Load { sz, sext, rd, base, off } => {
+            Instr::Load {
+                sz,
+                sext,
+                rd,
+                base,
+                off,
+            } => {
                 let s = if *sext { "l" } else { "lu" };
                 write!(f, "{s}{} {rd}, {off}({base})", sz.suffix())
             }
             Instr::Store { sz, rs, base, off } => {
                 write!(f, "s{} {rs}, {off}({base})", sz.suffix())
             }
-            Instr::Branch { cond, ra, b, target } => {
+            Instr::Branch {
+                cond,
+                ra,
+                b,
+                target,
+            } => {
                 write!(f, "b{cond} {ra}, {b}, @{target}")
             }
             Instr::Jump { target } => write!(f, "j @{target}"),
@@ -171,33 +182,74 @@ impl fmt::Display for Instr {
                 // Strip the leading 'v' already present in the op mnemonic.
                 write!(f, "{op} {dst}, {a}, {b}")
             }
-            Instr::SimdShift { op, dst, src, amount } => {
+            Instr::SimdShift {
+                op,
+                dst,
+                src,
+                amount,
+            } => {
                 write!(f, "{op} {dst}, {src}, #{amount}")
             }
             Instr::VMov { dst, src } => write!(f, "vmov {dst}, {src}"),
             Instr::VSplat { dst, src, esz } => write!(f, "vsplat.{} {dst}, {src}", esz.suffix()),
-            Instr::MovSV { rd, src, lane, esz, sext } => {
+            Instr::MovSV {
+                rd,
+                src,
+                lane,
+                esz,
+                sext,
+            } => {
                 let s = if *sext { "" } else { "u" };
                 write!(f, "movsv{s}.{} {rd}, {src}[{lane}]", esz.suffix())
             }
-            Instr::MovVS { dst, src, lane, esz } => {
+            Instr::MovVS {
+                dst,
+                src,
+                lane,
+                esz,
+            } => {
                 write!(f, "movvs.{} {dst}[{lane}], {src}", esz.suffix())
             }
-            Instr::VLoad { dst, base, off, bytes } => {
+            Instr::VLoad {
+                dst,
+                base,
+                off,
+                bytes,
+            } => {
                 write!(f, "vld.{bytes} {dst}, {off}({base})")
             }
-            Instr::VStore { src, base, off, bytes } => {
+            Instr::VStore {
+                src,
+                base,
+                off,
+                bytes,
+            } => {
                 write!(f, "vst.{bytes} {src}, {off}({base})")
             }
             Instr::SetVl { src } => write!(f, "setvl {src}"),
-            Instr::MLoad { dst, base, stride, row_bytes } => {
+            Instr::MLoad {
+                dst,
+                base,
+                stride,
+                row_bytes,
+            } => {
                 write!(f, "mld.{row_bytes} {dst}, ({base}) vs={stride}")
             }
-            Instr::MStore { src, base, stride, row_bytes } => {
+            Instr::MStore {
+                src,
+                base,
+                stride,
+                row_bytes,
+            } => {
                 write!(f, "mst.{row_bytes} {src}, ({base}) vs={stride}")
             }
             Instr::MOp { op, dst, a, b } => write!(f, "m{op} {dst}, {a}, {b}"),
-            Instr::MShift { op, dst, src, amount } => {
+            Instr::MShift {
+                op,
+                dst,
+                src,
+                amount,
+            } => {
                 write!(f, "m{op} {dst}, {src}, #{amount}")
             }
             Instr::MSplat { dst, src, esz } => write!(f, "msplat.{} {dst}, {src}", esz.suffix()),
@@ -209,7 +261,13 @@ impl fmt::Display for Instr {
             Instr::VAcc { op, acc, a, b } => write!(f, "vacc.{op} {acc}, {a}, {b}"),
             Instr::AccSum { rd, acc } => write!(f, "accsum {rd}, {acc}"),
             Instr::AccClear { acc } => write!(f, "accclr {acc}"),
-            Instr::AccPack { dst, acc, esz, sat, shift } => {
+            Instr::AccPack {
+                dst,
+                acc,
+                esz,
+                sat,
+                shift,
+            } => {
                 write!(f, "accpack.{}.{sat} {dst}, {acc}, >>{shift}", esz.suffix())
             }
             Instr::Nop => write!(f, "nop"),

@@ -244,10 +244,7 @@ impl VOp {
     /// `true` for multiply-class operations (longer latency, multiplier FU).
     #[must_use]
     pub const fn is_multiply(self) -> bool {
-        matches!(
-            self,
-            VOp::Mullo(_) | VOp::Mulhi(_) | VOp::Madd | VOp::Sad
-        )
+        matches!(self, VOp::Mullo(_) | VOp::Mulhi(_) | VOp::Madd | VOp::Sad)
     }
 }
 

@@ -85,12 +85,12 @@ impl Program {
     pub fn validate(&self, matrix_ext: bool) -> Result<(), String> {
         for (idx, ins) in self.code.iter().enumerate() {
             match ins {
-                Instr::Branch { target, .. } | Instr::Jump { target } => {
-                    if *target as usize >= self.code.len() {
-                        return Err(format!(
-                            "instruction {idx}: branch target {target} out of range"
-                        ));
-                    }
+                Instr::Branch { target, .. } | Instr::Jump { target }
+                    if *target as usize >= self.code.len() =>
+                {
+                    return Err(format!(
+                        "instruction {idx}: branch target {target} out of range"
+                    ));
                 }
                 _ => {}
             }

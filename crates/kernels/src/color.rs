@@ -23,6 +23,11 @@ use simdsim_asm::Asm;
 use simdsim_emu::{Layout, Machine};
 use simdsim_isa::{Esz, IReg, MOperand, MReg, VOp, VReg, VShiftOp};
 
+/// One output channel of the colour-conversion inner loop: three
+/// (coefficient, source-plane pair) terms, the destination pointer index,
+/// and whether the channel carries the +32768 bias.
+type ChannelTerms<C> = ([(C, usize); 3], usize, bool);
+
 // ======================================================================
 // Golden references
 // ======================================================================
@@ -236,7 +241,7 @@ fn emit_rgb_mmx(a: &mut Asm, width: usize, args: &ColorArgs) {
             a.simd(VOp::UnpackHi(Esz::B), planes16[2 * p + 1], raw[p], zero);
         }
         // (coefficient, source-plane pair index) terms per output channel.
-        let channels: [([(VReg, usize); 3], usize, bool); 3] = [
+        let channels: [ChannelTerms<VReg>; 3] = [
             ([(c77, 0), (c150, 2), (c29, 4)], 3, false),
             ([(c128, 4), (c43, 0), (c85, 2)], 4, true),
             ([(c128, 0), (c107, 2), (c21, 4)], 5, true),
@@ -302,10 +307,20 @@ fn emit_rgb_vmmx(a: &mut Asm, width: usize, args: &ColorArgs) {
     a.for_loop_step(i, args.npx, tile as i32, |a| {
         for p in 0..3 {
             a.mload(raw[p], ptrs[p], width as i32, w);
-            a.mop(VOp::UnpackLo(Esz::B), planes16[2 * p], raw[p], MOperand::RowBcast(coef, ZERO));
-            a.mop(VOp::UnpackHi(Esz::B), planes16[2 * p + 1], raw[p], MOperand::RowBcast(coef, ZERO));
+            a.mop(
+                VOp::UnpackLo(Esz::B),
+                planes16[2 * p],
+                raw[p],
+                MOperand::RowBcast(coef, ZERO),
+            );
+            a.mop(
+                VOp::UnpackHi(Esz::B),
+                planes16[2 * p + 1],
+                raw[p],
+                MOperand::RowBcast(coef, ZERO),
+            );
         }
-        let channels: [([(u8, usize); 3], usize, bool); 3] = [
+        let channels: [ChannelTerms<u8>; 3] = [
             ([(C77, 0), (C150, 2), (C29, 4)], 3, false),
             ([(C128, 4), (C43, 0), (C85, 2)], 4, true),
             ([(C128, 0), (C107, 2), (C21, 4)], 5, true),
@@ -314,13 +329,23 @@ fn emit_rgb_vmmx(a: &mut Asm, width: usize, args: &ColorArgs) {
             for half in 0..2 {
                 let (coef0, plane0) = terms[0];
                 let src0 = planes16[plane0 + half];
-                a.mop(VOp::Mullo(Esz::H), acc, src0, MOperand::RowBcast(coef, coef0));
+                a.mop(
+                    VOp::Mullo(Esz::H),
+                    acc,
+                    src0,
+                    MOperand::RowBcast(coef, coef0),
+                );
                 if biased {
                     a.mop(VOp::Add(Esz::H), acc, acc, MOperand::RowBcast(coef, BIAS));
                 }
                 for (coef_row, plane) in terms.iter().skip(1) {
                     let src = planes16[plane + half];
-                    a.mop(VOp::Mullo(Esz::H), t, src, MOperand::RowBcast(coef, *coef_row));
+                    a.mop(
+                        VOp::Mullo(Esz::H),
+                        t,
+                        src,
+                        MOperand::RowBcast(coef, *coef_row),
+                    );
                     if biased {
                         a.mop(VOp::Sub(Esz::H), acc, acc, MOperand::M(t));
                     } else {
@@ -404,8 +429,9 @@ fn emit_ycc_mmx(a: &mut Asm, width: usize, args: &ColorArgs) {
         .iter()
         .map(|c| splat_const(a, *c))
         .collect();
-    let (c180, c44, c91, c227, c128, zero) =
-        (consts[0], consts[1], consts[2], consts[3], consts[4], consts[5]);
+    let (c180, c44, c91, c227, c128, zero) = (
+        consts[0], consts[1], consts[2], consts[3], consts[4], consts[5],
+    );
     let raw: Vec<VReg> = (0..3).map(|_| a.vreg()).collect();
     let planes16: Vec<VReg> = (0..6).map(|_| a.vreg()).collect();
     let (acc, t, outv) = (a.vreg(), a.vreg(), a.vreg());
@@ -500,8 +526,18 @@ fn emit_ycc_vmmx(a: &mut Asm, width: usize, args: &ColorArgs) {
     a.for_loop_step(i, args.npx, tile as i32, |a| {
         for p in 0..3 {
             a.mload(raw[p], ptrs[p], width as i32, w);
-            a.mop(VOp::UnpackLo(Esz::B), planes16[2 * p], raw[p], MOperand::RowBcast(coef, ZERO));
-            a.mop(VOp::UnpackHi(Esz::B), planes16[2 * p + 1], raw[p], MOperand::RowBcast(coef, ZERO));
+            a.mop(
+                VOp::UnpackLo(Esz::B),
+                planes16[2 * p],
+                raw[p],
+                MOperand::RowBcast(coef, ZERO),
+            );
+            a.mop(
+                VOp::UnpackHi(Esz::B),
+                planes16[2 * p + 1],
+                raw[p],
+                MOperand::RowBcast(coef, ZERO),
+            );
         }
         for p in 1..3 {
             for half in 0..2 {
@@ -675,7 +711,12 @@ mod tests {
     #[test]
     fn golden_roundtrip_is_close() {
         // Forward then inverse should land near the original colour.
-        for (r, g, b) in [(10u8, 200u8, 30u8), (255, 255, 255), (0, 0, 0), (128, 64, 200)] {
+        for (r, g, b) in [
+            (10u8, 200u8, 30u8),
+            (255, 255, 255),
+            (0, 0, 0),
+            (128, 64, 200),
+        ] {
             let (y, cb, cr) = golden_rgb_px(r, g, b);
             let (r2, g2, b2) = golden_ycc_px(y, cb, cr);
             assert!(r.abs_diff(r2) < 12, "{r} vs {r2}");
@@ -687,14 +728,18 @@ mod tests {
     #[test]
     fn all_variants_match_golden_rgb() {
         for v in Variant::ALL {
-            Rgb.build(v).run_checked().unwrap_or_else(|e| panic!("{v}: {e}"));
+            Rgb.build(v)
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{v}: {e}"));
         }
     }
 
     #[test]
     fn all_variants_match_golden_ycc() {
         for v in Variant::ALL {
-            Ycc.build(v).run_checked().unwrap_or_else(|e| panic!("{v}: {e}"));
+            Ycc.build(v)
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{v}: {e}"));
         }
     }
 

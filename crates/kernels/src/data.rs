@@ -12,7 +12,11 @@ impl Rng64 {
     /// Creates a generator; `seed` must be non-zero (0 is replaced).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+        Self(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.

@@ -39,7 +39,9 @@ pub fn fdct_matrix() -> [i16; 64] {
     for k in 0..8 {
         let sk = if k == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
         for j in 0..8 {
-            let v = 2048.0 * sk * ((2.0 * j as f64 + 1.0) * k as f64 * std::f64::consts::PI / 16.0).cos();
+            let v = 2048.0
+                * sk
+                * ((2.0 * j as f64 + 1.0) * k as f64 * std::f64::consts::PI / 16.0).cos();
             c[k * 8 + j] = v.round() as i16;
         }
     }
@@ -81,7 +83,8 @@ pub fn golden_pass(inp: &[i16], coef: &[i16]) -> [i16; 64] {
             for j in 0..8 {
                 s = s.wrapping_add(i32::from(coef[k * 8 + j]) * i32::from(inp[j * 8 + c]));
             }
-            out[k * 8 + c] = (s >> COEF_SHIFT).clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16;
+            out[k * 8 + c] =
+                (s >> COEF_SHIFT).clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16;
         }
     }
     out
@@ -228,6 +231,7 @@ fn transpose4x4_mmx64(a: &mut Asm, src: [VReg; 4], dst: [VReg; 4], t: [VReg; 2])
 /// Multiply 16-bit lanes of `src` by splat register `cf`, widening to
 /// 32-bit with the `pmullw`/`pmulhw` + `punpck` idiom, and add into
 /// `acc_lo`/`acc_hi`.
+#[allow(clippy::too_many_arguments)] // emitter helper: the args are the register operands
 fn mac32_seq(
     a: &mut Asm,
     acc_lo: VReg,
@@ -254,12 +258,12 @@ fn mmx64_transpose_to(a: &mut Asm, src: IReg, dst: IReg) {
     let tt: [VReg; 2] = [a.vreg(), a.vreg()];
     for br in 0..2 {
         for bc in 0..2 {
-            for i in 0..4 {
-                a.vload(rows[i], src, ((br * 4 + i) * 16 + bc * 8) as i32, 8);
+            for (i, row) in rows.iter().enumerate() {
+                a.vload(*row, src, ((br * 4 + i) * 16 + bc * 8) as i32, 8);
             }
             transpose4x4_mmx64(a, rows, outr, tt);
-            for i in 0..4 {
-                a.vstore(outr[i], dst, ((bc * 4 + i) * 16 + br * 8) as i32, 8);
+            for (i, out) in outr.iter().enumerate() {
+                a.vstore(*out, dst, ((bc * 4 + i) * 16 + br * 8) as i32, 8);
             }
         }
     }
@@ -352,8 +356,18 @@ fn emit_mmx128(a: &mut Asm, coef: &[i16; 64], args: &DctArgs) {
         let (t0, t1) = (s2[0], s2[1]);
         // Stage 1 (16-bit): dst[i] = interleave of row pairs.
         for i in 0..4 {
-            a.simd(VOp::UnpackLo(Esz::H), dst[2 * i], src[2 * i], src[2 * i + 1]);
-            a.simd(VOp::UnpackHi(Esz::H), dst[2 * i + 1], src[2 * i], src[2 * i + 1]);
+            a.simd(
+                VOp::UnpackLo(Esz::H),
+                dst[2 * i],
+                src[2 * i],
+                src[2 * i + 1],
+            );
+            a.simd(
+                VOp::UnpackHi(Esz::H),
+                dst[2 * i + 1],
+                src[2 * i],
+                src[2 * i + 1],
+            );
         }
         // Stage 2 (32-bit).
         for (ai, bi) in [(0usize, 2usize), (1, 3), (4, 6), (5, 7)] {
@@ -434,8 +448,18 @@ pub fn emit_vmmx128_body(a: &mut Asm, cols: &[MReg], args: &DctArgs) {
         a.msplat(t32a, r, Esz::W);
         a.msplat(t32b, r, Esz::W);
         for (j, col) in cols.iter().enumerate() {
-            a.mop(VOp::Mullo(Esz::H), plo, *col, MOperand::RowBcast(src, j as u8));
-            a.mop(VOp::Mulhi(Esz::H), phi, *col, MOperand::RowBcast(src, j as u8));
+            a.mop(
+                VOp::Mullo(Esz::H),
+                plo,
+                *col,
+                MOperand::RowBcast(src, j as u8),
+            );
+            a.mop(
+                VOp::Mulhi(Esz::H),
+                phi,
+                *col,
+                MOperand::RowBcast(src, j as u8),
+            );
             a.mop(VOp::UnpackLo(Esz::H), tmp, plo, MOperand::M(phi));
             a.mop(VOp::Add(Esz::W), t32a, t32a, MOperand::M(tmp));
             a.mop(VOp::UnpackHi(Esz::H), tmp, plo, MOperand::M(phi));
@@ -503,31 +527,31 @@ pub fn emit_vmmx64_body(a: &mut Asm, args: &DctArgs) {
 
     transpose_pair(a, x0, x1, y0, y1, ta);
     // Pass over each column half; coefficient columns streamed per j.
-    let pass_half = |a: &mut Asm, src_lo: MReg, src_hi: MReg, half: usize, dst: MReg,
-                     r: IReg, cp: IReg| {
-        // The broadcast operand must cover this half's 4 columns: row j of
-        // the transposed matrix has columns 0-3 in src_lo and 4-7 in src_hi.
-        a.li(r, i64::from(ROUND));
-        a.msplat(t32a, r, Esz::W);
-        a.msplat(t32b, r, Esz::W);
-        a.mv(cp, args.coltab);
-        for j in 0..8u8 {
-            // row j of the full transposed matrix: columns 0-3 in src_lo
-            // row j, columns 4-7 in src_hi row j. This half's operand:
-            let bsrc = if half == 0 { src_lo } else { src_hi };
-            a.mload(col, cp, 8, 8);
-            a.mop(VOp::Mullo(Esz::H), plo, col, MOperand::RowBcast(bsrc, j));
-            a.mop(VOp::Mulhi(Esz::H), phi, col, MOperand::RowBcast(bsrc, j));
-            a.mop(VOp::UnpackLo(Esz::H), tmp, plo, MOperand::M(phi));
-            a.mop(VOp::Add(Esz::W), t32a, t32a, MOperand::M(tmp));
-            a.mop(VOp::UnpackHi(Esz::H), tmp, plo, MOperand::M(phi));
-            a.mop(VOp::Add(Esz::W), t32b, t32b, MOperand::M(tmp));
-            a.addi(cp, cp, 64);
-        }
-        a.mshift(VShiftOp::Sra(Esz::W), t32a, t32a, COEF_SHIFT as u8);
-        a.mshift(VShiftOp::Sra(Esz::W), t32b, t32b, COEF_SHIFT as u8);
-        a.mop(VOp::PackS(Esz::W), dst, t32a, t32b);
-    };
+    let pass_half =
+        |a: &mut Asm, src_lo: MReg, src_hi: MReg, half: usize, dst: MReg, r: IReg, cp: IReg| {
+            // The broadcast operand must cover this half's 4 columns: row j of
+            // the transposed matrix has columns 0-3 in src_lo and 4-7 in src_hi.
+            a.li(r, i64::from(ROUND));
+            a.msplat(t32a, r, Esz::W);
+            a.msplat(t32b, r, Esz::W);
+            a.mv(cp, args.coltab);
+            for j in 0..8u8 {
+                // row j of the full transposed matrix: columns 0-3 in src_lo
+                // row j, columns 4-7 in src_hi row j. This half's operand:
+                let bsrc = if half == 0 { src_lo } else { src_hi };
+                a.mload(col, cp, 8, 8);
+                a.mop(VOp::Mullo(Esz::H), plo, col, MOperand::RowBcast(bsrc, j));
+                a.mop(VOp::Mulhi(Esz::H), phi, col, MOperand::RowBcast(bsrc, j));
+                a.mop(VOp::UnpackLo(Esz::H), tmp, plo, MOperand::M(phi));
+                a.mop(VOp::Add(Esz::W), t32a, t32a, MOperand::M(tmp));
+                a.mop(VOp::UnpackHi(Esz::H), tmp, plo, MOperand::M(phi));
+                a.mop(VOp::Add(Esz::W), t32b, t32b, MOperand::M(tmp));
+                a.addi(cp, cp, 64);
+            }
+            a.mshift(VShiftOp::Sra(Esz::W), t32a, t32a, COEF_SHIFT as u8);
+            a.mshift(VShiftOp::Sra(Esz::W), t32b, t32b, COEF_SHIFT as u8);
+            a.mop(VOp::PackS(Esz::W), dst, t32a, t32b);
+        };
     // pass 1: input = (y0, y1) = Xᵀ halves; result halves into x0, x1.
     pass_half(a, y0, y1, 0, x0, r, cp);
     pass_half(a, y0, y1, 1, x1, r, cp);
@@ -551,20 +575,19 @@ pub fn emit_vmmx64_body(a: &mut Asm, args: &DctArgs) {
 const NBLOCKS: usize = 48;
 
 fn dct_workload(v: Variant, forward: bool) -> BuiltKernel {
-    let coef = if forward { fdct_matrix() } else { idct_matrix() };
+    let coef = if forward {
+        fdct_matrix()
+    } else {
+        idct_matrix()
+    };
     let mut rng = crate::data::Rng64::new(if forward { 101 } else { 103 });
     let lo = if forward { -256 } else { -900 };
     let hi = if forward { 255 } else { 900 };
     let input: Vec<i16> = rng.i16s_in(NBLOCKS * 64, lo, hi);
 
     let mut asm = Asm::new();
-    let (inp, outp, scratch, coltab, nblk) = (
-        asm.arg(0),
-        asm.arg(1),
-        asm.arg(2),
-        asm.arg(3),
-        asm.arg(4),
-    );
+    let (inp, outp, scratch, coltab, nblk) =
+        (asm.arg(0), asm.arg(1), asm.arg(2), asm.arg(3), asm.arg(4));
     let args = DctArgs {
         inp,
         outp,
@@ -712,14 +735,18 @@ mod tests {
     #[test]
     fn all_variants_match_golden_fdct() {
         for v in Variant::ALL {
-            Fdct.build(v).run_checked().unwrap_or_else(|e| panic!("{v}: {e}"));
+            Fdct.build(v)
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{v}: {e}"));
         }
     }
 
     #[test]
     fn all_variants_match_golden_idct() {
         for v in Variant::ALL {
-            Idct.build(v).run_checked().unwrap_or_else(|e| panic!("{v}: {e}"));
+            Idct.build(v)
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{v}: {e}"));
         }
     }
 }

@@ -85,14 +85,7 @@ pub fn emit_ltppar(a: &mut Asm, v: Variant, args: &LtpParArgs) {
 }
 
 fn emit_ltppar_scalar(a: &mut Asm, args: &LtpParArgs) {
-    let (lag, s, k, x, y, base) = (
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-    );
+    let (lag, s, k, x, y, base) = (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
     a.li(args.out_max, i64::MIN);
     a.li(args.out_lag, LAG_MIN as i64);
     a.li(lag, LAG_MIN as i64);
@@ -326,13 +319,8 @@ impl Kernel for LtpPar {
 
         let mut asm = Asm::new();
         let (sig, outp, nseg) = (asm.arg(0), asm.arg(1), asm.arg(2));
-        let (d, hist, lagr, maxr, seg) = (
-            asm.ireg(),
-            asm.ireg(),
-            asm.ireg(),
-            asm.ireg(),
-            asm.ireg(),
-        );
+        let (d, hist, lagr, maxr, seg) =
+            (asm.ireg(), asm.ireg(), asm.ireg(), asm.ireg(), asm.ireg());
         let pargs = LtpParArgs {
             d,
             hist,
@@ -404,13 +392,7 @@ impl Kernel for LtpFilt {
         let gains: Vec<i16> = (0..NFRAMES).map(|_| rng.i16_in(0, 28000)).collect();
 
         let mut asm = Asm::new();
-        let (xp, hp, op, gp, nfr) = (
-            asm.arg(0),
-            asm.arg(1),
-            asm.arg(2),
-            asm.arg(3),
-            asm.arg(4),
-        );
+        let (xp, hp, op, gp, nfr) = (asm.arg(0), asm.arg(1), asm.arg(2), asm.arg(3), asm.arg(4));
         let (gain, f) = (asm.ireg(), asm.ireg());
         let fargs = LtpFiltArgs {
             x: xp,
@@ -447,15 +429,17 @@ impl Kernel for LtpFilt {
         machine.set_ireg(4, NFRAMES as i64);
 
         let mut expected = vec![0i16; x.len()];
-        for f in 0..NFRAMES {
+        for (f, &gain) in gains.iter().enumerate().take(NFRAMES) {
             let lo = f * FILT_LEN;
             let mut out = vec![0i16; FILT_LEN];
-            golden_ltpfilt(&x[lo..], &h[lo..], gains[f], &mut out);
+            golden_ltpfilt(&x[lo..], &h[lo..], gain, &mut out);
             expected[lo..lo + FILT_LEN].copy_from_slice(&out);
         }
 
         BuiltKernel::new(program, machine, move |m: &Machine| {
-            let got = m.read_i16s(o_addr, expected.len()).map_err(|e| e.to_string())?;
+            let got = m
+                .read_i16s(o_addr, expected.len())
+                .map_err(|e| e.to_string())?;
             if got == expected {
                 Ok(())
             } else {
@@ -501,14 +485,20 @@ mod tests {
     #[test]
     fn all_variants_match_golden_ltppar() {
         for v in Variant::ALL {
-            LtpPar.build(v).run_checked().unwrap_or_else(|e| panic!("{v}: {e}"));
+            LtpPar
+                .build(v)
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{v}: {e}"));
         }
     }
 
     #[test]
     fn all_variants_match_golden_ltpfilt() {
         for v in Variant::ALL {
-            LtpFilt.build(v).run_checked().unwrap_or_else(|e| panic!("{v}: {e}"));
+            LtpFilt
+                .build(v)
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{v}: {e}"));
         }
     }
 

@@ -141,6 +141,9 @@ pub struct KernelSpec {
     pub data_size: &'static str,
 }
 
+/// Post-run validator comparing machine state against the golden output.
+type Checker = Box<dyn Fn(&Machine) -> Result<(), String> + Send + Sync>;
+
 /// A kernel workload ready to execute: program + pre-loaded machine +
 /// golden-result checker.
 pub struct BuiltKernel {
@@ -148,7 +151,7 @@ pub struct BuiltKernel {
     pub program: Program,
     /// Machine with inputs written to memory and argument registers set.
     pub machine: Machine,
-    checker: Box<dyn Fn(&Machine) -> Result<(), String> + Send + Sync>,
+    checker: Checker,
 }
 
 impl std::fmt::Debug for BuiltKernel {

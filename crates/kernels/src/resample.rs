@@ -31,19 +31,20 @@ pub const H_IN: usize = 16;
 /// border); `out` has stride `2w` and `2h` rows.
 pub fn golden_h2v2(input: &[u8], w: usize, h: usize, out: &mut [u8]) {
     let stride = w + 2;
-    let at = |x: i64, y: i64| -> i32 {
-        i32::from(input[((y + 1) * stride as i64 + x + 1) as usize])
-    };
+    let at =
+        |x: i64, y: i64| -> i32 { i32::from(input[((y + 1) * stride as i64 + x + 1) as usize]) };
     for y in 0..h as i64 {
         for x in 0..w as i64 {
             for dy in 0..2i64 {
                 for dx in 0..2i64 {
                     let ox = 2 * dx - 1;
                     let oy = 2 * dy - 1;
-                    let v =
-                        (9 * at(x, y) + 3 * at(x + ox, y) + 3 * at(x, y + oy) + at(x + ox, y + oy)
-                            + 8)
-                            >> 4;
+                    let v = (9 * at(x, y)
+                        + 3 * at(x + ox, y)
+                        + 3 * at(x, y + oy)
+                        + at(x + ox, y + oy)
+                        + 8)
+                        >> 4;
                     out[((2 * y + dy) * 2 * w as i64 + 2 * x + dx) as usize] = v as u8;
                 }
             }
@@ -155,7 +156,9 @@ fn emit_scalar(a: &mut Asm, args: &H2v2Args) {
         a.slli(t, wout, 1);
         a.add(row_out, row_out, t);
     });
-    for r in [stride, wout, row_in, row_out, x, y, pin, pup, pdn, pout, cur, t, u, s] {
+    for r in [
+        stride, wout, row_in, row_out, x, y, pin, pup, pdn, pout, cur, t, u, s,
+    ] {
         a.release_ireg(r);
     }
 }
@@ -269,14 +272,8 @@ fn emit_vmmx(a: &mut Asm, width: usize, args: &H2v2Args) {
     let stride = a.ireg();
     let wout = a.ireg();
     let (row_in, row_out, x, y) = (a.ireg(), a.ireg(), a.ireg(), a.ireg());
-    let (pin, pup, pdn, pout, t, two_wout) = (
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-        a.ireg(),
-    );
+    let (pin, pup, pdn, pout, t, two_wout) =
+        (a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg(), a.ireg());
     let coef = a.mreg();
     let raw: Vec<_> = (0..3).map(|_| a.mreg()).collect(); // a, am, ap
     let braw: Vec<_> = (0..3).map(|_| a.mreg()).collect(); // b, bm, bp (per dy)
@@ -313,10 +310,30 @@ fn emit_vmmx(a: &mut Asm, width: usize, args: &H2v2Args) {
             a.addi(pm, pin, 1);
             a.mload(raw[2], pm, stride, w8);
             a.release_ireg(pm);
-            a.mop(VOp::UnpackLo(Esz::B), tmp, raw[0], MOperand::RowBcast(coef, ZERO));
-            a.mop(VOp::Mullo(Esz::H), nine_lo, tmp, MOperand::RowBcast(coef, C9));
-            a.mop(VOp::UnpackHi(Esz::B), tmp, raw[0], MOperand::RowBcast(coef, ZERO));
-            a.mop(VOp::Mullo(Esz::H), nine_hi, tmp, MOperand::RowBcast(coef, C9));
+            a.mop(
+                VOp::UnpackLo(Esz::B),
+                tmp,
+                raw[0],
+                MOperand::RowBcast(coef, ZERO),
+            );
+            a.mop(
+                VOp::Mullo(Esz::H),
+                nine_lo,
+                tmp,
+                MOperand::RowBcast(coef, C9),
+            );
+            a.mop(
+                VOp::UnpackHi(Esz::B),
+                tmp,
+                raw[0],
+                MOperand::RowBcast(coef, ZERO),
+            );
+            a.mop(
+                VOp::Mullo(Esz::H),
+                nine_hi,
+                tmp,
+                MOperand::RowBcast(coef, C9),
+            );
             for dy in 0..2usize {
                 let pv = if dy == 0 { pup } else { pdn };
                 a.mload(braw[0], pv, stride, w8);
@@ -348,7 +365,12 @@ fn emit_vmmx(a: &mut Asm, width: usize, args: &H2v2Args) {
                         a.mop(unpack, tmp, braw_d, MOperand::RowBcast(coef, ZERO));
                         a.mop(VOp::Add(Esz::H), acc, acc, MOperand::M(tmp));
                         a.mop(VOp::Add(Esz::H), acc, acc, MOperand::RowBcast(coef, C8));
-                        a.mshift(VShiftOp::Srl(Esz::H), if half == 0 { p0 } else { p1 }, acc, 4);
+                        a.mshift(
+                            VShiftOp::Srl(Esz::H),
+                            if half == 0 { p0 } else { p1 },
+                            acc,
+                            4,
+                        );
                     }
                     let dst = if dx == 0 { pk0 } else { pk1 };
                     a.mop(VOp::PackU(Esz::H), dst, p0, p1);
@@ -374,7 +396,9 @@ fn emit_vmmx(a: &mut Asm, width: usize, args: &H2v2Args) {
         a.slli(t, wout, 5);
         a.add(row_out, row_out, t);
     });
-    for r in [stride, wout, row_in, row_out, x, y, pin, pup, pdn, pout, t, two_wout] {
+    for r in [
+        stride, wout, row_in, row_out, x, y, pin, pup, pdn, pout, t, two_wout,
+    ] {
         a.release_ireg(r);
     }
     for m in [coef, nine_lo, nine_hi, acc, tmp, p0, p1, pk0, pk1]
@@ -470,14 +494,16 @@ mod tests {
         let plane: Vec<u8> = (0..12).collect(); // 4x3
         let p = pad_plane(&plane, 4, 3);
         assert_eq!(p[0], plane[0]); // corner
-        assert_eq!(p[6 * 1 + 1], plane[0]);
+        assert_eq!(p[6 + 1], plane[0]); // row 1, col 1: first interior texel
         assert_eq!(p[6 * 4 + 5], plane[11]); // bottom-right
     }
 
     #[test]
     fn all_variants_match_golden_h2v2() {
         for v in Variant::ALL {
-            H2v2.build(v).run_checked().unwrap_or_else(|e| panic!("{v}: {e}"));
+            H2v2.build(v)
+                .run_checked()
+                .unwrap_or_else(|e| panic!("{v}: {e}"));
         }
     }
 }

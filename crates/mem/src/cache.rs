@@ -82,7 +82,10 @@ impl Cache {
     /// inconsistent.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.sets() > 0, "cache too small for its line size/assoc");
         Self {
             sets: vec![vec![Line::default(); cfg.assoc]; cfg.sets()],

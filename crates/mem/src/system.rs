@@ -1,8 +1,8 @@
 //! The two-level memory system with stride-aware vector-cache timing.
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
-use simdsim_emu::MemAccess;
 use serde::{Deserialize, Serialize};
+use simdsim_emu::MemAccess;
 
 /// Configuration of the whole hierarchy (the paper's Table IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -184,8 +184,7 @@ impl MemSystem {
         } else {
             // One vector element (row) per cycle at non-unit stride; rows
             // wider than the port take multiple beats.
-            u64::from(acc.rows)
-                * u64::from(acc.row_bytes).div_ceil(self.cfg.l2.port_width as u64)
+            u64::from(acc.rows) * u64::from(acc.row_bytes).div_ceil(self.cfg.l2.port_width as u64)
         }
         .max(1);
 
@@ -261,7 +260,7 @@ mod tests {
     #[test]
     fn unit_stride_streams_at_port_width() {
         let mut m = MemSystem::new(MemConfig::paper(8, true)); // 64-byte port
-        // warm the cache
+                                                               // warm the cache
         let a = acc(0, 16, 16, 16, false);
         let warm = m.vector_access(0, &a);
         let now = warm + 1;

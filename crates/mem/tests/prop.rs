@@ -64,11 +64,10 @@ proptest! {
         reqs in prop::collection::vec((0u64..100_000, 1u64..64, any::<bool>()), 1..50),
     ) {
         let mut m = MemSystem::new(MemConfig::paper(2, false));
-        let mut now = 0u64;
-        for (addr, bytes, store) in reqs {
+        for (now, (addr, bytes, store)) in reqs.into_iter().enumerate() {
+            let now = now as u64;
             let done = m.scalar_access(now, addr, bytes, store);
             prop_assert!(done >= now + 3, "completion {done} before {now}+latency");
-            now += 1;
         }
     }
 

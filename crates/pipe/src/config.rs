@@ -67,8 +67,16 @@ impl PipeConfig {
         } else {
             [40, 64, 96][idx]
         };
-        let simd_issue = if matrix { [1, 2, 3][idx] } else { [2, 4, 8][idx] };
-        let mem_fus = if matrix { [1, 1, 2][idx] } else { [1, 2, 4][idx] };
+        let simd_issue = if matrix {
+            [1, 2, 3][idx]
+        } else {
+            [2, 4, 8][idx]
+        };
+        let mem_fus = if matrix {
+            [1, 1, 2][idx]
+        } else {
+            [1, 2, 4][idx]
+        };
         Self {
             way,
             ext,

@@ -189,13 +189,8 @@ impl Pipeline {
     fn simd_timing(&self, di: &DynInstr) -> (u64, u64) {
         // (base latency, occupancy)
         let base = match di.instr {
-            Instr::Simd { op, .. } | Instr::MOp { op, .. } => {
-                if op.is_multiply() {
-                    3
-                } else {
-                    1
-                }
-            }
+            Instr::Simd { op, .. } | Instr::MOp { op, .. } if op.is_multiply() => 3,
+            Instr::Simd { .. } | Instr::MOp { .. } => 1,
             Instr::MAcc { .. } | Instr::VAcc { .. } => 3,
             Instr::AccSum { .. } => 4,
             Instr::MTranspose { .. } => 2,
@@ -636,6 +631,10 @@ mod tests {
             }
         });
         assert!(stats.ipc() <= 2.05, "IPC {} exceeds width", stats.ipc());
-        assert!(stats.ipc() > 1.2, "IPC {} too low for parallel code", stats.ipc());
+        assert!(
+            stats.ipc() > 1.2,
+            "IPC {} too low for parallel code",
+            stats.ipc()
+        );
     }
 }

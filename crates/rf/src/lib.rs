@@ -221,7 +221,10 @@ mod tests {
         let area = |way, ext| RfConfig::paper(way, ext).area_units();
         let mmx_growth = area(8, Ext::Mmx128) / area(4, Ext::Mmx128);
         let vmmx_growth = area(8, Ext::Vmmx128) / area(4, Ext::Vmmx128);
-        assert!(mmx_growth > 2.0 * vmmx_growth, "{mmx_growth} vs {vmmx_growth}");
+        assert!(
+            mmx_growth > 2.0 * vmmx_growth,
+            "{mmx_growth} vs {vmmx_growth}"
+        );
         assert!(area(8, Ext::Vmmx128) < area(8, Ext::Mmx128));
     }
 

@@ -1,0 +1,359 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of serde's API the workspace uses: the `Serialize` /
+//! `Deserialize` traits (over an owned [`Value`] tree rather than serde's
+//! visitor machinery), derive macros re-exported from the sibling
+//! `serde_derive` shim, and impls for the primitive / container types that
+//! appear in the workspace's derived types. The companion `serde_json` shim
+//! renders a [`Value`] to JSON text and parses it back.
+//!
+//! The representation follows serde's conventions (newtype structs are
+//! transparent, enums are externally tagged), so the emitted JSON looks like
+//! what the real serde_json would produce and round-trips across builds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, parsed serialization tree — the meeting point between
+/// [`Serialize`] and [`Deserialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, as serde_json does).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative integers land here).
+    Int(i64),
+    /// An unsigned integer (non-negative integers land here).
+    UInt(u64),
+    /// A finite floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Error for an unrecognised enum variant tag.
+    #[must_use]
+    pub fn unknown_variant(got: &str, ty: &str) -> Self {
+        Error(format!("unknown variant `{got}` for {ty}"))
+    }
+
+    /// Error for a value of the wrong shape.
+    #[must_use]
+    pub fn invalid(expected: &str, ty: &str) -> Self {
+        Error(format!("invalid value: expected {expected} for {ty}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a serialization tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserializes field `key` of an object value (derive-generated code).
+///
+/// A missing key is an error for every field type; `Option` fields are
+/// `None` only on an explicit `null` (the serializer always writes one,
+/// so self-produced JSON round-trips).
+///
+/// # Errors
+///
+/// Returns an error when `v` is not an object, the key is absent, or the
+/// field fails to parse.
+pub fn from_field<T: Deserialize>(v: &Value, key: &str, ty: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => {
+            let field = v
+                .get(key)
+                .ok_or_else(|| Error(format!("missing field `{key}` of {ty}")))?;
+            T::from_value(field).map_err(|e| Error(format!("field `{key}` of {ty}: {e}")))
+        }
+        _ => Err(Error::invalid("object", ty)),
+    }
+}
+
+/// Deserializes element `idx` of an array value (derive-generated code).
+///
+/// # Errors
+///
+/// Returns an error when `v` is not an array or the element fails to parse.
+pub fn from_index<T: Deserialize>(v: &Value, idx: usize, ty: &str) -> Result<T, Error> {
+    match v {
+        Value::Array(items) => T::from_value(
+            items
+                .get(idx)
+                .ok_or_else(|| Error(format!("missing element {idx} of {ty}")))?,
+        )
+        .map_err(|e| Error(format!("element {idx} of {ty}: {e}"))),
+        _ => Err(Error::invalid("array", ty)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[allow(unused_comparisons)]
+            fn to_value(&self) -> Value {
+                if *self < 0 {
+                    Value::Int(*self as i64)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let err = || Error::invalid("integer in range", stringify!($t));
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| err()),
+                    Value::UInt(u) => <$t>::try_from(*u).map_err(|_| err()),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // serde_json serializes non-finite floats as null.
+                if self.is_finite() {
+                    Value::Float(f64::from(*self))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::invalid("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::invalid("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::invalid("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::invalid("single-character string", "char")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::invalid("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            _ => Err(Error::invalid("fixed-size array", "array")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => Ok(($(
+                        $t::from_value(
+                            items.get($n).ok_or_else(|| Error::invalid("tuple", "tuple"))?,
+                        )?,
+                    )+)),
+                    _ => Err(Error::invalid("array", "tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate implements just enough of `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for the types in this workspace: non-generic
+//! structs (named, tuple, unit) and enums whose variants are unit, tuple
+//! or struct-like. The generated impls target the shim `serde` crate's
+//! value-tree model (`serde::Value`) using serde's externally-tagged enum
+//! representation, so JSON produced by one build round-trips in another.
+//!
+//! No `syn`/`quote`: the input item is parsed directly from
+//! `proc_macro::TokenStream` and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of a struct body or an enum variant's payload.
+enum Fields {
+    Unit,
+    /// Tuple fields; the count is all the codegen needs.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (shim) for a non-generic struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (shim) for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => {
+            let src = if serialize {
+                gen_serialize(&item)
+            } else {
+                gen_deserialize(&item)
+            };
+            src.parse().expect("serde_derive shim emitted invalid Rust")
+        }
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&toks, i)?),
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, kind })
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_struct_body(toks: &[TokenTree], i: usize) -> Result<Fields, String> {
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Fields::Named(parse_named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        None => Ok(Fields::Unit),
+        other => Err(format!("unexpected struct body {other:?}")),
+    }
+}
+
+/// Splits a token sequence at top-level commas, treating `<`/`>` as nesting
+/// (generic arguments are not grouped by the tokenizer).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn ser_named_object(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => ser_named_object(fields, "self."),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let inner = ser_named_object(fs, "");
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), {inner})]),",
+                            fs.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn de_named_ctor(ty: &str, path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::from_field({src}, {f:?}, {ty:?})?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn de_tuple_ctor(ty: &str, path: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        format!("{path}(::serde::Deserialize::from_value({src})?)")
+    } else {
+        let inits: Vec<String> = (0..n)
+            .map(|i| format!("::serde::from_index({src}, {i}, {ty:?})?"))
+            .collect();
+        format!("{path}({})", inits.join(", "))
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Struct(Fields::Tuple(n)) => format!(
+            "::std::result::Result::Ok({})",
+            de_tuple_ctor(name, name, *n, "__v")
+        ),
+        Kind::Struct(Fields::Named(fields)) => format!(
+            "::std::result::Result::Ok({})",
+            de_named_ctor(name, name, fields, "__v")
+        ),
+        Kind::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for (v, fields) in variants {
+                let path = format!("{name}::{v}");
+                match fields {
+                    Fields::Unit => {
+                        str_arms.push_str(&format!("{v:?} => ::std::result::Result::Ok({path}),"))
+                    }
+                    Fields::Tuple(n) => obj_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({}),",
+                        de_tuple_ctor(name, &path, *n, "__inner")
+                    )),
+                    Fields::Named(fs) => obj_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({}),",
+                        de_named_ctor(name, &path, fs, "__inner")
+                    )),
+                }
+            }
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {str_arms} \
+                   __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, {name:?})), }}, \
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                   let (__tag, __inner) = &__pairs[0]; \
+                   match __tag.as_str() {{ {obj_arms} \
+                     __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, {name:?})), }} }}, \
+                 _ => ::std::result::Result::Err(::serde::Error::invalid(\"externally tagged enum\", {name:?})), }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}

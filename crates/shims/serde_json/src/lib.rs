@@ -1,0 +1,416 @@
+//! Offline stand-in for the real `serde_json` crate.
+//!
+//! Renders the shim `serde`'s [`Value`] tree as JSON text and parses JSON
+//! text back into it, covering the `to_string` / `to_string_pretty` /
+//! `from_str` entry points this workspace uses. The grammar is standard
+//! JSON; non-finite floats serialize as `null` (as real serde_json does).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::{Error, Value};
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the value model in this shim; the `Result` mirrors the
+/// real serde_json signature.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible for the value model in this shim; the `Result` mirrors the
+/// real serde_json signature.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let v = parse(text)?;
+    T::from_value(&v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            // `{:?}` is the shortest representation that round-trips f64.
+            if f.is_finite() {
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Maximum container nesting accepted by the parser (as real serde_json),
+/// so pathological input returns `Err` instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {} of JSON input",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {} of JSON input",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::new(format!(
+                "unexpected character at byte {} of JSON input",
+                self.pos
+            ))),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new("JSON input exceeds maximum nesting depth"));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new("expected `,` or `]` in JSON array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(Error::new("expected `,` or `}` in JSON object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in JSON string"))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape in JSON string"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for this
+                            // workspace's ASCII identifiers; reject them.
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(Error::new("unknown escape in JSON string")),
+                    }
+                }
+                None => return Err(Error::new("unterminated JSON string")),
+                _ => unreachable!("scan loop stops only at quote/backslash/EOF"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid JSON number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("dct \"8x8\"".into())),
+            (
+                "rows".into(),
+                Value::Array(vec![
+                    Value::UInt(3),
+                    Value::Int(-7),
+                    Value::Float(1.25),
+                    Value::Null,
+                    Value::Bool(true),
+                ]),
+            ),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_precision_roundtrips() {
+        let v = Value::Float(0.1 + 0.2);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let bomb = "[".repeat(50_000);
+        let err = from_str::<Value>(&bomb).unwrap_err();
+        assert!(err.to_string().contains("nesting depth"), "{err}");
+        // The cap still admits reasonable nesting.
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str::<Value>(&ok).is_ok());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let v: Result<(u32, u32), Error> = from_str("[1]");
+        assert!(v.is_err());
+        let missing = serde::from_field::<f64>(
+            &Value::Object(vec![("other".into(), Value::UInt(1))]),
+            "speedup",
+            "Row",
+        );
+        assert!(missing.unwrap_err().to_string().contains("missing field"));
+    }
+}

@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== disassembly ===");
     print!("{}", program.listing());
-    println!(
-        "static mix: {:?}\n",
-        program.static_class_counts()
-    );
+    println!("static mix: {:?}\n", program.static_class_counts());
 
     // Fill an 8×8 matrix with 0..64 and run.
     let values: Vec<i16> = (0..64).collect();

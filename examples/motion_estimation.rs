@@ -96,7 +96,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let res = m.read_i32s(out_addr, 4)?;
     let (sad, off) = (res[0], res[2]);
     let (dy, dx) = (off.div_euclid(W as i32), off.rem_euclid(W as i32));
-    let (dy, dx) = if dx > 4 { (dy + 1, dx - W as i32) } else { (dy, dx) };
+    let (dy, dx) = if dx > 4 {
+        (dy + 1, dx - W as i32)
+    } else {
+        (dy, dx)
+    };
 
     println!("81-candidate full search over a {W}x{H} frame (VMMX128, 2-way):");
     println!("  best offset  : ({dx:+}, {dy:+})  (planted motion was (+2, -3))");

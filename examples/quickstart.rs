@@ -12,7 +12,11 @@ use simdsim_isa::Ext;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pick a kernel from the paper's Table II.
     let kernel = by_name("motion1").ok_or("kernel not found")?;
-    println!("kernel: {} — {}", kernel.spec().name, kernel.spec().description);
+    println!(
+        "kernel: {} — {}",
+        kernel.spec().name,
+        kernel.spec().description
+    );
 
     let mut baseline = None;
     for ext in Ext::ALL {

@@ -13,7 +13,11 @@ use simdsim_isa::Ext;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = simdsim_apps::by_name("mpeg2enc").ok_or("app not found")?;
-    println!("application: {} — {}\n", app.spec().name, app.spec().description);
+    println!(
+        "application: {} — {}\n",
+        app.spec().name,
+        app.spec().description
+    );
     println!(
         "{:<6} {:<9} {:>10} {:>12} {:>8} {:>7}",
         "way", "ext", "instrs", "cycles", "speedup", "vector%"

@@ -1,0 +1,29 @@
+# Task runner for the simdsim workspace. `just verify` is the tier-1 gate
+# and mirrors .github/workflows/ci.yml exactly, so local runs and CI cannot
+# drift.
+
+# List available recipes.
+default:
+    @just --list
+
+# Tier-1: the gate every PR must keep green.
+verify:
+    cargo build --release --locked
+    cargo test -q --locked
+
+# Everything CI runs: tier-1 plus lint gates and bench compilation.
+ci: verify lint
+    cargo bench --no-run --locked
+
+# Formatting and clippy, warnings as errors (CI `lint` job).
+lint:
+    cargo fmt --check
+    cargo clippy --all-targets --locked -- -D warnings
+
+# Regenerate every table and figure of the paper into target/simdsim-results.
+reproduce:
+    cargo run --release -p simdsim-bench --bin reproduce
+
+# Run the criterion microbenchmarks (shimmed harness; prints timings).
+bench:
+    cargo bench

@@ -32,7 +32,10 @@ fn scalar_version_has_two_nested_loops() {
     let p = build_body(Variant::Scalar);
     // Two backward branches (inner i-loop and outer j-loop).
     let back_branches = count(&p, |i| matches!(i, Instr::Branch { .. }));
-    assert!(back_branches >= 2, "expected nested loops, got {back_branches} branches");
+    assert!(
+        back_branches >= 2,
+        "expected nested loops, got {back_branches} branches"
+    );
     // No SIMD at all.
     assert_eq!(p.static_class_counts().vector_total(), 0);
 }
@@ -47,8 +50,12 @@ fn mmx_versions_eliminate_the_inner_loop() {
     }
     // Fig. 3(b) vs (d): the 64-bit version needs two loads per operand
     // row, the 128-bit version one.
-    let loads64 = count(&build_body(Variant::Mmx64), |i| matches!(i, Instr::VLoad { .. }));
-    let loads128 = count(&build_body(Variant::Mmx128), |i| matches!(i, Instr::VLoad { .. }));
+    let loads64 = count(&build_body(Variant::Mmx64), |i| {
+        matches!(i, Instr::VLoad { .. })
+    });
+    let loads128 = count(&build_body(Variant::Mmx128), |i| {
+        matches!(i, Instr::VLoad { .. })
+    });
     assert_eq!(loads64, 2 * loads128);
 }
 
@@ -57,7 +64,10 @@ fn vmmx_versions_are_loop_free() {
     for v in [Variant::Vmmx64, Variant::Vmmx128] {
         let p = build_body(v);
         assert_eq!(
-            count(&p, |i| matches!(i, Instr::Branch { .. } | Instr::Jump { .. })),
+            count(&p, |i| matches!(
+                i,
+                Instr::Branch { .. } | Instr::Jump { .. }
+            )),
             0,
             "{v}: both loops must be gone"
         );
@@ -73,7 +83,11 @@ fn vmmx128_matches_fig3e_shape() {
     assert_eq!(count(&p, |i| matches!(i, Instr::MLoad { .. })), 2);
     assert_eq!(count(&p, |i| matches!(i, Instr::MAcc { .. })), 1);
     assert_eq!(count(&p, |i| matches!(i, Instr::AccSum { .. })), 1);
-    assert!(p.len() <= 8, "VMMX128 SAD body is {} instrs, Fig. 3(e) shows 7", p.len());
+    assert!(
+        p.len() <= 8,
+        "VMMX128 SAD body is {} instrs, Fig. 3(e) shows 7",
+        p.len()
+    );
 }
 
 #[test]
@@ -106,7 +120,12 @@ fn static_instruction_counts_shrink_across_simd_versions() {
     );
     // And the reduction is drastic end to end ("reducing drastically the
     // number of instructions used").
-    assert!(sizes[0] >= 3 * sizes[3], "mmx64 {} vs vmmx128 {}", sizes[0], sizes[3]);
+    assert!(
+        sizes[0] >= 3 * sizes[3],
+        "mmx64 {} vs vmmx128 {}",
+        sizes[0],
+        sizes[3]
+    );
 }
 
 #[test]

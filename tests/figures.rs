@@ -107,7 +107,11 @@ fn fig5_gsm_is_flat_across_extensions() {
     }
     let max = cycles.iter().cloned().fold(0.0f64, f64::max);
     let min = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(max / min < 1.25, "gsmdec spread {:.2} should be small", max / min);
+    assert!(
+        max / min < 1.25,
+        "gsmdec spread {:.2} should be small",
+        max / min
+    );
 }
 
 /// Figure 6: scaling the extension shrinks the vector-cycle share, until

@@ -37,9 +37,8 @@ fn every_kernel_simulates_on_every_width() {
             let built = kernel.build(Variant::for_ext(ext));
             for way in simdsim::WAYS {
                 let cfg = PipeConfig::paper(way, ext);
-                let (arch, timing) =
-                    simulate(&built.program, &built.machine, &cfg, u64::MAX)
-                        .unwrap_or_else(|e| panic!("{} {ext} {way}: {e}", kernel.spec().name));
+                let (arch, timing) = simulate(&built.program, &built.machine, &cfg, u64::MAX)
+                    .unwrap_or_else(|e| panic!("{} {ext} {way}: {e}", kernel.spec().name));
                 assert_eq!(arch.dyn_instrs, timing.instrs);
                 assert!(timing.cycles > 0);
                 assert!(
@@ -61,7 +60,10 @@ fn region_cycles_partition_total() {
     let cfg = PipeConfig::paper(2, Ext::Vmmx128);
     let (_, t) = simulate(&built.program, &built.machine, &cfg, u64::MAX).unwrap();
     assert_eq!(t.scalar_region_cycles + t.vector_region_cycles, t.cycles);
-    assert!(t.vector_region_cycles > t.scalar_region_cycles, "ycc is kernel-dominated");
+    assert!(
+        t.vector_region_cycles > t.scalar_region_cycles,
+        "ycc is kernel-dominated"
+    );
 }
 
 #[test]

@@ -49,7 +49,11 @@ fn branch_stats_are_sane() {
 fn caches_see_traffic_and_mostly_hit() {
     let s = run("ycc", Ext::Mmx64, 2);
     assert!(s.l1.hits + s.l1.misses > 1000);
-    assert!(s.l1.miss_ratio() < 0.5, "L1 miss ratio {}", s.l1.miss_ratio());
+    assert!(
+        s.l1.miss_ratio() < 0.5,
+        "L1 miss ratio {}",
+        s.l1.miss_ratio()
+    );
 
     // VMMX accesses bypass the L1: vector traffic shows up at the L2 port.
     let v = run("ycc", Ext::Vmmx128, 2);

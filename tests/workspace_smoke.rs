@@ -1,0 +1,50 @@
+//! Workspace smoke test: the quickstart documented in the README and in
+//! `simdsim`'s crate docs must actually work end-to-end — `fig4()` yields
+//! rows for every kernel × extension and `render_fig4` renders them, and
+//! the JSON export round-trips through `serde_json`.
+
+use simdsim::experiments::{fig4, KernelResult};
+use simdsim::report::{render_fig4, to_json};
+
+#[test]
+fn quickstart_fig4_produces_renderable_rows() {
+    let rows = fig4();
+    assert!(!rows.is_empty(), "fig4() returned no rows");
+    // Every row belongs to one of the four evaluated extensions and carries
+    // a positive speed-up over the MMX64 baseline of the same width.
+    for r in &rows {
+        assert!(
+            ["mmx64", "mmx128", "vmmx64", "vmmx128"].contains(&r.ext.as_str()),
+            "unexpected extension {}",
+            r.ext
+        );
+        assert!(
+            r.speedup > 0.0,
+            "{}-{}: speedup {}",
+            r.kernel,
+            r.ext,
+            r.speedup
+        );
+    }
+
+    let rendered = render_fig4(&rows);
+    assert!(rendered.contains("kernel"), "header missing:\n{rendered}");
+    // One line per kernel plus the header.
+    let kernels: std::collections::BTreeSet<&str> =
+        rows.iter().map(|r| r.kernel.as_str()).collect();
+    assert_eq!(rendered.lines().count(), kernels.len() + 1);
+}
+
+#[test]
+fn fig4_rows_roundtrip_through_json() {
+    let rows: Vec<KernelResult> = fig4().into_iter().take(4).collect();
+    let text = to_json(&rows);
+    let back: Vec<KernelResult> = serde_json::from_str(&text).expect("parse back");
+    assert_eq!(back.len(), rows.len());
+    for (a, b) in rows.iter().zip(&back) {
+        assert_eq!(a.kernel, b.kernel);
+        assert_eq!(a.ext, b.ext);
+        assert_eq!(a.cycles, b.cycles);
+        assert!((a.speedup - b.speedup).abs() < 1e-12);
+    }
+}
