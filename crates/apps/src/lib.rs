@@ -36,6 +36,12 @@ pub mod mpeg2;
 
 pub use simdsim_kernels::{BuiltKernel, Variant};
 
+/// Workload revision, part of `simdsim-sweep`'s content-addressed cache
+/// key.  Bump whenever application code or input bitstreams change in a
+/// way that affects timing, so cached results from older builds are never
+/// reused.
+pub const REVISION: u32 = 1;
+
 /// Static description of an application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AppSpec {

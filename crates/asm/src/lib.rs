@@ -47,3 +47,9 @@ mod ralloc;
 
 pub use builder::{Asm, Label};
 pub use ralloc::RegPool;
+
+/// Assembler revision, part of `simdsim-sweep`'s content-addressed
+/// cache key.  Bump whenever code generation or register allocation
+/// changes the emitted programs, so cached results from older builds are
+/// never reused.
+pub const REVISION: u32 = 1;

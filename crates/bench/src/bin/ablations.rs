@@ -1,21 +1,27 @@
 //! Runs the ablation sweeps: lanes, L2 port width, matrix register file
-//! size and redirect penalty (see `simdsim::ablations`).
+//! size and redirect penalty (see `simdsim::ablations`), sharing the
+//! workspace result cache with the `sweep` binary.
 fn main() {
-    for (title, rows) in [
-        ("Vector lanes (2-way VMMX128)", simdsim::ablations::lanes()),
+    for (title, scenario) in [
+        (
+            "Vector lanes (2-way VMMX128)",
+            simdsim::sweep::catalog::ablate_lanes(),
+        ),
         (
             "L2 vector-port width (2-way VMMX128)",
-            simdsim::ablations::l2_port_width(),
+            simdsim::sweep::catalog::ablate_l2_port(),
         ),
         (
             "Physical matrix registers (2-way VMMX128)",
-            simdsim::ablations::matrix_registers(),
+            simdsim::sweep::catalog::ablate_matrix_regs(),
         ),
         (
             "Branch redirect penalty (2-way MMX64)",
-            simdsim::ablations::redirect_penalty(),
+            simdsim::sweep::catalog::ablate_redirect(),
         ),
     ] {
+        let rows = simdsim::ablations::rows_with(&scenario, &simdsim_bench::engine_options())
+            .unwrap_or_else(|e| panic!("ablation {}: {e}", scenario.name));
         println!("=== {title} ===\n{}", simdsim::ablations::render(&rows));
         let name = title.split(' ').next().unwrap().to_lowercase();
         let path = simdsim_bench::results_dir().join(format!("ablation-{name}.json"));

@@ -1,7 +1,7 @@
 //! Regenerates the paper's Figure 4: kernel speed-ups on the 2-way core,
 //! relative to 2-way MMX64.
 fn main() {
-    let rows = simdsim::experiments::fig4();
+    let rows = simdsim_bench::fig4_rows_cached();
     println!("Figure 4 — kernel speed-ups (2-way, baseline 2-way MMX64)\n");
     println!("{}", simdsim::report::render_fig4(&rows));
     let path = simdsim_bench::results_dir().join("fig4.json");

@@ -13,7 +13,7 @@ fn main() {
         simdsim::report::render_table3(&simdsim::tables::table3())
     );
     println!("=== Table IV ===\n{}", simdsim::report::render_table4());
-    let f4 = simdsim::experiments::fig4();
+    let f4 = simdsim_bench::fig4_rows_cached();
     println!("=== Figure 4 ===\n{}", simdsim::report::render_fig4(&f4));
     std::fs::write(
         simdsim_bench::results_dir().join("fig4.json"),

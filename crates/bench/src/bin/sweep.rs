@@ -1,0 +1,181 @@
+//! `sweep` — run any named or user-defined scenario through the
+//! `simdsim-sweep` engine.
+//!
+//! ```console
+//! $ sweep --list                       # what's in the catalog
+//! $ sweep fig4                         # one scenario
+//! $ sweep --filter fig4 --jobs 2       # cells matching a label substring
+//! $ sweep --scenario-file my.json      # a user-defined machine/sweep
+//! ```
+//!
+//! Results are served from the content-addressed cache under
+//! `target/simdsim-cache` when possible (`cached` rows); `--no-cache`
+//! forces every cell to simulate.  A failing cell prints `FAILED` with
+//! its error and flips the exit code, without aborting the other cells.
+
+use simdsim::sweep::{catalog, run, EngineOptions, Scenario};
+
+const USAGE: &str = "\
+usage: sweep [OPTIONS] [SCENARIO...]
+
+Run declarative simulation sweeps (catalog scenarios by name; all of them
+when none is given).
+
+options:
+  --list                list catalog scenarios and exit
+  --filter SUB          keep only cells whose label contains SUB
+  --jobs N              worker-pool size (default: available parallelism)
+  --no-cache            ignore and do not write the result cache
+  --cache-dir DIR       cache directory (default: target/simdsim-cache)
+  --scenario-file PATH  add a scenario from a JSON file (repeatable)
+  --help                print this help";
+
+struct Cli {
+    names: Vec<String>,
+    files: Vec<String>,
+    filter: Option<String>,
+    jobs: Option<usize>,
+    no_cache: bool,
+    cache_dir: Option<String>,
+    list: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        names: Vec::new(),
+        files: Vec::new(),
+        filter: None,
+        jobs: None,
+        no_cache: false,
+        cache_dir: None,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--list" => cli.list = true,
+            "--filter" => cli.filter = Some(value("--filter")?),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                cli.jobs = Some(
+                    v.parse()
+                        .map_err(|_| format!("--jobs expects a number, got `{v}`"))?,
+                );
+            }
+            "--no-cache" => cli.no_cache = true,
+            "--cache-dir" => cli.cache_dir = Some(value("--cache-dir")?),
+            "--scenario-file" => cli.files.push(value("--scenario-file")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            name => cli.names.push(name.to_owned()),
+        }
+    }
+    Ok(cli)
+}
+
+fn scenarios(cli: &Cli) -> Result<Vec<Scenario>, String> {
+    let mut out = Vec::new();
+    for name in &cli.names {
+        out.push(catalog::named(name).ok_or_else(|| {
+            format!("unknown scenario `{name}` (run `sweep --list` for the catalog)")
+        })?);
+    }
+    for path in &cli.files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let scenario: Scenario =
+            serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        out.push(scenario);
+    }
+    if out.is_empty() {
+        out = catalog::all();
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = main_impl(&args).unwrap_or_else(|msg| {
+        eprintln!("sweep: {msg}");
+        2
+    });
+    std::process::exit(code);
+}
+
+fn main_impl(args: &[String]) -> Result<i32, String> {
+    let cli = parse_args(args)?;
+    if cli.list {
+        println!("{:<20} {:>6}  description", "scenario", "cells");
+        for s in catalog::all() {
+            println!("{:<20} {:>6}  {}", s.name, s.expand().len(), s.description);
+        }
+        return Ok(0);
+    }
+
+    let mut opts = EngineOptions::default();
+    if let Some(jobs) = cli.jobs {
+        opts = opts.jobs(jobs);
+    }
+    if let Some(filter) = &cli.filter {
+        opts = opts.filter(filter.clone());
+    }
+    if !cli.no_cache {
+        let dir = cli
+            .cache_dir
+            .clone()
+            .unwrap_or_else(|| simdsim_bench::cache_dir().display().to_string());
+        opts = opts.cache(dir);
+    }
+
+    let mut failures = 0usize;
+    let mut printed_any = false;
+    for scenario in scenarios(&cli)? {
+        let report = run(&scenario, &opts);
+        if report.outcomes.is_empty() {
+            continue;
+        }
+        printed_any = true;
+        println!(
+            "== {}: {} ({} cells, {} cached, {} simulated, {} failed)",
+            report.scenario,
+            scenario.description,
+            report.outcomes.len(),
+            report.cached(),
+            report.executed(),
+            report.failed()
+        );
+        for o in &report.outcomes {
+            match &o.stats {
+                Ok(s) => println!(
+                    "{:<44} cycles={:<10} instrs={:<10} ipc={:<5.2} {}",
+                    o.cell.label(),
+                    s.cycles,
+                    s.instrs,
+                    s.ipc,
+                    if o.cached { "cached" } else { "ran" }
+                ),
+                Err(e) => {
+                    failures += 1;
+                    println!("{:<44} FAILED: {}", o.cell.label(), e.message);
+                }
+            }
+        }
+        println!();
+    }
+    if !printed_any {
+        return Err(match &cli.filter {
+            Some(filter) => format!("no cells matched filter `{filter}`"),
+            None => "the selected scenarios expanded to no cells \
+                     (check their workloads/exts/ways axes)"
+                .to_owned(),
+        });
+    }
+    Ok(i32::from(failures > 0))
+}

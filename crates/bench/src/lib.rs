@@ -1,12 +1,15 @@
-//! Benchmark-harness support: result caching shared by the per-figure
-//! regenerator binaries.
+//! Benchmark-harness support shared by the regenerator binaries: artifact
+//! output paths and engine options wired to the workspace-wide
+//! content-addressed result cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use simdsim::sweep::{catalog, EngineOptions, SweepReport};
 use std::path::PathBuf;
 
-/// Directory where regenerators cache their JSON results.
+/// Directory where regenerators write their JSON **artifacts** (rendered
+/// figure rows for humans and plots; not a cache).
 #[must_use]
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("target/simdsim-results");
@@ -14,18 +17,50 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Loads cached Figure-5 rows if present, otherwise runs the full sweep
-/// and caches it.  Figure 5, 6 and 7 all derive from the same sweep.
+/// Directory of the content-addressed result **cache** shared by every
+/// binary and run (superseding the old per-figure JSON convention):
+/// entries are keyed by scenario content, so a config or workload change
+/// invalidates them automatically.
+#[must_use]
+pub fn cache_dir() -> PathBuf {
+    PathBuf::from("target/simdsim-cache")
+}
+
+/// Engine options for regenerator binaries: default worker pool, cache
+/// enabled at [`cache_dir`].
+#[must_use]
+pub fn engine_options() -> EngineOptions {
+    EngineOptions::default().cache(cache_dir())
+}
+
+fn note_reuse(report: &SweepReport) {
+    eprintln!(
+        "({}: {} cells — {} cached, {} simulated)",
+        report.scenario,
+        report.outcomes.len(),
+        report.cached(),
+        report.executed()
+    );
+}
+
+/// Runs the Figure-4 sweep through the result cache.
+#[must_use]
+pub fn fig4_rows_cached() -> Vec<simdsim::experiments::KernelResult> {
+    let report = simdsim::sweep::run(&catalog::fig4(), &engine_options());
+    note_reuse(&report);
+    simdsim::experiments::fig4_rows(&report).unwrap_or_else(|e| panic!("figure 4 sweep: {e}"))
+}
+
+/// Runs the Figure-5 sweep (shared by the `fig5`/`fig6`/`fig7` binaries)
+/// through the result cache, and refreshes the `fig5.json` artifact under
+/// [`results_dir`].
 #[must_use]
 pub fn fig5_rows_cached() -> Vec<simdsim::experiments::AppResult> {
+    let report = simdsim::sweep::run(&catalog::fig5(), &engine_options());
+    note_reuse(&report);
+    let rows =
+        simdsim::experiments::fig5_rows(&report).unwrap_or_else(|e| panic!("figure 5 sweep: {e}"));
     let path = results_dir().join("fig5.json");
-    if let Ok(text) = std::fs::read_to_string(&path) {
-        if let Ok(rows) = serde_json::from_str(&text) {
-            eprintln!("(using cached {})", path.display());
-            return rows;
-        }
-    }
-    let rows = simdsim::experiments::fig5();
-    std::fs::write(&path, simdsim::report::to_json(&rows)).expect("write fig5 cache");
+    std::fs::write(&path, simdsim::report::to_json(&rows)).expect("write fig5 artifact");
     rows
 }

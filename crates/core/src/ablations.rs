@@ -2,12 +2,13 @@
 //! vector lanes, L2 vector-port bandwidth, matrix register-file size and
 //! branch-redirect cost.  These are not paper figures; they decompose
 //! *why* the matrix architecture wins (and where it stops winning).
+//!
+//! Each study is a declarative scenario from [`simdsim_sweep::catalog`]
+//! with a single-parameter override axis; [`rows`] runs any such scenario
+//! through the engine and normalizes each workload to its first setting.
 
-use crate::INSTR_LIMIT;
 use serde::{Deserialize, Serialize};
-use simdsim_isa::Ext;
-use simdsim_kernels::{by_name, Variant};
-use simdsim_pipe::{simulate, PipeConfig};
+use simdsim_sweep::{catalog, EngineOptions, Scenario, SweepError};
 
 /// One ablation measurement.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -24,34 +25,59 @@ pub struct AblationRow {
     pub speedup: f64,
 }
 
-fn sweep<T: std::fmt::Display + Copy>(
-    parameter: &str,
-    kernels: &[&str],
-    settings: &[T],
-    mut configure: impl FnMut(&mut PipeConfig, T),
-    ext: Ext,
-) -> Vec<AblationRow> {
-    let mut rows = Vec::new();
-    for name in kernels {
-        let kernel = by_name(name).unwrap_or_else(|| panic!("kernel {name}"));
-        let built = kernel.build(Variant::for_ext(ext));
-        let mut base = None;
-        for s in settings {
-            let mut cfg = PipeConfig::paper(2, ext);
-            configure(&mut cfg, *s);
-            let (_, t) =
-                simulate(&built.program, &built.machine, &cfg, INSTR_LIMIT).expect("simulates");
-            let b = *base.get_or_insert(t.cycles);
-            rows.push(AblationRow {
-                parameter: parameter.to_owned(),
-                setting: s.to_string(),
-                workload: (*name).to_owned(),
-                cycles: t.cycles,
-                speedup: b as f64 / t.cycles as f64,
-            });
-        }
+/// [`rows_with`] on default engine options (in-process, uncached).
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`SweepError`].
+pub fn rows(scenario: &Scenario) -> Result<Vec<AblationRow>, SweepError> {
+    rows_with(scenario, &EngineOptions::default())
+}
+
+/// Runs an override-axis scenario and renders each cell as an
+/// [`AblationRow`], normalized to the workload's first setting.  Works
+/// for any user-defined scenario shaped like the catalog's `ablate-*`
+/// entries (one override parameter per set); pass cache-enabled options
+/// to share results with the `sweep` binary.
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`SweepError`].
+pub fn rows_with(
+    scenario: &Scenario,
+    opts: &EngineOptions,
+) -> Result<Vec<AblationRow>, SweepError> {
+    let report = simdsim_sweep::run(scenario, opts);
+    let mut out = Vec::new();
+    // Cells arrive workload-major with settings in axis order, so the
+    // first cell of each workload is its normalization baseline.
+    let mut base: Option<(String, u64)> = None;
+    for (cell, stats) in report.cells()? {
+        let workload = cell.workload.name().to_owned();
+        let b = match &base {
+            Some((w, b)) if *w == workload => *b,
+            _ => {
+                base = Some((workload.clone(), stats.cycles));
+                stats.cycles
+            }
+        };
+        let (parameter, setting) = cell.overrides.params.first().map_or_else(
+            || (String::new(), String::new()),
+            |p| (p.key.clone(), p.value.to_string()),
+        );
+        out.push(AblationRow {
+            parameter,
+            setting,
+            workload,
+            cycles: stats.cycles,
+            speedup: b as f64 / stats.cycles as f64,
+        });
     }
-    rows
+    Ok(out)
+}
+
+fn run_catalog(scenario: &Scenario) -> Vec<AblationRow> {
+    rows(scenario).unwrap_or_else(|e| panic!("ablation {}: {e}", scenario.name))
 }
 
 /// Sweep the number of parallel vector lanes per SIMD unit on the 2-way
@@ -60,39 +86,21 @@ fn sweep<T: std::fmt::Display + Copy>(
 /// increasing the complexity of the register file."
 #[must_use]
 pub fn lanes() -> Vec<AblationRow> {
-    sweep(
-        "lanes",
-        &["idct", "motion1", "ycc", "h2v2"],
-        &[1usize, 2, 4, 8, 16],
-        |cfg, lanes| cfg.lanes = lanes,
-        Ext::Vmmx128,
-    )
+    run_catalog(&catalog::ablate_lanes())
 }
 
 /// Sweep the L2 vector-port width (the `B×64-bit` port of Table IV).
 /// Separates compute-bound kernels from bandwidth-bound ones.
 #[must_use]
 pub fn l2_port_width() -> Vec<AblationRow> {
-    sweep(
-        "l2-port-bytes",
-        &["motion1", "ycc", "ltpfilt"],
-        &[8usize, 16, 32, 64],
-        |cfg, width| cfg.mem.l2.port_width = width,
-        Ext::Vmmx128,
-    )
+    run_catalog(&catalog::ablate_l2_port())
 }
 
 /// Sweep the physical matrix register count (Table III gives the VMMX
 /// file only 20 physical registers at 2-way — 4 in-flight renames).
 #[must_use]
 pub fn matrix_registers() -> Vec<AblationRow> {
-    sweep(
-        "phys-matrix-regs",
-        &["idct", "rgb", "motion2"],
-        &[17usize, 18, 20, 24, 36, 64],
-        |cfg, n| cfg.phys_simd = n,
-        Ext::Vmmx128,
-    )
+    run_catalog(&catalog::ablate_matrix_regs())
 }
 
 /// Sweep the branch-redirect penalty on the MMX64 baseline — scalar loop
@@ -100,13 +108,7 @@ pub fn matrix_registers() -> Vec<AblationRow> {
 /// the matrix ISA eliminates.
 #[must_use]
 pub fn redirect_penalty() -> Vec<AblationRow> {
-    sweep(
-        "redirect-penalty",
-        &["motion1", "addblock"],
-        &[1u64, 3, 5, 10, 20],
-        |cfg, p| cfg.redirect_penalty = p,
-        Ext::Mmx64,
-    )
+    run_catalog(&catalog::ablate_redirect())
 }
 
 /// Renders ablation rows as a text table.

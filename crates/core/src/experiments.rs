@@ -1,10 +1,16 @@
 //! Experiment drivers: one function per figure of the paper.
+//!
+//! The heavy lifting lives in [`simdsim_sweep`]: each figure is a
+//! declarative scenario from [`simdsim_sweep::catalog`], executed by the
+//! engine (bounded work-stealing pool, optional content-addressed cache),
+//! and assembled into figure rows here.  The `try_` variants propagate a
+//! failing cell as a [`SweepError`] naming that cell; the plain variants
+//! keep the seed's infallible signatures for callers that treat a failure
+//! as a bug.
 
-use crate::INSTR_LIMIT;
 use serde::{Deserialize, Serialize};
 use simdsim_isa::{ClassCounts, Ext};
-use simdsim_kernels::{registry, Variant};
-use simdsim_pipe::{simulate, PipeConfig, PipeStats};
+use simdsim_sweep::{catalog, Cell, CellStats, EngineOptions, SweepError, SweepReport};
 
 /// Result of simulating one kernel on one configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,38 +42,53 @@ pub fn fig4() -> Vec<KernelResult> {
 /// 2-way; wider cores are useful for ablations).
 #[must_use]
 pub fn fig4_at_way(way: usize) -> Vec<KernelResult> {
+    try_fig4_at_way(way).unwrap_or_else(|e| panic!("figure 4 sweep: {e}"))
+}
+
+/// Fallible [`fig4`]: a failing cell comes back as an error naming it.
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`SweepError`].
+pub fn try_fig4() -> Result<Vec<KernelResult>, SweepError> {
+    try_fig4_at_way(2)
+}
+
+/// Fallible [`fig4_at_way`].
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`SweepError`].
+pub fn try_fig4_at_way(way: usize) -> Result<Vec<KernelResult>, SweepError> {
+    let report = simdsim_sweep::run(&catalog::fig4_at_way(way), &EngineOptions::default());
+    fig4_rows(&report)
+}
+
+/// Assembles Figure-4 rows from any report of a Figure-4-shaped sweep
+/// (kernels × extensions; the same-width MMX64 cell is the baseline).
+/// Useful when the report came from a cached or filtered engine run.
+///
+/// # Errors
+///
+/// Returns the first failing cell, or an error for a cell whose MMX64
+/// baseline is missing from the sweep.
+pub fn fig4_rows(report: &SweepReport) -> Result<Vec<KernelResult>, SweepError> {
     let mut rows = Vec::new();
-    let kernels = registry();
-    let results: Vec<Vec<(Ext, u64, u64, f64)>> = run_parallel(&kernels, |k| {
-        let mut per_ext = Vec::new();
-        for ext in Ext::ALL {
-            let built = k.build(Variant::for_ext(ext));
-            let cfg = PipeConfig::paper(way, ext);
-            let (_, stats) =
-                simulate(&built.program, &built.machine, &cfg, INSTR_LIMIT).expect("kernel runs");
-            per_ext.push((ext, stats.cycles, stats.instrs, stats.ipc()));
-        }
-        per_ext
-    });
-    for (k, per_ext) in kernels.iter().zip(results) {
-        let base = per_ext
-            .iter()
-            .find(|(e, ..)| *e == Ext::Mmx64)
-            .expect("baseline present")
-            .1;
-        for (ext, cycles, instrs, ipc) in per_ext {
+    for (kernel, group) in group_by_workload(report)? {
+        for (cell, stats) in &group {
+            let base = baseline(&group, cell, Ext::Mmx64, cell.way)?;
             rows.push(KernelResult {
-                kernel: k.spec().name.to_owned(),
-                ext: ext.name().to_owned(),
-                way,
-                cycles,
-                instrs,
-                speedup: base as f64 / cycles as f64,
-                ipc,
+                kernel: kernel.clone(),
+                ext: cell.ext.name().to_owned(),
+                way: cell.way,
+                cycles: stats.cycles,
+                instrs: stats.instrs,
+                speedup: base as f64 / stats.cycles as f64,
+                ipc: stats.ipc,
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Result of simulating one application on one configuration.
@@ -98,46 +119,45 @@ pub struct AppResult {
 /// 2-way MMX64 run.
 #[must_use]
 pub fn fig5() -> Vec<AppResult> {
-    let apps = simdsim_apps::registry();
-    let jobs: Vec<(usize, Ext)> = crate::WAYS
-        .iter()
-        .flat_map(|w| Ext::ALL.iter().map(move |e| (*w, *e)))
-        .collect();
+    try_fig5().unwrap_or_else(|e| panic!("figure 5 sweep: {e}"))
+}
 
+/// Fallible [`fig5`]: a failing cell comes back as an error naming it.
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`SweepError`].
+pub fn try_fig5() -> Result<Vec<AppResult>, SweepError> {
+    let report = simdsim_sweep::run(&catalog::fig5(), &EngineOptions::default());
+    fig5_rows(&report)
+}
+
+/// Assembles Figure-5 rows from any report of a Figure-5-shaped sweep
+/// (apps × widths × extensions; the 2-way MMX64 cell is the baseline).
+///
+/// # Errors
+///
+/// Returns the first failing cell, or an error for a cell whose 2-way
+/// MMX64 baseline is missing from the sweep.
+pub fn fig5_rows(report: &SweepReport) -> Result<Vec<AppResult>, SweepError> {
     let mut rows = Vec::new();
-    let all: Vec<Vec<(usize, Ext, PipeStats)>> = run_parallel(&apps, |app| {
-        jobs.iter()
-            .map(|(way, ext)| {
-                let built = app.build(Variant::for_ext(*ext));
-                let cfg = PipeConfig::paper(*way, *ext);
-                let (_, stats) =
-                    simulate(&built.program, &built.machine, &cfg, INSTR_LIMIT).expect("app runs");
-                (*way, *ext, stats)
-            })
-            .collect()
-    });
-    for (app, results) in apps.iter().zip(all) {
-        let base = results
-            .iter()
-            .find(|(w, e, _)| *w == 2 && *e == Ext::Mmx64)
-            .expect("baseline present")
-            .2
-            .cycles;
-        for (way, ext, stats) in results {
+    for (app, group) in group_by_workload(report)? {
+        for (cell, stats) in &group {
+            let base = baseline(&group, cell, Ext::Mmx64, 2)?;
             rows.push(AppResult {
-                app: app.spec().name.to_owned(),
-                ext: ext.name().to_owned(),
-                way,
+                app: app.clone(),
+                ext: cell.ext.name().to_owned(),
+                way: cell.way,
                 cycles: stats.cycles,
                 instrs: stats.instrs,
-                vector_cycles: stats.vector_region_cycles,
-                scalar_cycles: stats.scalar_region_cycles,
+                vector_cycles: stats.vector_cycles,
+                scalar_cycles: stats.scalar_cycles,
                 counts: stats.counts,
                 speedup: base as f64 / stats.cycles as f64,
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Figure 6: the jpegdec cycle breakdown (vector vs scalar cycles),
@@ -159,29 +179,39 @@ pub fn fig7(rows: &[AppResult]) -> Vec<AppResult> {
     rows.iter().filter(|r| r.way == 2).cloned().collect()
 }
 
-/// Runs a closure over every item on a scoped thread per item
-/// (simulations are independent and CPU-bound).
-fn run_parallel<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let n = items.len();
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (item, slot) in items.iter().zip(out.iter_mut()) {
-            let f = &f;
-            handles.push(s.spawn(move || {
-                *slot = Some(f(item));
-            }));
+type Group<'a> = Vec<(&'a Cell, &'a CellStats)>;
+
+/// Splits a report into per-workload groups, preserving expansion order
+/// (cells of one workload are contiguous in [`simdsim_sweep::Scenario::expand`]
+/// order, but grouping by name keeps this robust to filtered reports).
+fn group_by_workload(report: &SweepReport) -> Result<Vec<(String, Group<'_>)>, SweepError> {
+    let mut groups: Vec<(String, Group<'_>)> = Vec::new();
+    for (cell, stats) in report.cells()? {
+        match groups.iter_mut().find(|(n, _)| n == cell.workload.name()) {
+            Some((_, g)) => g.push((cell, stats)),
+            None => groups.push((cell.workload.name().to_owned(), vec![(cell, stats)])),
         }
-        for h in handles {
-            h.join().expect("simulation thread panicked");
-        }
-    });
-    out.into_iter().map(|r| r.expect("filled")).collect()
+    }
+    Ok(groups)
+}
+
+/// The baseline cycle count for `cell`'s group: the `(ext, way)` cell.
+fn baseline(group: &Group<'_>, cell: &Cell, ext: Ext, way: usize) -> Result<u64, SweepError> {
+    group
+        .iter()
+        .find(|(c, _)| c.ext == ext && c.way == way)
+        .map(|(_, s)| s.cycles)
+        .ok_or_else(|| SweepError {
+            cell: cell.label(),
+            message: format!("no {way}way-{ext} baseline cell in the sweep"),
+        })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simdsim_kernels::registry;
+    use simdsim_sweep::Scenario;
 
     #[test]
     fn fig4_has_all_cells() {
@@ -203,5 +233,30 @@ mod tests {
         for r in rows.iter().filter(|r| r.ext == "mmx64") {
             assert!((r.speedup - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn failing_cell_surfaces_its_label_not_a_panic() {
+        let scenario = Scenario::new("broken", "unknown kernel")
+            .kernels(["no-such-kernel"])
+            .exts([Ext::Mmx64])
+            .ways([2]);
+        let report = simdsim_sweep::run(&scenario, &EngineOptions::default());
+        let err = fig4_rows(&report).unwrap_err();
+        assert!(err.cell.contains("no-such-kernel"), "{err}");
+        assert!(err.message.contains("unknown kernel"), "{err}");
+    }
+
+    #[test]
+    fn missing_baseline_is_an_error() {
+        // A sweep without the MMX64 column cannot be normalized.
+        let scenario = Scenario::new("nobase", "vmmx only")
+            .kernels(["idct"])
+            .exts([Ext::Vmmx128])
+            .ways([2])
+            .instr_limit(simdsim_sweep::DEFAULT_INSTR_LIMIT);
+        let report = simdsim_sweep::run(&scenario, &EngineOptions::default());
+        let err = fig4_rows(&report).unwrap_err();
+        assert!(err.message.contains("baseline"), "{err}");
     }
 }

@@ -16,6 +16,11 @@
 //! | Figure 6  | cycle breakdown (jpegdec) | [`experiments::fig6`] |
 //! | Figure 7  | dynamic instruction mix | [`experiments::fig7`] |
 //!
+//! Each figure driver is a declarative scenario executed by the
+//! [`sweep`] engine (`simdsim-sweep`), which owns scheduling and the
+//! content-addressed result cache; custom machines and sweeps are new
+//! [`sweep::Scenario`] values rather than new driver code.
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -39,9 +44,10 @@ pub use simdsim_kernels as kernels;
 pub use simdsim_mem as mem;
 pub use simdsim_pipe as pipe;
 pub use simdsim_rf as rf;
+pub use simdsim_sweep as sweep;
 
 /// The three processor widths evaluated in the paper.
-pub const WAYS: [usize; 3] = [2, 4, 8];
+pub const WAYS: [usize; 3] = simdsim_sweep::catalog::PAPER_WAYS;
 
 /// Dynamic-instruction budget for a single simulated workload.
-pub const INSTR_LIMIT: u64 = 500_000_000;
+pub const INSTR_LIMIT: u64 = simdsim_sweep::DEFAULT_INSTR_LIMIT;

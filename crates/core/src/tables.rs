@@ -1,6 +1,5 @@
 //! Regenerators for the paper's configuration tables (I–IV).
 
-use simdsim_isa::Ext;
 use simdsim_kernels::registry;
 use simdsim_mem::MemConfig;
 use simdsim_pipe::PipeConfig;
@@ -42,13 +41,14 @@ pub fn table2() -> Vec<Table2Row> {
         .collect()
 }
 
-/// Table III: the twelve modelled processors.
+/// Table III: the twelve modelled processors — exactly the configuration
+/// set of the Figure-5 scenario, so the table and the sweeps can never
+/// disagree about what machines the reproduction models.
 #[must_use]
 pub fn table3() -> Vec<PipeConfig> {
-    crate::WAYS
-        .iter()
-        .flat_map(|w| Ext::ALL.iter().map(move |e| PipeConfig::paper(*w, *e)))
-        .collect()
+    simdsim_sweep::catalog::fig5()
+        .configs()
+        .expect("the paper scenario resolves on paper configurations")
 }
 
 /// Table IV: the memory hierarchies (MMX and VMMX flavours per width).

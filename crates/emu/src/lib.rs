@@ -45,3 +45,9 @@ pub use error::EmuError;
 pub use layout::Layout;
 pub use machine::{Machine, RunStats};
 pub use trace::{DynInstr, MemAccess, NullSink, TraceSink, VecSink};
+
+/// Emulator revision, part of `simdsim-sweep`'s content-addressed cache
+/// key.  Bump whenever a change to this crate alters the dynamic
+/// instruction trace (and therefore simulated timing), so cached results
+/// from older builds are never reused.
+pub const REVISION: u32 = 1;

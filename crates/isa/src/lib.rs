@@ -60,6 +60,12 @@ pub use instr::{AccOp, AluOp, Cond, FOp, Instr, MOperand, Operand2, Sat, VLoc, V
 pub use program::{ClassCounts, Program, Region};
 pub use reg::{AReg, FReg, IReg, MReg, VReg};
 
+/// ISA revision, part of `simdsim-sweep`'s content-addressed cache
+/// key.  Bump whenever instruction semantics, encodings or class
+/// assignments change (they determine every generated program), so
+/// cached results from older builds are never reused.
+pub const REVISION: u32 = 1;
+
 /// Maximum vector length (rows of a matrix register) supported by the
 /// 2-dimensional extension.  The paper fixes this at sixteen and argues
 /// that multimedia vector lengths do not warrant more.

@@ -48,6 +48,12 @@ pub mod resample;
 use simdsim_emu::{EmuError, Machine, NullSink, RunStats, TraceSink};
 use simdsim_isa::{Ext, Program};
 
+/// Workload revision, part of `simdsim-sweep`'s content-addressed cache
+/// key.  Bump whenever generated kernel code or input data changes in a
+/// way that affects timing, so cached results from older builds are never
+/// reused.
+pub const REVISION: u32 = 1;
+
 /// Which implementation variant of a kernel to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {

@@ -24,3 +24,8 @@ mod system;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use system::{MemConfig, MemSystem, MemTimingStats};
+
+/// Memory-model revision, part of `simdsim-sweep`'s content-addressed
+/// cache key.  Bump whenever a change to this crate alters simulated
+/// timing, so cached results from older builds are never reused.
+pub const REVISION: u32 = 1;

@@ -124,6 +124,94 @@ impl PipeConfig {
     pub fn label(&self) -> String {
         format!("{}way-{}", self.way, self.ext)
     }
+
+    /// Every parameter key accepted by [`PipeConfig::set`].  Width and
+    /// extension are scenario axes, not overridable knobs, so they are
+    /// deliberately absent.
+    pub const PARAMS: &'static [&'static str] = &[
+        "rob",
+        "iq",
+        "phys_int",
+        "phys_fp",
+        "phys_simd",
+        "int_fus",
+        "fp_fus",
+        "simd_issue",
+        "simd_fus",
+        "lanes",
+        "mem_fus",
+        "frontend_depth",
+        "redirect_penalty",
+        "bpred_entries",
+        "l1.size",
+        "l1.assoc",
+        "l1.line",
+        "l1.latency",
+        "l1.ports",
+        "l1.port_width",
+        "l1.banks",
+        "l2.size",
+        "l2.assoc",
+        "l2.line",
+        "l2.latency",
+        "l2.ports",
+        "l2.port_width",
+        "l2.banks",
+        "mem.latency",
+        "mem.pipeline",
+    ];
+
+    /// Sets one parameter by name — the hook that lets declarative
+    /// sweeps override arbitrary knobs without bespoke driver closures.
+    /// See [`PipeConfig::PARAMS`] for the accepted keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the key when it is unknown or the value
+    /// does not fit the field.
+    pub fn set(&mut self, key: &str, value: u64) -> Result<(), String> {
+        let as_usize = |v: u64| -> Result<usize, String> {
+            usize::try_from(v).map_err(|_| format!("value {v} out of range for `{key}`"))
+        };
+        match key {
+            "rob" => self.rob = as_usize(value)?,
+            "iq" => self.iq = as_usize(value)?,
+            "phys_int" => self.phys_int = as_usize(value)?,
+            "phys_fp" => self.phys_fp = as_usize(value)?,
+            "phys_simd" => self.phys_simd = as_usize(value)?,
+            "int_fus" => self.int_fus = as_usize(value)?,
+            "fp_fus" => self.fp_fus = as_usize(value)?,
+            "simd_issue" => self.simd_issue = as_usize(value)?,
+            "simd_fus" => self.simd_fus = as_usize(value)?,
+            "lanes" => self.lanes = as_usize(value)?,
+            "mem_fus" => self.mem_fus = as_usize(value)?,
+            "frontend_depth" => self.frontend_depth = value,
+            "redirect_penalty" => self.redirect_penalty = value,
+            "bpred_entries" => self.bpred_entries = as_usize(value)?,
+            "l1.size" => self.mem.l1.size = as_usize(value)?,
+            "l1.assoc" => self.mem.l1.assoc = as_usize(value)?,
+            "l1.line" => self.mem.l1.line = as_usize(value)?,
+            "l1.latency" => self.mem.l1.latency = value,
+            "l1.ports" => self.mem.l1.ports = as_usize(value)?,
+            "l1.port_width" => self.mem.l1.port_width = as_usize(value)?,
+            "l1.banks" => self.mem.l1.banks = as_usize(value)?,
+            "l2.size" => self.mem.l2.size = as_usize(value)?,
+            "l2.assoc" => self.mem.l2.assoc = as_usize(value)?,
+            "l2.line" => self.mem.l2.line = as_usize(value)?,
+            "l2.latency" => self.mem.l2.latency = value,
+            "l2.ports" => self.mem.l2.ports = as_usize(value)?,
+            "l2.port_width" => self.mem.l2.port_width = as_usize(value)?,
+            "l2.banks" => self.mem.l2.banks = as_usize(value)?,
+            "mem.latency" => self.mem.mem_latency = value,
+            "mem.pipeline" => self.mem.mem_pipeline = value,
+            _ => {
+                return Err(format!(
+                    "unknown config parameter `{key}` (see PipeConfig::PARAMS)"
+                ))
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +240,26 @@ mod tests {
     #[should_panic(expected = "way must be")]
     fn bad_way_panics() {
         let _ = PipeConfig::paper(3, Ext::Mmx64);
+    }
+
+    #[test]
+    fn every_listed_param_is_settable() {
+        let mut c = PipeConfig::paper(2, Ext::Vmmx128);
+        for key in PipeConfig::PARAMS {
+            c.set(key, 7).unwrap_or_else(|e| panic!("{key}: {e}"));
+        }
+        assert_eq!(c.rob, 7);
+        assert_eq!(c.lanes, 7);
+        assert_eq!(c.mem.l2.port_width, 7);
+        assert_eq!(c.mem.mem_pipeline, 7);
+    }
+
+    #[test]
+    fn unknown_param_is_an_error_naming_the_key() {
+        let mut c = PipeConfig::paper(2, Ext::Mmx64);
+        let err = c.set("warp_drive", 1).unwrap_err();
+        assert!(err.contains("warp_drive"), "{err}");
+        // The config is untouched on error.
+        assert_eq!(c, PipeConfig::paper(2, Ext::Mmx64));
     }
 }

@@ -35,3 +35,9 @@ mod model;
 pub use bpred::Gshare;
 pub use config::PipeConfig;
 pub use model::{simulate, PipeStats, Pipeline};
+
+/// Timing-model revision, part of `simdsim-sweep`'s content-addressed
+/// cache key.  Bump whenever a change to this crate (or a behavioural
+/// change it absorbs from `simdsim-emu`/`simdsim-mem`) alters simulated
+/// timing, so cached results from older builds are never reused.
+pub const REVISION: u32 = 1;

@@ -1,0 +1,141 @@
+//! The built-in scenario catalog: the paper's figures and the ablation
+//! studies, expressed declaratively.  `sweep --list` prints this catalog;
+//! user-defined scenarios load from JSON files instead
+//! (see [`crate::Scenario`]).
+
+use crate::scenario::Scenario;
+use simdsim_isa::Ext;
+
+/// The three processor widths evaluated in the paper.
+pub const PAPER_WAYS: [usize; 3] = [2, 4, 8];
+
+fn kernel_names() -> Vec<String> {
+    simdsim_kernels::registry()
+        .iter()
+        .map(|k| k.spec().name.to_owned())
+        .collect()
+}
+
+fn app_names() -> Vec<String> {
+    simdsim_apps::registry()
+        .iter()
+        .map(|a| a.spec().name.to_owned())
+        .collect()
+}
+
+/// Figure 4: every kernel on every extension at the paper's 2-way width.
+#[must_use]
+pub fn fig4() -> Scenario {
+    fig4_at_way(2)
+}
+
+/// A Figure-4-style kernel sweep at an arbitrary width (named `fig4` at
+/// the paper's 2-way, `fig4-Nway` otherwise).
+#[must_use]
+pub fn fig4_at_way(way: usize) -> Scenario {
+    let name = if way == 2 {
+        "fig4".to_owned()
+    } else {
+        format!("fig4-{way}way")
+    };
+    Scenario::new(&name, "kernel speed-ups over same-width MMX64")
+        .kernels(kernel_names())
+        .exts(Ext::ALL)
+        .ways([way])
+}
+
+/// Figure 5 (and the data behind Figures 6 and 7): every application on
+/// every extension × width.
+#[must_use]
+pub fn fig5() -> Scenario {
+    Scenario::new("fig5", "application speed-ups over 2-way MMX64")
+        .apps(app_names())
+        .exts(Ext::ALL)
+        .ways(PAPER_WAYS)
+}
+
+/// Ablation: parallel vector lanes on the 2-way VMMX128 core.
+#[must_use]
+pub fn ablate_lanes() -> Scenario {
+    Scenario::new("ablate-lanes", "vector lanes per SIMD unit (2-way VMMX128)")
+        .kernels(["idct", "motion1", "ycc", "h2v2"])
+        .exts([Ext::Vmmx128])
+        .ways([2])
+        .override_axis("lanes", [1, 2, 4, 8, 16])
+}
+
+/// Ablation: L2 vector-port width (the `B×64-bit` port of Table IV).
+#[must_use]
+pub fn ablate_l2_port() -> Scenario {
+    Scenario::new("ablate-l2-port", "L2 vector-port bytes (2-way VMMX128)")
+        .kernels(["motion1", "ycc", "ltpfilt"])
+        .exts([Ext::Vmmx128])
+        .ways([2])
+        .override_axis("l2.port_width", [8, 16, 32, 64])
+}
+
+/// Ablation: physical matrix register count around the paper's sizing.
+#[must_use]
+pub fn ablate_matrix_regs() -> Scenario {
+    Scenario::new(
+        "ablate-matrix-regs",
+        "physical matrix registers (2-way VMMX128)",
+    )
+    .kernels(["idct", "rgb", "motion2"])
+    .exts([Ext::Vmmx128])
+    .ways([2])
+    .override_axis("phys_simd", [17, 18, 20, 24, 36, 64])
+}
+
+/// Ablation: branch-redirect penalty on the MMX64 baseline.
+#[must_use]
+pub fn ablate_redirect() -> Scenario {
+    Scenario::new("ablate-redirect", "branch redirect penalty (2-way MMX64)")
+        .kernels(["motion1", "addblock"])
+        .exts([Ext::Mmx64])
+        .ways([2])
+        .override_axis("redirect_penalty", [1, 3, 5, 10, 20])
+}
+
+/// Every named scenario, in catalog order.
+#[must_use]
+pub fn all() -> Vec<Scenario> {
+    vec![
+        fig4(),
+        fig5(),
+        ablate_lanes(),
+        ablate_l2_port(),
+        ablate_matrix_regs(),
+        ablate_redirect(),
+    ]
+}
+
+/// Looks a scenario up by name.
+#[must_use]
+pub fn named(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_shapes_match_the_paper() {
+        assert_eq!(fig4().expand().len(), 11 * 4);
+        assert_eq!(fig5().expand().len(), 6 * 3 * 4);
+        assert_eq!(fig5().configs().expect("paper configs").len(), 12);
+        assert_eq!(named("fig4").expect("fig4 exists").name, "fig4");
+        assert!(named("fig9").is_none());
+    }
+
+    #[test]
+    fn every_catalog_cell_resolves_a_config() {
+        for scenario in all() {
+            for cell in scenario.expand() {
+                cell.config()
+                    .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The sweep engine: expands a [`Scenario`], serves cells from the
+//! content-addressed [`ResultStore`], schedules the rest on the
+//! work-stealing pool, and reports per-cell outcomes in deterministic
+//! order.
+
+use crate::scenario::{Cell, Scenario};
+use crate::scheduler;
+use crate::store::{cell_key, CacheKey, ResultStore, StoredCell};
+use serde::{Deserialize, Serialize};
+use simdsim_isa::ClassCounts;
+use simdsim_pipe::{simulate, PipeConfig};
+use std::path::PathBuf;
+
+/// A failure in one sweep cell, carrying the cell's label so a single bad
+/// job names itself instead of aborting the whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Label of the failing cell (`scenario/workload/ext/Nway[...]`).
+    pub cell: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SweepError {
+    /// An error for `cell` with `message`.
+    #[must_use]
+    pub fn new(cell: &Cell, message: impl Into<String>) -> Self {
+        Self {
+            cell: cell.label(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {}: {}", self.cell, self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Timing statistics of one simulated cell — the engine's unit of result,
+/// cached by content address and assembled into figures by the drivers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instrs: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Cycles attributed to vectorised kernel regions.
+    pub vector_cycles: u64,
+    /// Cycles attributed to scalar application code.
+    pub scalar_cycles: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Committed instructions per Figure-7 class.
+    pub counts: ClassCounts,
+}
+
+/// How the engine runs a scenario.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker-pool size; `None` uses the available parallelism.
+    pub jobs: Option<usize>,
+    /// Result-store directory; `None` disables caching (every cell is
+    /// simulated in-process — the right default for library callers and
+    /// tests, which must not observe stale on-disk state).
+    pub cache_dir: Option<PathBuf>,
+    /// Substring filter on cell labels; non-matching cells are skipped.
+    pub filter: Option<String>,
+}
+
+impl EngineOptions {
+    /// Enables the content-addressed store at `dir`.
+    #[must_use]
+    pub fn cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Fixes the worker-pool size.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Keeps only cells whose label contains `filter`.
+    #[must_use]
+    pub fn filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+}
+
+/// The outcome of one cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell that ran (or failed, or was served from cache).
+    pub cell: Cell,
+    /// `true` when the result came from the store.
+    pub cached: bool,
+    /// The statistics, or the per-cell failure.
+    pub stats: Result<CellStats, SweepError>,
+}
+
+/// Every cell outcome of one scenario run, in expansion order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// One outcome per (filtered) cell, in [`Scenario::expand`] order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl SweepReport {
+    /// Number of cells served from the store.
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cached).count()
+    }
+
+    /// Number of cells simulated in this run.
+    #[must_use]
+    pub fn executed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.cached && o.stats.is_ok())
+            .count()
+    }
+
+    /// Number of failed cells.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.stats.is_err()).count()
+    }
+
+    /// All `(cell, stats)` pairs, or the first per-cell error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing cell's [`SweepError`].
+    pub fn cells(&self) -> Result<Vec<(&Cell, &CellStats)>, SweepError> {
+        self.outcomes
+            .iter()
+            .map(|o| match &o.stats {
+                Ok(s) => Ok((&o.cell, s)),
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
+    }
+}
+
+/// What the preparation pass decided about each cell.
+enum Prep {
+    Failed(SweepError),
+    Cached(CellStats),
+    Pending {
+        cfg: PipeConfig,
+        key: Option<CacheKey>,
+    },
+}
+
+/// Runs `scenario` and returns one outcome per cell, in expansion order
+/// regardless of worker count, cache state or steal pattern.
+#[must_use]
+pub fn run(scenario: &Scenario, opts: &EngineOptions) -> SweepReport {
+    let mut cells = scenario.expand();
+    if let Some(f) = &opts.filter {
+        cells.retain(|c| c.label().contains(f.as_str()));
+    }
+    let store = opts.cache_dir.as_ref().map(ResultStore::new);
+
+    // Resolve configurations and probe the store up front, sequentially —
+    // both are cheap next to a simulation.
+    let preps: Vec<Prep> = cells
+        .iter()
+        .map(|cell| match cell.config() {
+            Err(msg) => Prep::Failed(SweepError::new(cell, msg)),
+            Ok(cfg) => {
+                let key = store.as_ref().map(|_| cell_key(cell, &cfg));
+                if let (Some(st), Some(k)) = (&store, &key) {
+                    if let Some(hit) = st.load(k) {
+                        return Prep::Cached(hit.stats);
+                    }
+                }
+                Prep::Pending {
+                    cfg,
+                    key: key.clone(),
+                }
+            }
+        })
+        .collect();
+
+    // Schedule only the cells the store could not serve.
+    let pending: Vec<(usize, &Cell, PipeConfig)> = preps
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            Prep::Pending { cfg, .. } => Some((i, &cells[i], *cfg)),
+            _ => None,
+        })
+        .collect();
+    let workers = opts.jobs.unwrap_or_else(scheduler::default_workers);
+    let mut fresh =
+        scheduler::run_jobs(&pending, workers, |(_, cell, cfg)| exec_cell(cell, cfg)).into_iter();
+
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for (cell, prep) in cells.into_iter().zip(preps) {
+        let (cached, stats) = match prep {
+            Prep::Failed(e) => (false, Err(e)),
+            Prep::Cached(s) => (true, Ok(s)),
+            Prep::Pending { key, .. } => {
+                let result = match fresh.next().expect("one result per pending cell") {
+                    Ok(r) => r,
+                    Err(panic) => Err(SweepError::new(&cell, panic.to_string())),
+                };
+                if let (Some(st), Some(k), Ok(s)) = (&store, &key, &result) {
+                    st.save(
+                        k,
+                        &StoredCell {
+                            label: cell.label(),
+                            stats: s.clone(),
+                        },
+                    );
+                }
+                (false, result)
+            }
+        };
+        outcomes.push(CellOutcome {
+            cell,
+            cached,
+            stats,
+        });
+    }
+    SweepReport {
+        scenario: scenario.name.clone(),
+        outcomes,
+    }
+}
+
+/// Simulates one cell on its resolved configuration.
+fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> Result<CellStats, SweepError> {
+    let built = cell
+        .workload
+        .build(cell.ext)
+        .map_err(|m| SweepError::new(cell, m))?;
+    let (_, t) = simulate(&built.program, &built.machine, cfg, cell.instr_limit)
+        .map_err(|e| SweepError::new(cell, e.to_string()))?;
+    Ok(CellStats {
+        cycles: t.cycles,
+        instrs: t.instrs,
+        ipc: t.ipc(),
+        vector_cycles: t.vector_region_cycles,
+        scalar_cycles: t.scalar_region_cycles,
+        branches: t.branches,
+        mispredicts: t.mispredicts,
+        counts: t.counts,
+    })
+}

@@ -1,0 +1,200 @@
+//! Content-addressed result store.
+//!
+//! Each simulated cell is cached under a key derived from everything that
+//! determines its outcome: the cache schema version, the workload
+//! revisions of the kernel/app crates, the model revisions of the
+//! emulator/timing/memory crates, the workload reference, the fully
+//! resolved [`PipeConfig`] and the instruction budget.  Any change to any
+//! of those yields a different key, so stale entries are never *re-used* —
+//! they are simply never looked up again.  This supersedes the seed's
+//! ad-hoc `target/simdsim-results/*.json` convention, which keyed results
+//! by figure name only and had no invalidation story.
+
+use crate::engine::CellStats;
+use crate::scenario::{Cell, WorkloadRef};
+use serde::{Deserialize, Serialize};
+use simdsim_pipe::PipeConfig;
+use std::path::{Path, PathBuf};
+
+/// Version of the stored-cell schema; bump when [`CellStats`] or the key
+/// material changes shape.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// A content hash addressing one cell's result (32 hex digits).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// The key as a hex string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Everything that determines a cell's simulation outcome: the workload
+/// (with the revisions of the crates that generate it) and the machine
+/// (with the revisions of the crates that model it).
+#[derive(Serialize)]
+struct KeyMaterial {
+    schema: u32,
+    kernels_rev: u32,
+    apps_rev: u32,
+    isa_rev: u32,
+    asm_rev: u32,
+    emu_rev: u32,
+    pipe_rev: u32,
+    mem_rev: u32,
+    workload: WorkloadRef,
+    config: PipeConfig,
+    instr_limit: u64,
+}
+
+/// The content-addressed key for `cell` simulated on `config`.
+///
+/// The scenario name is deliberately **not** part of the key: two
+/// scenarios sharing a cell share its cached result.
+#[must_use]
+pub fn cell_key(cell: &Cell, config: &PipeConfig) -> CacheKey {
+    let material = KeyMaterial {
+        schema: CACHE_SCHEMA_VERSION,
+        kernels_rev: simdsim_kernels::REVISION,
+        apps_rev: simdsim_apps::REVISION,
+        isa_rev: simdsim_isa::REVISION,
+        asm_rev: simdsim_asm::REVISION,
+        emu_rev: simdsim_emu::REVISION,
+        pipe_rev: simdsim_pipe::REVISION,
+        mem_rev: simdsim_mem::REVISION,
+        workload: cell.workload.clone(),
+        config: *config,
+        instr_limit: cell.instr_limit,
+    };
+    let text = serde_json::to_string(&material).expect("key material serializes");
+    CacheKey(format!("{:032x}", fnv1a128(text.as_bytes())))
+}
+
+/// FNV-1a, 128-bit variant: stable across platforms and runs, which is
+/// what a content address needs (`DefaultHasher` guarantees neither).
+fn fnv1a128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One cached result with its human-readable label (the label is
+/// redundant with the key but makes the cache dir greppable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredCell {
+    /// The cell's display label at save time.
+    pub label: String,
+    /// The simulation statistics.
+    pub stats: CellStats,
+}
+
+/// An on-disk store mapping [`CacheKey`]s to [`StoredCell`]s, one JSON
+/// file per key.  Safe to share between concurrent processes: writes go
+/// through a temp file + rename, and unreadable entries degrade to cache
+/// misses.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// A store rooted at `dir` (created lazily on first save).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the entry for `key`; any read or parse failure is a miss.
+    #[must_use]
+    pub fn load(&self, key: &CacheKey) -> Option<StoredCell> {
+        let text = std::fs::read_to_string(self.path(key)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Saves `cell` under `key`.  Best effort: an unwritable store means
+    /// the sweep just runs uncached, so IO errors are swallowed.
+    pub fn save(&self, key: &CacheKey, cell: &StoredCell) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let Ok(text) = serde_json::to_string(cell) else {
+            return;
+        };
+        let tmp = self
+            .dir
+            .join(format!("{key}.json.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, self.path(key)).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdsim_isa::Ext;
+
+    fn cell() -> Cell {
+        Cell {
+            scenario: "s".to_owned(),
+            workload: WorkloadRef::Kernel("idct".to_owned()),
+            ext: Ext::Vmmx128,
+            way: 2,
+            overrides: crate::scenario::OverrideSet::default(),
+            instr_limit: 1000,
+        }
+    }
+
+    #[test]
+    fn key_ignores_scenario_name_but_not_content() {
+        let a = cell();
+        let mut b = cell();
+        b.scenario = "other".to_owned();
+        let cfg = a.config().expect("paper config");
+        assert_eq!(cell_key(&a, &cfg), cell_key(&b, &cfg));
+
+        let mut c = cell();
+        c.instr_limit = 999;
+        assert_ne!(cell_key(&a, &cfg), cell_key(&c, &cfg));
+
+        let mut cfg2 = cfg;
+        cfg2.lanes += 1;
+        assert_ne!(cell_key(&a, &cfg), cell_key(&a, &cfg2));
+    }
+
+    #[test]
+    fn missing_and_corrupt_entries_are_misses() {
+        let dir = std::env::temp_dir().join(format!("simdsim-store-{}", std::process::id()));
+        let store = ResultStore::new(&dir);
+        let key = cell_key(&cell(), &cell().config().expect("config"));
+        assert!(store.load(&key).is_none());
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join(format!("{key}.json")), "{not json").expect("write");
+        assert!(store.load(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

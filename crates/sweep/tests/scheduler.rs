@@ -1,0 +1,62 @@
+//! Scheduler contract tests: deterministic output ordering regardless of
+//! worker count, and per-job panic isolation.
+
+use simdsim_sweep::{run_jobs, JobPanic};
+
+#[test]
+fn output_order_is_independent_of_worker_count() {
+    let items: Vec<u64> = (0..100).collect();
+    // Uneven job costs provoke stealing at higher worker counts.
+    let work = |x: &u64| -> u64 {
+        let spins = if x.is_multiple_of(7) { 50_000 } else { 50 };
+        let mut acc = *x;
+        for _ in 0..spins {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        }
+        // The expensive part above must not leak into the result, so the
+        // outputs are comparable across runs.
+        std::hint::black_box(acc);
+        x * 3 + 1
+    };
+    let reference: Vec<u64> = items.iter().map(work).collect();
+    for workers in [1, 2, 3, 4, 8, 16] {
+        let got: Vec<u64> = run_jobs(&items, workers, work)
+            .into_iter()
+            .map(|r| r.expect("no panics in this workload"))
+            .collect();
+        assert_eq!(got, reference, "order diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn a_panicking_job_fails_alone() {
+    // Silence the default panic hook for the intentional panics below so
+    // the test log stays readable; restore it afterwards.  Both panic
+    // cases live in this one test so the global hook is swapped exactly
+    // once, with no races against parallel test threads.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let items: Vec<u32> = (0..20).collect();
+    let out = run_jobs(&items, 4, |x| {
+        assert!(*x != 7, "job seven exploded");
+        *x * 2
+    });
+    let fmt = run_jobs(&[1u8], 1, |_| -> u8 { panic!("formatted {}", 42) });
+    std::panic::set_hook(hook);
+
+    assert_eq!(out.len(), 20);
+    for (i, r) in out.iter().enumerate() {
+        if i == 7 {
+            let err: &JobPanic = r.as_ref().expect_err("job 7 must fail");
+            assert!(
+                err.message.contains("job seven exploded"),
+                "panic message lost: {}",
+                err.message
+            );
+        } else {
+            assert_eq!(*r.as_ref().expect("other jobs unaffected"), i as u32 * 2);
+        }
+    }
+    // String-formatted payloads keep their rendered message too.
+    assert_eq!(fmt[0].as_ref().unwrap_err().message, "formatted 42");
+}

@@ -24,6 +24,20 @@ lint:
 reproduce:
     cargo run --release -p simdsim-bench --bin reproduce
 
+# Run a sweep scenario (e.g. `just sweep fig4`, `just sweep -- --list`).
+sweep *ARGS:
+    cargo run --release -p simdsim-bench --bin sweep -- {{ARGS}}
+
+# The CI smoke: run the fig4 sweep twice; the second run must be all-cached.
+sweep-smoke:
+    rm -rf target/simdsim-cache
+    cargo run --release -p simdsim-bench --bin sweep -- --filter fig4 --jobs 2
+    # No pipe here: a pipeline would report tee's exit code, hiding a
+    # failing cell in the second run.
+    cargo run --release -p simdsim-bench --bin sweep -- --filter fig4 --jobs 2 > /tmp/simdsim-sweep-second.txt
+    grep -q 'cached$' /tmp/simdsim-sweep-second.txt
+    ! grep -q 'ran$' /tmp/simdsim-sweep-second.txt
+
 # Run the criterion microbenchmarks (shimmed harness; prints timings).
 bench:
     cargo bench
