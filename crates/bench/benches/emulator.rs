@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the functional emulation path (`Machine::run`
+//! and the predecoded `Machine::run_decoded` hot loop), isolated from the
+//! timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simdsim::emu::{Machine, NullSink};
+use simdsim::kernels::{by_name, Variant};
+use simdsim_isa::Ext;
+
+fn bench_machine_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulation");
+    g.sample_size(10);
+    let kernel = by_name("motion1").expect("motion1 exists");
+    for ext in Ext::ALL {
+        let built = kernel.build(Variant::for_ext(ext));
+        let mut probe = built.machine.clone();
+        let stats = probe
+            .run(&built.program, &mut NullSink, u64::MAX)
+            .expect("runs");
+        g.throughput(Throughput::Elements(stats.dyn_instrs));
+
+        // `run`: predecode + execute, fresh table per call.
+        g.bench_with_input(
+            BenchmarkId::new("machine-run", ext.name()),
+            &built,
+            |b, built| {
+                let mut m: Machine = built.machine.clone();
+                b.iter(|| {
+                    m.reset_from(&built.machine);
+                    m.run(&built.program, &mut NullSink, u64::MAX)
+                        .expect("runs")
+                });
+            },
+        );
+
+        // `run_decoded`: the steady-state hot loop over a resident table.
+        let dec = built.program.decode();
+        g.bench_with_input(
+            BenchmarkId::new("machine-run-decoded", ext.name()),
+            &built,
+            |b, built| {
+                let mut m: Machine = built.machine.clone();
+                b.iter(|| {
+                    m.reset_from(&built.machine);
+                    m.run_decoded(&dec, &mut NullSink, u64::MAX).expect("runs")
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine_run);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! `perf` — the simulation-throughput regenerator.
+//!
+//! Replays the paper's sweeps with the cache disabled, measures wall time
+//! and simulated MIPS per cell, prints a throughput table and writes the
+//! machine-readable trajectory to `BENCH_simdsim.json` so successive PRs
+//! can compare hot-path performance.
+//!
+//! ```console
+//! $ perf                 # fig4 + fig5 (the full paper replay)
+//! $ perf --quick         # fig4 only (CI smoke; sub-second in release)
+//! $ perf --out other.json --jobs 2
+//! ```
+
+use serde::Serialize;
+use simdsim::sweep::{catalog, run, EngineOptions, SweepReport};
+
+const USAGE: &str = "\
+usage: perf [--quick] [--jobs N] [--out PATH]
+
+Measure end-to-end simulation throughput (wall time and simulated MIPS
+per sweep cell) and write the BENCH_simdsim.json trajectory artifact.
+
+options:
+  --quick      run only the fig4 kernel sweep (CI smoke)
+  --jobs N     worker-pool size (default: available parallelism)
+  --out PATH   artifact path (default: BENCH_simdsim.json)
+  --help       print this help";
+
+/// One row of the throughput artifact.
+#[derive(Debug, Serialize)]
+struct BenchCell {
+    label: String,
+    instrs: u64,
+    cycles: u64,
+    wall_ms: f64,
+    mips: f64,
+}
+
+/// Aggregate of one scenario's simulated cells.
+#[derive(Debug, Serialize)]
+struct BenchTotal {
+    instrs: u64,
+    wall_ms: f64,
+    mips: f64,
+}
+
+/// The `BENCH_simdsim.json` schema.  `jobs` records the worker-pool size
+/// the cells ran under: per-cell wall times include contention between
+/// concurrent workers, so trajectories are only comparable at equal
+/// `jobs`.
+#[derive(Debug, Serialize)]
+struct BenchArtifact {
+    bench: String,
+    schema_version: u32,
+    mode: String,
+    jobs: usize,
+    cells: Vec<BenchCell>,
+    total: BenchTotal,
+}
+
+fn collect(report: &SweepReport, cells: &mut Vec<BenchCell>) -> Result<(), String> {
+    for o in &report.outcomes {
+        let stats = o
+            .stats
+            .as_ref()
+            .map_err(|e| format!("cell {} failed: {}", e.cell, e.message))?;
+        cells.push(BenchCell {
+            label: o.cell.label(),
+            instrs: stats.instrs,
+            cycles: stats.cycles,
+            wall_ms: o.wall.as_secs_f64() * 1.0e3,
+            mips: o.mips().unwrap_or(0.0),
+        });
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = main_impl(&args).map_or_else(
+        |msg| {
+            eprintln!("perf: {msg}");
+            2
+        },
+        |()| 0,
+    );
+    std::process::exit(code);
+}
+
+fn main_impl(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut jobs: Option<usize> = None;
+    let mut out = String::from("BENCH_simdsim.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(
+                    v.parse()
+                        .map_err(|_| format!("--jobs expects a number, got `{v}`"))?,
+                );
+            }
+            "--out" => out = it.next().ok_or("--out needs a value")?.clone(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            flag => return Err(format!("unknown option `{flag}`")),
+        }
+    }
+
+    // No cache: the point is to *measure* the simulation, every run.
+    let jobs = jobs.unwrap_or_else(simdsim::sweep::default_workers);
+    let opts = EngineOptions::default().jobs(jobs);
+    let scenarios = if quick {
+        vec![catalog::fig4()]
+    } else {
+        vec![catalog::fig4(), catalog::fig5()]
+    };
+
+    let mut cells = Vec::new();
+    for scenario in &scenarios {
+        let report = run(scenario, &opts);
+        print!("{}", simdsim::report::render_throughput(&report));
+        collect(&report, &mut cells)?;
+    }
+
+    let total_instrs: u64 = cells.iter().map(|c| c.instrs).sum();
+    let total_wall_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
+    let artifact = BenchArtifact {
+        bench: "simdsim-throughput".to_owned(),
+        schema_version: 1,
+        mode: if quick { "quick" } else { "full" }.to_owned(),
+        jobs,
+        cells,
+        total: BenchTotal {
+            instrs: total_instrs,
+            wall_ms: total_wall_ms,
+            mips: if total_wall_ms > 0.0 {
+                total_instrs as f64 / (total_wall_ms / 1.0e3) / 1.0e6
+            } else {
+                0.0
+            },
+        },
+    };
+    std::fs::write(&out, simdsim::report::to_json(&artifact))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out} ({} cells, {:.1} MIPS aggregate)",
+        artifact.cells.len(),
+        artifact.total.mips
+    );
+    Ok(())
+}

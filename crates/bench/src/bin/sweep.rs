@@ -142,23 +142,28 @@ fn main_impl(args: &[String]) -> Result<i32, String> {
             continue;
         }
         printed_any = true;
+        let throughput = report
+            .simulated_mips()
+            .map_or(String::new(), |m| format!(", {m:.1} MIPS"));
         println!(
-            "== {}: {} ({} cells, {} cached, {} simulated, {} failed)",
+            "== {}: {} ({} cells, {} cached, {} simulated, {} failed{})",
             report.scenario,
             scenario.description,
             report.outcomes.len(),
             report.cached(),
             report.executed(),
-            report.failed()
+            report.failed(),
+            throughput
         );
         for o in &report.outcomes {
             match &o.stats {
                 Ok(s) => println!(
-                    "{:<44} cycles={:<10} instrs={:<10} ipc={:<5.2} {}",
+                    "{:<44} cycles={:<10} instrs={:<10} ipc={:<5.2} {:<11} {}",
                     o.cell.label(),
                     s.cycles,
                     s.instrs,
                     s.ipc,
+                    o.mips().map_or(String::new(), |m| format!("mips={m:.1}")),
                     if o.cached { "cached" } else { "ran" }
                 ),
                 Err(e) => {

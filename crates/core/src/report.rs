@@ -297,6 +297,47 @@ pub fn to_json<T: serde::Serialize>(rows: &T) -> String {
     serde_json::to_string_pretty(rows).expect("serialisable experiment results")
 }
 
+/// Renders per-cell simulation throughput (wall time and simulated MIPS)
+/// of one sweep run — the human-readable companion of the
+/// `BENCH_simdsim.json` artifact.
+#[must_use]
+pub fn render_throughput(report: &simdsim_sweep::SweepReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<44} {:>12} {:>10} {:>8}",
+        "cell", "instrs", "wall ms", "MIPS"
+    );
+    for o in &report.outcomes {
+        match &o.stats {
+            Ok(stats) if !o.cached => {
+                let _ = writeln!(
+                    s,
+                    "{:<44} {:>12} {:>10.2} {:>8.1}",
+                    o.cell.label(),
+                    stats.instrs,
+                    o.wall.as_secs_f64() * 1.0e3,
+                    o.mips().unwrap_or(0.0)
+                );
+            }
+            Ok(_) => {
+                let _ = writeln!(s, "{:<44} (cached)", o.cell.label());
+            }
+            Err(e) => {
+                let _ = writeln!(s, "{:<44} FAILED: {}", o.cell.label(), e.message);
+            }
+        }
+    }
+    if let Some(mips) = report.simulated_mips() {
+        let _ = writeln!(
+            s,
+            "total: {:.2} s simulated wall, {mips:.1} MIPS",
+            report.simulated_wall().as_secs_f64()
+        );
+    }
+    s
+}
+
 /// The extension order used across reports.
 #[must_use]
 pub fn ext_order() -> [Ext; 4] {

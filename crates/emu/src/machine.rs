@@ -4,8 +4,8 @@ use crate::subword;
 use crate::trace::{DynInstr, MemAccess, TraceSink};
 use crate::EmuError;
 use simdsim_isa::{
-    AccOp, AluOp, ClassCounts, Esz, Ext, FOp, Instr, MOperand, MemSz, Operand2, Program, Region,
-    Sat, VLoc, MAX_VL,
+    AccOp, AluOp, ClassCounts, Decoded, Esz, Ext, FOp, Instr, MOperand, MemSz, Operand2, Program,
+    Region, Sat, VLoc, MAX_VL,
 };
 
 /// Architectural statistics of one emulated run.
@@ -70,6 +70,28 @@ impl Machine {
     #[must_use]
     pub fn ext(&self) -> Ext {
         self.ext
+    }
+
+    /// Resets this machine to the architectural state of `src` without
+    /// reallocating the memory image (the buffer is reused when the sizes
+    /// match, which is the sweep engine's steady state).  After the call
+    /// the two machines are indistinguishable, so a worker can replay one
+    /// pristine reference machine across many cells instead of cloning a
+    /// multi-megabyte image per cell.
+    pub fn reset_from(&mut self, src: &Machine) {
+        self.ext = src.ext;
+        self.iregs = src.iregs;
+        self.fregs = src.fregs;
+        self.vregs = src.vregs;
+        self.mregs = src.mregs;
+        self.accs = src.accs;
+        self.vl = src.vl;
+        if self.mem.len() == src.mem.len() {
+            self.mem.copy_from_slice(&src.mem);
+        } else {
+            self.mem.clear();
+            self.mem.extend_from_slice(&src.mem);
+        }
     }
 
     /// SIMD register width in bytes (8 or 16).
@@ -292,6 +314,10 @@ impl Machine {
     /// Runs `prog` from instruction 0 until `Halt` (or falling off the end),
     /// streaming every committed instruction into `sink`.
     ///
+    /// Predecodes the program first; callers that already hold a
+    /// [`Decoded`] table (the timing model, repeated runs of one program)
+    /// should call [`Machine::run_decoded`] directly.
+    ///
     /// # Errors
     ///
     /// Returns [`EmuError`] on validation failure, illegal instructions,
@@ -302,37 +328,56 @@ impl Machine {
         sink: &mut impl TraceSink,
         max_instrs: u64,
     ) -> Result<RunStats, EmuError> {
-        prog.validate(self.ext.is_matrix())
+        self.run_decoded(&prog.decode(), sink, max_instrs)
+    }
+
+    /// Runs a predecoded program from instruction 0 until `Halt` (or
+    /// falling off the end), streaming every committed instruction into
+    /// `sink` together with its predecoded metadata.
+    ///
+    /// This is the hot loop: one indexed fetch per dynamic instruction
+    /// yields the instruction, its region tag and every static fact the
+    /// sink needs, with no per-instruction allocation or recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on validation failure, illegal instructions,
+    /// out-of-bounds accesses, or when `max_instrs` is exceeded.
+    pub fn run_decoded(
+        &mut self,
+        dec: &Decoded,
+        sink: &mut impl TraceSink,
+        max_instrs: u64,
+    ) -> Result<RunStats, EmuError> {
+        dec.validate(self.ext.is_matrix())
             .map_err(EmuError::Validation)?;
-        let code = prog.code();
-        let regions = prog.regions();
+        let table = dec.instrs();
         let mut stats = RunStats::default();
         let mut pc: u32 = 0;
 
-        while (pc as usize) < code.len() {
+        while (pc as usize) < table.len() {
             if stats.dyn_instrs >= max_instrs {
                 return Err(EmuError::InstrLimit { limit: max_instrs });
             }
-            let instr = code[pc as usize];
-            let region = regions[pc as usize];
+            let d = &table[pc as usize];
             let mut taken: Option<u32> = None;
             let mut mem: Option<MemAccess> = None;
             let mut halted = false;
 
-            self.execute(instr, pc, &mut taken, &mut mem, &mut halted, &mut stats)?;
+            self.execute(d.instr, pc, &mut taken, &mut mem, &mut halted, &mut stats)?;
 
             let di = DynInstr {
                 pc,
-                instr,
-                region,
+                instr: d.instr,
+                region: d.region,
                 taken,
                 mem,
-                vl: if instr.is_full_vl() { self.vl as u8 } else { 1 },
+                vl: if d.is_full_vl { self.vl as u8 } else { 1 },
             };
-            sink.push(&di);
+            sink.push(&di, d);
             stats.dyn_instrs += 1;
-            stats.counts.add(instr.class(), 1);
-            match region {
+            stats.counts.add(d.class, 1);
+            match d.region {
                 Region::Scalar => stats.scalar_region_instrs += 1,
                 Region::Vector => stats.vector_region_instrs += 1,
             }

@@ -11,13 +11,7 @@ use simdsim_isa::{Esz, VOp, VShiftOp};
 /// Extracts element `lane` of size `esz` as an unsigned value.
 #[must_use]
 pub fn get_lane_u(word: u128, esz: Esz, lane: usize) -> u64 {
-    let bits = esz.bits();
-    let mask: u128 = if bits == 128 {
-        u128::MAX
-    } else {
-        (1u128 << bits) - 1
-    };
-    ((word >> (lane * bits)) & mask) as u64
+    ((word >> (lane * esz.bits())) & esz.lane_mask()) as u64
 }
 
 /// Extracts element `lane` of size `esz` as a signed value.
@@ -35,9 +29,9 @@ pub fn get_lane_i(word: u128, esz: Esz, lane: usize) -> i64 {
 /// Writes element `lane` of size `esz` (low bits of `val`).
 #[must_use]
 pub fn set_lane(word: u128, esz: Esz, lane: usize, val: u64) -> u128 {
-    let bits = esz.bits();
-    let mask: u128 = ((1u128 << bits) - 1) << (lane * bits);
-    let v = ((val as u128) << (lane * bits)) & mask;
+    let shift = lane * esz.bits();
+    let mask = esz.lane_mask() << shift;
+    let v = ((val as u128) << shift) & mask;
     (word & !mask) | v
 }
 

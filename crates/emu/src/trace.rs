@@ -1,7 +1,7 @@
 //! Dynamic instruction records streamed from the emulator to consumers
 //! (the timing model, statistics collectors, debuggers).
 
-use simdsim_isa::{Instr, Region};
+use simdsim_isa::{DecodedInstr, Instr, Region};
 
 /// One memory access performed by a dynamic instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,10 +56,13 @@ pub struct DynInstr {
 /// Consumer of the dynamic instruction stream.
 ///
 /// The emulator pushes instructions in commit order; implementations range
-/// from simple counters to the full out-of-order timing model.
+/// from simple counters to the full out-of-order timing model.  Each push
+/// also hands the instruction's predecoded static metadata
+/// ([`DecodedInstr`]), so consumers on the hot path never recompute
+/// def/use sets, classes or latencies per dynamic instruction.
 pub trait TraceSink {
     /// Called once per committed dynamic instruction.
-    fn push(&mut self, di: &DynInstr);
+    fn push(&mut self, di: &DynInstr, dec: &DecodedInstr);
 }
 
 /// A sink that discards the stream (functional-only runs).
@@ -67,7 +70,7 @@ pub trait TraceSink {
 pub struct NullSink;
 
 impl TraceSink for NullSink {
-    fn push(&mut self, _di: &DynInstr) {}
+    fn push(&mut self, _di: &DynInstr, _dec: &DecodedInstr) {}
 }
 
 /// A sink that stores the whole stream (tests and debugging only — full
@@ -79,14 +82,14 @@ pub struct VecSink {
 }
 
 impl TraceSink for VecSink {
-    fn push(&mut self, di: &DynInstr) {
+    fn push(&mut self, di: &DynInstr, _dec: &DecodedInstr) {
         self.trace.push(*di);
     }
 }
 
 impl<T: TraceSink + ?Sized> TraceSink for &mut T {
-    fn push(&mut self, di: &DynInstr) {
-        (**self).push(di);
+    fn push(&mut self, di: &DynInstr, dec: &DecodedInstr) {
+        (**self).push(di, dec);
     }
 }
 

@@ -25,6 +25,15 @@ pub enum RegId {
     Vl,
 }
 
+/// Rename-class index of the scalar integer physical file.
+pub const RENAME_INT: usize = 0;
+/// Rename-class index of the scalar floating-point physical file.
+pub const RENAME_FP: usize = 1;
+/// Rename-class index of the shared SIMD/matrix physical file.
+pub const RENAME_SIMD: usize = 2;
+/// Number of rename classes.
+pub const NUM_RENAME_CLASSES: usize = 3;
+
 impl RegId {
     /// `true` for registers renamed out of the SIMD/matrix physical file
     /// (the resource the paper's Table I sizes).
@@ -32,15 +41,78 @@ impl RegId {
     pub const fn is_simd_file(self) -> bool {
         matches!(self, RegId::V(_) | RegId::M(_))
     }
+
+    /// The physical register file this register is renamed out of
+    /// ([`RENAME_INT`], [`RENAME_FP`] or [`RENAME_SIMD`]), or `None` for
+    /// the small dedicated files (accumulators, VL) that never stall
+    /// rename.
+    #[must_use]
+    pub const fn rename_class(self) -> Option<usize> {
+        match self {
+            RegId::I(_) => Some(RENAME_INT),
+            RegId::F(_) => Some(RENAME_FP),
+            RegId::V(_) | RegId::M(_) => Some(RENAME_SIMD),
+            RegId::A(_) | RegId::Vl => None,
+        }
+    }
 }
 
-/// Def/use sets of one instruction.  Sized for the worst case in the ISA.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Worst-case number of registers one instruction reads.  The widest
+/// cases today use four (`mload` with a register stride: base, stride,
+/// VL, read-modify-write destination; `mop`: two sources, VL, RMW
+/// destination); one slot of headroom keeps a future operand from
+/// silently overflowing into a panic.
+pub const MAX_USES: usize = 5;
+
+/// Worst-case number of registers one instruction writes (every
+/// instruction in the ISA writes at most one).
+pub const MAX_DEFS: usize = 1;
+
+/// Def/use sets of one instruction, stored inline at the ISA's worst-case
+/// capacity ([`MAX_USES`]/[`MAX_DEFS`]) so extraction never allocates —
+/// this runs once per dynamic instruction on the timing model's commit
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DefUse {
+    uses: [RegId; MAX_USES],
+    defs: [RegId; MAX_DEFS],
+    n_uses: u8,
+    n_defs: u8,
+}
+
+impl Default for DefUse {
+    fn default() -> Self {
+        Self {
+            uses: [RegId::I(0); MAX_USES],
+            defs: [RegId::I(0); MAX_DEFS],
+            n_uses: 0,
+            n_defs: 0,
+        }
+    }
+}
+
+impl DefUse {
     /// Registers read.
-    pub uses: Vec<RegId>,
+    #[must_use]
+    pub fn uses(&self) -> &[RegId] {
+        &self.uses[..self.n_uses as usize]
+    }
+
     /// Registers written.
-    pub defs: Vec<RegId>,
+    #[must_use]
+    pub fn defs(&self) -> &[RegId] {
+        &self.defs[..self.n_defs as usize]
+    }
+
+    fn push_use(&mut self, r: RegId) {
+        self.uses[self.n_uses as usize] = r;
+        self.n_uses += 1;
+    }
+
+    fn push_def(&mut self, r: RegId) {
+        self.defs[self.n_defs as usize] = r;
+        self.n_defs += 1;
+    }
 }
 
 fn vloc_reg(l: VLoc) -> RegId {
@@ -52,9 +124,9 @@ fn vloc_reg(l: VLoc) -> RegId {
     }
 }
 
-fn op2_use(b: Operand2, uses: &mut Vec<RegId>) {
+fn op2_use(b: Operand2, du: &mut DefUse) {
     if let Operand2::Reg(r) = b {
-        uses.push(RegId::I(r.index() as u8));
+        du.push_use(RegId::I(r.index() as u8));
     }
 }
 
@@ -67,177 +139,175 @@ impl Instr {
     #[must_use]
     pub fn def_use(&self) -> DefUse {
         let mut du = DefUse::default();
-        let u = &mut du.uses;
-        let d = &mut du.defs;
         match *self {
             Instr::IntOp { rd, ra, b, .. } => {
-                u.push(RegId::I(ra.index() as u8));
-                op2_use(b, u);
-                d.push(RegId::I(rd.index() as u8));
+                du.push_use(RegId::I(ra.index() as u8));
+                op2_use(b, &mut du);
+                du.push_def(RegId::I(rd.index() as u8));
             }
-            Instr::Li { rd, .. } => d.push(RegId::I(rd.index() as u8)),
+            Instr::Li { rd, .. } => du.push_def(RegId::I(rd.index() as u8)),
             Instr::Load { rd, base, .. } => {
-                u.push(RegId::I(base.index() as u8));
-                d.push(RegId::I(rd.index() as u8));
+                du.push_use(RegId::I(base.index() as u8));
+                du.push_def(RegId::I(rd.index() as u8));
             }
             Instr::Store { rs, base, .. } => {
-                u.push(RegId::I(rs.index() as u8));
-                u.push(RegId::I(base.index() as u8));
+                du.push_use(RegId::I(rs.index() as u8));
+                du.push_use(RegId::I(base.index() as u8));
             }
             Instr::Branch { ra, b, .. } => {
-                u.push(RegId::I(ra.index() as u8));
-                op2_use(b, u);
+                du.push_use(RegId::I(ra.index() as u8));
+                op2_use(b, &mut du);
             }
             Instr::Jump { .. } | Instr::Halt | Instr::Nop => {}
             Instr::FpOp { fd, fa, fb, .. } => {
-                u.push(RegId::F(fa.index() as u8));
-                u.push(RegId::F(fb.index() as u8));
-                d.push(RegId::F(fd.index() as u8));
+                du.push_use(RegId::F(fa.index() as u8));
+                du.push_use(RegId::F(fb.index() as u8));
+                du.push_def(RegId::F(fd.index() as u8));
             }
             Instr::FpLoad { fd, base, .. } => {
-                u.push(RegId::I(base.index() as u8));
-                d.push(RegId::F(fd.index() as u8));
+                du.push_use(RegId::I(base.index() as u8));
+                du.push_def(RegId::F(fd.index() as u8));
             }
             Instr::FpStore { fs, base, .. } => {
-                u.push(RegId::F(fs.index() as u8));
-                u.push(RegId::I(base.index() as u8));
+                du.push_use(RegId::F(fs.index() as u8));
+                du.push_use(RegId::I(base.index() as u8));
             }
             Instr::CvtIF { fd, ra } => {
-                u.push(RegId::I(ra.index() as u8));
-                d.push(RegId::F(fd.index() as u8));
+                du.push_use(RegId::I(ra.index() as u8));
+                du.push_def(RegId::F(fd.index() as u8));
             }
             Instr::CvtFI { rd, fa } => {
-                u.push(RegId::F(fa.index() as u8));
-                d.push(RegId::I(rd.index() as u8));
+                du.push_use(RegId::F(fa.index() as u8));
+                du.push_def(RegId::I(rd.index() as u8));
             }
             Instr::Simd { dst, a, b, .. } => {
-                u.push(vloc_reg(a));
-                u.push(vloc_reg(b));
+                du.push_use(vloc_reg(a));
+                du.push_use(vloc_reg(b));
                 if matches!(dst, VLoc::Row(..)) {
-                    u.push(vloc_reg(dst));
+                    du.push_use(vloc_reg(dst));
                 }
-                d.push(vloc_reg(dst));
+                du.push_def(vloc_reg(dst));
             }
             Instr::SimdShift { dst, src, .. } => {
-                u.push(vloc_reg(src));
+                du.push_use(vloc_reg(src));
                 if matches!(dst, VLoc::Row(..)) {
-                    u.push(vloc_reg(dst));
+                    du.push_use(vloc_reg(dst));
                 }
-                d.push(vloc_reg(dst));
+                du.push_def(vloc_reg(dst));
             }
             Instr::VMov { dst, src } => {
-                u.push(vloc_reg(src));
+                du.push_use(vloc_reg(src));
                 if matches!(dst, VLoc::Row(..)) {
-                    u.push(vloc_reg(dst));
+                    du.push_use(vloc_reg(dst));
                 }
-                d.push(vloc_reg(dst));
+                du.push_def(vloc_reg(dst));
             }
             Instr::VSplat { dst, src, .. } => {
-                u.push(RegId::I(src.index() as u8));
+                du.push_use(RegId::I(src.index() as u8));
                 if matches!(dst, VLoc::Row(..)) {
-                    u.push(vloc_reg(dst));
+                    du.push_use(vloc_reg(dst));
                 }
-                d.push(vloc_reg(dst));
+                du.push_def(vloc_reg(dst));
             }
             Instr::MovSV { rd, src, .. } => {
-                u.push(vloc_reg(src));
-                d.push(RegId::I(rd.index() as u8));
+                du.push_use(vloc_reg(src));
+                du.push_def(RegId::I(rd.index() as u8));
             }
             Instr::MovVS { dst, src, .. } => {
-                u.push(RegId::I(src.index() as u8));
-                u.push(vloc_reg(dst)); // lane insert preserves other lanes
-                d.push(vloc_reg(dst));
+                du.push_use(RegId::I(src.index() as u8));
+                du.push_use(vloc_reg(dst)); // lane insert preserves other lanes
+                du.push_def(vloc_reg(dst));
             }
             Instr::VLoad { dst, base, .. } => {
-                u.push(RegId::I(base.index() as u8));
+                du.push_use(RegId::I(base.index() as u8));
                 if matches!(dst, VLoc::Row(..)) {
-                    u.push(vloc_reg(dst));
+                    du.push_use(vloc_reg(dst));
                 }
-                d.push(vloc_reg(dst));
+                du.push_def(vloc_reg(dst));
             }
             Instr::VStore { src, base, .. } => {
-                u.push(vloc_reg(src));
-                u.push(RegId::I(base.index() as u8));
+                du.push_use(vloc_reg(src));
+                du.push_use(RegId::I(base.index() as u8));
             }
             Instr::SetVl { src } => {
-                op2_use(src, u);
-                d.push(RegId::Vl);
+                op2_use(src, &mut du);
+                du.push_def(RegId::Vl);
             }
             Instr::MLoad {
                 dst, base, stride, ..
             } => {
-                u.push(RegId::I(base.index() as u8));
-                op2_use(stride, u);
-                u.push(RegId::Vl);
-                u.push(RegId::M(dst.index() as u8)); // rows ≥ VL preserved
-                d.push(RegId::M(dst.index() as u8));
+                du.push_use(RegId::I(base.index() as u8));
+                op2_use(stride, &mut du);
+                du.push_use(RegId::Vl);
+                du.push_use(RegId::M(dst.index() as u8)); // rows ≥ VL preserved
+                du.push_def(RegId::M(dst.index() as u8));
             }
             Instr::MStore {
                 src, base, stride, ..
             } => {
-                u.push(RegId::M(src.index() as u8));
-                u.push(RegId::I(base.index() as u8));
-                op2_use(stride, u);
-                u.push(RegId::Vl);
+                du.push_use(RegId::M(src.index() as u8));
+                du.push_use(RegId::I(base.index() as u8));
+                op2_use(stride, &mut du);
+                du.push_use(RegId::Vl);
             }
             Instr::MOp { dst, a, b, .. } => {
-                u.push(RegId::M(a.index() as u8));
+                du.push_use(RegId::M(a.index() as u8));
                 match b {
                     MOperand::M(m) | MOperand::RowBcast(m, _) => {
-                        u.push(RegId::M(m.index() as u8));
+                        du.push_use(RegId::M(m.index() as u8));
                     }
                 }
-                u.push(RegId::Vl);
-                u.push(RegId::M(dst.index() as u8));
-                d.push(RegId::M(dst.index() as u8));
+                du.push_use(RegId::Vl);
+                du.push_use(RegId::M(dst.index() as u8));
+                du.push_def(RegId::M(dst.index() as u8));
             }
             Instr::MShift { dst, src, .. } => {
-                u.push(RegId::M(src.index() as u8));
-                u.push(RegId::Vl);
-                u.push(RegId::M(dst.index() as u8));
-                d.push(RegId::M(dst.index() as u8));
+                du.push_use(RegId::M(src.index() as u8));
+                du.push_use(RegId::Vl);
+                du.push_use(RegId::M(dst.index() as u8));
+                du.push_def(RegId::M(dst.index() as u8));
             }
             Instr::MSplat { dst, src, .. } => {
-                u.push(RegId::I(src.index() as u8));
-                u.push(RegId::Vl);
-                u.push(RegId::M(dst.index() as u8));
-                d.push(RegId::M(dst.index() as u8));
+                du.push_use(RegId::I(src.index() as u8));
+                du.push_use(RegId::Vl);
+                du.push_use(RegId::M(dst.index() as u8));
+                du.push_def(RegId::M(dst.index() as u8));
             }
             Instr::MMov { dst, src } => {
-                u.push(RegId::M(src.index() as u8));
-                u.push(RegId::Vl);
-                u.push(RegId::M(dst.index() as u8));
-                d.push(RegId::M(dst.index() as u8));
+                du.push_use(RegId::M(src.index() as u8));
+                du.push_use(RegId::Vl);
+                du.push_use(RegId::M(dst.index() as u8));
+                du.push_def(RegId::M(dst.index() as u8));
             }
             Instr::MTranspose { dst, src, .. } => {
-                u.push(RegId::M(src.index() as u8));
-                u.push(RegId::Vl);
-                d.push(RegId::M(dst.index() as u8));
+                du.push_use(RegId::M(src.index() as u8));
+                du.push_use(RegId::Vl);
+                du.push_def(RegId::M(dst.index() as u8));
             }
             Instr::MAcc { acc, a, b, .. } => {
-                u.push(RegId::M(a.index() as u8));
-                u.push(RegId::M(b.index() as u8));
-                u.push(RegId::Vl);
-                u.push(RegId::A(acc.index() as u8));
-                d.push(RegId::A(acc.index() as u8));
+                du.push_use(RegId::M(a.index() as u8));
+                du.push_use(RegId::M(b.index() as u8));
+                du.push_use(RegId::Vl);
+                du.push_use(RegId::A(acc.index() as u8));
+                du.push_def(RegId::A(acc.index() as u8));
             }
             Instr::VAcc { acc, a, b, .. } => {
-                u.push(vloc_reg(a));
-                u.push(vloc_reg(b));
-                u.push(RegId::A(acc.index() as u8));
-                d.push(RegId::A(acc.index() as u8));
+                du.push_use(vloc_reg(a));
+                du.push_use(vloc_reg(b));
+                du.push_use(RegId::A(acc.index() as u8));
+                du.push_def(RegId::A(acc.index() as u8));
             }
             Instr::AccSum { rd, acc } => {
-                u.push(RegId::A(acc.index() as u8));
-                d.push(RegId::I(rd.index() as u8));
+                du.push_use(RegId::A(acc.index() as u8));
+                du.push_def(RegId::I(rd.index() as u8));
             }
-            Instr::AccClear { acc } => d.push(RegId::A(acc.index() as u8)),
+            Instr::AccClear { acc } => du.push_def(RegId::A(acc.index() as u8)),
             Instr::AccPack { dst, acc, .. } => {
-                u.push(RegId::A(acc.index() as u8));
+                du.push_use(RegId::A(acc.index() as u8));
                 if matches!(dst, VLoc::Row(..)) {
-                    u.push(vloc_reg(dst));
+                    du.push_use(vloc_reg(dst));
                 }
-                d.push(vloc_reg(dst));
+                du.push_def(vloc_reg(dst));
             }
         }
         du
@@ -258,8 +328,8 @@ mod tests {
             b: Operand2::Reg(IReg::new(3)),
         };
         let du = i.def_use();
-        assert_eq!(du.defs, vec![RegId::I(1)]);
-        assert!(du.uses.contains(&RegId::I(2)) && du.uses.contains(&RegId::I(3)));
+        assert_eq!(du.defs(), [RegId::I(1)]);
+        assert!(du.uses().contains(&RegId::I(2)) && du.uses().contains(&RegId::I(3)));
     }
 
     #[test]
@@ -271,10 +341,10 @@ mod tests {
             b: MOperand::M(MReg::new(2)),
         };
         let du = i.def_use();
-        assert!(du.uses.contains(&RegId::Vl));
-        assert!(du.uses.contains(&RegId::M(1)));
-        assert!(du.uses.contains(&RegId::M(0)), "dst is RMW at VL<rows");
-        assert_eq!(du.defs, vec![RegId::M(0)]);
+        assert!(du.uses().contains(&RegId::Vl));
+        assert!(du.uses().contains(&RegId::M(1)));
+        assert!(du.uses().contains(&RegId::M(0)), "dst is RMW at VL<rows");
+        assert_eq!(du.defs(), [RegId::M(0)]);
     }
 
     #[test]
@@ -286,9 +356,9 @@ mod tests {
             b: VLoc::V(VReg::new(2)),
         };
         let du = i.def_use();
-        assert_eq!(du.defs, vec![RegId::M(3)]);
+        assert_eq!(du.defs(), [RegId::M(3)]);
         // dst row preserved lanes → matrix also read.
-        assert!(du.uses.iter().filter(|r| **r == RegId::M(3)).count() >= 1);
+        assert!(du.uses().iter().filter(|r| **r == RegId::M(3)).count() >= 1);
         assert!(RegId::M(3).is_simd_file());
         assert!(!RegId::Vl.is_simd_file());
     }

@@ -38,6 +38,19 @@ impl Esz {
         self.bytes() * 8
     }
 
+    /// Bit mask covering one lane of this element size — a constant
+    /// lookup, so the sub-word hot path never recomputes `(1 << bits) - 1`
+    /// or branches on the element width.
+    #[must_use]
+    pub const fn lane_mask(self) -> u128 {
+        match self {
+            Esz::B => 0xff,
+            Esz::H => 0xffff,
+            Esz::W => 0xffff_ffff,
+            Esz::D => 0xffff_ffff_ffff_ffff,
+        }
+    }
+
     /// Number of elements of this size in a word of `width_bits`.
     #[must_use]
     pub const fn lanes(self, width_bits: usize) -> usize {

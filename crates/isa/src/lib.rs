@@ -49,21 +49,27 @@ mod display;
 mod elem;
 mod ext;
 mod instr;
+mod predecode;
 mod program;
 mod reg;
 
 pub use class::{Class, FuKind};
-pub use deps::{DefUse, RegId};
+pub use deps::{
+    DefUse, RegId, MAX_DEFS, MAX_USES, NUM_RENAME_CLASSES, RENAME_FP, RENAME_INT, RENAME_SIMD,
+};
 pub use elem::{Esz, MemSz};
 pub use ext::Ext;
 pub use instr::{AccOp, AluOp, Cond, FOp, Instr, MOperand, Operand2, Sat, VLoc, VOp, VShiftOp};
+pub use predecode::{Decoded, DecodedInstr, RENAME_NONE};
 pub use program::{ClassCounts, Program, Region};
 pub use reg::{AReg, FReg, IReg, MReg, VReg};
 
 /// ISA revision, part of `simdsim-sweep`'s content-addressed cache
-/// key.  Bump whenever instruction semantics, encodings or class
-/// assignments change (they determine every generated program), so
-/// cached results from older builds are never reused.
+/// key.  Bump whenever instruction semantics, encodings, class
+/// assignments **or the predecoded static timing table**
+/// (`predecode::static_timing` — the execution latencies the timing
+/// model reads) change, so cached results from older builds are never
+/// reused.
 pub const REVISION: u32 = 1;
 
 /// Maximum vector length (rows of a matrix register) supported by the

@@ -84,21 +84,7 @@ impl Program {
     /// Returns a human-readable description of the first violation.
     pub fn validate(&self, matrix_ext: bool) -> Result<(), String> {
         for (idx, ins) in self.code.iter().enumerate() {
-            match ins {
-                Instr::Branch { target, .. } | Instr::Jump { target }
-                    if *target as usize >= self.code.len() =>
-                {
-                    return Err(format!(
-                        "instruction {idx}: branch target {target} out of range"
-                    ));
-                }
-                _ => {}
-            }
-            if !matrix_ext && ins.requires_matrix_ext() {
-                return Err(format!(
-                    "instruction {idx}: {ins} requires the matrix extension"
-                ));
-            }
+            validate_instr(idx, ins, self.code.len(), matrix_ext)?;
         }
         Ok(())
     }
@@ -117,6 +103,32 @@ impl Program {
         }
         s
     }
+}
+
+/// Validates one instruction of a `len`-instruction program: branch
+/// target in range and, when `matrix_ext` is false, no matrix
+/// instructions.  Shared by [`Program::validate`] and
+/// `Decoded::validate` so the two checks cannot drift.
+pub(crate) fn validate_instr(
+    idx: usize,
+    ins: &Instr,
+    len: usize,
+    matrix_ext: bool,
+) -> Result<(), String> {
+    match ins {
+        Instr::Branch { target, .. } | Instr::Jump { target } if *target as usize >= len => {
+            return Err(format!(
+                "instruction {idx}: branch target {target} out of range"
+            ));
+        }
+        _ => {}
+    }
+    if !matrix_ext && ins.requires_matrix_ext() {
+        return Err(format!(
+            "instruction {idx}: {ins} requires the matrix extension"
+        ));
+    }
+    Ok(())
 }
 
 /// Dynamic or static instruction counts per Figure-7 class.

@@ -3,8 +3,12 @@
 use crate::{Gshare, PipeConfig};
 use serde::{Deserialize, Serialize};
 use simdsim_emu::{DynInstr, EmuError, Machine, MemAccess, RunStats, TraceSink};
-use simdsim_isa::{ClassCounts, FuKind, Instr, Program, RegId, Region, VOp};
+use simdsim_isa::{
+    ClassCounts, DecodedInstr, FuKind, Instr, Program, RegId, Region, NUM_AREGS, NUM_FREGS,
+    NUM_IREGS, NUM_MREGS, NUM_VREGS, RENAME_NONE,
+};
 use simdsim_mem::{CacheStats, MemSystem, MemTimingStats};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -62,6 +66,55 @@ impl PipeStats {
     }
 }
 
+/// Register-ready timestamps, one flat array per architectural register
+/// file.  Replaces the old `HashMap<RegId, u64>` scoreboard: every operand
+/// lookup on the commit path is now a direct index instead of a hash.
+/// Registers never written report cycle 0, exactly like a hash miss did.
+#[derive(Debug)]
+struct Scoreboard {
+    i: [u64; NUM_IREGS],
+    f: [u64; NUM_FREGS],
+    v: [u64; NUM_VREGS],
+    m: [u64; NUM_MREGS],
+    a: [u64; NUM_AREGS],
+    vl: u64,
+}
+
+impl Scoreboard {
+    const fn new() -> Self {
+        Self {
+            i: [0; NUM_IREGS],
+            f: [0; NUM_FREGS],
+            v: [0; NUM_VREGS],
+            m: [0; NUM_MREGS],
+            a: [0; NUM_AREGS],
+            vl: 0,
+        }
+    }
+
+    fn get(&self, r: RegId) -> u64 {
+        match r {
+            RegId::I(x) => self.i[x as usize],
+            RegId::F(x) => self.f[x as usize],
+            RegId::V(x) => self.v[x as usize],
+            RegId::M(x) => self.m[x as usize],
+            RegId::A(x) => self.a[x as usize],
+            RegId::Vl => self.vl,
+        }
+    }
+
+    fn set(&mut self, r: RegId, t: u64) {
+        match r {
+            RegId::I(x) => self.i[x as usize] = t,
+            RegId::F(x) => self.f[x as usize] = t,
+            RegId::V(x) => self.v[x as usize] = t,
+            RegId::M(x) => self.m[x as usize] = t,
+            RegId::A(x) => self.a[x as usize] = t,
+            RegId::Vl => self.vl = t,
+        }
+    }
+}
+
 /// The pipeline model; implements [`TraceSink`] so the emulator can
 /// stream instructions straight into it.
 #[derive(Debug)]
@@ -69,7 +122,7 @@ pub struct Pipeline {
     cfg: PipeConfig,
     mem: MemSystem,
     bpred: Gshare,
-    reg_ready: HashMap<RegId, u64>,
+    reg_ready: Scoreboard,
     int_fu: Vec<u64>,
     fp_fu: Vec<u64>,
     simd_fu: Vec<u64>,
@@ -93,13 +146,36 @@ pub struct Pipeline {
     cleanup_at: u64,
 }
 
-fn rename_class(r: RegId) -> Option<usize> {
-    match r {
-        RegId::I(_) => Some(0),
-        RegId::F(_) => Some(1),
-        RegId::V(_) | RegId::M(_) => Some(2),
-        RegId::A(_) | RegId::Vl => None, // small dedicated files
+/// Claims the first cycle at or after `from` with a free `cls` slot in the
+/// cycle-bucketed resource ring.  A free function over the ring fields so
+/// [`Pipeline::fu_issue`] can hold a mutable borrow of an FU pool across
+/// the call.
+fn slot(ring: &mut [(u64, [u8; 5])], limits: &[u8; 5], cls: usize, from: u64) -> u64 {
+    let lim = limits[cls];
+    let mut c = from;
+    loop {
+        let e = &mut ring[(c as usize) & (RING - 1)];
+        if e.0 != c {
+            *e = (c, [0; 5]);
+        }
+        if e.1[cls] < lim {
+            e.1[cls] += 1;
+            return c;
+        }
+        c += 1;
     }
+}
+
+/// Cache-line keys (32-byte granules) touched by one memory access, as an
+/// allocation-free iterator shared by store→load ordering and store
+/// recording.
+fn line_keys(acc: &MemAccess) -> impl Iterator<Item = u64> + '_ {
+    (0..u64::from(acc.rows)).flat_map(move |r| {
+        let row_addr = (acc.addr as i64 + acc.stride * r as i64) as u64;
+        let first = row_addr / 32;
+        let last = (row_addr + u64::from(acc.row_bytes).max(1) - 1) / 32;
+        first..=last
+    })
 }
 
 impl Pipeline {
@@ -121,7 +197,7 @@ impl Pipeline {
         Self {
             mem: MemSystem::new(cfg.mem),
             bpred: Gshare::new(cfg.bpred_entries),
-            reg_ready: HashMap::new(),
+            reg_ready: Scoreboard::new(),
             int_fu: vec![0; cfg.int_fus],
             fp_fu: vec![0; cfg.fp_fus],
             simd_fu: vec![0; cfg.simd_fus],
@@ -147,27 +223,13 @@ impl Pipeline {
         }
     }
 
-    fn slot(&mut self, cls: usize, from: u64) -> u64 {
-        let lim = self.limits[cls];
-        let mut c = from;
-        loop {
-            let e = &mut self.ring[(c as usize) & (RING - 1)];
-            if e.0 != c {
-                *e = (c, [0; 5]);
-            }
-            if e.1[cls] < lim {
-                e.1[cls] += 1;
-                return c;
-            }
-            c += 1;
-        }
-    }
-
     fn fu_issue(&mut self, pool: usize, cls: usize, ready: u64, occupancy: u64) -> u64 {
+        // One match, mutable borrow up front; `slot` only touches the
+        // (disjoint) ring fields.
         let pool_vec = match pool {
-            0 => &self.int_fu,
-            1 => &self.fp_fu,
-            _ => &self.simd_fu,
+            0 => &mut self.int_fu,
+            1 => &mut self.fp_fu,
+            _ => &mut self.simd_fu,
         };
         let (idx, free) = pool_vec
             .iter()
@@ -176,38 +238,14 @@ impl Pipeline {
             .map(|(i, f)| (i, *f))
             .expect("non-empty FU pool");
         let candidate = ready.max(free);
-        let issue = self.slot(cls, candidate);
-        let pool_vec = match pool {
-            0 => &mut self.int_fu,
-            1 => &mut self.fp_fu,
-            _ => &mut self.simd_fu,
-        };
+        let issue = slot(&mut self.ring, &self.limits, cls, candidate);
         pool_vec[idx] = issue + occupancy;
         issue
     }
 
-    fn simd_timing(&self, di: &DynInstr) -> (u64, u64) {
-        // (base latency, occupancy)
-        let base = match di.instr {
-            Instr::Simd { op, .. } | Instr::MOp { op, .. } if op.is_multiply() => 3,
-            Instr::Simd { .. } | Instr::MOp { .. } => 1,
-            Instr::MAcc { .. } | Instr::VAcc { .. } => 3,
-            Instr::AccSum { .. } => 4,
-            Instr::MTranspose { .. } => 2,
-            Instr::MovSV { .. } | Instr::MovVS { .. } | Instr::VSplat { .. } => 2,
-            _ => 1,
-        };
-        let occ = if di.instr.is_full_vl() {
-            u64::from(di.vl).div_ceil(self.cfg.lanes as u64).max(1)
-        } else {
-            1
-        };
-        (base, occ)
-    }
-
-    fn push_instr(&mut self, di: &DynInstr) {
+    fn push_instr(&mut self, di: &DynInstr, dec: &DecodedInstr) {
         let instr = di.instr;
-        let du = instr.def_use();
+        let du = &dec.du;
 
         // ------------------------------------------------------------
         // Fetch
@@ -243,12 +281,11 @@ impl Pipeline {
                 break;
             }
         }
-        for d in &du.defs {
-            if let Some(c) = rename_class(*d) {
-                while self.rename[c].len() >= self.rename_caps[c] {
-                    let t = self.rename[c].pop_front().expect("rename fifo non-empty");
-                    dispatch = dispatch.max(t);
-                }
+        if dec.def_rename != RENAME_NONE {
+            let c = dec.def_rename as usize;
+            while self.rename[c].len() >= self.rename_caps[c] {
+                let t = self.rename[c].pop_front().expect("rename fifo non-empty");
+                dispatch = dispatch.max(t);
             }
         }
 
@@ -256,47 +293,40 @@ impl Pipeline {
         // Operand readiness
         // ------------------------------------------------------------
         let mut ready = dispatch;
-        for u in &du.uses {
-            if let Some(t) = self.reg_ready.get(u) {
-                ready = ready.max(*t);
-            }
+        for u in du.uses() {
+            ready = ready.max(self.reg_ready.get(*u));
         }
 
         // ------------------------------------------------------------
         // Issue and execute
         // ------------------------------------------------------------
-        let complete = match instr.fu_kind() {
+        let complete = match dec.fu {
             FuKind::None => ready,
             FuKind::IntAlu => {
-                let issue = self.fu_issue(0, CLS_INT, ready, 1);
-                issue + 1
+                let issue = self.fu_issue(0, CLS_INT, ready, u64::from(dec.occ));
+                issue + u64::from(dec.lat)
             }
             FuKind::IntMul => {
-                use simdsim_isa::AluOp;
-                let (lat, occ) = match instr {
-                    Instr::IntOp { op: AluOp::Mul, .. } => (6, 1),
-                    _ => (20, 20), // div/rem, unpipelined
-                };
-                let issue = self.fu_issue(0, CLS_INT, ready, occ);
-                issue + lat
+                let issue = self.fu_issue(0, CLS_INT, ready, u64::from(dec.occ));
+                issue + u64::from(dec.lat)
             }
             FuKind::Fp => {
-                use simdsim_isa::FOp;
-                let (lat, occ) = match instr {
-                    Instr::FpOp { op: FOp::Div, .. } => (16, 16),
-                    _ => (4, 1),
-                };
-                let issue = self.fu_issue(1, CLS_FP, ready, occ);
-                issue + lat
+                let issue = self.fu_issue(1, CLS_FP, ready, u64::from(dec.occ));
+                issue + u64::from(dec.lat)
             }
             FuKind::Simd => {
-                let (base, occ) = self.simd_timing(di);
+                let base = u64::from(dec.lat);
+                let occ = if dec.is_full_vl {
+                    u64::from(di.vl).div_ceil(self.cfg.lanes as u64).max(1)
+                } else {
+                    1
+                };
                 let issue = self.fu_issue(2, CLS_SIMD, ready, occ);
                 issue + occ - 1 + base
             }
             FuKind::Mem => {
                 let acc = di.mem.expect("memory instruction carries an access");
-                let issue = self.slot(CLS_MEM, ready);
+                let issue = slot(&mut self.ring, &self.limits, CLS_MEM, ready);
                 let start = self.order_against_stores(issue, &acc);
                 let done =
                     self.mem
@@ -310,7 +340,7 @@ impl Pipeline {
             }
             FuKind::VecMem => {
                 let acc = di.mem.expect("vector memory instruction carries an access");
-                let issue = self.slot(CLS_VMEM, ready);
+                let issue = slot(&mut self.ring, &self.limits, CLS_VMEM, ready);
                 let start = self.order_against_stores(issue, &acc);
                 let done = self.mem.vector_access(start, &acc);
                 self.record_store(&acc, done);
@@ -322,13 +352,13 @@ impl Pipeline {
             }
         };
 
-        for d in &du.defs {
-            self.reg_ready.insert(*d, complete);
+        for d in du.defs() {
+            self.reg_ready.set(*d, complete);
         }
         // Scheduler entry is held from dispatch to issue; completion is a
         // safe upper bound for memory operations whose issue the memory
         // system decides.
-        let iq_leave = match instr.fu_kind() {
+        let iq_leave = match dec.fu {
             FuKind::None => dispatch,
             FuKind::Mem | FuKind::VecMem => ready.max(dispatch),
             _ => complete.saturating_sub(1).max(dispatch),
@@ -381,10 +411,8 @@ impl Pipeline {
         self.commit_used += 1;
 
         self.rob.push_back(c);
-        for d in &du.defs {
-            if let Some(cl) = rename_class(*d) {
-                self.rename[cl].push_back(c);
-            }
+        if dec.def_rename != RENAME_NONE {
+            self.rename[dec.def_rename as usize].push_back(c);
         }
 
         let region_idx = match di.region {
@@ -394,7 +422,7 @@ impl Pipeline {
         self.region_cycles[region_idx] += c.saturating_sub(self.last_commit);
         self.last_commit = c;
         self.instrs += 1;
-        self.counts.add(instr.class(), 1);
+        self.counts.add(dec.class, 1);
 
         if self.instrs >= self.cleanup_at {
             let cursor = self.commit_cursor;
@@ -403,20 +431,9 @@ impl Pipeline {
         }
     }
 
-    fn store_line_keys(&self, acc: &MemAccess) -> Vec<u64> {
-        let mut keys = Vec::new();
-        for r in 0..u64::from(acc.rows) {
-            let row_addr = (acc.addr as i64 + acc.stride * r as i64) as u64;
-            let first = row_addr / 32;
-            let last = (row_addr + u64::from(acc.row_bytes).max(1) - 1) / 32;
-            keys.extend(first..=last);
-        }
-        keys
-    }
-
     fn order_against_stores(&self, issue: u64, acc: &MemAccess) -> u64 {
         let mut start = issue;
-        for key in self.store_line_keys(acc) {
+        for key in line_keys(acc) {
             if let Some(t) = self.store_lines.get(&key) {
                 start = start.max(*t);
             }
@@ -428,7 +445,7 @@ impl Pipeline {
         if !acc.store {
             return;
         }
-        for key in self.store_line_keys(acc) {
+        for key in line_keys(acc) {
             let e = self.store_lines.entry(key).or_insert(0);
             *e = (*e).max(done);
         }
@@ -453,13 +470,25 @@ impl Pipeline {
 }
 
 impl TraceSink for Pipeline {
-    fn push(&mut self, di: &DynInstr) {
-        self.push_instr(di);
+    fn push(&mut self, di: &DynInstr, dec: &DecodedInstr) {
+        self.push_instr(di, dec);
     }
 }
 
-/// Runs `program` on a clone of `machine`, streaming the dynamic trace
-/// through a [`Pipeline`] configured by `cfg`.
+thread_local! {
+    /// Per-thread scratch machine reused across [`simulate`] calls, so a
+    /// sweep worker replaying many cells resets one resident memory image
+    /// instead of cloning a fresh multi-megabyte machine per cell.
+    static SCRATCH: RefCell<Option<Machine>> = const { RefCell::new(None) };
+}
+
+/// Runs `program` on a copy of `machine`'s state (the input machine is
+/// untouched), streaming the dynamic trace through a [`Pipeline`]
+/// configured by `cfg`.
+///
+/// The working state lives in a per-thread scratch [`Machine`] that is
+/// reset from `machine` via [`Machine::reset_from`], so repeated calls on
+/// one thread reuse the same memory image allocation.
 ///
 /// Returns the architectural statistics (from the emulator) and the
 /// timing statistics (from the pipeline).
@@ -473,20 +502,45 @@ pub fn simulate(
     cfg: &PipeConfig,
     max_instrs: u64,
 ) -> Result<(RunStats, PipeStats), EmuError> {
-    let mut m = machine.clone();
-    let mut pipe = Pipeline::new(*cfg);
-    let rs = m.run(program, &mut pipe, max_instrs)?;
-    Ok((rs, pipe.finalize()))
+    SCRATCH.with(|s| {
+        let mut slot = s.borrow_mut();
+        let m = match slot.as_mut() {
+            Some(m) => {
+                m.reset_from(machine);
+                m
+            }
+            None => slot.insert(machine.clone()),
+        };
+        simulate_in(m, program, cfg, max_instrs)
+    })
 }
 
-// Silence the unused-import lint for VOp used only through is_multiply.
-const _: fn(VOp) -> bool = VOp::is_multiply;
+/// Runs `program` on `machine` **in place** (its registers and memory are
+/// consumed as the run's working state), streaming the dynamic trace
+/// through a [`Pipeline`] configured by `cfg`.  Callers that manage their
+/// own machine reuse ([`Machine::reset_from`]) use this directly;
+/// [`simulate`] wraps it with a per-thread scratch machine.
+///
+/// # Errors
+///
+/// Propagates emulation errors ([`EmuError`]).
+pub fn simulate_in(
+    machine: &mut Machine,
+    program: &Program,
+    cfg: &PipeConfig,
+    max_instrs: u64,
+) -> Result<(RunStats, PipeStats), EmuError> {
+    let dec = program.decode();
+    let mut pipe = Pipeline::new(*cfg);
+    let rs = machine.run_decoded(&dec, &mut pipe, max_instrs)?;
+    Ok((rs, pipe.finalize()))
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use simdsim_asm::Asm;
-    use simdsim_isa::{Cond, Esz, Ext};
+    use simdsim_isa::{Cond, Esz, Ext, VOp};
 
     fn run(cfg: &PipeConfig, build: impl FnOnce(&mut Asm)) -> PipeStats {
         let mut a = Asm::new();

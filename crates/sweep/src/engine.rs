@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use simdsim_isa::ClassCounts;
 use simdsim_pipe::{simulate, PipeConfig};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// A failure in one sweep cell, carrying the cell's label so a single bad
 /// job names itself instead of aborting the whole sweep.
@@ -107,6 +108,23 @@ pub struct CellOutcome {
     pub cached: bool,
     /// The statistics, or the per-cell failure.
     pub stats: Result<CellStats, SweepError>,
+    /// Wall-clock time spent simulating this cell in this run (zero for
+    /// cached cells and for cells whose job panicked).
+    pub wall: Duration,
+}
+
+impl CellOutcome {
+    /// Simulation throughput in millions of committed instructions per
+    /// wall-clock second; `None` for cached or failed cells, which were
+    /// not simulated in this run.
+    #[must_use]
+    pub fn mips(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        match &self.stats {
+            Ok(s) if !self.cached && secs > 0.0 => Some(s.instrs as f64 / secs / 1.0e6),
+            _ => None,
+        }
+    }
 }
 
 /// Every cell outcome of one scenario run, in expansion order.
@@ -153,6 +171,32 @@ impl SweepReport {
                 Err(e) => Err(e.clone()),
             })
             .collect()
+    }
+
+    /// Total wall-clock time spent simulating (summed across cells; cached
+    /// cells contribute nothing).
+    #[must_use]
+    pub fn simulated_wall(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.wall).sum()
+    }
+
+    /// Aggregate simulation throughput of this run in millions of
+    /// committed instructions per second, or `None` when every cell was
+    /// cached or failed.  Failed cells contribute neither instructions
+    /// nor wall time, so one bad cell cannot deflate the aggregate.
+    #[must_use]
+    pub fn simulated_mips(&self) -> Option<f64> {
+        let (instrs, wall) = self
+            .outcomes
+            .iter()
+            .filter(|o| !o.cached)
+            .filter_map(|o| o.stats.as_ref().ok().map(|s| (s.instrs, o.wall)))
+            .fold((0u64, Duration::ZERO), |(i, w), (ci, cw)| (i + ci, w + cw));
+        let secs = wall.as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(instrs as f64 / secs / 1.0e6)
     }
 }
 
@@ -212,13 +256,16 @@ pub fn run(scenario: &Scenario, opts: &EngineOptions) -> SweepReport {
 
     let mut outcomes = Vec::with_capacity(cells.len());
     for (cell, prep) in cells.into_iter().zip(preps) {
-        let (cached, stats) = match prep {
-            Prep::Failed(e) => (false, Err(e)),
-            Prep::Cached(s) => (true, Ok(s)),
+        let (cached, stats, wall) = match prep {
+            Prep::Failed(e) => (false, Err(e), Duration::ZERO),
+            Prep::Cached(s) => (true, Ok(s), Duration::ZERO),
             Prep::Pending { key, .. } => {
-                let result = match fresh.next().expect("one result per pending cell") {
-                    Ok(r) => r,
-                    Err(panic) => Err(SweepError::new(&cell, panic.to_string())),
+                let (result, wall) = match fresh.next().expect("one result per pending cell") {
+                    Ok((r, wall)) => (r, wall),
+                    Err(panic) => (
+                        Err(SweepError::new(&cell, panic.to_string())),
+                        Duration::ZERO,
+                    ),
                 };
                 if let (Some(st), Some(k), Ok(s)) = (&store, &key, &result) {
                     st.save(
@@ -229,13 +276,14 @@ pub fn run(scenario: &Scenario, opts: &EngineOptions) -> SweepReport {
                         },
                     );
                 }
-                (false, result)
+                (false, result, wall)
             }
         };
         outcomes.push(CellOutcome {
             cell,
             cached,
             stats,
+            wall,
         });
     }
     SweepReport {
@@ -244,22 +292,28 @@ pub fn run(scenario: &Scenario, opts: &EngineOptions) -> SweepReport {
     }
 }
 
-/// Simulates one cell on its resolved configuration.
-fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> Result<CellStats, SweepError> {
-    let built = cell
-        .workload
-        .build(cell.ext)
-        .map_err(|m| SweepError::new(cell, m))?;
-    let (_, t) = simulate(&built.program, &built.machine, cfg, cell.instr_limit)
-        .map_err(|e| SweepError::new(cell, e.to_string()))?;
-    Ok(CellStats {
-        cycles: t.cycles,
-        instrs: t.instrs,
-        ipc: t.ipc(),
-        vector_cycles: t.vector_region_cycles,
-        scalar_cycles: t.scalar_region_cycles,
-        branches: t.branches,
-        mispredicts: t.mispredicts,
-        counts: t.counts,
-    })
+/// Simulates one cell on its resolved configuration, measuring the
+/// wall-clock time of the simulation itself (workload build included —
+/// it is part of the cost a cache hit saves).
+fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> (Result<CellStats, SweepError>, Duration) {
+    let start = Instant::now();
+    let result = (|| {
+        let built = cell
+            .workload
+            .build(cell.ext)
+            .map_err(|m| SweepError::new(cell, m))?;
+        let (_, t) = simulate(&built.program, &built.machine, cfg, cell.instr_limit)
+            .map_err(|e| SweepError::new(cell, e.to_string()))?;
+        Ok(CellStats {
+            cycles: t.cycles,
+            instrs: t.instrs,
+            ipc: t.ipc(),
+            vector_cycles: t.vector_region_cycles,
+            scalar_cycles: t.scalar_region_cycles,
+            branches: t.branches,
+            mispredicts: t.mispredicts,
+            counts: t.counts,
+        })
+    })();
+    (result, start.elapsed())
 }

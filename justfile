@@ -41,3 +41,14 @@ sweep-smoke:
 # Run the criterion microbenchmarks (shimmed harness; prints timings).
 bench:
     cargo bench
+
+# Measure simulation throughput (wall time + simulated MIPS per cell) and
+# refresh the BENCH_simdsim.json trajectory artifact.
+perf *ARGS:
+    cargo run --release -p simdsim-bench --bin perf -- {{ARGS}}
+
+# The CI perf smoke: quick-mode throughput bench; artifact must parse and
+# report non-zero aggregate MIPS.
+perf-smoke:
+    cargo run --release --locked -p simdsim-bench --bin perf -- --quick --out target/BENCH_simdsim.json
+    python3 -c "import json,sys; d=json.load(open('target/BENCH_simdsim.json')); sys.exit(0 if d['total']['mips'] > 0 else 1)"

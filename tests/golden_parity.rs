@@ -1,0 +1,109 @@
+//! Golden parity fixtures for the timing model.
+//!
+//! Every fig4 + fig5 catalog cell is simulated end-to-end and its full
+//! [`PipeStats`] (cycles, per-class counts, branch counters, L1/L2 cache
+//! counters, memory-system counters) is compared bit-for-bit against the
+//! committed fixture `tests/golden/pipestats.json`.  The fixture was
+//! generated from the model *before* the predecoded-hot-path rework, so
+//! this suite proves that a pure performance refactor moved no paper
+//! number.
+//!
+//! To re-baseline after an **intentional** timing-model change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --release --test golden_parity
+//! ```
+//!
+//! and commit the updated fixture together with the model change.
+
+use simdsim::pipe::simulate;
+use simdsim::sweep::{catalog, scheduler, Cell};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/pipestats.json")
+}
+
+/// Simulates one cell and renders its `PipeStats` as canonical JSON.
+fn cell_stats_json(cell: &Cell) -> (String, String) {
+    let cfg = cell
+        .config()
+        .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+    let built = cell
+        .workload
+        .build(cell.ext)
+        .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+    let (_, stats) = simulate(&built.program, &built.machine, &cfg, cell.instr_limit)
+        .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+    let json = serde_json::to_string(&stats).expect("PipeStats serializes");
+    (cell.label(), json)
+}
+
+fn all_cells() -> Vec<Cell> {
+    let mut cells = catalog::fig4().expand();
+    cells.extend(catalog::fig5().expand());
+    cells
+}
+
+#[test]
+fn fig4_fig5_pipestats_match_golden_fixture() {
+    let cells = all_cells();
+    let results = scheduler::run_jobs(&cells, scheduler::default_workers(), cell_stats_json);
+    let rows: Vec<(String, String)> = results
+        .into_iter()
+        .map(|r| r.expect("cell simulation must not panic"))
+        .collect();
+
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let mut out = String::from("{\n");
+        for (i, (label, json)) in rows.iter().enumerate() {
+            let sep = if i + 1 == rows.len() { "" } else { "," };
+            out.push_str(&format!("  \"{label}\": {json}{sep}\n"));
+        }
+        out.push_str("}\n");
+        std::fs::create_dir_all(path.parent().expect("fixture has a parent dir"))
+            .expect("create fixture dir");
+        std::fs::write(&path, out).expect("write fixture");
+        eprintln!("regenerated {} ({} cells)", path.display(), rows.len());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    let fixture: serde_json::Value = serde_json::from_str(&text).expect("fixture parses");
+
+    let mut mismatches = Vec::new();
+    for (label, json) in &rows {
+        let expected = fixture
+            .get(label)
+            .unwrap_or_else(|| panic!("fixture has no cell `{label}`; regenerate"));
+        let expected_json = serde_json::to_string(expected).expect("fixture value serializes");
+        if *json != expected_json {
+            mismatches.push(format!(
+                "{label}:\n  expected {expected_json}\n  got      {json}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} cells diverged from the golden fixture:\n{}",
+        mismatches.len(),
+        rows.len(),
+        mismatches.join("\n")
+    );
+
+    // The fixture must not contain cells the catalog no longer produces.
+    if let serde_json::Value::Object(pairs) = &fixture {
+        assert_eq!(
+            pairs.len(),
+            rows.len(),
+            "fixture has {} cells but the catalog produced {}; regenerate",
+            pairs.len(),
+            rows.len()
+        );
+    }
+}
