@@ -44,6 +44,7 @@ pub use simdsim_kernels as kernels;
 pub use simdsim_mem as mem;
 pub use simdsim_pipe as pipe;
 pub use simdsim_rf as rf;
+pub use simdsim_serve as serve;
 pub use simdsim_sweep as sweep;
 
 /// The three processor widths evaluated in the paper.

@@ -338,6 +338,43 @@ pub fn render_throughput(report: &simdsim_sweep::SweepReport) -> String {
     s
 }
 
+/// Renders a `simdsim-serve` metrics snapshot as a human-readable table —
+/// the plain-text companion of the `/metrics` Prometheus endpoint, used
+/// by `loadgen --spawn` to summarise what the in-process server did.
+#[must_use]
+pub fn render_server_stats(s: &simdsim_serve::MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "server: {} requests ({} submit, {} status, {} errors), queue depth {}",
+        s.requests_total(),
+        s.requests_submit,
+        s.requests_status,
+        s.requests_errors,
+        s.queue_depth,
+    );
+    let _ = writeln!(
+        out,
+        "jobs:   {} submitted, {} completed, {} failed, {} rejected",
+        s.jobs_submitted, s.jobs_completed, s.jobs_failed, s.jobs_rejected,
+    );
+    let _ = writeln!(
+        out,
+        "cells:  {} cached, {} simulated ({:.1}% cache hits)",
+        s.cells_cached,
+        s.cells_simulated,
+        s.cache_hit_ratio() * 100.0,
+    );
+    let _ = writeln!(
+        out,
+        "sim:    {} instrs in {:.2}s wall ({:.1} MIPS)",
+        s.sim_instrs,
+        s.sim_wall_seconds,
+        s.simulated_mips(),
+    );
+    out
+}
+
 /// The extension order used across reports.
 #[must_use]
 pub fn ext_order() -> [Ext; 4] {

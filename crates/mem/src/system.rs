@@ -59,7 +59,7 @@ impl MemConfig {
 }
 
 /// Aggregate timing counters of the memory system.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemTimingStats {
     /// Scalar/1D accesses served.
     pub scalar_accesses: u64,

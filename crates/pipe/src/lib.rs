@@ -34,7 +34,7 @@ mod model;
 
 pub use bpred::Gshare;
 pub use config::PipeConfig;
-pub use model::{simulate, simulate_in, PipeStats, Pipeline};
+pub use model::{simulate, simulate_decoded, simulate_in, PipeStats, Pipeline};
 
 /// Timing-model revision, part of `simdsim-sweep`'s content-addressed
 /// cache key.  Bump whenever a change to this crate (or a behavioural

@@ -3,6 +3,7 @@
 use crate::{Gshare, PipeConfig};
 use serde::{Deserialize, Serialize};
 use simdsim_emu::{DynInstr, EmuError, Machine, MemAccess, RunStats, TraceSink};
+use simdsim_isa::Decoded;
 use simdsim_isa::{
     ClassCounts, DecodedInstr, FuKind, Instr, Program, RegId, Region, NUM_AREGS, NUM_FREGS,
     NUM_IREGS, NUM_MREGS, NUM_VREGS, RENAME_NONE,
@@ -10,9 +11,16 @@ use simdsim_isa::{
 use simdsim_mem::{CacheStats, MemSystem, MemTimingStats};
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 const RING: usize = 1 << 14;
+
+/// Slots of the direct-mapped store-line table.  Machines in this
+/// workspace top out at 4 MiB of memory (`1 << 22` bytes), i.e. `1 << 17`
+/// 32-byte lines; doubling that leaves headroom, and larger addresses wrap
+/// (aliasing only ever *delays* a load, conservatively, and stays
+/// deterministic).
+const STORE_LINE_SLOTS: usize = 1 << 18;
 const CLS_INT: usize = 0;
 const CLS_FP: usize = 1;
 const CLS_MEM: usize = 2;
@@ -136,7 +144,10 @@ pub struct Pipeline {
     commit_used: usize,
     rename: [VecDeque<u64>; 3],
     rename_caps: [usize; 3],
-    store_lines: HashMap<u64, u64>,
+    /// Direct-mapped completion times of in-flight stores, indexed by
+    /// 32-byte line index (the last per-commit hash on the memory path).
+    /// Slot 0 means "no store recorded", exactly like a hash miss did.
+    store_lines: Box<[u64]>,
     region_cycles: [u64; 2],
     last_commit: u64,
     instrs: u64,
@@ -182,27 +193,15 @@ impl Pipeline {
     /// Creates a pipeline in its reset state.
     #[must_use]
     pub fn new(cfg: PipeConfig) -> Self {
-        let limits = [
-            cfg.int_fus as u8,
-            cfg.fp_fus as u8,
-            cfg.mem_fus as u8,
-            cfg.simd_issue as u8,
-            1,
-        ];
-        let rename_caps = [
-            cfg.phys_int.saturating_sub(simdsim_isa::NUM_IREGS).max(1),
-            cfg.phys_fp.saturating_sub(simdsim_isa::NUM_FREGS).max(1),
-            cfg.simd_inflight(),
-        ];
-        Self {
+        let mut p = Self {
             mem: MemSystem::new(cfg.mem),
             bpred: Gshare::new(cfg.bpred_entries),
             reg_ready: Scoreboard::new(),
-            int_fu: vec![0; cfg.int_fus],
-            fp_fu: vec![0; cfg.fp_fus],
-            simd_fu: vec![0; cfg.simd_fus],
+            int_fu: Vec::new(),
+            fp_fu: Vec::new(),
+            simd_fu: Vec::new(),
             ring: vec![(u64::MAX, [0; 5]); RING],
-            limits,
+            limits: [0; 5],
             next_fetch: 0,
             fetch_used: 0,
             rob: VecDeque::with_capacity(cfg.rob + 1),
@@ -210,8 +209,8 @@ impl Pipeline {
             commit_cursor: 0,
             commit_used: 0,
             rename: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-            rename_caps,
-            store_lines: HashMap::new(),
+            rename_caps: [0; 3],
+            store_lines: vec![0; STORE_LINE_SLOTS].into_boxed_slice(),
             region_cycles: [0; 2],
             last_commit: 0,
             instrs: 0,
@@ -220,7 +219,56 @@ impl Pipeline {
             mispredicts: 0,
             cleanup_at: 1 << 16,
             cfg,
+        };
+        p.reset(cfg);
+        p
+    }
+
+    /// Returns the pipeline to its reset state under a (possibly new)
+    /// configuration, reusing the large buffers — the 16K-entry resource
+    /// ring and the store-line table — so a pooled pipeline replaying many
+    /// cells allocates nothing per cell.
+    pub fn reset(&mut self, cfg: PipeConfig) {
+        self.limits = [
+            cfg.int_fus as u8,
+            cfg.fp_fus as u8,
+            cfg.mem_fus as u8,
+            cfg.simd_issue as u8,
+            1,
+        ];
+        self.rename_caps = [
+            cfg.phys_int.saturating_sub(simdsim_isa::NUM_IREGS).max(1),
+            cfg.phys_fp.saturating_sub(simdsim_isa::NUM_FREGS).max(1),
+            cfg.simd_inflight(),
+        ];
+        self.mem = MemSystem::new(cfg.mem);
+        self.bpred = Gshare::new(cfg.bpred_entries);
+        self.reg_ready = Scoreboard::new();
+        self.int_fu.clear();
+        self.int_fu.resize(cfg.int_fus, 0);
+        self.fp_fu.clear();
+        self.fp_fu.resize(cfg.fp_fus, 0);
+        self.simd_fu.clear();
+        self.simd_fu.resize(cfg.simd_fus, 0);
+        self.ring.fill((u64::MAX, [0; 5]));
+        self.next_fetch = 0;
+        self.fetch_used = 0;
+        self.rob.clear();
+        self.iq.clear();
+        self.commit_cursor = 0;
+        self.commit_used = 0;
+        for fifo in &mut self.rename {
+            fifo.clear();
         }
+        self.store_lines.fill(0);
+        self.region_cycles = [0; 2];
+        self.last_commit = 0;
+        self.instrs = 0;
+        self.counts = ClassCounts::default();
+        self.branches = 0;
+        self.mispredicts = 0;
+        self.cleanup_at = 1 << 16;
+        self.cfg = cfg;
     }
 
     fn fu_issue(&mut self, pool: usize, cls: usize, ready: u64, occupancy: u64) -> u64 {
@@ -425,8 +473,16 @@ impl Pipeline {
         self.counts.add(dec.class, 1);
 
         if self.instrs >= self.cleanup_at {
+            // Same policy the old HashMap scoreboard had: drop store
+            // entries already behind the commit cursor.  A zeroed slot is
+            // indistinguishable from "never stored", which is exactly what
+            // `retain` produced.
             let cursor = self.commit_cursor;
-            self.store_lines.retain(|_, v| *v >= cursor);
+            for t in self.store_lines.iter_mut() {
+                if *t < cursor {
+                    *t = 0;
+                }
+            }
             self.cleanup_at = self.instrs + (1 << 16);
         }
     }
@@ -434,9 +490,7 @@ impl Pipeline {
     fn order_against_stores(&self, issue: u64, acc: &MemAccess) -> u64 {
         let mut start = issue;
         for key in line_keys(acc) {
-            if let Some(t) = self.store_lines.get(&key) {
-                start = start.max(*t);
-            }
+            start = start.max(self.store_lines[(key as usize) & (STORE_LINE_SLOTS - 1)]);
         }
         start
     }
@@ -446,14 +500,21 @@ impl Pipeline {
             return;
         }
         for key in line_keys(acc) {
-            let e = self.store_lines.entry(key).or_insert(0);
-            *e = (*e).max(done);
+            let t = &mut self.store_lines[(key as usize) & (STORE_LINE_SLOTS - 1)];
+            *t = (*t).max(done);
         }
     }
 
     /// Consumes the pipeline and returns the run statistics.
     #[must_use]
     pub fn finalize(self) -> PipeStats {
+        self.stats()
+    }
+
+    /// The run statistics so far.  A pooled pipeline reads these before
+    /// being [`reset`](Pipeline::reset) for the next cell.
+    #[must_use]
+    pub fn stats(&self) -> PipeStats {
         PipeStats {
             cycles: self.last_commit,
             instrs: self.instrs,
@@ -480,6 +541,33 @@ thread_local! {
     /// sweep worker replaying many cells resets one resident memory image
     /// instead of cloning a fresh multi-megabyte machine per cell.
     static SCRATCH: RefCell<Option<Machine>> = const { RefCell::new(None) };
+
+    /// Per-thread pooled [`Pipeline`] reused across simulations: the
+    /// 16K-entry resource ring and the store-line table dominate a
+    /// pipeline's footprint, and [`Pipeline::reset`] recycles both.
+    static PIPE_POOL: RefCell<Option<Pipeline>> = const { RefCell::new(None) };
+}
+
+/// Streams `machine`'s decoded trace through the per-thread pooled
+/// pipeline configured by `cfg`.
+fn run_pooled(
+    machine: &mut Machine,
+    dec: &Decoded,
+    cfg: &PipeConfig,
+    max_instrs: u64,
+) -> Result<(RunStats, PipeStats), EmuError> {
+    PIPE_POOL.with(|p| {
+        let mut slot = p.borrow_mut();
+        let pipe = match slot.as_mut() {
+            Some(pipe) => {
+                pipe.reset(*cfg);
+                pipe
+            }
+            None => slot.insert(Pipeline::new(*cfg)),
+        };
+        let rs = machine.run_decoded(dec, pipe, max_instrs)?;
+        Ok((rs, pipe.stats()))
+    })
 }
 
 /// Runs `program` on a copy of `machine`'s state (the input machine is
@@ -502,6 +590,22 @@ pub fn simulate(
     cfg: &PipeConfig,
     max_instrs: u64,
 ) -> Result<(RunStats, PipeStats), EmuError> {
+    simulate_decoded(&program.decode(), machine, cfg, max_instrs)
+}
+
+/// [`simulate`] for callers that already hold the program's predecoded
+/// table (e.g. the sweep engine's per-worker decode memo), skipping the
+/// per-call [`Program::decode`].
+///
+/// # Errors
+///
+/// Propagates emulation errors ([`EmuError`]).
+pub fn simulate_decoded(
+    dec: &Decoded,
+    machine: &Machine,
+    cfg: &PipeConfig,
+    max_instrs: u64,
+) -> Result<(RunStats, PipeStats), EmuError> {
     SCRATCH.with(|s| {
         let mut slot = s.borrow_mut();
         let m = match slot.as_mut() {
@@ -511,7 +615,7 @@ pub fn simulate(
             }
             None => slot.insert(machine.clone()),
         };
-        simulate_in(m, program, cfg, max_instrs)
+        run_pooled(m, dec, cfg, max_instrs)
     })
 }
 
@@ -530,10 +634,7 @@ pub fn simulate_in(
     cfg: &PipeConfig,
     max_instrs: u64,
 ) -> Result<(RunStats, PipeStats), EmuError> {
-    let dec = program.decode();
-    let mut pipe = Pipeline::new(*cfg);
-    let rs = machine.run_decoded(&dec, &mut pipe, max_instrs)?;
-    Ok((rs, pipe.finalize()))
+    run_pooled(machine, &program.decode(), cfg, max_instrs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,86 @@
+//! `serve` — the simdsim sweep daemon.
+//!
+//! ```console
+//! $ serve                                  # 127.0.0.1:8844, cache on
+//! $ serve --addr 0.0.0.0:9000 --workers 4
+//! $ serve --scenario-file my.json          # serve a user scenario too
+//! ```
+//!
+//! Endpoints: `GET /scenarios`, `POST /sweeps`, `GET /sweeps/{id}`,
+//! `GET /healthz`, `GET /metrics` (Prometheus text format).
+
+use simdsim_serve::{Server, ServerConfig};
+use simdsim_sweep::Scenario;
+
+const USAGE: &str = "\
+usage: serve [OPTIONS]
+
+Run the simdsim sweep service.
+
+options:
+  --addr HOST:PORT      listen address (default 127.0.0.1:8844; port 0 = ephemeral)
+  --workers N           concurrent sweep jobs (default 2)
+  --jobs N              engine worker-pool size per job (default: available parallelism)
+  --queue N             job-queue capacity (default 256)
+  --cache-dir DIR       content-addressed result store (default target/simdsim-cache)
+  --no-cache            disable the result store (every submission re-simulates)
+  --scenario-file PATH  serve a user scenario from a JSON file (repeatable)
+  --help                print this help";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = main_impl(&args) {
+        eprintln!("serve: {msg}");
+        std::process::exit(2);
+    }
+}
+
+fn main_impl(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => cfg.job_workers = parse_num(&value("--workers")?, "--workers")?,
+            "--jobs" => cfg.engine_jobs = Some(parse_num(&value("--jobs")?, "--jobs")?),
+            "--queue" => cfg.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
+            "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?.into()),
+            "--no-cache" => cfg.cache_dir = None,
+            "--scenario-file" => {
+                let path = value("--scenario-file")?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+                let scenario: Scenario =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                cfg.extra_scenarios.push(scenario);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            flag => return Err(format!("unknown option `{flag}`")),
+        }
+    }
+
+    let server = Server::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    println!("simdsim-serve listening on http://{}", server.addr());
+    println!("  GET  /scenarios   — catalog + user scenarios");
+    println!("  POST /sweeps      — submit a sweep (JSON body)");
+    println!("  GET  /sweeps/{{id}} — job status/progress/result");
+    println!("  GET  /healthz     — liveness");
+    println!("  GET  /metrics     — Prometheus text format");
+    // The daemon runs until killed; park this thread forever.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse_num(v: &str, flag: &str) -> Result<usize, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} expects a number, got `{v}`"))
+}

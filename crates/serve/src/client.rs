@@ -1,0 +1,129 @@
+//! A minimal blocking HTTP/1.1 client over [`std::net::TcpStream`], used
+//! by the `loadgen` bench binary and the serving integration tests.
+//!
+//! One [`Client`] holds one keep-alive connection; requests on it are
+//! serial, which is exactly the per-thread shape a load generator wants.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    #[must_use]
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl Client {
+    /// Connects to `addr` with `timeout` applied to reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution/connection errors.
+    pub fn connect(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let host = addr.to_string();
+        let stream = TcpStream::connect(&addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Small request/response exchanges; Nagle would serialize them
+        // against delayed ACKs at ~40ms a round trip.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            host,
+        })
+    }
+
+    /// Sends a `GET` and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        write!(
+            self.writer,
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.host
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a `POST` with a JSON body and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        write!(
+            self.writer,
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            self.host,
+            body.len()
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("malformed status line `{status_line}`")))?;
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad Content-Length `{value}`")))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse { status, body })
+    }
+}

@@ -1,0 +1,453 @@
+//! A hand-rolled HTTP/1.1 request parser and response writer over
+//! [`std::io`].
+//!
+//! The build environment has no access to the registry, so the daemon
+//! cannot use tokio/hyper; like the workspace's serde shims, this module
+//! implements exactly the protocol subset the service needs — `GET` and
+//! `POST` with `Content-Length` bodies, persistent connections, and hard
+//! limits on every input dimension so a malformed or hostile client costs
+//! a bounded amount of memory before being rejected.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted request-line length in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Maximum accepted total header bytes per request.
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+
+/// Maximum accepted request-body length in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request could not be parsed, mapped onto the HTTP status the
+/// connection handler answers with before closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically invalid request (status 400).
+    BadRequest(String),
+    /// Body or header limits exceeded (status 413).
+    TooLarge(String),
+    /// A protocol feature this server does not implement, e.g. chunked
+    /// transfer encoding (status 501).
+    NotImplemented(String),
+    /// The underlying socket failed mid-request; no response is possible.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status code this error is answered with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::NotImplemented(_) => 501,
+            HttpError::Io(_) => 0,
+        }
+    }
+
+    /// The error's human-readable message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::BadRequest(m)
+            | HttpError::TooLarge(m)
+            | HttpError::NotImplemented(m)
+            | HttpError::Io(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target path, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes (CR stripped).
+/// Returns `Ok(None)` on clean EOF before any byte of the line.
+fn read_line_limited(
+    r: &mut impl BufRead,
+    max: usize,
+    what: &str,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = r.fill_buf().map_err(|e| HttpError::Io(e.to_string()))?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::BadRequest(format!("unterminated {what}")));
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..pos]);
+            r.consume(pos + 1);
+            break;
+        }
+        line.extend_from_slice(buf);
+        let n = buf.len();
+        r.consume(n);
+        if line.len() > max {
+            return Err(HttpError::TooLarge(format!("{what} exceeds {max} bytes")));
+        }
+    }
+    if line.len() > max {
+        return Err(HttpError::TooLarge(format!("{what} exceeds {max} bytes")));
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| HttpError::BadRequest(format!("{what} is not valid UTF-8")))
+}
+
+/// Parses one request off `r`.  Returns `Ok(None)` when the peer closed
+/// the connection cleanly between requests (the keep-alive exit path).
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] describing the first protocol violation; the
+/// caller answers with [`HttpError::status`] and closes the connection.
+pub fn parse_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line_limited(r, MAX_REQUEST_LINE, "request line")? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{line}`"
+            )))
+        }
+    };
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v => {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported protocol version `{v}`"
+            )))
+        }
+    };
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target `{target}` is not an absolute path"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    let mut content_length = 0usize;
+    let mut keep_alive = keep_alive_default;
+    loop {
+        let Some(line) = read_line_limited(r, MAX_HEADER_BYTES, "header line")? else {
+            return Err(HttpError::BadRequest("EOF inside headers".to_owned()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "headers exceed {MAX_HEADER_BYTES} bytes"
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header line `{line}`"
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| {
+                    HttpError::BadRequest(format!("invalid Content-Length `{value}`"))
+                })?;
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::NotImplemented(
+                    "chunked transfer encoding is not supported".to_owned(),
+                ));
+            }
+            "connection" => {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+            _ => {}
+        }
+        headers.push((name, value));
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        std::io::Read::read_exact(r, &mut body).map_err(|e| HttpError::Io(e.to_string()))?;
+    }
+
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    Ok(Some(Request {
+        method: method.to_owned(),
+        path,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// One response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error body `{"error": message}` under `status`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde_json::to_string(&serde::Value::Object(vec![(
+            "error".to_owned(),
+            serde::Value::Str(message.to_owned()),
+        )]))
+        .expect("error body serializes");
+        Self::json(status, body)
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp` to `w` with `Content-Length` and the connection
+/// disposition.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response(
+    w: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<Option<Request>, HttpError> {
+        parse_request(&mut Cursor::new(text.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query_and_headers() {
+        let req = parse("GET /sweeps/7?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Trace: abc\r\n\r\n")
+            .expect("parses")
+            .expect("a request");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/sweeps/7");
+        assert_eq!(req.header("x-trace"), Some("abc"));
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse("POST /sweeps HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .expect("parses")
+            .expect("a request");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET relative HTTP/1.1\r\n\r\n",
+            " / HTTP/1.1\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+        ] {
+            let err = parse(bad).expect_err("must reject");
+            assert_eq!(err.status(), 400, "{bad:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_400() {
+        let err = parse("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").expect_err("must reject");
+        assert_eq!(err.status(), 400);
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n").expect_err("reject");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_inputs_are_413() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_REQUEST_LINE + 1));
+        assert_eq!(parse(&long_line).expect_err("reject").status(), 413);
+
+        let big_headers = format!(
+            "GET / HTTP/1.1\r\nX-Fill: {}\r\n\r\n",
+            "y".repeat(MAX_HEADER_BYTES + 1)
+        );
+        assert_eq!(parse(&big_headers).expect_err("reject").status(), 413);
+
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(&big_body).expect_err("reject").status(), 413);
+    }
+
+    #[test]
+    fn chunked_encoding_is_501() {
+        let err = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .expect_err("must reject");
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").unwrap().unwrap().keep_alive);
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap().keep_alive);
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn keep_alive_parses_consecutive_requests_off_one_stream() {
+        let two =
+            "GET /healthz HTTP/1.1\r\n\r\nPOST /sweeps HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let mut cur = Cursor::new(two.as_bytes().to_vec());
+        let first = parse_request(&mut cur)
+            .expect("first parses")
+            .expect("some");
+        assert_eq!(first.path, "/healthz");
+        let second = parse_request(&mut cur)
+            .expect("second parses")
+            .expect("some");
+        assert_eq!(second.path, "/sweeps");
+        assert_eq!(second.body, b"{}");
+        // Clean EOF between requests ends the keep-alive loop.
+        assert!(parse_request(&mut cur).expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").expect_err("reject");
+        assert!(matches!(err, HttpError::Io(_)));
+    }
+
+    #[test]
+    fn responses_carry_length_and_disposition() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}"), true).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::error(503, "queue full"), false).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("queue full"));
+    }
+}

@@ -1,0 +1,456 @@
+//! The bounded asynchronous job queue between the HTTP layer and the
+//! sweep engine.
+//!
+//! A `POST /sweeps` allocates a [`Job`], pushes it onto a bounded FIFO and
+//! returns immediately with the job id; a fixed pool of worker threads
+//! drains the queue, running each job through
+//! [`simdsim_sweep::run_with_progress`] so status polls see live per-cell
+//! progress.  Finished jobs stay addressable (bounded retention) so
+//! clients can fetch results after completion.
+
+use crate::metrics::Metrics;
+use serde::Serialize;
+use simdsim_sweep::{run_with_progress, CellStats, EngineOptions, Scenario, SweepReport};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Maximum finished jobs retained for status polls; the oldest finished
+/// jobs are evicted first once the registry grows past this.
+const JOB_RETENTION: usize = 4096;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobState {
+    /// Waiting on the queue.
+    Queued,
+    /// Picked up by a worker, cells resolving.
+    Running,
+    /// Every cell resolved successfully (from cache or simulation).
+    Done,
+    /// At least one cell failed.
+    Failed,
+}
+
+impl JobState {
+    /// Lower-case wire name of the state.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// Live cell counters of a running job.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct JobProgress {
+    /// Cells in the (filtered) sweep.
+    pub total: usize,
+    /// Cells resolved so far.
+    pub completed: usize,
+    /// Of those, cells served from the store.
+    pub cached: usize,
+}
+
+/// One resolved cell in a finished job's result.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// The cell's display label.
+    pub label: String,
+    /// `true` when the result came from the content-addressed store.
+    pub cached: bool,
+    /// Simulation throughput in MIPS (`null` for cached/failed cells).
+    pub mips: Option<f64>,
+    /// The timing statistics (`null` when the cell failed).
+    pub stats: Option<CellStats>,
+    /// The failure message (`null` when the cell succeeded).
+    pub error: Option<String>,
+}
+
+/// The result of one finished job.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobResult {
+    /// Per-cell outcomes in deterministic expansion order.
+    pub cells: Vec<CellResult>,
+    /// Cells served from the store.
+    pub cached: usize,
+    /// Cells simulated in this job.
+    pub executed: usize,
+    /// Cells that failed.
+    pub failed: usize,
+    /// Wall-clock milliseconds spent simulating.
+    pub simulated_wall_ms: f64,
+    /// Aggregate simulation throughput in MIPS (`null` if all cached).
+    pub simulated_mips: Option<f64>,
+}
+
+impl JobResult {
+    fn from_report(report: &SweepReport) -> Self {
+        Self {
+            cells: report
+                .outcomes
+                .iter()
+                .map(|o| CellResult {
+                    label: o.cell.label(),
+                    cached: o.cached,
+                    mips: o.mips(),
+                    stats: o.stats.as_ref().ok().cloned(),
+                    error: o.stats.as_ref().err().map(|e| e.message.clone()),
+                })
+                .collect(),
+            cached: report.cached(),
+            executed: report.executed(),
+            failed: report.failed(),
+            simulated_wall_ms: report.simulated_wall().as_secs_f64() * 1.0e3,
+            simulated_mips: report.simulated_mips(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobInner {
+    state: JobState,
+    progress: JobProgress,
+    result: Option<JobResult>,
+}
+
+/// One submitted sweep, shared between the HTTP layer (status polls) and
+/// the worker running it.
+#[derive(Debug)]
+pub struct Job {
+    /// Monotonic job id, assigned at submission.
+    pub id: u64,
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// Optional label filter.
+    pub filter: Option<String>,
+    inner: Mutex<JobInner>,
+}
+
+impl Job {
+    /// The job's current state.
+    #[must_use]
+    pub fn state(&self) -> JobState {
+        self.inner.lock().expect("job lock").state
+    }
+
+    /// The job's live progress counters.
+    #[must_use]
+    pub fn progress(&self) -> JobProgress {
+        self.inner.lock().expect("job lock").progress
+    }
+
+    /// The finished job's result (`None` until done/failed).
+    #[must_use]
+    pub fn result(&self) -> Option<JobResult> {
+        self.inner.lock().expect("job lock").result.clone()
+    }
+
+    fn finished(&self) -> bool {
+        matches!(self.state(), JobState::Done | JobState::Failed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    next_id: u64,
+    queue: VecDeque<Arc<Job>>,
+    /// Every live job by id; `BTreeMap` so eviction scans oldest-first.
+    jobs: BTreeMap<u64, Arc<Job>>,
+}
+
+/// The submission was rejected because the queue is at capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured queue capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue full ({} queued)", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// The bounded job queue plus the registry of live jobs.
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` queued jobs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queued (not yet running) jobs.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").queue.len()
+    }
+
+    /// Enqueues a sweep and returns its job handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when `capacity` jobs are already queued.
+    pub fn submit(
+        &self,
+        scenario: Scenario,
+        filter: Option<String>,
+    ) -> Result<Arc<Job>, QueueFull> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.queue.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        st.next_id += 1;
+        let job = Arc::new(Job {
+            id: st.next_id,
+            scenario,
+            filter,
+            inner: Mutex::new(JobInner {
+                state: JobState::Queued,
+                progress: JobProgress::default(),
+                result: None,
+            }),
+        });
+        st.queue.push_back(Arc::clone(&job));
+        st.jobs.insert(job.id, Arc::clone(&job));
+        // Bounded retention: evict the oldest *finished* jobs only, so a
+        // queued/running job can always be polled.
+        while st.jobs.len() > JOB_RETENTION {
+            let Some((&id, _)) = st.jobs.iter().find(|(_, j)| j.finished()) else {
+                break;
+            };
+            st.jobs.remove(&id);
+        }
+        drop(st);
+        self.available.notify_one();
+        Ok(job)
+    }
+
+    /// Looks a job up by id (queued, running or finished-and-retained).
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.state
+            .lock()
+            .expect("queue lock")
+            .jobs
+            .get(&id)
+            .cloned()
+    }
+
+    /// Blocks until a job is available or the queue shuts down (`None`).
+    #[must_use]
+    pub fn pop_blocking(&self) -> Option<Arc<Job>> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(job) = st.queue.pop_front() {
+                return Some(job);
+            }
+            st = self.available.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Wakes every blocked worker and makes further pops return `None`.
+    pub fn shut_down(&self) {
+        // Flag and notify under the state lock: a worker between its
+        // shutdown check and its `wait` would otherwise miss this
+        // notification and sleep forever (the classic lost wake-up).
+        let _guard = self.state.lock().expect("queue lock");
+        self.shutdown.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+}
+
+/// Runs one job to completion, publishing progress as cells resolve.
+pub fn run_job(job: &Job, base_opts: &EngineOptions, metrics: &Metrics) {
+    {
+        let mut inner = job.inner.lock().expect("job lock");
+        inner.state = JobState::Running;
+    }
+    let mut opts = base_opts.clone();
+    if let Some(f) = &job.filter {
+        opts = opts.filter(f.clone());
+    }
+    let report = run_with_progress(&job.scenario, &opts, &|ev| {
+        let mut inner = job.inner.lock().expect("job lock");
+        inner.progress.total = ev.total;
+        // Events from concurrent engine workers can arrive out of counter
+        // order; keep the published count monotonic for pollers.
+        inner.progress.completed = inner.progress.completed.max(ev.completed);
+        if ev.cached {
+            inner.progress.cached += 1;
+        }
+    });
+
+    let result = JobResult::from_report(&report);
+    metrics.record_job(
+        result.cached,
+        result.executed,
+        report
+            .outcomes
+            .iter()
+            .filter(|o| !o.cached)
+            .filter_map(|o| o.stats.as_ref().ok().map(|s| s.instrs))
+            .sum(),
+        report.simulated_wall(),
+    );
+    if result.failed > 0 {
+        metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    } else {
+        metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let mut inner = job.inner.lock().expect("job lock");
+    inner.state = if result.failed > 0 {
+        JobState::Failed
+    } else {
+        JobState::Done
+    };
+    // A sweep with zero matching cells never fires a progress event; the
+    // result is still well-formed (empty), so mirror it into progress.
+    inner.progress.total = report.outcomes.len();
+    inner.progress.completed = report.outcomes.len();
+    inner.result = Some(result);
+}
+
+/// Spawns `n` worker threads draining `queue` until shutdown.
+#[must_use]
+pub fn spawn_workers(
+    n: usize,
+    queue: &Arc<JobQueue>,
+    opts: &EngineOptions,
+    metrics: &Arc<Metrics>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n.max(1))
+        .map(|i| {
+            let queue = Arc::clone(queue);
+            let opts = opts.clone();
+            let metrics = Arc::clone(metrics);
+            std::thread::Builder::new()
+                .name(format!("sweep-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = queue.pop_blocking() {
+                        run_job(&job, &opts, &metrics);
+                    }
+                })
+                .expect("spawn sweep worker")
+        })
+        .collect()
+}
+
+/// Polls `job` until it leaves the queued/running states, sleeping
+/// `interval` between checks (test/CLI helper).
+pub fn wait_finished(job: &Job, interval: Duration) {
+    while !job.finished() {
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdsim_sweep::Scenario;
+
+    fn tiny_scenario() -> Scenario {
+        // An invalid-way scenario resolves instantly (per-cell error), so
+        // queue tests never simulate anything.
+        Scenario::new("t", "queue test").kernels(["idct"])
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_ids_are_monotonic() {
+        let q = JobQueue::new(2);
+        let a = q.submit(tiny_scenario(), None).expect("fits");
+        let b = q.submit(tiny_scenario(), None).expect("fits");
+        assert!(b.id > a.id);
+        let err = q.submit(tiny_scenario(), None).expect_err("full");
+        assert_eq!(err.capacity, 2);
+        assert_eq!(q.depth(), 2);
+        // Draining makes room again.
+        assert_eq!(q.pop_blocking().expect("job").id, a.id);
+        q.submit(tiny_scenario(), None).expect("fits after pop");
+    }
+
+    #[test]
+    fn jobs_stay_addressable_after_finishing() {
+        let q = JobQueue::new(8);
+        let job = q.submit(tiny_scenario(), None).expect("fits");
+        let popped = q.pop_blocking().expect("job");
+        run_job(&popped, &EngineOptions::default(), &Metrics::default());
+        let fetched = q.get(job.id).expect("retained");
+        assert_eq!(fetched.state(), JobState::Done);
+        let result = fetched.result().expect("has result");
+        assert_eq!(result.cells.len(), 0); // no exts/ways axes → no cells
+        assert!(q.get(job.id + 1000).is_none());
+    }
+
+    #[test]
+    fn shutdown_unblocks_workers() {
+        let q = Arc::new(JobQueue::new(4));
+        let handles = spawn_workers(
+            2,
+            &q,
+            &EngineOptions::default(),
+            &Arc::new(Metrics::default()),
+        );
+        q.shut_down();
+        for h in handles {
+            h.join().expect("worker exits");
+        }
+    }
+
+    #[test]
+    fn run_job_reports_per_cell_failures() {
+        let scenario = Scenario::new("bad", "unknown kernel")
+            .kernels(["no-such-kernel"])
+            .exts([simdsim_isa::Ext::Mmx64])
+            .ways([2]);
+        let q = JobQueue::new(1);
+        let job = q.submit(scenario, None).expect("fits");
+        let metrics = Metrics::default();
+        run_job(
+            &q.pop_blocking().expect("job"),
+            &EngineOptions::default(),
+            &metrics,
+        );
+        assert_eq!(job.state(), JobState::Failed);
+        let result = job.result().expect("result");
+        assert_eq!(result.failed, 1);
+        assert!(result.cells[0]
+            .error
+            .as_deref()
+            .expect("error")
+            .contains("no-such-kernel"));
+        assert_eq!(metrics.jobs_failed.load(Ordering::Relaxed), 1);
+    }
+}

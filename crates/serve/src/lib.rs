@@ -1,0 +1,56 @@
+//! `simdsim-serve` — the serving layer of the workspace.
+//!
+//! Every consumer used to shell into the `sweep` CLI on the local
+//! machine; this crate exposes the same engine as a long-lived HTTP
+//! service, turning PR 2's work-stealing scheduler and content-addressed
+//! result store plus PR 3's allocation-free hot loop into a daemon that
+//! serves sweeps to many concurrent clients:
+//!
+//! * a dependency-free **HTTP/1.1** layer over [`std::net`] (the build
+//!   environment has no registry access, so the request parser is
+//!   hand-rolled like the workspace's serde shims — see [`http`]);
+//! * a bounded **job queue** ([`jobs`]) between the request path and the
+//!   sweep engine, with live per-cell progress via
+//!   [`simdsim_sweep::run_with_progress`];
+//! * **metrics** ([`metrics`]) in the Prometheus text format: requests,
+//!   queue depth, cache hit ratio, simulated MIPS;
+//! * a minimal **client** ([`client`]) for the `loadgen` bench binary and
+//!   the integration tests.
+//!
+//! Results flow through the content-addressed store, so resubmitting an
+//! identical sweep is served from cache without re-simulating a single
+//! cell — and because the engine is deterministic, concurrent clients
+//! submitting the same sweep all receive bit-identical statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use simdsim_serve::{Client, Server, ServerConfig};
+//! use std::time::Duration;
+//!
+//! let server = Server::start(ServerConfig {
+//!     addr: "127.0.0.1:0".to_owned(), // ephemeral port
+//!     cache_dir: None,                // no cross-run state in doctests
+//!     ..ServerConfig::default()
+//! })
+//! .expect("bind");
+//! let mut client = Client::connect(server.addr(), Duration::from_secs(5)).expect("connect");
+//! let resp = client.get("/healthz").expect("healthz");
+//! assert_eq!(resp.status, 200);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod server;
+
+pub use client::{Client, ClientResponse};
+pub use http::{Request, Response};
+pub use jobs::{Job, JobQueue, JobResult, JobState};
+pub use metrics::{render_prometheus, Metrics, MetricsSnapshot};
+pub use server::{Server, ServerConfig};

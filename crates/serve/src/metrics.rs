@@ -1,0 +1,273 @@
+//! Service counters and their Prometheus text rendering.
+//!
+//! All counters are relaxed atomics — they are monotonic tallies scraped
+//! for observability, not synchronisation points — so the request and
+//! worker paths pay one uncontended atomic add per event.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared counter block, updated by connection handlers and job workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests answered, by endpoint family.
+    pub requests_healthz: AtomicU64,
+    /// `GET /scenarios` requests.
+    pub requests_scenarios: AtomicU64,
+    /// `POST /sweeps` requests.
+    pub requests_submit: AtomicU64,
+    /// `GET /sweeps/{id}` requests.
+    pub requests_status: AtomicU64,
+    /// `GET /metrics` requests.
+    pub requests_metrics: AtomicU64,
+    /// Requests answered with 4xx/5xx.
+    pub requests_errors: AtomicU64,
+    /// Jobs accepted onto the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs rejected because the queue was full.
+    pub jobs_rejected: AtomicU64,
+    /// Jobs finished with every cell Ok.
+    pub jobs_completed: AtomicU64,
+    /// Jobs finished with at least one failed cell.
+    pub jobs_failed: AtomicU64,
+    /// Sweep cells served from the content-addressed store.
+    pub cells_cached: AtomicU64,
+    /// Sweep cells simulated.
+    pub cells_simulated: AtomicU64,
+    /// Committed instructions across all simulated cells.
+    pub sim_instrs: AtomicU64,
+    /// Wall-clock microseconds spent simulating (summed across workers).
+    pub sim_wall_micros: AtomicU64,
+}
+
+/// A point-in-time copy of every counter, plus the queue depth sampled at
+/// snapshot time.  This is what `/metrics` renders and what
+/// `report::render_server_stats` tabulates.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// `GET /healthz` requests.
+    pub requests_healthz: u64,
+    /// `GET /scenarios` requests.
+    pub requests_scenarios: u64,
+    /// `POST /sweeps` requests.
+    pub requests_submit: u64,
+    /// `GET /sweeps/{id}` requests.
+    pub requests_status: u64,
+    /// `GET /metrics` requests.
+    pub requests_metrics: u64,
+    /// Requests answered with 4xx/5xx.
+    pub requests_errors: u64,
+    /// Jobs accepted onto the queue.
+    pub jobs_submitted: u64,
+    /// Jobs rejected because the queue was full.
+    pub jobs_rejected: u64,
+    /// Jobs finished with every cell Ok.
+    pub jobs_completed: u64,
+    /// Jobs finished with at least one failed cell.
+    pub jobs_failed: u64,
+    /// Queued (not yet running) jobs at snapshot time.
+    pub queue_depth: u64,
+    /// Cells served from the content-addressed store.
+    pub cells_cached: u64,
+    /// Cells simulated.
+    pub cells_simulated: u64,
+    /// Committed instructions across all simulated cells.
+    pub sim_instrs: u64,
+    /// Seconds of simulation wall time (summed across workers).
+    pub sim_wall_seconds: f64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of resolved cells served from the store, in `[0, 1]`
+    /// (0 before any cell resolved).
+    #[must_use]
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cells_cached + self.cells_simulated;
+        if total == 0 {
+            0.0
+        } else {
+            self.cells_cached as f64 / total as f64
+        }
+    }
+
+    /// Aggregate simulation throughput in millions of committed
+    /// instructions per second (0 before any simulation).
+    #[must_use]
+    pub fn simulated_mips(&self) -> f64 {
+        if self.sim_wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.sim_instrs as f64 / self.sim_wall_seconds / 1.0e6
+        }
+    }
+
+    /// Total HTTP requests across all endpoints.
+    #[must_use]
+    pub fn requests_total(&self) -> u64 {
+        self.requests_healthz
+            + self.requests_scenarios
+            + self.requests_submit
+            + self.requests_status
+            + self.requests_metrics
+    }
+}
+
+impl Metrics {
+    /// Records simulation work done by one finished job.
+    pub fn record_job(&self, cached: usize, simulated: usize, instrs: u64, wall: Duration) {
+        self.cells_cached
+            .fetch_add(cached as u64, Ordering::Relaxed);
+        self.cells_simulated
+            .fetch_add(simulated as u64, Ordering::Relaxed);
+        self.sim_instrs.fetch_add(instrs, Ordering::Relaxed);
+        self.sim_wall_micros
+            .fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Copies every counter, with `queue_depth` sampled by the caller.
+    #[must_use]
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests_healthz: get(&self.requests_healthz),
+            requests_scenarios: get(&self.requests_scenarios),
+            requests_submit: get(&self.requests_submit),
+            requests_status: get(&self.requests_status),
+            requests_metrics: get(&self.requests_metrics),
+            requests_errors: get(&self.requests_errors),
+            jobs_submitted: get(&self.jobs_submitted),
+            jobs_rejected: get(&self.jobs_rejected),
+            jobs_completed: get(&self.jobs_completed),
+            jobs_failed: get(&self.jobs_failed),
+            queue_depth: queue_depth as u64,
+            cells_cached: get(&self.cells_cached),
+            cells_simulated: get(&self.cells_simulated),
+            sim_instrs: get(&self.sim_instrs),
+            sim_wall_seconds: get(&self.sim_wall_micros) as f64 / 1.0e6,
+        }
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+#[must_use]
+pub fn render_prometheus(s: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, pairs: &[(&str, u64)]| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (label, v) in pairs {
+            if label.is_empty() {
+                let _ = writeln!(out, "{name} {v}");
+            } else {
+                let _ = writeln!(out, "{name}{{{label}}} {v}");
+            }
+        }
+    };
+    counter(
+        "simdsim_http_requests_total",
+        "HTTP requests answered, by endpoint.",
+        &[
+            ("endpoint=\"healthz\"", s.requests_healthz),
+            ("endpoint=\"scenarios\"", s.requests_scenarios),
+            ("endpoint=\"sweep_submit\"", s.requests_submit),
+            ("endpoint=\"sweep_status\"", s.requests_status),
+            ("endpoint=\"metrics\"", s.requests_metrics),
+        ],
+    );
+    counter(
+        "simdsim_http_request_errors_total",
+        "Requests answered with a 4xx/5xx status.",
+        &[("", s.requests_errors)],
+    );
+    counter(
+        "simdsim_jobs_total",
+        "Sweep jobs, by disposition.",
+        &[
+            ("state=\"submitted\"", s.jobs_submitted),
+            ("state=\"rejected\"", s.jobs_rejected),
+            ("state=\"completed\"", s.jobs_completed),
+            ("state=\"failed\"", s.jobs_failed),
+        ],
+    );
+    counter(
+        "simdsim_cells_total",
+        "Sweep cells resolved, by source.",
+        &[
+            ("source=\"cache\"", s.cells_cached),
+            ("source=\"simulated\"", s.cells_simulated),
+        ],
+    );
+    counter(
+        "simdsim_simulated_instructions_total",
+        "Committed instructions across all simulated cells.",
+        &[("", s.sim_instrs)],
+    );
+
+    let mut gauge = |name: &str, help: &str, v: String| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    gauge(
+        "simdsim_queue_depth",
+        "Jobs queued and not yet running.",
+        s.queue_depth.to_string(),
+    );
+    gauge(
+        "simdsim_cache_hit_ratio",
+        "Fraction of resolved cells served from the content-addressed store.",
+        format!("{:.6}", s.cache_hit_ratio()),
+    );
+    gauge(
+        "simdsim_simulated_wall_seconds",
+        "Wall-clock seconds spent simulating, summed across workers.",
+        format!("{:.6}", s.sim_wall_seconds),
+    );
+    gauge(
+        "simdsim_simulated_mips",
+        "Aggregate simulation throughput in million instructions per second.",
+        format!("{:.3}", s.simulated_mips()),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_render_cover_every_family() {
+        let m = Metrics::default();
+        m.requests_healthz.fetch_add(2, Ordering::Relaxed);
+        m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
+        m.record_job(5, 7, 1_000_000, Duration::from_millis(250));
+        let s = m.snapshot(4);
+        assert_eq!(s.queue_depth, 4);
+        assert_eq!(s.cells_cached, 5);
+        assert!((s.cache_hit_ratio() - 5.0 / 12.0).abs() < 1e-12);
+        assert!(s.simulated_mips() > 0.0);
+
+        let text = render_prometheus(&s);
+        for needle in [
+            "simdsim_http_requests_total{endpoint=\"healthz\"} 2",
+            "simdsim_jobs_total{state=\"submitted\"} 3",
+            "simdsim_cells_total{source=\"cache\"} 5",
+            "simdsim_cells_total{source=\"simulated\"} 7",
+            "simdsim_queue_depth 4",
+            "# TYPE simdsim_cache_hit_ratio gauge",
+            "simdsim_simulated_instructions_total 1000000",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn ratios_are_zero_before_any_work() {
+        let s = Metrics::default().snapshot(0);
+        assert_eq!(s.cache_hit_ratio(), 0.0);
+        assert_eq!(s.simulated_mips(), 0.0);
+        assert_eq!(s.requests_total(), 0);
+    }
+}

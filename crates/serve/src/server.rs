@@ -1,0 +1,385 @@
+//! The daemon: a `std::net` accept loop, a per-connection keep-alive
+//! request loop, and the endpoint router.
+//!
+//! | endpoint | method | answer |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness + queue depth |
+//! | `/scenarios` | GET | catalog + user scenarios |
+//! | `/sweeps` | POST | submit a sweep → `202` + job id |
+//! | `/sweeps/{id}` | GET | job status/progress/result |
+//! | `/metrics` | GET | Prometheus text format |
+
+use crate::http::{parse_request, write_response, Request, Response};
+use crate::jobs::{spawn_workers, Job, JobQueue};
+use crate::metrics::{render_prometheus, Metrics};
+use serde::Value;
+use simdsim_sweep::{catalog, EngineOptions, Scenario};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the daemon is wired; every knob has a serving-appropriate default.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Bounded job-queue capacity; a full queue answers `503`.
+    pub queue_capacity: usize,
+    /// Concurrent sweep jobs (worker threads draining the queue).
+    pub job_workers: usize,
+    /// Worker-pool size inside each job's engine run (`None` = available
+    /// parallelism).
+    pub engine_jobs: Option<usize>,
+    /// Content-addressed result store shared by all jobs (`None` disables
+    /// caching — every submission re-simulates).
+    pub cache_dir: Option<PathBuf>,
+    /// User scenarios served next to the built-in catalog.
+    pub extra_scenarios: Vec<Scenario>,
+    /// Maximum concurrent HTTP connections; excess connections are
+    /// answered `503` and closed.
+    pub max_connections: usize,
+    /// Per-connection socket read timeout (bounds idle keep-alive
+    /// connections).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8844".to_owned(),
+            queue_capacity: 256,
+            job_workers: 2,
+            engine_jobs: None,
+            cache_dir: Some(PathBuf::from("target/simdsim-cache")),
+            extra_scenarios: Vec::new(),
+            max_connections: 128,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Everything the router needs, shared across connection threads.
+struct Shared {
+    queue: Arc<JobQueue>,
+    metrics: Arc<Metrics>,
+    scenarios: Vec<(Scenario, &'static str)>,
+}
+
+/// A running daemon; dropping it does **not** stop the threads — call
+/// [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the accept loop and the job workers, and
+    /// returns the handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (e.g. address in use).
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+
+        let mut scenarios: Vec<(Scenario, &'static str)> =
+            catalog::all().into_iter().map(|s| (s, "catalog")).collect();
+        scenarios.extend(cfg.extra_scenarios.iter().cloned().map(|s| (s, "user")));
+
+        let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
+        let metrics = Arc::new(Metrics::default());
+        let shared = Arc::new(Shared {
+            queue: Arc::clone(&queue),
+            metrics: Arc::clone(&metrics),
+            scenarios,
+        });
+
+        let mut opts = EngineOptions::default();
+        if let Some(jobs) = cfg.engine_jobs {
+            opts = opts.jobs(jobs);
+        }
+        if let Some(dir) = &cfg.cache_dir {
+            opts = opts.cache(dir.clone());
+        }
+        let worker_threads = spawn_workers(cfg.job_workers, &queue, &opts, &metrics);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let max_conns = cfg.max_connections.max(1);
+            let read_timeout = cfg.read_timeout;
+            std::thread::Builder::new()
+                .name("http-accept".to_owned())
+                .spawn(move || {
+                    let active = Arc::new(AtomicUsize::new(0));
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let _ = stream.set_read_timeout(Some(read_timeout));
+                        // Responses are small; disable Nagle so polls
+                        // don't pay delayed-ACK round trips.
+                        let _ = stream.set_nodelay(true);
+                        if active.load(Ordering::Acquire) >= max_conns {
+                            let mut s = stream;
+                            let _ = write_response(
+                                &mut s,
+                                &Response::error(503, "connection limit reached"),
+                                false,
+                            );
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::AcqRel);
+                        let shared = Arc::clone(&shared);
+                        let active2 = Arc::clone(&active);
+                        let spawned = std::thread::Builder::new()
+                            .name("http-conn".to_owned())
+                            .spawn(move || {
+                                handle_connection(stream, &shared);
+                                active2.fetch_sub(1, Ordering::AcqRel);
+                            });
+                        if spawned.is_err() {
+                            // Thread exhaustion: give the slot back, or
+                            // the counter would creep toward max_conns
+                            // and lock every future connection out.
+                            active.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            stop,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+
+    /// The bound socket address (resolves port 0 to the real port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the service counters (what `/metrics`
+    /// renders), for in-process embedders like the `loadgen` harness.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        self.shared.metrics.snapshot(self.shared.queue.depth())
+    }
+
+    /// Stops accepting connections, drains no further jobs, and joins the
+    /// accept and worker threads.  In-flight connections finish their
+    /// current request and then close (bounded by the read timeout).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.queue.shut_down();
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serves one connection's keep-alive request loop.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    loop {
+        match parse_request(&mut reader) {
+            Ok(None) => break, // clean close between requests
+            Ok(Some(req)) => {
+                let resp = route(&req, shared);
+                if resp.status >= 400 {
+                    shared
+                        .metrics
+                        .requests_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let keep = req.keep_alive;
+                if write_response(&mut writer, &resp, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Socket-level failures (idle keep-alive hitting the read
+                // timeout, peer resets) are connection events, not request
+                // errors — only protocol violations get counted and
+                // answered.
+                let status = e.status();
+                if status != 0 {
+                    shared
+                        .metrics
+                        .requests_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ =
+                        write_response(&mut writer, &Response::error(status, e.message()), false);
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    let bump = |a: &std::sync::atomic::AtomicU64| {
+        a.fetch_add(1, Ordering::Relaxed);
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            bump(&shared.metrics.requests_healthz);
+            Response::json(
+                200,
+                render(&obj(vec![
+                    ("status", Value::Str("ok".to_owned())),
+                    ("queue_depth", Value::UInt(shared.queue.depth() as u64)),
+                ])),
+            )
+        }
+        ("GET", "/scenarios") => {
+            bump(&shared.metrics.requests_scenarios);
+            let list: Vec<Value> = shared
+                .scenarios
+                .iter()
+                .map(|(s, source)| {
+                    obj(vec![
+                        ("name", Value::Str(s.name.clone())),
+                        ("description", Value::Str(s.description.clone())),
+                        ("cells", Value::UInt(s.expand().len() as u64)),
+                        ("source", Value::Str((*source).to_owned())),
+                    ])
+                })
+                .collect();
+            Response::json(200, render(&Value::Array(list)))
+        }
+        ("POST", "/sweeps") => {
+            bump(&shared.metrics.requests_submit);
+            submit_sweep(req, shared)
+        }
+        ("GET", path) if path.starts_with("/sweeps/") => {
+            bump(&shared.metrics.requests_status);
+            match path["/sweeps/".len()..].parse::<u64>() {
+                Ok(id) => match shared.queue.get(id) {
+                    Some(job) => Response::json(200, job_json(&job)),
+                    None => Response::error(404, &format!("no job {id}")),
+                },
+                Err(_) => Response::error(400, "job id must be an integer"),
+            }
+        }
+        ("GET", "/metrics") => {
+            bump(&shared.metrics.requests_metrics);
+            let snapshot = shared.metrics.snapshot(shared.queue.depth());
+            Response::text(200, render_prometheus(&snapshot))
+        }
+        ("GET" | "POST", _) => Response::error(404, &format!("no route for {}", req.path)),
+        _ => Response::error(405, &format!("method {} not allowed", req.method)),
+    }
+}
+
+/// Parses a `POST /sweeps` body and queues the job.
+///
+/// Accepted shapes: `{"scenario": "fig4"}` (catalog/user scenario by
+/// name), `{"inline": {...}}` (a full scenario document), each optionally
+/// with `"filter": "substring"`.
+fn submit_sweep(req: &Request, shared: &Shared) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let v: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let filter = match v.get("filter") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(s)) => Some(s.clone()),
+        Some(_) => return Response::error(400, "`filter` must be a string"),
+    };
+    let scenario = match (v.get("scenario"), v.get("inline")) {
+        (Some(Value::Str(name)), None) => {
+            match shared.scenarios.iter().find(|(s, _)| &s.name == name) {
+                Some((s, _)) => s.clone(),
+                None => {
+                    return Response::error(
+                        404,
+                        &format!("unknown scenario `{name}` (see GET /scenarios)"),
+                    )
+                }
+            }
+        }
+        (None, Some(doc)) => match <Scenario as serde::Deserialize>::from_value(doc) {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &format!("invalid inline scenario: {e}")),
+        },
+        _ => {
+            return Response::error(
+                400,
+                "body must have exactly one of `scenario` (name) or `inline` (document)",
+            )
+        }
+    };
+
+    match shared.queue.submit(scenario, filter) {
+        Ok(job) => {
+            shared
+                .metrics
+                .jobs_submitted
+                .fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                202,
+                render(&obj(vec![
+                    ("id", Value::UInt(job.id)),
+                    ("url", Value::Str(format!("/sweeps/{}", job.id))),
+                    ("state", Value::Str(job.state().as_str().to_owned())),
+                ])),
+            )
+        }
+        Err(full) => {
+            shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            Response::error(503, &full.to_string())
+        }
+    }
+}
+
+/// Renders one job's status document.
+fn job_json(job: &Job) -> String {
+    let progress = job.progress();
+    let result = job
+        .result()
+        .map_or(Value::Null, |r| serde::Serialize::to_value(&r));
+    let doc = obj(vec![
+        ("id", Value::UInt(job.id)),
+        ("scenario", Value::Str(job.scenario.name.clone())),
+        ("filter", job.filter.clone().map_or(Value::Null, Value::Str)),
+        ("state", Value::Str(job.state().as_str().to_owned())),
+        ("progress", serde::Serialize::to_value(&progress)),
+        ("result", result),
+    ]);
+    render(&doc)
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn render(v: &Value) -> String {
+    serde_json::to_string(v).expect("value serializes")
+}

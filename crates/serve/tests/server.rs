@@ -1,0 +1,270 @@
+//! End-to-end tests of the serving path: a real daemon on an ephemeral
+//! port, concurrent clients, golden-identical results, and cache hits on
+//! resubmission.
+
+use serde::Value;
+use simdsim_serve::{Client, Server, ServerConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("simdsim-serve-{tag}-{}", std::process::id()))
+}
+
+fn start_server(cache_tag: Option<&str>) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: cache_tag.map(scratch_dir),
+        job_workers: 2,
+        engine_jobs: Some(2),
+        ..ServerConfig::default()
+    })
+    .expect("server binds an ephemeral port")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(server.addr(), TIMEOUT).expect("client connects")
+}
+
+/// Submits a sweep and returns its job id.
+fn submit(client: &mut Client, body: &str) -> u64 {
+    let resp = client.post("/sweeps", body).expect("submit");
+    assert_eq!(resp.status, 202, "submit failed: {}", resp.body_str());
+    let v: Value = serde_json::from_str(&resp.body_str()).expect("submit response parses");
+    match v.get("id") {
+        Some(Value::UInt(id)) => *id,
+        other => panic!("no job id in submit response: {other:?}"),
+    }
+}
+
+/// Polls a job until it finishes and returns its status document.
+fn wait_done(client: &mut Client, id: u64) -> Value {
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let resp = client.get(&format!("/sweeps/{id}")).expect("status poll");
+        assert_eq!(resp.status, 200, "poll failed: {}", resp.body_str());
+        let v: Value = serde_json::from_str(&resp.body_str()).expect("status parses");
+        match v.get("state") {
+            Some(Value::Str(s)) if s == "done" => return v,
+            Some(Value::Str(s)) if s == "failed" => panic!("job {id} failed: {v:?}"),
+            Some(Value::Str(_)) => {}
+            other => panic!("no state in status document: {other:?}"),
+        }
+        assert!(Instant::now() < deadline, "job {id} did not finish in time");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The `result.cells` array of a finished job document.
+fn cells(doc: &Value) -> &[Value] {
+    match doc.get("result").and_then(|r| r.get("cells")) {
+        Some(Value::Array(cells)) => cells,
+        other => panic!("no cells in result: {other:?}"),
+    }
+}
+
+#[test]
+fn healthz_scenarios_and_routing() {
+    let server = start_server(None);
+    let mut c = connect(&server);
+
+    let resp = c.get("/healthz").expect("healthz");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().contains("\"ok\""));
+
+    let resp = c.get("/scenarios").expect("scenarios");
+    assert_eq!(resp.status, 200);
+    let v: Value = serde_json::from_str(&resp.body_str()).expect("scenario list parses");
+    let Value::Array(list) = v else {
+        panic!("scenarios is not an array")
+    };
+    assert!(list.len() >= 6, "catalog has at least 6 scenarios");
+    assert!(list
+        .iter()
+        .any(|s| s.get("name") == Some(&Value::Str("fig4".to_owned()))));
+
+    // Unknown routes, bad ids, bad bodies, bad methods.
+    assert_eq!(c.get("/nope").expect("404").status, 404);
+    assert_eq!(c.get("/sweeps/abc").expect("400").status, 400);
+    assert_eq!(c.get("/sweeps/99999").expect("404").status, 404);
+    assert_eq!(c.post("/sweeps", "{not json").expect("400").status, 400);
+    assert_eq!(
+        c.post("/sweeps", "{\"scenario\":\"fig9\"}")
+            .expect("404")
+            .status,
+        404
+    );
+    assert_eq!(
+        c.post("/sweeps", "{\"scenario\":\"fig4\",\"filter\":7}")
+            .expect("400")
+            .status,
+        400
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_submissions_are_golden_identical_and_resubmission_hits_the_cache() {
+    let dir = scratch_dir("golden");
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = start_server(Some("golden"));
+    let addr = server.addr();
+    let body = r#"{"scenario":"fig4","filter":"/idct/"}"#;
+
+    // ≥ 8 concurrent clients, each submitting the same sweep 8 times —
+    // 64 concurrent POST /sweeps total against the bounded queue.
+    let docs: Vec<Value> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr, TIMEOUT).expect("client connects");
+                    let ids: Vec<u64> = (0..8).map(|_| submit(&mut c, body)).collect();
+                    ids.into_iter()
+                        .map(|id| wait_done(&mut c, id))
+                        .collect::<Vec<Value>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(docs.len(), 64);
+
+    // Every job resolved the same 4 cells (fig4 × idct × 4 extensions),
+    // and every client saw bit-identical statistics.
+    let reference = cells(&docs[0]);
+    assert_eq!(reference.len(), 4, "fig4 /idct/ filter yields 4 cells");
+    for doc in &docs[1..] {
+        let got = cells(doc);
+        assert_eq!(got.len(), reference.len());
+        for (a, b) in reference.iter().zip(got) {
+            assert_eq!(a.get("label"), b.get("label"));
+            assert_eq!(
+                a.get("stats"),
+                b.get("stats"),
+                "stats diverged across concurrent clients for {:?}",
+                a.get("label")
+            );
+        }
+    }
+
+    // The served statistics match the committed golden fixture bit for
+    // bit, field by field (CellStats carries a subset of PipeStats plus
+    // derived ipc/mips).
+    let fixture_text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/pipestats.json"),
+    )
+    .expect("golden fixture present");
+    let fixture: Value = serde_json::from_str(&fixture_text).expect("fixture parses");
+    for cell in reference {
+        let Some(Value::Str(label)) = cell.get("label") else {
+            panic!("cell without label")
+        };
+        let golden = fixture
+            .get(label)
+            .unwrap_or_else(|| panic!("fixture has no cell `{label}`"));
+        let stats = cell.get("stats").expect("cell has stats");
+        for (served_field, golden_field) in [
+            ("cycles", "cycles"),
+            ("instrs", "instrs"),
+            ("counts", "counts"),
+            ("branches", "branches"),
+            ("mispredicts", "mispredicts"),
+            ("vector_cycles", "vector_region_cycles"),
+            ("scalar_cycles", "scalar_region_cycles"),
+            ("l1", "l1"),
+            ("l2", "l2"),
+            ("memsys", "memsys"),
+        ] {
+            assert_eq!(
+                stats.get(served_field),
+                golden.get(golden_field),
+                "{label}: served `{served_field}` != golden `{golden_field}`"
+            );
+        }
+    }
+
+    // Resubmitting the identical sweep is a pure cache hit: no cell
+    // re-simulates.
+    let mut c = connect(&server);
+    let id = submit(&mut c, body);
+    let doc = wait_done(&mut c, id);
+    match doc.get("result").and_then(|r| r.get("executed")) {
+        Some(Value::UInt(0)) => {}
+        other => panic!("resubmission re-simulated cells: executed = {other:?}"),
+    }
+    for cell in cells(&doc) {
+        assert_eq!(
+            cell.get("cached"),
+            Some(&Value::Bool(true)),
+            "cell not served from cache: {:?}",
+            cell.get("label")
+        );
+    }
+
+    // /metrics reports the work and the cache hits in Prometheus format.
+    let metrics = c.get("/metrics").expect("metrics scrape");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_str();
+    for needle in [
+        "# TYPE simdsim_http_requests_total counter",
+        "# TYPE simdsim_cache_hit_ratio gauge",
+        "simdsim_jobs_total{state=\"submitted\"} 65",
+        "simdsim_cells_total{source=\"cache\"}",
+        "simdsim_simulated_mips",
+        "simdsim_queue_depth 0",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+    // All 65 jobs completed, none failed; at least the resubmission's 4
+    // cells were served from the store.
+    assert!(text.contains("simdsim_jobs_total{state=\"completed\"} 65"));
+    assert!(text.contains("simdsim_jobs_total{state=\"failed\"} 0"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inline_scenarios_and_queue_backpressure() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: None,
+        queue_capacity: 2,
+        job_workers: 1,
+        engine_jobs: Some(1),
+        ..ServerConfig::default()
+    })
+    .expect("server binds");
+    let mut c = connect(&server);
+
+    // An inline scenario document runs without being in any catalog.
+    let inline = r#"{"inline":{"name":"inline-demo","description":"one cell",
+        "workloads":[{"Kernel":"idct"}],"exts":["Vmmx128"],"ways":[2],
+        "overrides":[],"instr_limit":500000000}}"#;
+    let id = submit(&mut c, inline);
+    let doc = wait_done(&mut c, id);
+    assert_eq!(cells(&doc).len(), 1);
+
+    // Flood the 2-slot queue; at least one submission must be rejected
+    // with 503 (the worker may drain some entries between posts).
+    let mut rejected = 0;
+    for _ in 0..32 {
+        let resp = c
+            .post("/sweeps", r#"{"scenario":"fig4","filter":"/idct/"}"#)
+            .expect("post");
+        match resp.status {
+            202 => {}
+            503 => rejected += 1,
+            s => panic!("unexpected status {s}: {}", resp.body_str()),
+        }
+    }
+    assert!(rejected > 0, "a 2-slot queue must reject a 32-post flood");
+
+    server.shutdown();
+}

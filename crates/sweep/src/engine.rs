@@ -3,13 +3,18 @@
 //! work-stealing pool, and reports per-cell outcomes in deterministic
 //! order.
 
-use crate::scenario::{Cell, Scenario};
+use crate::scenario::{Cell, Scenario, WorkloadRef};
 use crate::scheduler;
 use crate::store::{cell_key, CacheKey, ResultStore, StoredCell};
 use serde::{Deserialize, Serialize};
-use simdsim_isa::ClassCounts;
-use simdsim_pipe::{simulate, PipeConfig};
+use simdsim_isa::{ClassCounts, Decoded};
+use simdsim_mem::{CacheStats, MemTimingStats};
+use simdsim_pipe::{simulate_decoded, PipeConfig};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// A failure in one sweep cell, carrying the cell's label so a single bad
@@ -61,6 +66,12 @@ pub struct CellStats {
     pub mispredicts: u64,
     /// Committed instructions per Figure-7 class.
     pub counts: ClassCounts,
+    /// L1 cache counters.
+    pub l1: CacheStats,
+    /// L2 cache counters.
+    pub l2: CacheStats,
+    /// Memory-system timing counters.
+    pub memsys: MemTimingStats,
 }
 
 /// How the engine runs a scenario.
@@ -210,10 +221,40 @@ enum Prep {
     },
 }
 
+/// One per-cell progress notification from [`run_with_progress`],
+/// delivered as soon as the cell resolves (from the store, from a
+/// simulation, or as a failure).  Cached and failed cells are reported
+/// before any simulation starts; simulated cells are reported from the
+/// worker threads as they finish.
+#[derive(Debug, Clone)]
+pub struct ProgressEvent {
+    /// Total cells in the (filtered) sweep.
+    pub total: usize,
+    /// Cells resolved so far, this one included.
+    pub completed: usize,
+    /// `true` when this cell came from the store.
+    pub cached: bool,
+    /// The cell's display label.
+    pub label: String,
+}
+
 /// Runs `scenario` and returns one outcome per cell, in expansion order
 /// regardless of worker count, cache state or steal pattern.
 #[must_use]
 pub fn run(scenario: &Scenario, opts: &EngineOptions) -> SweepReport {
+    run_with_progress(scenario, opts, &|_| {})
+}
+
+/// [`run`] with a per-cell progress callback, invoked concurrently from
+/// the worker threads — this is what lets a long-lived service (the
+/// `simdsim-serve` daemon) report live job progress without polling the
+/// engine.
+#[must_use]
+pub fn run_with_progress(
+    scenario: &Scenario,
+    opts: &EngineOptions,
+    progress: &(dyn Fn(ProgressEvent) + Sync),
+) -> SweepReport {
     let mut cells = scenario.expand();
     if let Some(f) = &opts.filter {
         cells.retain(|c| c.label().contains(f.as_str()));
@@ -241,6 +282,19 @@ pub fn run(scenario: &Scenario, opts: &EngineOptions) -> SweepReport {
         })
         .collect();
 
+    let total = cells.len();
+    let completed = AtomicUsize::new(0);
+    for (cell, prep) in cells.iter().zip(&preps) {
+        if let Prep::Cached(_) | Prep::Failed(_) = prep {
+            progress(ProgressEvent {
+                total,
+                completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                cached: matches!(prep, Prep::Cached(_)),
+                label: cell.label(),
+            });
+        }
+    }
+
     // Schedule only the cells the store could not serve.
     let pending: Vec<(usize, &Cell, PipeConfig)> = preps
         .iter()
@@ -251,8 +305,17 @@ pub fn run(scenario: &Scenario, opts: &EngineOptions) -> SweepReport {
         })
         .collect();
     let workers = opts.jobs.unwrap_or_else(scheduler::default_workers);
-    let mut fresh =
-        scheduler::run_jobs(&pending, workers, |(_, cell, cfg)| exec_cell(cell, cfg)).into_iter();
+    let mut fresh = scheduler::run_jobs(&pending, workers, |(_, cell, cfg)| {
+        let out = exec_cell(cell, cfg);
+        progress(ProgressEvent {
+            total,
+            completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+            cached: false,
+            label: cell.label(),
+        });
+        out
+    })
+    .into_iter();
 
     let mut outcomes = Vec::with_capacity(cells.len());
     for (cell, prep) in cells.into_iter().zip(preps) {
@@ -292,6 +355,37 @@ pub fn run(scenario: &Scenario, opts: &EngineOptions) -> SweepReport {
     }
 }
 
+/// Upper bound on per-worker memoised decode tables; generous next to the
+/// catalog's `workloads × exts` (well under 100), but a hard stop against
+/// unbounded growth in a long-lived server fed pathological user
+/// scenarios.
+const DECODE_MEMO_CAP: usize = 512;
+
+thread_local! {
+    /// Per-worker `(workload, ext) → Decoded` memo.  Workload builds are
+    /// deterministic, so every cell sharing a workload/extension pair
+    /// shares one predecoded table instead of rebuilding it per
+    /// `simulate` call.
+    static DECODE_MEMO: RefCell<HashMap<String, Rc<Decoded>>> = RefCell::new(HashMap::new());
+}
+
+/// The memoised decode table for `cell`'s workload, computing (and
+/// caching) it from `program` on first sight of the workload/extension
+/// pair on this thread.
+fn memo_decode(cell: &Cell, program: &simdsim_isa::Program) -> Rc<Decoded> {
+    let key = match &cell.workload {
+        WorkloadRef::Kernel(n) => format!("kernel/{n}/{}", cell.ext),
+        WorkloadRef::App(n) => format!("app/{n}/{}", cell.ext),
+    };
+    DECODE_MEMO.with(|m| {
+        let mut memo = m.borrow_mut();
+        if memo.len() >= DECODE_MEMO_CAP {
+            memo.clear();
+        }
+        Rc::clone(memo.entry(key).or_insert_with(|| Rc::new(program.decode())))
+    })
+}
+
 /// Simulates one cell on its resolved configuration, measuring the
 /// wall-clock time of the simulation itself (workload build included —
 /// it is part of the cost a cache hit saves).
@@ -302,7 +396,8 @@ fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> (Result<CellStats, SweepError>, D
             .workload
             .build(cell.ext)
             .map_err(|m| SweepError::new(cell, m))?;
-        let (_, t) = simulate(&built.program, &built.machine, cfg, cell.instr_limit)
+        let dec = memo_decode(cell, &built.program);
+        let (_, t) = simulate_decoded(&dec, &built.machine, cfg, cell.instr_limit)
             .map_err(|e| SweepError::new(cell, e.to_string()))?;
         Ok(CellStats {
             cycles: t.cycles,
@@ -313,6 +408,9 @@ fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> (Result<CellStats, SweepError>, D
             branches: t.branches,
             mispredicts: t.mispredicts,
             counts: t.counts,
+            l1: t.l1,
+            l2: t.l2,
+            memsys: t.memsys,
         })
     })();
     (result, start.elapsed())

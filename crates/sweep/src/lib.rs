@@ -46,7 +46,10 @@ pub mod scenario;
 pub mod scheduler;
 pub mod store;
 
-pub use engine::{run, CellOutcome, CellStats, EngineOptions, SweepError, SweepReport};
+pub use engine::{
+    run, run_with_progress, CellOutcome, CellStats, EngineOptions, ProgressEvent, SweepError,
+    SweepReport,
+};
 pub use scenario::{Cell, OverrideSet, Param, Scenario, WorkloadRef, DEFAULT_INSTR_LIMIT};
 pub use scheduler::{default_workers, run_jobs, JobPanic};
 pub use store::{cell_key, CacheKey, ResultStore, StoredCell, CACHE_SCHEMA_VERSION};

@@ -17,8 +17,10 @@ use simdsim_pipe::PipeConfig;
 use std::path::{Path, PathBuf};
 
 /// Version of the stored-cell schema; bump when [`CellStats`] or the key
-/// material changes shape.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// material changes shape.  Version 2 added the L1/L2/memory-system
+/// counters to [`CellStats`] so the serving layer can return full timing
+/// statistics per cell.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// A content hash addressing one cell's result (32 hex digits).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

@@ -40,6 +40,20 @@ fn stats(seed: u64, ipc: f64) -> CellStats {
             vmem: seed % 5,
             varith: seed % 3,
         },
+        l1: simdsim_mem::CacheStats {
+            hits: seed % 101,
+            misses: seed % 31,
+            writebacks: seed % 19,
+            invalidations: seed % 23,
+        },
+        l2: simdsim_mem::CacheStats::default(),
+        memsys: simdsim_mem::MemTimingStats {
+            scalar_accesses: seed % 301,
+            vector_accesses: seed % 201,
+            l2_port_busy: seed % 401,
+            unit_stride_accesses: seed % 151,
+            coherency_writebacks: seed % 29,
+        },
     }
 }
 

@@ -52,3 +52,17 @@ perf *ARGS:
 perf-smoke:
     cargo run --release --locked -p simdsim-bench --bin perf -- --quick --out target/BENCH_simdsim.json
     python3 -c "import json,sys; d=json.load(open('target/BENCH_simdsim.json')); sys.exit(0 if d['total']['mips'] > 0 else 1)"
+
+# Run the sweep service (e.g. `just serve`, `just serve -- --addr 0.0.0.0:9000`).
+serve *ARGS:
+    cargo run --release -p simdsim-serve --bin serve -- {{ARGS}}
+
+# Load-test the service. Self-contained by default (spawns an in-process
+# server); pass `-- --addr H:P` to hammer an external daemon instead.
+loadgen *ARGS:
+    cargo run --release -p simdsim-bench --bin loadgen -- --spawn {{ARGS}}
+
+# The CI serving smoke: boot the daemon, check /healthz, run a small
+# sweep to completion over HTTP, scrape /metrics, shut down.
+serve-smoke:
+    ./scripts/serve-smoke.sh

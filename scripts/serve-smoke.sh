@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Serving-path smoke: boot the daemon, wait for /healthz, submit a small
+# sweep, poll it to completion, scrape /metrics, shut down.  Shared by
+# `just serve-smoke` and the CI `serve-smoke` job so they cannot drift.
+set -euo pipefail
+
+PORT="${SERVE_SMOKE_PORT:-8951}"
+BASE="http://127.0.0.1:${PORT}"
+
+cargo build --release --locked -p simdsim-serve
+target/release/serve --addr "127.0.0.1:${PORT}" --jobs 2 &
+SERVE_PID=$!
+trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 40); do
+  curl -sf "${BASE}/healthz" >/dev/null 2>&1 && break
+  sleep 0.5
+done
+curl -sf "${BASE}/healthz" | grep -q '"ok"'
+curl -sf "${BASE}/scenarios" | grep -q '"fig4"'
+
+JOB_URL=$(curl -sf -X POST -d '{"scenario":"fig4","filter":"/idct/"}' "${BASE}/sweeps" \
+  | python3 -c "import json,sys; print(json.load(sys.stdin)['url'])")
+echo "submitted ${JOB_URL}"
+
+STATE=queued
+for _ in $(seq 1 240); do
+  STATE=$(curl -sf "${BASE}${JOB_URL}" \
+    | python3 -c "import json,sys; print(json.load(sys.stdin)['state'])")
+  [ "${STATE}" = done ] && break
+  [ "${STATE}" = failed ] && { echo "sweep failed"; curl -sf "${BASE}${JOB_URL}"; exit 1; }
+  sleep 0.5
+done
+[ "${STATE}" = done ] || { echo "sweep did not finish (state=${STATE})"; exit 1; }
+
+# The finished job must carry per-cell stats, and /metrics must report
+# the completed job in Prometheus text format.
+JOB_DOC=$(mktemp)
+curl -sf "${BASE}${JOB_URL}" >"${JOB_DOC}"
+python3 - "${JOB_DOC}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cells = doc["result"]["cells"]
+assert len(cells) == 4, f"expected 4 idct cells, got {len(cells)}"
+assert all(c["stats"]["cycles"] > 0 for c in cells), "cells missing stats"
+print(f"{len(cells)} cells ok")
+EOF
+rm -f "${JOB_DOC}"
+METRICS=$(curl -sf "${BASE}/metrics")
+echo "${METRICS}" | grep -q 'simdsim_jobs_total{state="completed"} 1'
+echo "${METRICS}" | grep -q '# TYPE simdsim_cache_hit_ratio gauge'
+echo "${METRICS}" | grep -q 'simdsim_simulated_mips'
+echo "serve-smoke ok"
