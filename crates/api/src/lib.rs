@@ -1,0 +1,37 @@
+//! `simdsim-api` — the versioned API contract of the sweep service.
+//!
+//! Before this crate, every consumer of `simdsim-serve` (the `loadgen`
+//! bench, the smoke script, the integration tests) re-implemented its own
+//! slice of the wire format by hand.  This crate is now the **only**
+//! definition: typed, serializable DTOs for every request and response of
+//! the `/v1` surface, a machine-readable [`ApiError`] taxonomy, and the
+//! conversions from the sweep engine's report types onto the wire shapes.
+//!
+//! * the server (`simdsim-serve`) serializes these types;
+//! * the client (`simdsim-client`) deserializes them;
+//! * both agree by construction, because the bytes come from one place.
+//!
+//! The contract is versioned by URL: every route lives under
+//! [`API_BASE`] (`/v1`).  The pre-v1 unversioned routes remain as
+//! deprecated aliases onto the same handlers, and the v1 shapes are
+//! field-compatible supersets of the old hand-rolled JSON, so existing
+//! `curl` scripts keep working unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dto;
+pub mod error;
+
+/// The API version this crate defines.
+pub const API_VERSION: &str = "v1";
+
+pub use dto::{
+    parse_json, CellResult, CellsPage, Health, JobList, JobState, JobSummary, Progress,
+    ScenarioInfo, SubmitResponse, SweepRequest, SweepResult, SweepStatus, API_BASE,
+};
+pub use error::{ApiError, ErrorCode};
+
+// Re-exported so API consumers can name the payload types carried by the
+// DTOs without depending on the engine crate directly.
+pub use simdsim_sweep::{CellStats, Scenario};

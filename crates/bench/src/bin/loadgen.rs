@@ -7,14 +7,18 @@
 //! $ loadgen --clients 64 --requests 4 --scenario fig4 --filter /idct/
 //! ```
 //!
-//! Each client opens one keep-alive connection, submits its sweeps and
-//! polls them to completion; the summary (submit latency = `POST /sweeps`
-//! round trip, complete latency = submit→done including queueing and
-//! simulation) is printed and merged into `BENCH_simdsim.json` under the
-//! `"loadgen"` key so successive PRs can compare serving-layer latency.
+//! Each client drives one [`SimdsimClient`] keep-alive connection —
+//! exactly the typed wire path every other consumer uses — submitting its
+//! sweeps and streaming each to completion through the `?since=` cursor.
+//! The summary (submit latency = `POST /v1/sweeps` round trip, complete
+//! latency = submit→terminal including queueing and simulation) is
+//! printed and merged into `BENCH_simdsim.json` under the `"loadgen"`
+//! key, where CI compares p99s against the committed baseline.
 
 use serde::{Serialize, Value};
-use simdsim_serve::{Client, Server, ServerConfig};
+use simdsim_api::{JobState, SweepRequest};
+use simdsim_client::SimdsimClient;
+use simdsim_serve::{Server, ServerConfig};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
@@ -69,6 +73,7 @@ struct LoadgenSummary {
     total_requests: usize,
     ok: usize,
     errors: usize,
+    deduped: usize,
     wall_s: f64,
     sweeps_per_second: f64,
     submit_ms: Percentiles,
@@ -137,75 +142,42 @@ fn main() {
     std::process::exit(code);
 }
 
-fn submit_body(cli: &Cli) -> String {
-    let mut pairs = vec![("scenario".to_owned(), Value::Str(cli.scenario.clone()))];
-    if let Some(f) = &cli.filter {
-        pairs.push(("filter".to_owned(), Value::Str(f.clone())));
-    }
-    serde_json::to_string(&Value::Object(pairs)).expect("body serializes")
-}
-
 /// One client's share of the run: `requests` submit→poll cycles on one
-/// keep-alive connection.  Returns (submit_ms, complete_ms, errors).
-fn run_client(addr: &str, body: &str, requests: usize) -> (Vec<f64>, Vec<f64>, usize) {
+/// keep-alive typed client.  Returns (submit_ms, complete_ms, errors,
+/// deduped).
+fn run_client(
+    addr: &str,
+    request: &SweepRequest,
+    requests: usize,
+) -> (Vec<f64>, Vec<f64>, usize, usize) {
     let timeout = Duration::from_secs(300);
     let mut submits = Vec::with_capacity(requests);
     let mut completes = Vec::with_capacity(requests);
     let mut errors = 0usize;
-    let Ok(mut client) = Client::connect(addr, timeout) else {
-        return (submits, completes, requests);
+    let mut deduped = 0usize;
+    let Ok(mut client) = SimdsimClient::connect(addr, timeout) else {
+        return (submits, completes, requests, 0);
     };
     for _ in 0..requests {
         let start = Instant::now();
-        let id = match client.post("/sweeps", body) {
-            Ok(resp) if resp.status == 202 => {
-                let v: Value = match serde_json::from_str(&resp.body_str()) {
-                    Ok(v) => v,
-                    Err(_) => {
-                        errors += 1;
-                        continue;
-                    }
-                };
-                match v.get("id") {
-                    Some(Value::UInt(id)) => *id,
-                    _ => {
-                        errors += 1;
-                        continue;
-                    }
-                }
-            }
-            _ => {
+        let sub = match client.submit(request) {
+            Ok(sub) => sub,
+            Err(_) => {
                 errors += 1;
                 continue;
             }
         };
         submits.push(start.elapsed().as_secs_f64() * 1.0e3);
+        deduped += usize::from(sub.deduped);
 
-        let done = loop {
-            match client.get(&format!("/sweeps/{id}")) {
-                Ok(resp) if resp.status == 200 => {
-                    let v: Value = match serde_json::from_str(&resp.body_str()) {
-                        Ok(v) => v,
-                        Err(_) => break false,
-                    };
-                    match v.get("state") {
-                        Some(Value::Str(s)) if s == "done" => break true,
-                        Some(Value::Str(s)) if s == "failed" => break false,
-                        Some(Value::Str(_)) => {}
-                        _ => break false,
-                    }
-                }
-                _ => break false,
+        match client.wait_timeout(sub.id, Duration::from_millis(5), timeout) {
+            Ok(status) if status.state == JobState::Done => {
+                completes.push(start.elapsed().as_secs_f64() * 1.0e3);
             }
-            std::thread::sleep(Duration::from_millis(5));
-        };
-        if done {
-            completes.push(start.elapsed().as_secs_f64() * 1.0e3);
-        } else {
-            errors += 1;
+            _ => errors += 1,
         }
     }
-    (submits, completes, errors)
+    (submits, completes, errors, deduped)
 }
 
 fn main_impl(args: &[String]) -> Result<(), String> {
@@ -231,20 +203,23 @@ fn main_impl(args: &[String]) -> Result<(), String> {
         .as_ref()
         .map_or(cli.addr.clone(), |s| s.addr().to_string());
 
-    let body = submit_body(&cli);
+    let mut request = SweepRequest::by_name(&cli.scenario);
+    if let Some(f) = &cli.filter {
+        request = request.filter(f.clone());
+    }
     println!(
         "loadgen: {} clients x {} requests of `{}` against {addr}",
         cli.clients, cli.requests, cli.scenario
     );
 
     let start = Instant::now();
-    let results: Vec<(Vec<f64>, Vec<f64>, usize)> = std::thread::scope(|s| {
+    let results: Vec<(Vec<f64>, Vec<f64>, usize, usize)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cli.clients)
             .map(|_| {
                 let addr = addr.clone();
-                let body = body.clone();
+                let request = request.clone();
                 let requests = cli.requests;
-                s.spawn(move || run_client(&addr, &body, requests))
+                s.spawn(move || run_client(&addr, &request, requests))
             })
             .collect();
         handles
@@ -254,9 +229,10 @@ fn main_impl(args: &[String]) -> Result<(), String> {
     });
     let wall_s = start.elapsed().as_secs_f64();
 
-    let mut submit_ms: Vec<f64> = results.iter().flat_map(|(s, _, _)| s.clone()).collect();
-    let mut complete_ms: Vec<f64> = results.iter().flat_map(|(_, c, _)| c.clone()).collect();
-    let errors: usize = results.iter().map(|(_, _, e)| e).sum();
+    let mut submit_ms: Vec<f64> = results.iter().flat_map(|(s, _, _, _)| s.clone()).collect();
+    let mut complete_ms: Vec<f64> = results.iter().flat_map(|(_, c, _, _)| c.clone()).collect();
+    let errors: usize = results.iter().map(|(_, _, e, _)| e).sum();
+    let deduped: usize = results.iter().map(|(_, _, _, d)| d).sum();
     submit_ms.sort_by(f64::total_cmp);
     complete_ms.sort_by(f64::total_cmp);
 
@@ -269,6 +245,7 @@ fn main_impl(args: &[String]) -> Result<(), String> {
         total_requests: total,
         ok: complete_ms.len(),
         errors,
+        deduped,
         wall_s,
         sweeps_per_second: if wall_s > 0.0 {
             complete_ms.len() as f64 / wall_s
@@ -280,8 +257,8 @@ fn main_impl(args: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "{} ok / {} errors in {:.2}s ({:.1} sweeps/s)",
-        summary.ok, summary.errors, summary.wall_s, summary.sweeps_per_second
+        "{} ok / {} errors ({} deduped) in {:.2}s ({:.1} sweeps/s)",
+        summary.ok, summary.errors, summary.deduped, summary.wall_s, summary.sweeps_per_second
     );
     println!(
         "submit   p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  max {:.2}ms",

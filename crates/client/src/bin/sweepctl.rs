@@ -1,0 +1,276 @@
+//! `sweepctl` — command-line client for the simdsim v1 sweep API.
+//!
+//! ```console
+//! $ sweepctl health
+//! $ sweepctl scenarios
+//! $ sweepctl submit --scenario fig4 --filter /idct/
+//! $ sweepctl run --scenario fig4 --filter /idct/     # submit + stream + summary
+//! $ sweepctl stream 3                                # follow an existing job
+//! $ sweepctl status 3
+//! $ sweepctl cancel 3
+//! $ sweepctl list
+//! ```
+//!
+//! Exit codes: `0` success, `1` the job failed or was cancelled, `2`
+//! usage/transport/API errors.
+
+use simdsim_api::{CellResult, Scenario, SweepRequest, SweepStatus};
+use simdsim_client::{ClientError, SimdsimClient};
+use std::time::Duration;
+
+/// Prints a line to stdout, ignoring broken-pipe errors: `sweepctl ... |
+/// grep -q` closes the pipe early, which must not be a panic.
+fn say(line: std::fmt::Arguments) {
+    use std::io::Write as _;
+    let mut out = std::io::stdout();
+    let _ = out.write_fmt(line);
+    let _ = out.write_all(b"\n");
+}
+
+/// [`say`] for stderr (progress notes, summaries).
+fn esay(line: std::fmt::Arguments) {
+    use std::io::Write as _;
+    let mut out = std::io::stderr();
+    let _ = out.write_fmt(line);
+    let _ = out.write_all(b"\n");
+}
+
+const USAGE: &str = "\
+usage: sweepctl [--addr HOST:PORT] [--timeout SECS] COMMAND [ARGS]
+
+Drive a simdsim-serve daemon through the typed v1 client.
+
+commands:
+  health                     liveness + API version + queue depth
+  scenarios                  list catalog + user scenarios
+  list                       list every job the server knows
+  submit [SWEEP OPTIONS]     submit a sweep, print its id, return
+  run    [SWEEP OPTIONS]     submit, stream cells as they resolve, summarise
+  status ID                  one job's status document (JSON)
+  stream ID                  follow a job's per-cell stream to completion
+  cancel ID                  cancel a queued/running job
+sweep options:
+  --scenario NAME            a catalog/user scenario by name
+  --file PATH                an inline scenario from a JSON document
+  --filter SUBSTRING         keep only cells whose label matches
+global options:
+  --addr HOST:PORT           daemon address (default 127.0.0.1:8844)
+  --timeout SECS             per-request socket timeout (default 300)
+  --help                     print this help";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match main_impl(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            esay(format_args!("sweepctl: {msg}"));
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+struct Global {
+    addr: String,
+    timeout: Duration,
+}
+
+fn main_impl(args: &[String]) -> Result<i32, String> {
+    let mut global = Global {
+        addr: "127.0.0.1:8844".to_owned(),
+        timeout: Duration::from_secs(300),
+    };
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => global.addr = value("--addr")?,
+            "--timeout" => {
+                let v = value("--timeout")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout expects seconds, got `{v}`"))?;
+                global.timeout = Duration::from_secs(secs.max(1));
+            }
+            "--help" | "-h" => {
+                say(format_args!("{USAGE}"));
+                return Ok(0);
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    let Some((command, cmd_args)) = rest.split_first() else {
+        return Err(format!("a command is required\n{USAGE}"));
+    };
+
+    let mut client = SimdsimClient::connect(&global.addr, global.timeout)
+        .map_err(|e| format!("connecting to {}: {e}", global.addr))?;
+    let fail = |e: ClientError| e.to_string();
+
+    match command.as_str() {
+        "health" => {
+            let h = client.health().map_err(fail)?;
+            say(format_args!(
+                "{} (api {}, queue depth {})",
+                h.status, h.version, h.queue_depth
+            ));
+            Ok(0)
+        }
+        "scenarios" => {
+            let list = client.scenarios().map_err(fail)?;
+            for s in &list {
+                say(format_args!(
+                    "{:<16} {:>4} cells  [{}]  {}",
+                    s.name, s.cells, s.source, s.description
+                ));
+            }
+            Ok(0)
+        }
+        "list" => {
+            let list = client.list().map_err(fail)?;
+            for j in &list.jobs {
+                say(format_args!(
+                    "#{:<6} {:<10} {:>4}/{:<4} cells  {}{}",
+                    j.id,
+                    j.state,
+                    j.progress.completed,
+                    j.progress.total,
+                    j.scenario,
+                    j.filter
+                        .as_deref()
+                        .map(|f| format!("  filter={f}"))
+                        .unwrap_or_default()
+                ));
+            }
+            Ok(0)
+        }
+        "submit" => {
+            let request = parse_sweep_request(cmd_args)?;
+            let sub = client.submit(&request).map_err(fail)?;
+            say(format_args!(
+                "job {} {} ({}{})",
+                sub.id,
+                sub.url,
+                sub.state,
+                if sub.deduped { ", deduped" } else { "" }
+            ));
+            Ok(0)
+        }
+        "run" => {
+            let request = parse_sweep_request(cmd_args)?;
+            let sub = client.submit(&request).map_err(fail)?;
+            esay(format_args!(
+                "submitted job {}{}",
+                sub.id,
+                if sub.deduped {
+                    " (deduped onto an identical in-flight job)"
+                } else {
+                    ""
+                }
+            ));
+            let status = client.stream_cells(sub.id, print_cell).map_err(fail)?;
+            Ok(summarise(&status))
+        }
+        "status" => {
+            let id = parse_id(cmd_args)?;
+            let status = client.status(id).map_err(fail)?;
+            say(format_args!(
+                "{}",
+                serde_json::to_string_pretty(&status).expect("status serializes")
+            ));
+            Ok(0)
+        }
+        "stream" => {
+            let id = parse_id(cmd_args)?;
+            let status = client.stream_cells(id, print_cell).map_err(fail)?;
+            Ok(summarise(&status))
+        }
+        "cancel" => {
+            let id = parse_id(cmd_args)?;
+            let status = client.cancel(id).map_err(fail)?;
+            say(format_args!("job {} is now {}", id, status.state));
+            Ok(0)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn parse_id(args: &[String]) -> Result<u64, String> {
+    match args {
+        [id] => id
+            .parse()
+            .map_err(|_| format!("job id must be an integer, got `{id}`")),
+        _ => Err("expected exactly one job id".to_owned()),
+    }
+}
+
+fn parse_sweep_request(args: &[String]) -> Result<SweepRequest, String> {
+    let mut request = SweepRequest::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--scenario" => request.scenario = Some(value("--scenario")?),
+            "--filter" => request.filter = Some(value("--filter")?),
+            "--file" => {
+                let path = value("--file")?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+                let scenario: Scenario =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                request.inline = Some(scenario);
+            }
+            flag => return Err(format!("unknown sweep option `{flag}`")),
+        }
+    }
+    request.validate()?;
+    Ok(request)
+}
+
+fn print_cell(cell: &CellResult) {
+    match (&cell.error, cell.mips) {
+        (Some(e), _) => say(format_args!("{:<48} ERROR {e}", cell.label)),
+        (None, Some(mips)) => {
+            let stats = cell.stats.as_ref().expect("successful cell has stats");
+            say(format_args!(
+                "{:<48} {:>12} cycles  ipc {:>5.2}  {:>7.1} mips",
+                cell.label, stats.cycles, stats.ipc, mips
+            ));
+        }
+        (None, None) => {
+            let stats = cell.stats.as_ref().expect("successful cell has stats");
+            say(format_args!(
+                "{:<48} {:>12} cycles  ipc {:>5.2}   cached",
+                cell.label, stats.cycles, stats.ipc
+            ));
+        }
+    }
+}
+
+fn summarise(status: &SweepStatus) -> i32 {
+    match &status.result {
+        Some(result) => {
+            esay(format_args!(
+                "job {}: {} — {} cells ({} cached, {} simulated, {} failed), {:.1}ms simulated",
+                status.id,
+                status.state,
+                result.cells.len(),
+                result.cached,
+                result.executed,
+                result.failed,
+                result.simulated_wall_ms,
+            ));
+        }
+        None => esay(format_args!("job {}: {}", status.id, status.state)),
+    }
+    i32::from(status.state != simdsim_api::JobState::Done)
+}

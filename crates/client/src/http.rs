@@ -1,8 +1,11 @@
-//! A minimal blocking HTTP/1.1 client over [`std::net::TcpStream`], used
-//! by the `loadgen` bench binary and the serving integration tests.
+//! A minimal blocking HTTP/1.1 client over [`std::net::TcpStream`] — the
+//! transport under [`crate::SimdsimClient`].
 //!
-//! One [`Client`] holds one keep-alive connection; requests on it are
-//! serial, which is exactly the per-thread shape a load generator wants.
+//! One [`HttpClient`] holds one keep-alive connection; requests on it are
+//! serial, which is exactly the per-thread shape a load generator or CLI
+//! wants.  (This module moved here from `simdsim-serve` when the typed
+//! client was introduced, so the serving crate no longer ships any client
+//! code.)
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -10,14 +13,14 @@ use std::time::Duration;
 
 /// One parsed HTTP response.
 #[derive(Debug, Clone)]
-pub struct ClientResponse {
+pub struct HttpResponse {
     /// The status code.
     pub status: u16,
     /// The response body.
     pub body: Vec<u8>,
 }
 
-impl ClientResponse {
+impl HttpResponse {
     /// The body as UTF-8 (lossy).
     #[must_use]
     pub fn body_str(&self) -> String {
@@ -27,13 +30,13 @@ impl ClientResponse {
 
 /// A keep-alive connection to one server.
 #[derive(Debug)]
-pub struct Client {
+pub struct HttpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     host: String,
 }
 
-impl Client {
+impl HttpClient {
     /// Connects to `addr` with `timeout` applied to reads and writes.
     ///
     /// # Errors
@@ -58,19 +61,37 @@ impl Client {
         })
     }
 
+    /// Sends a bodyless request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn request(&mut self, method: &str, path: &str) -> std::io::Result<HttpResponse> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.host
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
     /// Sends a `GET` and reads the full response.
     ///
     /// # Errors
     ///
     /// Propagates socket errors and malformed responses.
-    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        write!(
-            self.writer,
-            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
-            self.host
-        )?;
-        self.writer.flush()?;
-        self.read_response()
+    pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path)
+    }
+
+    /// Sends a `DELETE` and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn delete(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("DELETE", path)
     }
 
     /// Sends a `POST` with a JSON body and reads the full response.
@@ -78,7 +99,7 @@ impl Client {
     /// # Errors
     ///
     /// Propagates socket errors and malformed responses.
-    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
         write!(
             self.writer,
             "POST {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\
@@ -99,7 +120,7 @@ impl Client {
         Ok(line)
     }
 
-    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
         let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let status_line = self.read_line()?;
         let status: u16 = status_line
@@ -124,6 +145,6 @@ impl Client {
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(ClientResponse { status, body })
+        Ok(HttpResponse { status, body })
     }
 }

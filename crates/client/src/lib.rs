@@ -1,0 +1,301 @@
+//! `simdsim-client` — the first-class client of the simdsim v1 sweep API.
+//!
+//! [`SimdsimClient`] speaks the typed contract defined in `simdsim-api`
+//! over one blocking keep-alive HTTP/1.1 connection: submit sweeps, poll
+//! status, stream per-cell results through the `?since=` long-poll cursor
+//! while the job runs, cancel jobs, and list everything the server knows.
+//! Every consumer of the service in this workspace — the `loadgen` bench,
+//! the `sweepctl` CLI, the smoke script, the integration tests — goes
+//! through this one implementation of the wire format.
+//!
+//! ```no_run
+//! use simdsim_api::SweepRequest;
+//! use simdsim_client::SimdsimClient;
+//! use std::time::Duration;
+//!
+//! let mut client =
+//!     SimdsimClient::connect("127.0.0.1:8844", Duration::from_secs(60)).expect("connect");
+//! let sub = client
+//!     .submit(&SweepRequest::by_name("fig4").filter("/idct/"))
+//!     .expect("submit");
+//! let status = client
+//!     .stream_cells(sub.id, |cell| println!("{} done", cell.label))
+//!     .expect("stream");
+//! assert!(status.state.is_terminal());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+
+use serde::Deserialize;
+use simdsim_api::{
+    ApiError, CellResult, CellsPage, Health, JobList, ScenarioInfo, SubmitResponse, SweepRequest,
+    SweepStatus, API_BASE,
+};
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+pub use http::{HttpClient, HttpResponse};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server answered, but not with the contract's shape.
+    Protocol(String),
+    /// The server answered with a typed [`ApiError`].
+    Api {
+        /// The HTTP status of the error response.
+        status: u16,
+        /// The typed error body.
+        error: ApiError,
+    },
+}
+
+impl ClientError {
+    /// The typed API error, when this is an [`ClientError::Api`].
+    #[must_use]
+    pub fn api_error(&self) -> Option<&ApiError> {
+        match self {
+            ClientError::Api { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Api { status, error } => write!(f, "server ({status}): {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A typed, blocking, keep-alive client for one sweep service.
+#[derive(Debug)]
+pub struct SimdsimClient {
+    http: HttpClient,
+}
+
+impl SimdsimClient {
+    /// Connects to `addr` with `timeout` applied to reads and writes.
+    ///
+    /// The timeout bounds every individual socket operation, so it must
+    /// exceed the `wait_ms` passed to [`SimdsimClient::cells`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution/connection errors.
+    pub fn connect(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        Ok(Self {
+            http: HttpClient::connect(addr, timeout)?,
+        })
+    }
+
+    /// Wraps an already-connected transport.
+    #[must_use]
+    pub fn from_http(http: HttpClient) -> Self {
+        Self { http }
+    }
+
+    fn decode<T: Deserialize>(resp: &HttpResponse, expect: u16) -> Result<T, ClientError> {
+        let text = resp.body_str();
+        if resp.status >= 400 {
+            let error = serde_json::from_str::<ApiError>(&text).map_err(|_| {
+                ClientError::Protocol(format!(
+                    "status {} with unparseable error body: {text}",
+                    resp.status
+                ))
+            })?;
+            return Err(ClientError::Api {
+                status: resp.status,
+                error,
+            });
+        }
+        if resp.status != expect {
+            return Err(ClientError::Protocol(format!(
+                "expected status {expect}, got {}: {text}",
+                resp.status
+            )));
+        }
+        serde_json::from_str(&text)
+            .map_err(|e| ClientError::Protocol(format!("malformed response body: {e} in {text}")))
+    }
+
+    /// `GET /v1/healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn health(&mut self) -> Result<Health, ClientError> {
+        let resp = self.http.get(&format!("{API_BASE}/healthz"))?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `GET /v1/scenarios` — the catalog plus user scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn scenarios(&mut self) -> Result<Vec<ScenarioInfo>, ClientError> {
+        let resp = self.http.get(&format!("{API_BASE}/scenarios"))?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `GET /v1/sweeps` — every job the server knows, newest first.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn list(&mut self) -> Result<JobList, ClientError> {
+        let resp = self.http.get(&format!("{API_BASE}/sweeps"))?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `POST /v1/sweeps` — submits a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors ([`simdsim_api::ErrorCode::QueueFull`]
+    /// when the server is at capacity).
+    pub fn submit(&mut self, request: &SweepRequest) -> Result<SubmitResponse, ClientError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("request serialization: {e}")))?;
+        let resp = self.http.post(&format!("{API_BASE}/sweeps"), &body)?;
+        Self::decode(&resp, 202)
+    }
+
+    /// `GET /v1/sweeps/{id}` — one job's status document.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn status(&mut self, id: u64) -> Result<SweepStatus, ClientError> {
+        let resp = self.http.get(&format!("{API_BASE}/sweeps/{id}"))?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `GET /v1/sweeps/{id}/cells?since=N` — one page of the per-cell
+    /// result stream.  The server long-polls: when no cell beyond `since`
+    /// has resolved yet and the job is still running, it holds the
+    /// request up to `wait` before answering (possibly with an empty
+    /// page).  A cursor beyond the end of the stream yields an empty
+    /// page, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn cells(&mut self, id: u64, since: u64, wait: Duration) -> Result<CellsPage, ClientError> {
+        let resp = self.http.get(&format!(
+            "{API_BASE}/sweeps/{id}/cells?since={since}&wait_ms={}",
+            wait.as_millis()
+        ))?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `DELETE /v1/sweeps/{id}` — cancels a job.  Queued jobs drop
+    /// immediately (the returned state is `cancelled`); running jobs stop
+    /// cooperatively between cells (the returned state is still
+    /// `running` until the worker observes the flag).
+    ///
+    /// # Errors
+    ///
+    /// Typed API errors: `unknown_job` (404) for unknown ids, `conflict`
+    /// (409) for already-finished jobs; plus transport/protocol errors.
+    pub fn cancel(&mut self, id: u64) -> Result<SweepStatus, ClientError> {
+        let resp = self.http.delete(&format!("{API_BASE}/sweeps/{id}"))?;
+        if resp.status == 202 {
+            return Self::decode(&resp, 202);
+        }
+        Self::decode(&resp, 200)
+    }
+
+    /// Streams every cell of job `id` through `on_cell` via the long-poll
+    /// cursor, returning the job's final status document once the stream
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn stream_cells(
+        &mut self,
+        id: u64,
+        mut on_cell: impl FnMut(&CellResult),
+    ) -> Result<SweepStatus, ClientError> {
+        let mut since = 0u64;
+        loop {
+            let page = self.cells(id, since, Duration::from_millis(2000))?;
+            for cell in &page.cells {
+                on_cell(cell);
+            }
+            since = page.next;
+            if page.done {
+                break;
+            }
+        }
+        self.status(id)
+    }
+
+    /// Polls `GET /v1/sweeps/{id}` every `interval` until the job reaches
+    /// a terminal state, returning the final status document.  Unbounded:
+    /// prefer [`SimdsimClient::wait_timeout`] anywhere a wedged server
+    /// must surface as an error instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn wait(&mut self, id: u64, interval: Duration) -> Result<SweepStatus, ClientError> {
+        self.wait_timeout(id, interval, Duration::MAX)
+    }
+
+    /// [`SimdsimClient::wait`] with a deadline: gives up once `timeout`
+    /// has elapsed without the job reaching a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// A [`ClientError::Protocol`] naming the job and its last observed
+    /// state on deadline; otherwise transport/protocol/API errors.
+    pub fn wait_timeout(
+        &mut self,
+        id: u64,
+        interval: Duration,
+        timeout: Duration,
+    ) -> Result<SweepStatus, ClientError> {
+        let deadline = std::time::Instant::now().checked_add(timeout);
+        loop {
+            let status = self.status(id)?;
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                return Err(ClientError::Protocol(format!(
+                    "job {id} did not finish within {timeout:?} (last state: {})",
+                    status.state
+                )));
+            }
+            std::thread::sleep(interval);
+        }
+    }
+
+    /// The raw transport, for requests outside the typed surface
+    /// (`/metrics` scrapes, legacy-alias checks).
+    pub fn http(&mut self) -> &mut HttpClient {
+        &mut self.http
+    }
+}

@@ -355,8 +355,13 @@ pub fn render_server_stats(s: &simdsim_serve::MetricsSnapshot) -> String {
     );
     let _ = writeln!(
         out,
-        "jobs:   {} submitted, {} completed, {} failed, {} rejected",
-        s.jobs_submitted, s.jobs_completed, s.jobs_failed, s.jobs_rejected,
+        "jobs:   {} submitted ({} coalesced), {} completed, {} failed, {} cancelled, {} rejected",
+        s.jobs_submitted,
+        s.jobs_coalesced,
+        s.jobs_completed,
+        s.jobs_failed,
+        s.jobs_cancelled,
+        s.jobs_rejected,
     );
     let _ = writeln!(
         out,

@@ -4,13 +4,19 @@
 //! $ serve                                  # 127.0.0.1:8844, cache on
 //! $ serve --addr 0.0.0.0:9000 --workers 4
 //! $ serve --scenario-file my.json          # serve a user scenario too
+//! $ serve --retention 1024 --ttl-secs 3600 # bound the finished-job registry
 //! ```
 //!
-//! Endpoints: `GET /scenarios`, `POST /sweeps`, `GET /sweeps/{id}`,
-//! `GET /healthz`, `GET /metrics` (Prometheus text format).
+//! The daemon speaks the typed v1 contract: `GET /v1/scenarios`,
+//! `GET|POST /v1/sweeps`, `GET /v1/sweeps/{id}`,
+//! `GET /v1/sweeps/{id}/cells?since=N` (long-poll cell stream),
+//! `DELETE /v1/sweeps/{id}` (cancel), `GET /v1/healthz`, and
+//! `GET /metrics` (Prometheus text format).  Unversioned paths remain as
+//! deprecated aliases.
 
 use simdsim_serve::{Server, ServerConfig};
 use simdsim_sweep::Scenario;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: serve [OPTIONS]
@@ -22,6 +28,8 @@ options:
   --workers N           concurrent sweep jobs (default 2)
   --jobs N              engine worker-pool size per job (default: available parallelism)
   --queue N             job-queue capacity (default 256)
+  --retention N         max retained finished jobs (default 4096)
+  --ttl-secs N          evict finished jobs older than N seconds (default: never)
   --cache-dir DIR       content-addressed result store (default target/simdsim-cache)
   --no-cache            disable the result store (every submission re-simulates)
   --scenario-file PATH  serve a user scenario from a JSON file (repeatable)
@@ -49,6 +57,13 @@ fn main_impl(args: &[String]) -> Result<(), String> {
             "--workers" => cfg.job_workers = parse_num(&value("--workers")?, "--workers")?,
             "--jobs" => cfg.engine_jobs = Some(parse_num(&value("--jobs")?, "--jobs")?),
             "--queue" => cfg.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
+            "--retention" => cfg.job_retention = parse_num(&value("--retention")?, "--retention")?,
+            "--ttl-secs" => {
+                cfg.job_ttl = Some(Duration::from_secs(parse_num(
+                    &value("--ttl-secs")?,
+                    "--ttl-secs",
+                )? as u64));
+            }
             "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?.into()),
             "--no-cache" => cfg.cache_dir = None,
             "--scenario-file" => {
@@ -69,11 +84,15 @@ fn main_impl(args: &[String]) -> Result<(), String> {
 
     let server = Server::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
     println!("simdsim-serve listening on http://{}", server.addr());
-    println!("  GET  /scenarios   — catalog + user scenarios");
-    println!("  POST /sweeps      — submit a sweep (JSON body)");
-    println!("  GET  /sweeps/{{id}} — job status/progress/result");
-    println!("  GET  /healthz     — liveness");
-    println!("  GET  /metrics     — Prometheus text format");
+    println!("  GET    /v1/scenarios             — catalog + user scenarios");
+    println!("  GET    /v1/sweeps                — list known jobs");
+    println!("  POST   /v1/sweeps                — submit a sweep (JSON body)");
+    println!("  GET    /v1/sweeps/{{id}}           — job status/progress/result");
+    println!("  GET    /v1/sweeps/{{id}}/cells     — stream cells (?since=N long-poll)");
+    println!("  DELETE /v1/sweeps/{{id}}           — cancel a queued/running job");
+    println!("  GET    /v1/healthz               — liveness + API version");
+    println!("  GET    /metrics                  — Prometheus text format");
+    println!("  (unversioned paths are deprecated aliases of /v1)");
     // The daemon runs until killed; park this thread forever.
     loop {
         std::thread::park();

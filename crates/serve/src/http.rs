@@ -73,6 +73,8 @@ pub struct Request {
     pub method: String,
     /// The request target path, query string stripped.
     pub path: String,
+    /// The raw query string (without the `?`; empty when absent).
+    pub query: String,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
@@ -89,6 +91,17 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of query parameter `name` (`?name=value`), if present.
+    /// No percent-decoding: the API's parameters are plain integers.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -219,10 +232,14 @@ pub fn parse_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError>
         std::io::Read::read_exact(r, &mut body).map_err(|e| HttpError::Io(e.to_string()))?;
     }
 
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
     Ok(Some(Request {
         method: method.to_owned(),
         path,
+        query,
         headers,
         body,
         keep_alive,
@@ -261,13 +278,22 @@ impl Response {
         }
     }
 
-    /// A JSON error body `{"error": message}` under `status`.
+    /// A typed JSON error body (`{"code": ..., "error": ...}`) under the
+    /// code's canonical status.
+    #[must_use]
+    pub fn api_error(error: &simdsim_api::ApiError) -> Self {
+        let body = serde_json::to_string(error).expect("error body serializes");
+        Self::json(error.status(), body)
+    }
+
+    /// A typed JSON error body under `status`, with the generic
+    /// [`simdsim_api::ErrorCode`] for that status.
     #[must_use]
     pub fn error(status: u16, message: &str) -> Self {
-        let body = serde_json::to_string(&serde::Value::Object(vec![(
-            "error".to_owned(),
-            serde::Value::Str(message.to_owned()),
-        )]))
+        let body = serde_json::to_string(&simdsim_api::ApiError::new(
+            simdsim_api::ErrorCode::from_status(status),
+            message,
+        ))
         .expect("error body serializes");
         Self::json(status, body)
     }
@@ -282,6 +308,7 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -325,11 +352,16 @@ mod tests {
 
     #[test]
     fn parses_a_get_with_query_and_headers() {
-        let req = parse("GET /sweeps/7?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Trace: abc\r\n\r\n")
-            .expect("parses")
-            .expect("a request");
+        let req =
+            parse("GET /sweeps/7?verbose=1&since=4 HTTP/1.1\r\nHost: x\r\nX-Trace: abc\r\n\r\n")
+                .expect("parses")
+                .expect("a request");
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/sweeps/7");
+        assert_eq!(req.query, "verbose=1&since=4");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("since"), Some("4"));
+        assert_eq!(req.query_param("wait_ms"), None);
         assert_eq!(req.header("x-trace"), Some("abc"));
         assert!(req.keep_alive);
         assert!(req.body.is_empty());
@@ -449,5 +481,7 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("queue full"));
+        // Error bodies carry the machine-readable code of the status.
+        assert!(text.contains("\"code\":\"queue_full\""), "{text}");
     }
 }

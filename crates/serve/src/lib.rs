@@ -2,30 +2,38 @@
 //!
 //! Every consumer used to shell into the `sweep` CLI on the local
 //! machine; this crate exposes the same engine as a long-lived HTTP
-//! service, turning PR 2's work-stealing scheduler and content-addressed
-//! result store plus PR 3's allocation-free hot loop into a daemon that
-//! serves sweeps to many concurrent clients:
+//! service speaking the **typed, versioned `/v1` contract** defined in
+//! `simdsim-api` (consumed by `simdsim-client`):
 //!
 //! * a dependency-free **HTTP/1.1** layer over [`std::net`] (the build
 //!   environment has no registry access, so the request parser is
 //!   hand-rolled like the workspace's serde shims — see [`http`]);
 //! * a bounded **job queue** ([`jobs`]) between the request path and the
 //!   sweep engine, with live per-cell progress via
-//!   [`simdsim_sweep::run_with_progress`];
+//!   [`simdsim_sweep::run_with_progress`], **cursor streaming** of cell
+//!   results while a job runs (`GET /v1/sweeps/{id}/cells?since=N`
+//!   long-poll), **cooperative cancellation** (`DELETE /v1/sweeps/{id}`),
+//!   **coalescing** of identical queued/running submissions onto one
+//!   engine run, and a **configurable retention policy** (count cap +
+//!   TTL) on finished jobs;
 //! * **metrics** ([`metrics`]) in the Prometheus text format: requests,
-//!   queue depth, cache hit ratio, simulated MIPS;
-//! * a minimal **client** ([`client`]) for the `loadgen` bench binary and
-//!   the integration tests.
+//!   queue depth, cache hit ratio, coalesce/cancel tallies, simulated
+//!   MIPS.
 //!
 //! Results flow through the content-addressed store, so resubmitting an
 //! identical sweep is served from cache without re-simulating a single
-//! cell — and because the engine is deterministic, concurrent clients
-//! submitting the same sweep all receive bit-identical statistics.
+//! cell — and a submission identical to one still queued or running does
+//! not even enqueue: it is coalesced onto the in-flight job, and both ids
+//! observe the same deterministic, bit-identical statistics.
+//!
+//! The pre-v1 unversioned routes remain as deprecated aliases onto the
+//! v1 handlers; see [`server`] for the endpoint table.
 //!
 //! # Example
 //!
 //! ```
-//! use simdsim_serve::{Client, Server, ServerConfig};
+//! use simdsim_client::SimdsimClient;
+//! use simdsim_serve::{Server, ServerConfig};
 //! use std::time::Duration;
 //!
 //! let server = Server::start(ServerConfig {
@@ -34,23 +42,26 @@
 //!     ..ServerConfig::default()
 //! })
 //! .expect("bind");
-//! let mut client = Client::connect(server.addr(), Duration::from_secs(5)).expect("connect");
-//! let resp = client.get("/healthz").expect("healthz");
-//! assert_eq!(resp.status, 200);
+//! let mut client =
+//!     SimdsimClient::connect(server.addr(), Duration::from_secs(5)).expect("connect");
+//! let health = client.health().expect("healthz");
+//! assert_eq!(health.status, "ok");
+//! assert_eq!(health.version, simdsim_api::API_VERSION);
 //! server.shutdown();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod client;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
 pub mod server;
 
-pub use client::{Client, ClientResponse};
 pub use http::{Request, Response};
-pub use jobs::{Job, JobQueue, JobResult, JobState};
+pub use jobs::{CancelOutcome, Job, JobQueue, RetentionPolicy, Submission};
 pub use metrics::{render_prometheus, Metrics, MetricsSnapshot};
 pub use server::{Server, ServerConfig};
+
+// The wire types the server speaks, re-exported for embedders.
+pub use simdsim_api::{ApiError, ErrorCode, JobState, SweepStatus};

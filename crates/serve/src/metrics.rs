@@ -19,18 +19,28 @@ pub struct Metrics {
     pub requests_submit: AtomicU64,
     /// `GET /sweeps/{id}` requests.
     pub requests_status: AtomicU64,
+    /// `GET /sweeps` (listing) requests.
+    pub requests_list: AtomicU64,
+    /// `GET /sweeps/{id}/cells` (cursor stream) requests.
+    pub requests_cells: AtomicU64,
+    /// `DELETE /sweeps/{id}` (cancel) requests.
+    pub requests_cancel: AtomicU64,
     /// `GET /metrics` requests.
     pub requests_metrics: AtomicU64,
     /// Requests answered with 4xx/5xx.
     pub requests_errors: AtomicU64,
     /// Jobs accepted onto the queue.
     pub jobs_submitted: AtomicU64,
+    /// Of those, submissions coalesced onto an identical in-flight job.
+    pub jobs_coalesced: AtomicU64,
     /// Jobs rejected because the queue was full.
     pub jobs_rejected: AtomicU64,
     /// Jobs finished with every cell Ok.
     pub jobs_completed: AtomicU64,
     /// Jobs finished with at least one failed cell.
     pub jobs_failed: AtomicU64,
+    /// Jobs cancelled (queued drops and cooperative stops alike).
+    pub jobs_cancelled: AtomicU64,
     /// Sweep cells served from the content-addressed store.
     pub cells_cached: AtomicU64,
     /// Sweep cells simulated.
@@ -54,18 +64,28 @@ pub struct MetricsSnapshot {
     pub requests_submit: u64,
     /// `GET /sweeps/{id}` requests.
     pub requests_status: u64,
+    /// `GET /sweeps` (listing) requests.
+    pub requests_list: u64,
+    /// `GET /sweeps/{id}/cells` (cursor stream) requests.
+    pub requests_cells: u64,
+    /// `DELETE /sweeps/{id}` (cancel) requests.
+    pub requests_cancel: u64,
     /// `GET /metrics` requests.
     pub requests_metrics: u64,
     /// Requests answered with 4xx/5xx.
     pub requests_errors: u64,
     /// Jobs accepted onto the queue.
     pub jobs_submitted: u64,
+    /// Of those, submissions coalesced onto an identical in-flight job.
+    pub jobs_coalesced: u64,
     /// Jobs rejected because the queue was full.
     pub jobs_rejected: u64,
     /// Jobs finished with every cell Ok.
     pub jobs_completed: u64,
     /// Jobs finished with at least one failed cell.
     pub jobs_failed: u64,
+    /// Jobs cancelled.
+    pub jobs_cancelled: u64,
     /// Queued (not yet running) jobs at snapshot time.
     pub queue_depth: u64,
     /// Cells served from the content-addressed store.
@@ -109,6 +129,9 @@ impl MetricsSnapshot {
             + self.requests_scenarios
             + self.requests_submit
             + self.requests_status
+            + self.requests_list
+            + self.requests_cells
+            + self.requests_cancel
             + self.requests_metrics
     }
 }
@@ -134,12 +157,17 @@ impl Metrics {
             requests_scenarios: get(&self.requests_scenarios),
             requests_submit: get(&self.requests_submit),
             requests_status: get(&self.requests_status),
+            requests_list: get(&self.requests_list),
+            requests_cells: get(&self.requests_cells),
+            requests_cancel: get(&self.requests_cancel),
             requests_metrics: get(&self.requests_metrics),
             requests_errors: get(&self.requests_errors),
             jobs_submitted: get(&self.jobs_submitted),
+            jobs_coalesced: get(&self.jobs_coalesced),
             jobs_rejected: get(&self.jobs_rejected),
             jobs_completed: get(&self.jobs_completed),
             jobs_failed: get(&self.jobs_failed),
+            jobs_cancelled: get(&self.jobs_cancelled),
             queue_depth: queue_depth as u64,
             cells_cached: get(&self.cells_cached),
             cells_simulated: get(&self.cells_simulated),
@@ -173,6 +201,9 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
             ("endpoint=\"scenarios\"", s.requests_scenarios),
             ("endpoint=\"sweep_submit\"", s.requests_submit),
             ("endpoint=\"sweep_status\"", s.requests_status),
+            ("endpoint=\"sweep_list\"", s.requests_list),
+            ("endpoint=\"sweep_cells\"", s.requests_cells),
+            ("endpoint=\"sweep_cancel\"", s.requests_cancel),
             ("endpoint=\"metrics\"", s.requests_metrics),
         ],
     );
@@ -186,9 +217,11 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         "Sweep jobs, by disposition.",
         &[
             ("state=\"submitted\"", s.jobs_submitted),
+            ("state=\"coalesced\"", s.jobs_coalesced),
             ("state=\"rejected\"", s.jobs_rejected),
             ("state=\"completed\"", s.jobs_completed),
             ("state=\"failed\"", s.jobs_failed),
+            ("state=\"cancelled\"", s.jobs_cancelled),
         ],
     );
     counter(

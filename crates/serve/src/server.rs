@@ -1,25 +1,46 @@
 //! The daemon: a `std::net` accept loop, a per-connection keep-alive
-//! request loop, and the endpoint router.
+//! request loop, and the versioned endpoint router.
+//!
+//! The public contract is the `/v1` surface defined by `simdsim-api`:
 //!
 //! | endpoint | method | answer |
 //! |---|---|---|
-//! | `/healthz` | GET | liveness + queue depth |
-//! | `/scenarios` | GET | catalog + user scenarios |
-//! | `/sweeps` | POST | submit a sweep → `202` + job id |
-//! | `/sweeps/{id}` | GET | job status/progress/result |
-//! | `/metrics` | GET | Prometheus text format |
+//! | `/v1/healthz` | GET | [`Health`]: liveness + API version + queue depth |
+//! | `/v1/scenarios` | GET | `Vec<`[`ScenarioInfo`]`>`: catalog + user scenarios |
+//! | `/v1/sweeps` | GET | [`JobList`]: every known job, newest first |
+//! | `/v1/sweeps` | POST | submit a [`SweepRequest`] → `202` [`SubmitResponse`] |
+//! | `/v1/sweeps/{id}` | GET | [`SweepStatus`]: state/progress/result |
+//! | `/v1/sweeps/{id}/cells?since=N` | GET | [`CellsPage`]: long-poll cell stream |
+//! | `/v1/sweeps/{id}` | DELETE | cancel → [`SweepStatus`] (or 404/409 [`ApiError`]) |
+//! | `/metrics` | GET | Prometheus text format (unversioned by convention) |
+//!
+//! Every pre-v1 unversioned route (`/healthz`, `/scenarios`, `/sweeps`,
+//! `/sweeps/{id}`, ...) remains as a **deprecated alias** onto the same
+//! handler — same handler, same bytes — so existing curl scripts keep
+//! working while new consumers speak `/v1`.
 
 use crate::http::{parse_request, write_response, Request, Response};
-use crate::jobs::{spawn_workers, Job, JobQueue};
+use crate::jobs::{spawn_workers, CancelOutcome, JobQueue, RetentionPolicy};
 use crate::metrics::{render_prometheus, Metrics};
-use serde::Value;
-use simdsim_sweep::{catalog, EngineOptions, Scenario};
+use simdsim_api::{
+    ApiError, CellsPage, ErrorCode, Health, JobList, ScenarioInfo, SubmitResponse, SweepRequest,
+};
+use simdsim_sweep::{EngineOptions, Scenario};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Default long-poll hold of `GET /v1/sweeps/{id}/cells` when the cursor
+/// is at the stream's end and the job is still running.
+const DEFAULT_CELLS_WAIT: Duration = Duration::from_millis(2000);
+
+/// Upper bound on the client-requested `wait_ms` long-poll hold; kept
+/// well under the connection read timeout so a polling client never
+/// mistakes a held request for a dead server.
+const MAX_CELLS_WAIT: Duration = Duration::from_millis(20_000);
 
 /// How the daemon is wired; every knob has a serving-appropriate default.
 #[derive(Debug, Clone)]
@@ -44,6 +65,10 @@ pub struct ServerConfig {
     /// Per-connection socket read timeout (bounds idle keep-alive
     /// connections).
     pub read_timeout: Duration,
+    /// Maximum retained finished jobs; the oldest are evicted first.
+    pub job_retention: usize,
+    /// Optional age limit on retained finished jobs.
+    pub job_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +82,8 @@ impl Default for ServerConfig {
             extra_scenarios: Vec::new(),
             max_connections: 128,
             read_timeout: Duration::from_secs(30),
+            job_retention: 4096,
+            job_ttl: None,
         }
     }
 }
@@ -89,11 +116,19 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
 
-        let mut scenarios: Vec<(Scenario, &'static str)> =
-            catalog::all().into_iter().map(|s| (s, "catalog")).collect();
+        let mut scenarios: Vec<(Scenario, &'static str)> = simdsim_sweep::catalog::all()
+            .into_iter()
+            .map(|s| (s, "catalog"))
+            .collect();
         scenarios.extend(cfg.extra_scenarios.iter().cloned().map(|s| (s, "user")));
 
-        let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
+        let queue = Arc::new(JobQueue::with_retention(
+            cfg.queue_capacity,
+            RetentionPolicy {
+                max_finished: cfg.job_retention,
+                ttl: cfg.job_ttl,
+            },
+        ));
         let metrics = Arc::new(Metrics::default());
         let shared = Arc::new(Shared {
             queue: Arc::clone(&queue),
@@ -240,146 +275,242 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// Serializes a DTO into a JSON response.
+fn json_dto<T: serde::Serialize>(status: u16, dto: &T) -> Response {
+    Response::json(status, serde_json::to_string(dto).expect("DTO serializes"))
+}
+
 fn route(req: &Request, shared: &Shared) -> Response {
     let bump = |a: &std::sync::atomic::AtomicU64| {
         a.fetch_add(1, Ordering::Relaxed);
     };
-    match (req.method.as_str(), req.path.as_str()) {
+    // The versioned prefix is the contract; bare paths are deprecated
+    // aliases onto the very same handlers.
+    let path = req.path.strip_prefix("/v1").unwrap_or(&req.path);
+    let path = if path.is_empty() { "/" } else { path };
+
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             bump(&shared.metrics.requests_healthz);
-            Response::json(
-                200,
-                render(&obj(vec![
-                    ("status", Value::Str("ok".to_owned())),
-                    ("queue_depth", Value::UInt(shared.queue.depth() as u64)),
-                ])),
-            )
+            json_dto(200, &Health::ok(shared.queue.depth() as u64))
         }
         ("GET", "/scenarios") => {
             bump(&shared.metrics.requests_scenarios);
-            let list: Vec<Value> = shared
+            let list: Vec<ScenarioInfo> = shared
                 .scenarios
                 .iter()
-                .map(|(s, source)| {
-                    obj(vec![
-                        ("name", Value::Str(s.name.clone())),
-                        ("description", Value::Str(s.description.clone())),
-                        ("cells", Value::UInt(s.expand().len() as u64)),
-                        ("source", Value::Str((*source).to_owned())),
-                    ])
+                .map(|(s, source)| ScenarioInfo {
+                    name: s.name.clone(),
+                    description: s.description.clone(),
+                    cells: s.expand().len() as u64,
+                    source: (*source).to_owned(),
                 })
                 .collect();
-            Response::json(200, render(&Value::Array(list)))
+            json_dto(200, &list)
+        }
+        ("GET", "/sweeps") => {
+            bump(&shared.metrics.requests_list);
+            let jobs = shared
+                .queue
+                .list()
+                .into_iter()
+                .map(|(id, job, id_cancelled)| {
+                    let mut row = job.summary(id);
+                    if id_cancelled {
+                        row.state = simdsim_api::JobState::Cancelled;
+                    }
+                    row
+                })
+                .collect();
+            json_dto(200, &JobList { jobs })
         }
         ("POST", "/sweeps") => {
             bump(&shared.metrics.requests_submit);
             submit_sweep(req, shared)
         }
-        ("GET", path) if path.starts_with("/sweeps/") => {
-            bump(&shared.metrics.requests_status);
-            match path["/sweeps/".len()..].parse::<u64>() {
-                Ok(id) => match shared.queue.get(id) {
-                    Some(job) => Response::json(200, job_json(&job)),
-                    None => Response::error(404, &format!("no job {id}")),
-                },
-                Err(_) => Response::error(400, "job id must be an integer"),
-            }
+        ("GET", p) if p.starts_with("/sweeps/") => sweep_get(p, req, shared),
+        ("DELETE", p) if p.starts_with("/sweeps/") => {
+            bump(&shared.metrics.requests_cancel);
+            cancel_sweep(&p["/sweeps/".len()..], shared)
         }
         ("GET", "/metrics") => {
             bump(&shared.metrics.requests_metrics);
             let snapshot = shared.metrics.snapshot(shared.queue.depth());
             Response::text(200, render_prometheus(&snapshot))
         }
-        ("GET" | "POST", _) => Response::error(404, &format!("no route for {}", req.path)),
-        _ => Response::error(405, &format!("method {} not allowed", req.method)),
+        ("GET" | "POST" | "DELETE", _) => Response::api_error(&ApiError::new(
+            ErrorCode::NotFound,
+            format!("no route for {}", req.path),
+        )),
+        _ => Response::api_error(&ApiError::new(
+            ErrorCode::MethodNotAllowed,
+            format!("method {} not allowed", req.method),
+        )),
+    }
+}
+
+/// Routes `GET /sweeps/{id}` and `GET /sweeps/{id}/cells`.
+fn sweep_get(path: &str, req: &Request, shared: &Shared) -> Response {
+    let rest = &path["/sweeps/".len()..];
+    let (id_text, cells) = match rest.strip_suffix("/cells") {
+        Some(id_text) => (id_text, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::api_error(&ApiError::new(
+            ErrorCode::BadRequest,
+            format!("job id must be an integer, got `{id_text}`"),
+        ));
+    };
+    let Some((job, id_cancelled)) = shared.queue.lookup(id) else {
+        return Response::api_error(&ApiError::new(
+            ErrorCode::UnknownJob,
+            format!("no job {id}"),
+        ));
+    };
+    if !cells {
+        shared
+            .metrics
+            .requests_status
+            .fetch_add(1, Ordering::Relaxed);
+        return json_dto(
+            200,
+            &shared.queue.status_for(id).expect("job just looked up"),
+        );
+    }
+
+    shared
+        .metrics
+        .requests_cells
+        .fetch_add(1, Ordering::Relaxed);
+    let since = match req.query_param("since").map(str::parse::<u64>) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            return Response::api_error(&ApiError::new(
+                ErrorCode::BadRequest,
+                "`since` must be a non-negative integer",
+            ))
+        }
+    };
+    let wait = match req.query_param("wait_ms").map(str::parse::<u64>) {
+        None => DEFAULT_CELLS_WAIT,
+        Some(Ok(ms)) => Duration::from_millis(ms).min(MAX_CELLS_WAIT),
+        Some(Err(_)) => {
+            return Response::api_error(&ApiError::new(
+                ErrorCode::BadRequest,
+                "`wait_ms` must be a non-negative integer",
+            ))
+        }
+    };
+    if id_cancelled {
+        // A detached submission's stream is over, whatever the shared run
+        // is still doing for the ids that did not cancel.
+        let page = CellsPage {
+            id,
+            state: simdsim_api::JobState::Cancelled,
+            since,
+            next: since,
+            total: 0,
+            done: true,
+            cells: Vec::new(),
+        };
+        return json_dto(200, &page);
+    }
+    let page: CellsPage = job.cells_page(id, since, wait);
+    json_dto(200, &page)
+}
+
+/// Routes `DELETE /sweeps/{id}`.
+fn cancel_sweep(id_text: &str, shared: &Shared) -> Response {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::api_error(&ApiError::new(
+            ErrorCode::BadRequest,
+            format!("job id must be an integer, got `{id_text}`"),
+        ));
+    };
+    match shared.queue.cancel(id) {
+        None => Response::api_error(&ApiError::new(
+            ErrorCode::UnknownJob,
+            format!("no job {id}"),
+        )),
+        Some((_, CancelOutcome::Cancelled)) => {
+            shared
+                .metrics
+                .jobs_cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            json_dto(
+                200,
+                &shared.queue.status_for(id).expect("job just cancelled"),
+            )
+        }
+        // The worker observes the flag and finishes the transition; 202
+        // tells the client the cancellation is underway, not done.
+        Some((job, CancelOutcome::Cancelling)) => json_dto(202, &job.status(id)),
+        Some((_, CancelOutcome::AlreadyFinished(state))) => Response::api_error(&ApiError::new(
+            ErrorCode::Conflict,
+            format!("job {id} already {state}"),
+        )),
     }
 }
 
 /// Parses a `POST /sweeps` body and queues the job.
-///
-/// Accepted shapes: `{"scenario": "fig4"}` (catalog/user scenario by
-/// name), `{"inline": {...}}` (a full scenario document), each optionally
-/// with `"filter": "substring"`.
 fn submit_sweep(req: &Request, shared: &Shared) -> Response {
     let Ok(text) = std::str::from_utf8(&req.body) else {
-        return Response::error(400, "body is not UTF-8");
+        return Response::api_error(&ApiError::new(ErrorCode::BadRequest, "body is not UTF-8"));
     };
-    let v: Value = match serde_json::from_str(text) {
-        Ok(v) => v,
-        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    let request: SweepRequest = match simdsim_api::parse_json(text) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::api_error(&ApiError::new(
+                ErrorCode::BadRequest,
+                format!("invalid SweepRequest body: {e}"),
+            ))
+        }
     };
-    let filter = match v.get("filter") {
-        None | Some(Value::Null) => None,
-        Some(Value::Str(s)) => Some(s.clone()),
-        Some(_) => return Response::error(400, "`filter` must be a string"),
-    };
-    let scenario = match (v.get("scenario"), v.get("inline")) {
-        (Some(Value::Str(name)), None) => {
-            match shared.scenarios.iter().find(|(s, _)| &s.name == name) {
-                Some((s, _)) => s.clone(),
-                None => {
-                    return Response::error(
-                        404,
-                        &format!("unknown scenario `{name}` (see GET /scenarios)"),
-                    )
-                }
+    if let Err(e) = request.validate() {
+        return Response::api_error(&ApiError::new(ErrorCode::BadRequest, e));
+    }
+    let scenario = match (&request.scenario, request.inline) {
+        (Some(name), None) => match shared.scenarios.iter().find(|(s, _)| &s.name == name) {
+            Some((s, _)) => s.clone(),
+            None => {
+                return Response::api_error(&ApiError::new(
+                    ErrorCode::UnknownScenario,
+                    format!("unknown scenario `{name}` (see GET /v1/scenarios)"),
+                ))
             }
-        }
-        (None, Some(doc)) => match <Scenario as serde::Deserialize>::from_value(doc) {
-            Ok(s) => s,
-            Err(e) => return Response::error(400, &format!("invalid inline scenario: {e}")),
         },
-        _ => {
-            return Response::error(
-                400,
-                "body must have exactly one of `scenario` (name) or `inline` (document)",
-            )
-        }
+        (None, Some(doc)) => doc,
+        // validate() established exactly-one-of.
+        _ => unreachable!("validated request has exactly one source"),
     };
 
-    match shared.queue.submit(scenario, filter) {
-        Ok(job) => {
+    match shared.queue.submit(scenario, request.filter) {
+        Ok(sub) => {
             shared
                 .metrics
                 .jobs_submitted
                 .fetch_add(1, Ordering::Relaxed);
-            Response::json(
+            if sub.deduped {
+                shared
+                    .metrics
+                    .jobs_coalesced
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            json_dto(
                 202,
-                render(&obj(vec![
-                    ("id", Value::UInt(job.id)),
-                    ("url", Value::Str(format!("/sweeps/{}", job.id))),
-                    ("state", Value::Str(job.state().as_str().to_owned())),
-                ])),
+                &SubmitResponse {
+                    id: sub.id,
+                    url: format!("/v1/sweeps/{}", sub.id),
+                    state: sub.job.state(),
+                    deduped: sub.deduped,
+                },
             )
         }
         Err(full) => {
             shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            Response::error(503, &full.to_string())
+            Response::api_error(&ApiError::new(ErrorCode::QueueFull, full.to_string()))
         }
     }
-}
-
-/// Renders one job's status document.
-fn job_json(job: &Job) -> String {
-    let progress = job.progress();
-    let result = job
-        .result()
-        .map_or(Value::Null, |r| serde::Serialize::to_value(&r));
-    let doc = obj(vec![
-        ("id", Value::UInt(job.id)),
-        ("scenario", Value::Str(job.scenario.name.clone())),
-        ("filter", job.filter.clone().map_or(Value::Null, Value::Str)),
-        ("state", Value::Str(job.state().as_str().to_owned())),
-        ("progress", serde::Serialize::to_value(&progress)),
-        ("result", result),
-    ]);
-    render(&doc)
-}
-
-fn obj(pairs: Vec<(&str, Value)>) -> Value {
-    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-}
-
-fn render(v: &Value) -> String {
-    serde_json::to_string(v).expect("value serializes")
 }

@@ -1,0 +1,313 @@
+//! v1-contract acceptance tests: cursor streaming, coalescing,
+//! cancellation, the job listing, and retention — all driven through
+//! `SimdsimClient` against a real ephemeral-port daemon.
+
+use serde::{Serialize, Value};
+use simdsim_api::{CellResult, ErrorCode, JobState, SweepRequest};
+use simdsim_client::{ClientError, SimdsimClient};
+use simdsim_serve::{Server, ServerConfig};
+use simdsim_sweep::Scenario;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+const POLL: Duration = Duration::from_millis(25);
+
+fn start_server(cfg_mut: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: None,
+        job_workers: 1,
+        engine_jobs: Some(2),
+        ..ServerConfig::default()
+    };
+    cfg_mut(&mut cfg);
+    Server::start(cfg).expect("server binds an ephemeral port")
+}
+
+fn connect(server: &Server) -> SimdsimClient {
+    SimdsimClient::connect(server.addr(), TIMEOUT).expect("client connects")
+}
+
+/// The acceptance path: submit → stream cells through the `?since=`
+/// cursor while the job runs → final stats — with the streamed per-cell
+/// statistics bit-identical to the committed golden fixture, a duplicate
+/// concurrent submission observed as one engine run, and the flow closed
+/// out by a cancel (409: the shared job already finished).
+#[test]
+fn submit_stream_dedup_and_golden_identical_cells() {
+    let server = start_server(|_| {});
+    let mut c = connect(&server);
+    let request = SweepRequest::by_name("fig4").filter("/idct/");
+
+    let first = c.submit(&request).expect("submit");
+    assert!(!first.deduped);
+    assert_eq!(first.url, format!("/v1/sweeps/{}", first.id));
+
+    // An identical submission while the first is queued/running does not
+    // queue a second engine run: it aliases the same job.
+    let dup = c.submit(&request).expect("duplicate submit");
+    assert!(dup.deduped, "identical in-flight submission coalesces");
+    assert!(dup.id > first.id);
+
+    // Stream the first job's cells through the long-poll cursor.
+    let mut streamed: Vec<CellResult> = Vec::new();
+    let status = c
+        .stream_cells(first.id, |cell| streamed.push(cell.clone()))
+        .expect("stream");
+    assert_eq!(status.state, JobState::Done);
+    assert_eq!(status.id, first.id);
+    assert_eq!(streamed.len(), 4, "fig4 /idct/ yields 4 cells");
+    assert!(
+        streamed.iter().all(|cell| !cell.cached),
+        "no cache configured — every cell was simulated"
+    );
+
+    // The streamed statistics match the committed golden fixture bit for
+    // bit (match by label: stream order is completion order).
+    let fixture_text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/pipestats.json"),
+    )
+    .expect("golden fixture present");
+    let fixture: Value = serde_json::from_str(&fixture_text).expect("fixture parses");
+    for cell in &streamed {
+        let golden = fixture
+            .get(&cell.label)
+            .unwrap_or_else(|| panic!("fixture has no cell `{}`", cell.label));
+        let stats = cell.stats.as_ref().expect("streamed cell has stats");
+        let doc = stats.to_value();
+        for (served_field, golden_field) in [
+            ("cycles", "cycles"),
+            ("instrs", "instrs"),
+            ("counts", "counts"),
+            ("branches", "branches"),
+            ("mispredicts", "mispredicts"),
+            ("vector_cycles", "vector_region_cycles"),
+            ("scalar_cycles", "scalar_region_cycles"),
+            ("l1", "l1"),
+            ("l2", "l2"),
+            ("memsys", "memsys"),
+        ] {
+            assert_eq!(
+                doc.get(served_field),
+                golden.get(golden_field),
+                "{}: streamed `{served_field}` != golden `{golden_field}`",
+                cell.label
+            );
+        }
+    }
+
+    // The duplicate id observes the same finished run: identical cells,
+    // nothing executed twice.
+    let dup_status = c.wait_timeout(dup.id, POLL, TIMEOUT).expect("dup status");
+    assert_eq!(dup_status.state, JobState::Done);
+    assert_eq!(dup_status.id, dup.id, "alias id reported under itself");
+    let dup_result = dup_status.result.expect("result");
+    assert_eq!(dup_result.cells.len(), 4);
+    let mut by_index = streamed.clone();
+    by_index.sort_by_key(|cell| cell.index);
+    for (a, b) in by_index.iter().zip(&dup_result.cells) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.stats, b.stats, "stats diverged for {}", a.label);
+    }
+
+    // Exactly one engine run happened: 4 simulated cells total, one
+    // coalesce recorded, zero served from cache.
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.cells_simulated, 4, "one engine run for two ids");
+    assert_eq!(snap.cells_cached, 0);
+    assert_eq!(snap.jobs_coalesced, 1);
+    assert_eq!(snap.jobs_completed, 1);
+
+    // Closing the flow: cancelling the already-finished job is a typed
+    // conflict, not a silent no-op.
+    match c.cancel(first.id) {
+        Err(ClientError::Api { status, error }) => {
+            assert_eq!(status, 409);
+            assert_eq!(error.code, ErrorCode::Conflict);
+        }
+        other => panic!("expected 409 conflict, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn cancelling_a_queued_job_drops_it_before_it_runs() {
+    let server = start_server(|_| {});
+    let mut c = connect(&server);
+
+    // Occupy the single worker, then queue a second job.
+    let blocker = c
+        .submit(&SweepRequest::by_name("fig4").filter("/idct/"))
+        .expect("blocker")
+        .id;
+    let queued = c
+        .submit(&SweepRequest::by_name("fig4").filter("/rgb/"))
+        .expect("queued")
+        .id;
+
+    let cancelled = c.cancel(queued).expect("cancel");
+    assert_eq!(cancelled.state, JobState::Cancelled);
+    assert_eq!(cancelled.id, queued);
+
+    let status = c.status(queued).expect("status");
+    assert_eq!(status.state, JobState::Cancelled);
+    assert!(status.result.is_none(), "never ran — no result");
+
+    // The cancelled job's cell stream terminates immediately and empty.
+    let page = c
+        .cells(queued, 0, Duration::from_millis(10))
+        .expect("cells");
+    assert!(page.done);
+    assert!(page.cells.is_empty());
+
+    // Cancelling again is a conflict; the blocker still completes.
+    match c.cancel(queued) {
+        Err(ClientError::Api { error, .. }) => assert_eq!(error.code, ErrorCode::Conflict),
+        other => panic!("expected conflict, got {other:?}"),
+    }
+    let done = c
+        .wait_timeout(blocker, POLL, TIMEOUT)
+        .expect("blocker finishes");
+    assert_eq!(done.state, JobState::Done);
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.jobs_cancelled, 1);
+    server.shutdown();
+}
+
+#[test]
+fn cancelling_a_running_job_stops_between_cells() {
+    let server = start_server(|cfg| cfg.engine_jobs = Some(1));
+    let mut c = connect(&server);
+
+    // A wide sweep: every kernel × every extension at 2-way, simulated
+    // one cell at a time.
+    let wide = Scenario::new("wide", "cancellation fodder")
+        .kernels(simdsim_kernels_names())
+        .exts(simdsim_isa::Ext::ALL)
+        .ways([2]);
+    let id = c.submit(&SweepRequest::inline(wide)).expect("submit").id;
+
+    // Wait for the first cell to resolve, then cancel mid-run.
+    let page = c.cells(id, 0, Duration::from_secs(60)).expect("first page");
+    assert!(!page.cells.is_empty(), "at least one cell resolved");
+    let resolved_before_cancel = page.next;
+
+    let cancelling = c.cancel(id).expect("cancel accepted");
+    assert!(
+        matches!(cancelling.state, JobState::Running | JobState::Cancelled),
+        "cancel of a live job reports running (202) or already cancelled"
+    );
+
+    let status = c.wait_timeout(id, POLL, TIMEOUT).expect("terminal");
+    assert_eq!(status.state, JobState::Cancelled);
+    let result = status.result.expect("a cancelled run still reports cells");
+    assert!(
+        result.cells.iter().any(|cell| cell
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("cancelled"))),
+        "unstarted cells resolve as cancelled errors"
+    );
+    // Cells resolved before the cancel keep their real statistics.
+    for cell in result.cells.iter().take(resolved_before_cancel as usize) {
+        assert!(cell.stats.is_some() || cell.error.is_some());
+    }
+    assert!(
+        result.executed < result.cells.len() as u64,
+        "the run stopped early: {} executed of {}",
+        result.executed,
+        result.cells.len()
+    );
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.jobs_cancelled, 1);
+    assert_eq!(snap.jobs_completed, 0);
+    server.shutdown();
+}
+
+/// Kernel names for the wide cancellation scenario, via the sweep
+/// catalog (fig4 is exactly kernels × exts at 2-way).
+fn simdsim_kernels_names() -> Vec<String> {
+    simdsim_sweep::catalog::all()
+        .into_iter()
+        .find(|s| s.name == "fig4")
+        .expect("fig4 in catalog")
+        .workloads
+        .iter()
+        .map(|w| w.name().to_owned())
+        .collect()
+}
+
+#[test]
+fn job_listing_and_cursor_beyond_end() {
+    let server = start_server(|_| {});
+    let mut c = connect(&server);
+
+    let a = c
+        .submit(&SweepRequest::by_name("fig4").filter("/no-such-cell/"))
+        .expect("submit a")
+        .id;
+    let b = c
+        .submit(&SweepRequest::by_name("fig4").filter("/idct/"))
+        .expect("submit b")
+        .id;
+    let _ = c.wait_timeout(a, POLL, TIMEOUT).expect("a done");
+    let _ = c.wait_timeout(b, POLL, TIMEOUT).expect("b done");
+
+    let list = c.list().expect("list");
+    assert!(list.jobs.len() >= 2);
+    assert!(
+        list.jobs.windows(2).all(|w| w[0].id > w[1].id),
+        "listing is newest-first"
+    );
+    let row_a = list.jobs.iter().find(|j| j.id == a).expect("a listed");
+    assert_eq!(row_a.state, JobState::Done);
+    assert_eq!(row_a.scenario, "fig4");
+    assert_eq!(row_a.filter.as_deref(), Some("/no-such-cell/"));
+    assert_eq!(row_a.progress.total, 0);
+
+    // A cursor past the end of a finished stream is an empty page with
+    // `done`, not an error.
+    let page = c.cells(b, 999, Duration::ZERO).expect("beyond-end page");
+    assert!(page.cells.is_empty());
+    assert_eq!(page.since, 999);
+    assert_eq!(page.next, 999);
+    assert!(page.done);
+
+    server.shutdown();
+}
+
+#[test]
+fn finished_jobs_are_evicted_by_the_configured_retention() {
+    let server = start_server(|cfg| cfg.job_retention = 2);
+    let mut c = connect(&server);
+
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        let id = c
+            .submit(&SweepRequest::by_name("fig4").filter(format!("/evict-{i}/")))
+            .expect("submit")
+            .id;
+        let _ = c.wait_timeout(id, POLL, TIMEOUT).expect("done");
+        ids.push(id);
+    }
+    // One more submission triggers eviction of the oldest finished jobs.
+    let live = c
+        .submit(&SweepRequest::by_name("fig4").filter("/evict-live/"))
+        .expect("submit")
+        .id;
+    let _ = c.wait_timeout(live, POLL, TIMEOUT).expect("done");
+
+    match c.status(ids[0]) {
+        Err(ClientError::Api { status, error }) => {
+            assert_eq!(status, 404);
+            assert_eq!(error.code, ErrorCode::UnknownJob);
+        }
+        other => panic!("evicted job still addressable: {other:?}"),
+    }
+    assert!(c.status(ids[3]).is_ok(), "newest finished jobs retained");
+
+    server.shutdown();
+}

@@ -1,13 +1,16 @@
-//! End-to-end tests of the serving path: a real daemon on an ephemeral
-//! port, concurrent clients, golden-identical results, and cache hits on
-//! resubmission.
+//! End-to-end tests of the serving path through the typed v1 client: a
+//! real daemon on an ephemeral port, concurrent clients, golden-identical
+//! results, coalescing, and cache hits on resubmission.
 
-use serde::Value;
-use simdsim_serve::{Client, Server, ServerConfig};
+use serde::{Serialize, Value};
+use simdsim_api::{ErrorCode, SweepRequest, SweepStatus};
+use simdsim_client::{ClientError, SimdsimClient};
+use simdsim_serve::{Server, ServerConfig};
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(120);
+const POLL: Duration = Duration::from_millis(25);
 
 fn scratch_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("simdsim-serve-{tag}-{}", std::process::id()))
@@ -24,86 +27,116 @@ fn start_server(cache_tag: Option<&str>) -> Server {
     .expect("server binds an ephemeral port")
 }
 
-fn connect(server: &Server) -> Client {
-    Client::connect(server.addr(), TIMEOUT).expect("client connects")
+fn connect(server: &Server) -> SimdsimClient {
+    SimdsimClient::connect(server.addr(), TIMEOUT).expect("client connects")
 }
 
-/// Submits a sweep and returns its job id.
-fn submit(client: &mut Client, body: &str) -> u64 {
-    let resp = client.post("/sweeps", body).expect("submit");
-    assert_eq!(resp.status, 202, "submit failed: {}", resp.body_str());
-    let v: Value = serde_json::from_str(&resp.body_str()).expect("submit response parses");
-    match v.get("id") {
-        Some(Value::UInt(id)) => *id,
-        other => panic!("no job id in submit response: {other:?}"),
-    }
-}
-
-/// Polls a job until it finishes and returns its status document.
-fn wait_done(client: &mut Client, id: u64) -> Value {
-    let deadline = Instant::now() + TIMEOUT;
-    loop {
-        let resp = client.get(&format!("/sweeps/{id}")).expect("status poll");
-        assert_eq!(resp.status, 200, "poll failed: {}", resp.body_str());
-        let v: Value = serde_json::from_str(&resp.body_str()).expect("status parses");
-        match v.get("state") {
-            Some(Value::Str(s)) if s == "done" => return v,
-            Some(Value::Str(s)) if s == "failed" => panic!("job {id} failed: {v:?}"),
-            Some(Value::Str(_)) => {}
-            other => panic!("no state in status document: {other:?}"),
+fn assert_api_error(result: Result<impl std::fmt::Debug, ClientError>, code: ErrorCode) {
+    match result {
+        Err(ClientError::Api { status, error }) => {
+            assert_eq!(error.code, code, "unexpected code: {error}");
+            assert_eq!(status, code.status(), "status must match the code");
         }
-        assert!(Instant::now() < deadline, "job {id} did not finish in time");
-        std::thread::sleep(Duration::from_millis(25));
-    }
-}
-
-/// The `result.cells` array of a finished job document.
-fn cells(doc: &Value) -> &[Value] {
-    match doc.get("result").and_then(|r| r.get("cells")) {
-        Some(Value::Array(cells)) => cells,
-        other => panic!("no cells in result: {other:?}"),
+        other => panic!("expected typed {code} error, got {other:?}"),
     }
 }
 
 #[test]
-fn healthz_scenarios_and_routing() {
+fn healthz_scenarios_and_typed_error_paths() {
     let server = start_server(None);
     let mut c = connect(&server);
 
-    let resp = c.get("/healthz").expect("healthz");
-    assert_eq!(resp.status, 200);
-    assert!(resp.body_str().contains("\"ok\""));
+    let health = c.health().expect("healthz");
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.version, "v1");
 
-    let resp = c.get("/scenarios").expect("scenarios");
-    assert_eq!(resp.status, 200);
-    let v: Value = serde_json::from_str(&resp.body_str()).expect("scenario list parses");
-    let Value::Array(list) = v else {
-        panic!("scenarios is not an array")
-    };
+    let list = c.scenarios().expect("scenarios");
     assert!(list.len() >= 6, "catalog has at least 6 scenarios");
-    assert!(list
+    let fig4 = list
         .iter()
-        .any(|s| s.get("name") == Some(&Value::Str("fig4".to_owned()))));
+        .find(|s| s.name == "fig4")
+        .expect("fig4 in catalog");
+    assert_eq!(fig4.source, "catalog");
+    assert!(fig4.cells > 0);
 
-    // Unknown routes, bad ids, bad bodies, bad methods.
-    assert_eq!(c.get("/nope").expect("404").status, 404);
-    assert_eq!(c.get("/sweeps/abc").expect("400").status, 400);
-    assert_eq!(c.get("/sweeps/99999").expect("404").status, 404);
-    assert_eq!(c.post("/sweeps", "{not json").expect("400").status, 400);
-    assert_eq!(
-        c.post("/sweeps", "{\"scenario\":\"fig9\"}")
-            .expect("404")
-            .status,
-        404
+    // Typed error paths: unknown routes, bad ids, bad bodies, unknown
+    // scenarios, bad methods — each with its machine-readable code.
+    assert_api_error(c.status(99_999), ErrorCode::UnknownJob);
+    assert_api_error(c.cancel(99_999), ErrorCode::UnknownJob);
+    assert_api_error(
+        c.submit(&SweepRequest::by_name("fig9")),
+        ErrorCode::UnknownScenario,
     );
-    assert_eq!(
-        c.post("/sweeps", "{\"scenario\":\"fig4\",\"filter\":7}")
-            .expect("400")
-            .status,
-        400
+    assert_api_error(c.submit(&SweepRequest::default()), ErrorCode::BadRequest);
+
+    // Below the typed client: raw bodies and routes.
+    let raw = c.http();
+    assert_eq!(raw.get("/nope").expect("404").status, 404);
+    assert_eq!(raw.get("/v1/nope").expect("404").status, 404);
+    assert_eq!(raw.get("/v1/sweeps/abc").expect("400").status, 400);
+    let resp = raw.post("/v1/sweeps", "{not json").expect("400");
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.body_str().contains("\"code\":\"bad_request\""),
+        "malformed JSON answers a typed 400: {}",
+        resp.body_str()
     );
+    let resp = raw
+        .post("/v1/sweeps", "{\"scenario\":\"fig4\",\"filter\":7}")
+        .expect("400");
+    assert_eq!(resp.status, 400);
+    let resp = raw.request("PUT", "/v1/sweeps").expect("405");
+    assert_eq!(resp.status, 405);
+    assert!(resp.body_str().contains("\"code\":\"method_not_allowed\""));
 
     server.shutdown();
+}
+
+#[test]
+fn legacy_unversioned_routes_alias_the_v1_handlers() {
+    let server = start_server(None);
+    let mut c = connect(&server);
+    let raw = c.http();
+
+    // Same handler, same bytes (modulo the sampled queue depth).
+    let legacy = raw.get("/healthz").expect("legacy healthz");
+    let v1 = raw.get("/v1/healthz").expect("v1 healthz");
+    assert_eq!(legacy.status, 200);
+    assert_eq!(legacy.body_str(), v1.body_str());
+
+    let legacy = raw.get("/scenarios").expect("legacy scenarios");
+    let v1 = raw.get("/v1/scenarios").expect("v1 scenarios");
+    assert_eq!(legacy.status, 200);
+    assert_eq!(legacy.body_str(), v1.body_str());
+
+    // A legacy curl-style submission (sparse body) still works, and the
+    // returned URL points at the v1 surface.
+    let resp = raw
+        .post(
+            "/sweeps",
+            r#"{"scenario":"fig4","filter":"/no-such-cell/"}"#,
+        )
+        .expect("legacy submit");
+    assert_eq!(resp.status, 202, "{}", resp.body_str());
+    let v: Value = serde_json::from_str(&resp.body_str()).expect("parses");
+    assert!(matches!(v.get("id"), Some(Value::UInt(_))));
+    match v.get("url") {
+        Some(Value::Str(url)) => assert!(url.starts_with("/v1/sweeps/"), "{url}"),
+        other => panic!("no url in submit response: {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+fn wait_done(client: &mut SimdsimClient, id: u64) -> SweepStatus {
+    let status = client.wait_timeout(id, POLL, TIMEOUT).expect("wait");
+    assert_eq!(
+        status.state,
+        simdsim_api::JobState::Done,
+        "job {id} ended {}: {status:?}",
+        status.state
+    );
+    status
 }
 
 #[test]
@@ -112,19 +145,25 @@ fn concurrent_submissions_are_golden_identical_and_resubmission_hits_the_cache()
     let _ = std::fs::remove_dir_all(&dir);
     let server = start_server(Some("golden"));
     let addr = server.addr();
-    let body = r#"{"scenario":"fig4","filter":"/idct/"}"#;
+    let request = SweepRequest::by_name("fig4").filter("/idct/");
 
     // ≥ 8 concurrent clients, each submitting the same sweep 8 times —
-    // 64 concurrent POST /sweeps total against the bounded queue.
-    let docs: Vec<Value> = std::thread::scope(|s| {
+    // 64 concurrent POST /v1/sweeps total.  Identical in-flight
+    // submissions coalesce onto shared engine runs; completed ones are
+    // served from the content-addressed store.  Either way every id
+    // observes the same bit-identical statistics.
+    let docs: Vec<SweepStatus> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..8)
             .map(|_| {
+                let request = request.clone();
                 s.spawn(move || {
-                    let mut c = Client::connect(addr, TIMEOUT).expect("client connects");
-                    let ids: Vec<u64> = (0..8).map(|_| submit(&mut c, body)).collect();
+                    let mut c = SimdsimClient::connect(addr, TIMEOUT).expect("client connects");
+                    let ids: Vec<u64> = (0..8)
+                        .map(|_| c.submit(&request).expect("submit").id)
+                        .collect();
                     ids.into_iter()
                         .map(|id| wait_done(&mut c, id))
-                        .collect::<Vec<Value>>()
+                        .collect::<Vec<SweepStatus>>()
                 })
             })
             .collect();
@@ -137,18 +176,18 @@ fn concurrent_submissions_are_golden_identical_and_resubmission_hits_the_cache()
 
     // Every job resolved the same 4 cells (fig4 × idct × 4 extensions),
     // and every client saw bit-identical statistics.
-    let reference = cells(&docs[0]);
+    let reference = &docs[0].result.as_ref().expect("result").cells;
     assert_eq!(reference.len(), 4, "fig4 /idct/ filter yields 4 cells");
     for doc in &docs[1..] {
-        let got = cells(doc);
+        let got = &doc.result.as_ref().expect("result").cells;
         assert_eq!(got.len(), reference.len());
         for (a, b) in reference.iter().zip(got) {
-            assert_eq!(a.get("label"), b.get("label"));
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.index, b.index);
             assert_eq!(
-                a.get("stats"),
-                b.get("stats"),
-                "stats diverged across concurrent clients for {:?}",
-                a.get("label")
+                a.stats, b.stats,
+                "stats diverged across concurrent clients for {}",
+                a.label
             );
         }
     }
@@ -162,13 +201,10 @@ fn concurrent_submissions_are_golden_identical_and_resubmission_hits_the_cache()
     .expect("golden fixture present");
     let fixture: Value = serde_json::from_str(&fixture_text).expect("fixture parses");
     for cell in reference {
-        let Some(Value::Str(label)) = cell.get("label") else {
-            panic!("cell without label")
-        };
         let golden = fixture
-            .get(label)
-            .unwrap_or_else(|| panic!("fixture has no cell `{label}`"));
-        let stats = cell.get("stats").expect("cell has stats");
+            .get(&cell.label)
+            .unwrap_or_else(|| panic!("fixture has no cell `{}`", cell.label));
+        let stats = cell.stats.as_ref().expect("cell has stats").to_value();
         for (served_field, golden_field) in [
             ("cycles", "cycles"),
             ("instrs", "instrs"),
@@ -184,47 +220,51 @@ fn concurrent_submissions_are_golden_identical_and_resubmission_hits_the_cache()
             assert_eq!(
                 stats.get(served_field),
                 golden.get(golden_field),
-                "{label}: served `{served_field}` != golden `{golden_field}`"
+                "{}: served `{served_field}` != golden `{golden_field}`",
+                cell.label
             );
         }
     }
 
-    // Resubmitting the identical sweep is a pure cache hit: no cell
-    // re-simulates.
+    // Resubmitting the identical sweep once everything drained is a pure
+    // cache hit: no cell re-simulates.
     let mut c = connect(&server);
-    let id = submit(&mut c, body);
+    let id = c.submit(&request).expect("resubmit").id;
     let doc = wait_done(&mut c, id);
-    match doc.get("result").and_then(|r| r.get("executed")) {
-        Some(Value::UInt(0)) => {}
-        other => panic!("resubmission re-simulated cells: executed = {other:?}"),
-    }
-    for cell in cells(&doc) {
-        assert_eq!(
-            cell.get("cached"),
-            Some(&Value::Bool(true)),
-            "cell not served from cache: {:?}",
-            cell.get("label")
-        );
-    }
+    let result = doc.result.expect("result");
+    assert_eq!(result.executed, 0, "resubmission re-simulated cells");
+    assert!(result.cells.iter().all(|cell| cell.cached));
 
-    // /metrics reports the work and the cache hits in Prometheus format.
-    let metrics = c.get("/metrics").expect("metrics scrape");
+    // /metrics reports the work in Prometheus format, and the job
+    // accounting balances: every accepted submission either completed as
+    // its own run or was coalesced onto one.
+    let metrics = c.http().get("/metrics").expect("metrics scrape");
     assert_eq!(metrics.status, 200);
     let text = metrics.body_str();
     for needle in [
         "# TYPE simdsim_http_requests_total counter",
         "# TYPE simdsim_cache_hit_ratio gauge",
         "simdsim_jobs_total{state=\"submitted\"} 65",
+        "simdsim_jobs_total{state=\"failed\"} 0",
+        "simdsim_jobs_total{state=\"cancelled\"} 0",
         "simdsim_cells_total{source=\"cache\"}",
         "simdsim_simulated_mips",
         "simdsim_queue_depth 0",
     ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
-    // All 65 jobs completed, none failed; at least the resubmission's 4
-    // cells were served from the store.
-    assert!(text.contains("simdsim_jobs_total{state=\"completed\"} 65"));
-    assert!(text.contains("simdsim_jobs_total{state=\"failed\"} 0"));
+    let count = |label: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(&format!("simdsim_jobs_total{{state=\"{label}\"}}")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {label} count in:\n{text}"))
+    };
+    assert_eq!(
+        count("completed") + count("coalesced"),
+        65,
+        "every submission completed or coalesced"
+    );
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
@@ -244,27 +284,43 @@ fn inline_scenarios_and_queue_backpressure() {
     let mut c = connect(&server);
 
     // An inline scenario document runs without being in any catalog.
-    let inline = r#"{"inline":{"name":"inline-demo","description":"one cell",
-        "workloads":[{"Kernel":"idct"}],"exts":["Vmmx128"],"ways":[2],
-        "overrides":[],"instr_limit":500000000}}"#;
-    let id = submit(&mut c, inline);
+    let inline = simdsim_sweep::Scenario::new("inline-demo", "one cell")
+        .kernels(["idct"])
+        .exts([simdsim_isa::Ext::Vmmx128])
+        .ways([2]);
+    let id = c
+        .submit(&SweepRequest::inline(inline))
+        .expect("inline submit")
+        .id;
     let doc = wait_done(&mut c, id);
-    assert_eq!(cells(&doc).len(), 1);
+    assert_eq!(doc.result.expect("result").cells.len(), 1);
 
-    // Flood the 2-slot queue; at least one submission must be rejected
-    // with 503 (the worker may drain some entries between posts).
+    // Occupy the single worker with a real simulation, then flood the
+    // 2-slot queue with *distinct* submissions (identical ones would
+    // coalesce instead of queueing); at least one must be rejected with
+    // a typed queue_full 503.
+    let blocker = c
+        .submit(&SweepRequest::by_name("fig4").filter("/idct/"))
+        .expect("blocker submit")
+        .id;
     let mut rejected = 0;
-    for _ in 0..32 {
-        let resp = c
-            .post("/sweeps", r#"{"scenario":"fig4","filter":"/idct/"}"#)
-            .expect("post");
-        match resp.status {
-            202 => {}
-            503 => rejected += 1,
-            s => panic!("unexpected status {s}: {}", resp.body_str()),
+    for i in 0..32 {
+        let request = SweepRequest::by_name("fig4").filter(format!("/no-such-cell-{i}/"));
+        match c.submit(&request) {
+            Ok(_) => {}
+            Err(ClientError::Api { status, error }) => {
+                assert_eq!(status, 503, "{error}");
+                assert_eq!(error.code, ErrorCode::QueueFull);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
         }
     }
     assert!(rejected > 0, "a 2-slot queue must reject a 32-post flood");
 
+    // Drain everything before shutdown so worker joins promptly.
+    let _ = c
+        .wait_timeout(blocker, POLL, TIMEOUT)
+        .expect("blocker finishes");
     server.shutdown();
 }

@@ -14,8 +14,12 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The per-cell failure message of a cell skipped by a cancelled run.
+pub const CANCELLED_CELL_MESSAGE: &str = "cancelled before simulation";
 
 /// A failure in one sweep cell, carrying the cell's label so a single bad
 /// job names itself instead of aborting the whole sweep.
@@ -85,6 +89,11 @@ pub struct EngineOptions {
     pub cache_dir: Option<PathBuf>,
     /// Substring filter on cell labels; non-matching cells are skipped.
     pub filter: Option<String>,
+    /// Cooperative cancellation flag.  Once set, cells that have not
+    /// started simulating resolve as [`CANCELLED_CELL_MESSAGE`] errors;
+    /// in-flight cells run to completion (the engine stops *between*
+    /// cells, never mid-simulation).
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl EngineOptions {
@@ -107,6 +116,19 @@ impl EngineOptions {
     pub fn filter(mut self, filter: impl Into<String>) -> Self {
         self.filter = Some(filter.into());
         self
+    }
+
+    /// Wires a cooperative cancellation flag into the run.
+    #[must_use]
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 }
 
@@ -232,10 +254,21 @@ pub struct ProgressEvent {
     pub total: usize,
     /// Cells resolved so far, this one included.
     pub completed: usize,
+    /// This cell's position in the (filtered) expansion order.
+    pub index: usize,
     /// `true` when this cell came from the store.
     pub cached: bool,
     /// The cell's display label.
     pub label: String,
+    /// The cell's statistics (`None` when it failed) — carrying the full
+    /// result in the event is what lets a service stream per-cell stats
+    /// while the sweep is still running.
+    pub stats: Option<CellStats>,
+    /// The failure message (`None` when the cell succeeded).
+    pub error: Option<String>,
+    /// Wall-clock time spent simulating this cell (zero for cached and
+    /// failed cells).
+    pub wall: Duration,
 }
 
 /// Runs `scenario` and returns one outcome per cell, in expansion order
@@ -284,14 +317,29 @@ pub fn run_with_progress(
 
     let total = cells.len();
     let completed = AtomicUsize::new(0);
-    for (cell, prep) in cells.iter().zip(&preps) {
-        if let Prep::Cached(_) | Prep::Failed(_) = prep {
-            progress(ProgressEvent {
+    for (index, (cell, prep)) in cells.iter().zip(&preps).enumerate() {
+        match prep {
+            Prep::Cached(stats) => progress(ProgressEvent {
                 total,
                 completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
-                cached: matches!(prep, Prep::Cached(_)),
+                index,
+                cached: true,
                 label: cell.label(),
-            });
+                stats: Some(stats.clone()),
+                error: None,
+                wall: Duration::ZERO,
+            }),
+            Prep::Failed(e) => progress(ProgressEvent {
+                total,
+                completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                index,
+                cached: false,
+                label: cell.label(),
+                stats: None,
+                error: Some(e.message.clone()),
+                wall: Duration::ZERO,
+            }),
+            Prep::Pending { .. } => {}
         }
     }
 
@@ -305,13 +353,26 @@ pub fn run_with_progress(
         })
         .collect();
     let workers = opts.jobs.unwrap_or_else(scheduler::default_workers);
-    let mut fresh = scheduler::run_jobs(&pending, workers, |(_, cell, cfg)| {
-        let out = exec_cell(cell, cfg);
+    let mut fresh = scheduler::run_jobs(&pending, workers, |(index, cell, cfg)| {
+        // Cooperative cancellation: cells that have not started when the
+        // flag goes up resolve as errors instead of simulating.
+        let out = if opts.is_cancelled() {
+            (
+                Err(SweepError::new(cell, CANCELLED_CELL_MESSAGE)),
+                Duration::ZERO,
+            )
+        } else {
+            exec_cell(cell, cfg)
+        };
         progress(ProgressEvent {
             total,
             completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+            index: *index,
             cached: false,
             label: cell.label(),
+            stats: out.0.as_ref().ok().cloned(),
+            error: out.0.as_ref().err().map(|e| e.message.clone()),
+            wall: out.1,
         });
         out
     })

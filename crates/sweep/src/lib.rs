@@ -48,8 +48,8 @@ pub mod store;
 
 pub use engine::{
     run, run_with_progress, CellOutcome, CellStats, EngineOptions, ProgressEvent, SweepError,
-    SweepReport,
+    SweepReport, CANCELLED_CELL_MESSAGE,
 };
 pub use scenario::{Cell, OverrideSet, Param, Scenario, WorkloadRef, DEFAULT_INSTR_LIMIT};
 pub use scheduler::{default_workers, run_jobs, JobPanic};
-pub use store::{cell_key, CacheKey, ResultStore, StoredCell, CACHE_SCHEMA_VERSION};
+pub use store::{cell_key, fnv1a128, CacheKey, ResultStore, StoredCell, CACHE_SCHEMA_VERSION};

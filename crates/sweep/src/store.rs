@@ -83,7 +83,10 @@ pub fn cell_key(cell: &Cell, config: &PipeConfig) -> CacheKey {
 
 /// FNV-1a, 128-bit variant: stable across platforms and runs, which is
 /// what a content address needs (`DefaultHasher` guarantees neither).
-fn fnv1a128(bytes: &[u8]) -> u128 {
+/// Public because the serving layer reuses it to fingerprint submissions
+/// for queued-job coalescing.
+#[must_use]
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
     const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
     let mut h = OFFSET;

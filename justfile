@@ -62,7 +62,18 @@ serve *ARGS:
 loadgen *ARGS:
     cargo run --release -p simdsim-bench --bin loadgen -- --spawn {{ARGS}}
 
-# The CI serving smoke: boot the daemon, check /healthz, run a small
-# sweep to completion over HTTP, scrape /metrics, shut down.
+# The CI serving smoke: boot the daemon and drive it end-to-end through
+# the sweepctl client binary (submit, cursor-stream cells, cancel a second
+# job, list, /metrics), then check the deprecated unversioned aliases.
 serve-smoke:
     ./scripts/serve-smoke.sh
+
+# The CI serving-latency gate: fresh self-contained loadgen run compared
+# against the committed BENCH_simdsim.json baseline; fails on a >2x p99
+# regression (submit or complete).
+loadgen-check:
+    # Cold result cache: the gate must time the submit→engine→store path,
+    # not pure store reads (the committed baseline is measured cold too).
+    rm -rf target/simdsim-cache
+    cargo run --release --locked -p simdsim-bench --bin loadgen -- --spawn --clients 16 --requests 2 --out target/BENCH_loadgen.json
+    python3 scripts/check-loadgen-regression.py target/BENCH_loadgen.json

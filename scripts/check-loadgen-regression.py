@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail when serving latency regresses versus the committed baseline.
+
+Usage: check-loadgen-regression.py FRESH_BENCH_JSON [BASELINE_BENCH_JSON]
+
+Compares the fresh ``loadgen`` summary's submit/complete p99 against the
+committed ``BENCH_simdsim.json`` trajectory and exits non-zero when either
+exceeds ``FACTOR`` (default 2.0) times the baseline.  An absolute floor
+(``FLOOR_MS``) keeps microsecond-level baselines from turning scheduler
+jitter into failures on slow CI runners.
+"""
+
+import json
+import os
+import sys
+
+FACTOR = float(os.environ.get("LOADGEN_REGRESSION_FACTOR", "2.0"))
+FLOOR_MS = float(os.environ.get("LOADGEN_REGRESSION_FLOOR_MS", "50.0"))
+
+
+def p99s(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    loadgen = doc.get("loadgen")
+    if not loadgen:
+        sys.exit(f"{path}: no 'loadgen' section — run the loadgen bench first")
+    return {
+        "submit": loadgen["submit_ms"]["p99"],
+        "complete": loadgen["complete_ms"]["p99"],
+    }
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    fresh_path = sys.argv[1]
+    baseline_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_simdsim.json"
+    fresh, baseline = p99s(fresh_path), p99s(baseline_path)
+
+    failed = False
+    for phase in ("submit", "complete"):
+        limit = max(baseline[phase] * FACTOR, FLOOR_MS)
+        status = "ok" if fresh[phase] <= limit else "REGRESSION"
+        failed |= fresh[phase] > limit
+        print(
+            f"{phase:<8} p99 {fresh[phase]:8.2f}ms  "
+            f"baseline {baseline[phase]:8.2f}ms  "
+            f"limit {limit:8.2f}ms  {status}"
+        )
+    if failed:
+        print(
+            f"serving p99 regressed more than {FACTOR}x over the committed "
+            f"baseline ({baseline_path})"
+        )
+        return 1
+    print("loadgen regression check ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
