@@ -368,13 +368,18 @@ pub struct JobList {
     pub jobs: Vec<JobSummary>,
 }
 
-/// The liveness document (`GET /v1/healthz`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// The liveness document (`GET /v1/healthz`) — also the version
+/// negotiation handshake: the server advertises every API version it
+/// speaks in `api_versions`, and the client refuses to proceed when its
+/// own version is not on the list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Health {
     /// `"ok"` when the service is up.
     pub status: String,
-    /// The API version the server speaks (`"v1"`).
+    /// The preferred (newest) API version the server speaks (`"v1"`).
     pub version: String,
+    /// Every API version the server answers, newest first.
+    pub api_versions: Vec<String>,
     /// Queued (not yet running) jobs.
     pub queue_depth: u64,
 }
@@ -386,8 +391,50 @@ impl Health {
         Self {
             status: "ok".to_owned(),
             version: crate::API_VERSION.to_owned(),
+            api_versions: vec![crate::API_VERSION.to_owned()],
             queue_depth,
         }
+    }
+
+    /// `true` when the server speaks API version `v`.
+    #[must_use]
+    pub fn speaks(&self, v: &str) -> bool {
+        self.api_versions.iter().any(|s| s == v)
+    }
+}
+
+// Hand-written: a pre-negotiation server answers without `api_versions`,
+// which must read as "speaks exactly `version`" rather than a parse error
+// (the derive shim treats a missing field as an error).
+impl Deserialize for Health {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let Value::Object(_) = v else {
+            return Err(SerdeError::invalid("object", "Health"));
+        };
+        let status = match v.get("status") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err(SerdeError::invalid("string `status` field", "Health")),
+        };
+        let version = match v.get("version") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err(SerdeError::invalid("string `version` field", "Health")),
+        };
+        let api_versions = match v.get("api_versions") {
+            None | Some(Value::Null) => vec![version.clone()],
+            Some(list) => Vec::<String>::from_value(list)
+                .map_err(|e| SerdeError::new(format!("field `api_versions` of Health: {e}")))?,
+        };
+        let queue_depth = match v.get("queue_depth") {
+            Some(n) => u64::from_value(n)
+                .map_err(|e| SerdeError::new(format!("field `queue_depth` of Health: {e}")))?,
+            None => return Err(SerdeError::new("missing field `queue_depth` of Health")),
+        };
+        Ok(Self {
+            status,
+            version,
+            api_versions,
+            queue_depth,
+        })
     }
 }
 
@@ -495,8 +542,17 @@ mod tests {
 
         let health = Health::ok(3);
         assert_eq!(health.version, "v1");
+        assert!(health.speaks("v1"));
+        assert!(!health.speaks("v2"));
         let text = serde_json::to_string(&health).expect("serializes");
         let back: Health = serde_json::from_str(&text).expect("parses");
         assert_eq!(back, health);
+
+        // A pre-negotiation health body (no `api_versions`) still parses
+        // and implies the server speaks exactly its `version`.
+        let legacy: Health =
+            serde_json::from_str(r#"{"status":"ok","version":"v1","queue_depth":0}"#)
+                .expect("legacy parses");
+        assert_eq!(legacy.api_versions, vec!["v1".to_owned()]);
     }
 }

@@ -18,6 +18,9 @@ pub enum ErrorCode {
     UnknownScenario,
     /// The job id is unknown or its record was evicted (404).
     UnknownJob,
+    /// The worker id is unknown or the worker was evicted for missing
+    /// heartbeats — the worker should re-register (404).
+    UnknownWorker,
     /// The job is already finished, so the operation no longer applies
     /// (409).
     Conflict,
@@ -34,6 +37,22 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every code in the contract, in status order. Lets tests and docs
+    /// enumerate the full error surface without hand-kept lists.
+    pub const ALL: [ErrorCode; 11] = [
+        ErrorCode::BadRequest,
+        ErrorCode::NotFound,
+        ErrorCode::UnknownScenario,
+        ErrorCode::UnknownJob,
+        ErrorCode::UnknownWorker,
+        ErrorCode::MethodNotAllowed,
+        ErrorCode::Conflict,
+        ErrorCode::PayloadTooLarge,
+        ErrorCode::Internal,
+        ErrorCode::NotImplemented,
+        ErrorCode::QueueFull,
+    ];
+
     /// The snake_case wire name of this code.
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -42,6 +61,7 @@ impl ErrorCode {
             ErrorCode::NotFound => "not_found",
             ErrorCode::UnknownScenario => "unknown_scenario",
             ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::UnknownWorker => "unknown_worker",
             ErrorCode::Conflict => "conflict",
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::MethodNotAllowed => "method_not_allowed",
@@ -59,6 +79,7 @@ impl ErrorCode {
             "not_found" => ErrorCode::NotFound,
             "unknown_scenario" => ErrorCode::UnknownScenario,
             "unknown_job" => ErrorCode::UnknownJob,
+            "unknown_worker" => ErrorCode::UnknownWorker,
             "conflict" => ErrorCode::Conflict,
             "queue_full" => ErrorCode::QueueFull,
             "method_not_allowed" => ErrorCode::MethodNotAllowed,
@@ -74,7 +95,10 @@ impl ErrorCode {
     pub fn status(self) -> u16 {
         match self {
             ErrorCode::BadRequest => 400,
-            ErrorCode::NotFound | ErrorCode::UnknownScenario | ErrorCode::UnknownJob => 404,
+            ErrorCode::NotFound
+            | ErrorCode::UnknownScenario
+            | ErrorCode::UnknownJob
+            | ErrorCode::UnknownWorker => 404,
             ErrorCode::MethodNotAllowed => 405,
             ErrorCode::Conflict => 409,
             ErrorCode::PayloadTooLarge => 413,
@@ -185,18 +209,7 @@ mod tests {
 
     #[test]
     fn every_code_round_trips_and_maps_to_a_status() {
-        for code in [
-            ErrorCode::BadRequest,
-            ErrorCode::NotFound,
-            ErrorCode::UnknownScenario,
-            ErrorCode::UnknownJob,
-            ErrorCode::Conflict,
-            ErrorCode::QueueFull,
-            ErrorCode::MethodNotAllowed,
-            ErrorCode::PayloadTooLarge,
-            ErrorCode::NotImplemented,
-            ErrorCode::Internal,
-        ] {
+        for code in ErrorCode::ALL {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
             assert!((400..=503).contains(&code.status()));
             let text = serde_json::to_string(&code).expect("serializes");

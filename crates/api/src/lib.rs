@@ -22,6 +22,7 @@
 
 pub mod dto;
 pub mod error;
+pub mod fleet;
 
 /// The API version this crate defines.
 pub const API_VERSION: &str = "v1";
@@ -31,7 +32,13 @@ pub use dto::{
     ScenarioInfo, SubmitResponse, SweepRequest, SweepResult, SweepStatus, API_BASE,
 };
 pub use error::{ApiError, ErrorCode};
+pub use fleet::{
+    BatchSubmitItem, BatchSubmitRequest, BatchSubmitResponse, FleetStatus, HeartbeatResponse,
+    Lease, LeaseRequest, LeaseResponse, LeasedCell, RegisterRequest, RegisterResponse,
+    ReportRequest, ReportResponse, SnapshotImported, StoreSnapshot, StoreSnapshotEntry, UnitResult,
+    WorkerInfo,
+};
 
 // Re-exported so API consumers can name the payload types carried by the
 // DTOs without depending on the engine crate directly.
-pub use simdsim_sweep::{CellStats, Scenario};
+pub use simdsim_sweep::{Cell, CellStats, Scenario};

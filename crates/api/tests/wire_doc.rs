@@ -1,0 +1,99 @@
+//! Keeps `docs/wire-v1.md` honest: the document must mention every
+//! error code and every route of the v1 contract. A new code or route
+//! that lands without documentation fails here.
+
+use simdsim_api::ErrorCode;
+
+fn wire_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/wire-v1.md");
+    std::fs::read_to_string(path).expect("docs/wire-v1.md exists")
+}
+
+#[test]
+fn every_error_code_is_documented() {
+    let doc = wire_doc();
+    for code in ErrorCode::ALL {
+        let wire = format!("`{}`", code.as_str());
+        assert!(
+            doc.contains(&wire),
+            "docs/wire-v1.md does not mention error code {wire}"
+        );
+        let status = format!("| {} |", code.status());
+        assert!(
+            doc.contains(&status),
+            "docs/wire-v1.md does not list status {} (for {wire})",
+            code.status()
+        );
+    }
+}
+
+#[test]
+fn every_route_is_documented() {
+    let doc = wire_doc();
+    for route in [
+        "GET | `/v1/healthz`",
+        "GET | `/v1/scenarios`",
+        "GET | `/v1/sweeps`",
+        "POST | `/v1/sweeps`",
+        "POST | `/v1/sweeps:batch`",
+        "GET | `/v1/sweeps/{id}`",
+        "GET | `/v1/sweeps/{id}/cells",
+        "DELETE | `/v1/sweeps/{id}`",
+        "POST | `/v1/workers/register`",
+        "POST | `/v1/workers/{id}/heartbeat`",
+        "POST | `/v1/workers/{id}/lease`",
+        "POST | `/v1/workers/{id}/report`",
+        "GET | `/v1/workers`",
+        "GET | `/v1/store/snapshot`",
+        "PUT | `/v1/store/snapshot`",
+        "GET | `/metrics`",
+    ] {
+        assert!(
+            doc.contains(route),
+            "docs/wire-v1.md does not document route `{route}`"
+        );
+    }
+}
+
+#[test]
+fn every_dto_has_a_section() {
+    let doc = wire_doc();
+    for dto in [
+        "Health",
+        "ScenarioInfo",
+        "SweepRequest",
+        "SubmitResponse",
+        "BatchSubmitRequest",
+        "BatchSubmitItem",
+        "BatchSubmitResponse",
+        "JobState",
+        "Progress",
+        "CellResult",
+        "SweepResult",
+        "SweepStatus",
+        "CellsPage",
+        "JobSummary",
+        "JobList",
+        "RegisterRequest",
+        "RegisterResponse",
+        "HeartbeatResponse",
+        "LeaseRequest",
+        "LeaseResponse",
+        "UnitResult",
+        "ReportRequest",
+        "ReportResponse",
+        "WorkerInfo",
+        "FleetStatus",
+        "StoreSnapshotEntry",
+        "StoreSnapshot",
+        "SnapshotImported",
+        "ApiError",
+    ] {
+        assert!(
+            doc.contains(&format!("### {dto}"))
+                || doc.contains(&format!("{dto} /"))
+                || doc.contains(&format!("/ {dto}")),
+            "docs/wire-v1.md has no section for DTO `{dto}`"
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! $ loadgen --spawn                        # self-contained: in-process server
 //! $ loadgen --addr 127.0.0.1:8844          # against an external daemon
 //! $ loadgen --clients 64 --requests 4 --scenario fig4 --filter /idct/
+//! $ loadgen --spawn --fleet 2              # shard cells across 2 fleet workers
 //! ```
 //!
 //! Each client drives one [`SimdsimClient`] keep-alive connection —
@@ -17,7 +18,7 @@
 
 use serde::{Serialize, Value};
 use simdsim_api::{JobState, SweepRequest};
-use simdsim_client::SimdsimClient;
+use simdsim_client::{spawn_worker, SimdsimClient, WorkerConfig};
 use simdsim_serve::{Server, ServerConfig};
 use std::time::{Duration, Instant};
 
@@ -33,6 +34,8 @@ options:
   --requests N     sweeps submitted per client (default 2)
   --scenario NAME  scenario to submit (default fig4)
   --filter SUB     cell-label filter sent with each sweep (default /idct/)
+  --fleet N        spawn N in-process fleet workers; jobs shard across them
+                   instead of the server's local pool (default 0: no fleet)
   --out PATH       artifact to merge the summary into (default BENCH_simdsim.json)
   --help           print this help";
 
@@ -70,6 +73,7 @@ struct LoadgenSummary {
     filter: Option<String>,
     clients: usize,
     requests_per_client: usize,
+    fleet_workers: usize,
     total_requests: usize,
     ok: usize,
     errors: usize,
@@ -87,6 +91,7 @@ struct Cli {
     requests: usize,
     scenario: String,
     filter: Option<String>,
+    fleet: usize,
     out: String,
 }
 
@@ -98,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         requests: 2,
         scenario: "fig4".to_owned(),
         filter: Some("/idct/".to_owned()),
+        fleet: 0,
         out: "BENCH_simdsim.json".to_owned(),
     };
     let mut it = args.iter();
@@ -119,6 +125,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--scenario" => cli.scenario = value("--scenario")?,
             "--filter" => cli.filter = Some(value("--filter")?),
             "--no-filter" => cli.filter = None,
+            "--fleet" => cli.fleet = num(value("--fleet")?, "--fleet")?,
             "--out" => cli.out = value("--out")?,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -203,13 +210,50 @@ fn main_impl(args: &[String]) -> Result<(), String> {
         .as_ref()
         .map_or(cli.addr.clone(), |s| s.addr().to_string());
 
+    // The fleet profile: join N in-process workers so every sweep shards
+    // across the wire protocol instead of the server's local pool.
+    let workers: Vec<_> = (0..cli.fleet)
+        .map(|i| {
+            spawn_worker(WorkerConfig {
+                addr: addr.clone(),
+                name: format!("loadgen-w{i}"),
+                slots: 2,
+                ..WorkerConfig::default()
+            })
+        })
+        .collect();
+    if !workers.is_empty() {
+        let mut probe = SimdsimClient::connect(&addr, Duration::from_secs(60))
+            .map_err(|e| format!("probing fleet at {addr}: {e}"))?;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let fleet = probe
+                .fleet_status()
+                .map_err(|e| format!("fleet status: {e}"))?;
+            if fleet.workers.iter().filter(|w| w.live).count() >= cli.fleet {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("fleet never reached {} workers", cli.fleet));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
     let mut request = SweepRequest::by_name(&cli.scenario);
     if let Some(f) = &cli.filter {
         request = request.filter(f.clone());
     }
     println!(
-        "loadgen: {} clients x {} requests of `{}` against {addr}",
-        cli.clients, cli.requests, cli.scenario
+        "loadgen: {} clients x {} requests of `{}` against {addr}{}",
+        cli.clients,
+        cli.requests,
+        cli.scenario,
+        if cli.fleet > 0 {
+            format!(" (fleet of {})", cli.fleet)
+        } else {
+            String::new()
+        }
     );
 
     let start = Instant::now();
@@ -242,6 +286,7 @@ fn main_impl(args: &[String]) -> Result<(), String> {
         filter: cli.filter.clone(),
         clients: cli.clients,
         requests_per_client: cli.requests,
+        fleet_workers: cli.fleet,
         total_requests: total,
         ok: complete_ms.len(),
         errors,
@@ -281,6 +326,15 @@ fn main_impl(args: &[String]) -> Result<(), String> {
     merge_summary(&cli.out, &summary)?;
     println!("merged loadgen summary into {}", cli.out);
 
+    for (i, w) in workers.into_iter().enumerate() {
+        let stats = w
+            .stop()
+            .map_err(|e| format!("fleet worker {i} failed: {e}"))?;
+        println!(
+            "fleet worker {i}: {} leases, {} simulated, {} cached",
+            stats.leases, stats.simulated, stats.cached
+        );
+    }
     if let Some(server) = server {
         server.shutdown();
     }

@@ -4,18 +4,25 @@
 //! $ sweepctl health
 //! $ sweepctl scenarios
 //! $ sweepctl submit --scenario fig4 --filter /idct/
+//! $ sweepctl submit --batch sweeps.json              # many sweeps, one request
 //! $ sweepctl run --scenario fig4 --filter /idct/     # submit + stream + summary
 //! $ sweepctl stream 3                                # follow an existing job
 //! $ sweepctl status 3
 //! $ sweepctl cancel 3
 //! $ sweepctl list
+//! $ sweepctl worker --name w1 --slots 2              # join the fleet
+//! $ sweepctl fleet status                            # who's in the fleet
+//! $ sweepctl store export > snap.json                # share the result store
+//! $ sweepctl store import snap.json
+//! $ sweepctl --json list                             # one JSON object per line
 //! ```
 //!
-//! Exit codes: `0` success, `1` the job failed or was cancelled, `2`
-//! usage/transport/API errors.
+//! Exit codes: `0` success, `1` the job failed or was cancelled (for
+//! `submit --batch`: any item rejected), `2` usage/transport/API errors.
 
-use simdsim_api::{CellResult, Scenario, SweepRequest, SweepStatus};
-use simdsim_client::{ClientError, SimdsimClient};
+use simdsim_api::{CellResult, Scenario, StoreSnapshot, SweepRequest, SweepStatus};
+use simdsim_client::{run_worker, ClientError, SimdsimClient, WorkerConfig};
+use std::sync::atomic::AtomicBool;
 use std::time::Duration;
 
 /// Prints a line to stdout, ignoring broken-pipe errors: `sweepctl ... |
@@ -36,7 +43,7 @@ fn esay(line: std::fmt::Arguments) {
 }
 
 const USAGE: &str = "\
-usage: sweepctl [--addr HOST:PORT] [--timeout SECS] COMMAND [ARGS]
+usage: sweepctl [--addr HOST:PORT] [--timeout SECS] [--json] COMMAND [ARGS]
 
 Drive a simdsim-serve daemon through the typed v1 client.
 
@@ -45,17 +52,28 @@ commands:
   scenarios                  list catalog + user scenarios
   list                       list every job the server knows
   submit [SWEEP OPTIONS]     submit a sweep, print its id, return
+  submit --batch PATH        submit a JSON array of sweeps in one request
   run    [SWEEP OPTIONS]     submit, stream cells as they resolve, summarise
   status ID                  one job's status document (JSON)
   stream ID                  follow a job's per-cell stream to completion
   cancel ID                  cancel a queued/running job
+  worker [WORKER OPTIONS]    join the daemon's fleet and simulate leased cells
+  fleet status               list the fleet: workers, liveness, pending cells
+  store export               print the server's result-store snapshot (JSON)
+  store import PATH          import a snapshot file (`-` reads stdin)
 sweep options:
   --scenario NAME            a catalog/user scenario by name
   --file PATH                an inline scenario from a JSON document
   --filter SUBSTRING         keep only cells whose label matches
+worker options:
+  --name NAME                worker name shown in fleet status (default: worker)
+  --slots N                  concurrent simulation slots (default 1)
+  --cache-dir DIR            local content-addressed store for leased cells
+  --warm-start               seed --cache-dir from the server's snapshot
 global options:
   --addr HOST:PORT           daemon address (default 127.0.0.1:8844)
   --timeout SECS             per-request socket timeout (default 300)
+  --json                     machine output: one JSON object per line
   --help                     print this help";
 
 fn main() {
@@ -73,12 +91,22 @@ fn main() {
 struct Global {
     addr: String,
     timeout: Duration,
+    json: bool,
+}
+
+/// Prints one DTO as a single JSON line (the `--json` output contract).
+fn jline<T: serde::Serialize>(dto: &T) {
+    say(format_args!(
+        "{}",
+        serde_json::to_string(dto).expect("DTO serializes")
+    ));
 }
 
 fn main_impl(args: &[String]) -> Result<i32, String> {
     let mut global = Global {
         addr: "127.0.0.1:8844".to_owned(),
         timeout: Duration::from_secs(300),
+        json: false,
     };
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -97,6 +125,7 @@ fn main_impl(args: &[String]) -> Result<i32, String> {
                     .map_err(|_| format!("--timeout expects seconds, got `{v}`"))?;
                 global.timeout = Duration::from_secs(secs.max(1));
             }
+            "--json" => global.json = true,
             "--help" | "-h" => {
                 say(format_args!("{USAGE}"));
                 return Ok(0);
@@ -108,6 +137,11 @@ fn main_impl(args: &[String]) -> Result<i32, String> {
         return Err(format!("a command is required\n{USAGE}"));
     };
 
+    // The worker runs its own connection loop (registration, leases).
+    if command == "worker" {
+        return run_worker_command(&global, cmd_args);
+    }
+
     let mut client = SimdsimClient::connect(&global.addr, global.timeout)
         .map_err(|e| format!("connecting to {}: {e}", global.addr))?;
     let fail = |e: ClientError| e.to_string();
@@ -115,88 +149,261 @@ fn main_impl(args: &[String]) -> Result<i32, String> {
     match command.as_str() {
         "health" => {
             let h = client.health().map_err(fail)?;
-            say(format_args!(
-                "{} (api {}, queue depth {})",
-                h.status, h.version, h.queue_depth
-            ));
+            if global.json {
+                jline(&h);
+            } else {
+                say(format_args!(
+                    "{} (api {}, queue depth {})",
+                    h.status, h.version, h.queue_depth
+                ));
+            }
             Ok(0)
         }
         "scenarios" => {
             let list = client.scenarios().map_err(fail)?;
             for s in &list {
-                say(format_args!(
-                    "{:<16} {:>4} cells  [{}]  {}",
-                    s.name, s.cells, s.source, s.description
-                ));
+                if global.json {
+                    jline(s);
+                } else {
+                    say(format_args!(
+                        "{:<16} {:>4} cells  [{}]  {}",
+                        s.name, s.cells, s.source, s.description
+                    ));
+                }
             }
             Ok(0)
         }
         "list" => {
             let list = client.list().map_err(fail)?;
             for j in &list.jobs {
-                say(format_args!(
-                    "#{:<6} {:<10} {:>4}/{:<4} cells  {}{}",
-                    j.id,
-                    j.state,
-                    j.progress.completed,
-                    j.progress.total,
-                    j.scenario,
-                    j.filter
-                        .as_deref()
-                        .map(|f| format!("  filter={f}"))
-                        .unwrap_or_default()
-                ));
+                if global.json {
+                    jline(j);
+                } else {
+                    say(format_args!(
+                        "#{:<6} {:<10} {:>4}/{:<4} cells  {}{}",
+                        j.id,
+                        j.state,
+                        j.progress.completed,
+                        j.progress.total,
+                        j.scenario,
+                        j.filter
+                            .as_deref()
+                            .map(|f| format!("  filter={f}"))
+                            .unwrap_or_default()
+                    ));
+                }
             }
             Ok(0)
+        }
+        "submit" if cmd_args.first().is_some_and(|a| a == "--batch") => {
+            let [_, path] = cmd_args else {
+                return Err("submit --batch expects exactly one PATH".to_owned());
+            };
+            let text = read_input(path)?;
+            let sweeps: Vec<SweepRequest> = serde_json::from_str(&text)
+                .map_err(|e| format!("parsing {path} as a JSON array of sweeps: {e}"))?;
+            let batch = client.submit_batch(&sweeps).map_err(fail)?;
+            let mut rejected = 0;
+            for (i, item) in batch.items.iter().enumerate() {
+                if global.json {
+                    jline(item);
+                    if item.error.is_some() {
+                        rejected += 1;
+                    }
+                    continue;
+                }
+                match (&item.submit, &item.error) {
+                    (Some(sub), _) => say(format_args!(
+                        "[{i}] job {} {} ({}{})",
+                        sub.id,
+                        sub.url,
+                        sub.state,
+                        if sub.deduped { ", deduped" } else { "" }
+                    )),
+                    (None, Some(e)) => {
+                        rejected += 1;
+                        say(format_args!("[{i}] rejected: {e}"));
+                    }
+                    (None, None) => say(format_args!("[{i}] malformed batch item")),
+                }
+            }
+            Ok(i32::from(rejected > 0))
         }
         "submit" => {
             let request = parse_sweep_request(cmd_args)?;
             let sub = client.submit(&request).map_err(fail)?;
-            say(format_args!(
-                "job {} {} ({}{})",
-                sub.id,
-                sub.url,
-                sub.state,
-                if sub.deduped { ", deduped" } else { "" }
-            ));
+            if global.json {
+                jline(&sub);
+            } else {
+                say(format_args!(
+                    "job {} {} ({}{})",
+                    sub.id,
+                    sub.url,
+                    sub.state,
+                    if sub.deduped { ", deduped" } else { "" }
+                ));
+            }
             Ok(0)
         }
         "run" => {
             let request = parse_sweep_request(cmd_args)?;
             let sub = client.submit(&request).map_err(fail)?;
-            esay(format_args!(
-                "submitted job {}{}",
-                sub.id,
-                if sub.deduped {
-                    " (deduped onto an identical in-flight job)"
-                } else {
-                    ""
-                }
-            ));
-            let status = client.stream_cells(sub.id, print_cell).map_err(fail)?;
-            Ok(summarise(&status))
+            if global.json {
+                jline(&sub);
+            } else {
+                esay(format_args!(
+                    "submitted job {}{}",
+                    sub.id,
+                    if sub.deduped {
+                        " (deduped onto an identical in-flight job)"
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            let on_cell = cell_printer(global.json);
+            let status = client.stream_cells(sub.id, on_cell).map_err(fail)?;
+            Ok(summarise(&status, global.json))
         }
         "status" => {
             let id = parse_id(cmd_args)?;
             let status = client.status(id).map_err(fail)?;
-            say(format_args!(
-                "{}",
-                serde_json::to_string_pretty(&status).expect("status serializes")
-            ));
+            if global.json {
+                jline(&status);
+            } else {
+                say(format_args!(
+                    "{}",
+                    serde_json::to_string_pretty(&status).expect("status serializes")
+                ));
+            }
             Ok(0)
         }
         "stream" => {
             let id = parse_id(cmd_args)?;
-            let status = client.stream_cells(id, print_cell).map_err(fail)?;
-            Ok(summarise(&status))
+            let on_cell = cell_printer(global.json);
+            let status = client.stream_cells(id, on_cell).map_err(fail)?;
+            Ok(summarise(&status, global.json))
         }
         "cancel" => {
             let id = parse_id(cmd_args)?;
             let status = client.cancel(id).map_err(fail)?;
-            say(format_args!("job {} is now {}", id, status.state));
+            if global.json {
+                jline(&status);
+            } else {
+                say(format_args!("job {} is now {}", id, status.state));
+            }
             Ok(0)
         }
+        "fleet" => {
+            if cmd_args != ["status".to_owned()] {
+                return Err(format!("usage: sweepctl fleet status\n{USAGE}"));
+            }
+            let fleet = client.fleet_status().map_err(fail)?;
+            if global.json {
+                jline(&fleet);
+                return Ok(0);
+            }
+            say(format_args!(
+                "{} workers, {} pending cells",
+                fleet.workers.len(),
+                fleet.pending_cells
+            ));
+            for w in &fleet.workers {
+                say(format_args!(
+                    "#{:<4} {:<16} {:<5} slots {:>2}  leased {:>4}  completed {:>6}  seen {}ms ago",
+                    w.id,
+                    w.name,
+                    if w.live { "live" } else { "dead" },
+                    w.slots,
+                    w.leased,
+                    w.completed,
+                    w.last_seen_ms
+                ));
+            }
+            Ok(0)
+        }
+        "store" => match cmd_args {
+            [sub] if sub == "export" => {
+                let snapshot = client.store_export().map_err(fail)?;
+                // The snapshot *is* the JSON artifact in either mode.
+                jline(&snapshot);
+                Ok(0)
+            }
+            [sub, path] if sub == "import" => {
+                let text = read_input(path)?;
+                let snapshot: StoreSnapshot = serde_json::from_str(&text)
+                    .map_err(|e| format!("parsing {path} as a store snapshot: {e}"))?;
+                let imported = client.store_import(&snapshot).map_err(fail)?;
+                if global.json {
+                    jline(&imported);
+                } else {
+                    say(format_args!(
+                        "imported {} cells ({} skipped)",
+                        imported.imported, imported.skipped
+                    ));
+                }
+                Ok(0)
+            }
+            _ => Err(format!(
+                "usage: sweepctl store export | store import PATH\n{USAGE}"
+            )),
+        },
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+/// `sweepctl worker ...` — joins the fleet and simulates until killed.
+fn run_worker_command(global: &Global, args: &[String]) -> Result<i32, String> {
+    let mut cfg = WorkerConfig {
+        addr: global.addr.clone(),
+        timeout: global.timeout,
+        ..WorkerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--name" => cfg.name = value("--name")?,
+            "--slots" => {
+                let v = value("--slots")?;
+                cfg.slots = v
+                    .parse()
+                    .map_err(|_| format!("--slots expects a number, got `{v}`"))?;
+            }
+            "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?.into()),
+            "--warm-start" => cfg.warm_start = true,
+            flag => return Err(format!("unknown worker option `{flag}`")),
+        }
+    }
+    if cfg.warm_start && cfg.cache_dir.is_none() {
+        return Err("--warm-start needs --cache-dir".to_owned());
+    }
+    esay(format_args!(
+        "worker `{}` joining fleet at {} ({} slots)",
+        cfg.name, cfg.addr, cfg.slots
+    ));
+    // The worker runs until the process is killed; lease expiry and
+    // eviction on the coordinator clean up after any exit.
+    let stop = AtomicBool::new(false);
+    run_worker(&cfg, &stop).map_err(|e| e.to_string())?;
+    Ok(0)
+}
+
+/// Reads a file argument, with `-` meaning stdin.
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
     }
 }
 
@@ -236,6 +443,15 @@ fn parse_sweep_request(args: &[String]) -> Result<SweepRequest, String> {
     Ok(request)
 }
 
+/// The per-cell printer for `run`/`stream`: JSON lines or the human table.
+fn cell_printer(json: bool) -> fn(&CellResult) {
+    if json {
+        |cell| jline(cell)
+    } else {
+        print_cell
+    }
+}
+
 fn print_cell(cell: &CellResult) {
     match (&cell.error, cell.mips) {
         (Some(e), _) => say(format_args!("{:<48} ERROR {e}", cell.label)),
@@ -256,7 +472,11 @@ fn print_cell(cell: &CellResult) {
     }
 }
 
-fn summarise(status: &SweepStatus) -> i32 {
+fn summarise(status: &SweepStatus, json: bool) -> i32 {
+    if json {
+        jline(status);
+        return i32::from(status.state != simdsim_api::JobState::Done);
+    }
     match &status.result {
         Some(result) => {
             esay(format_args!(

@@ -16,6 +16,8 @@ use std::time::Duration;
 pub struct HttpResponse {
     /// The status code.
     pub status: u16,
+    /// The response headers, in wire order.
+    pub headers: Vec<(String, String)>,
     /// The response body.
     pub body: Vec<u8>,
 }
@@ -25,6 +27,15 @@ impl HttpResponse {
     #[must_use]
     pub fn body_str(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The first header named `name` (case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -100,9 +111,32 @@ impl HttpClient {
     ///
     /// Propagates socket errors and malformed responses.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.send_json("POST", path, body)
+    }
+
+    /// Sends a `PUT` with a JSON body and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn put(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.send_json("PUT", path, body)
+    }
+
+    /// Sends any method with a JSON body and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn send_json(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<HttpResponse> {
         write!(
             self.writer,
-            "POST {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\
              Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
             self.host,
             body.len()
@@ -129,6 +163,7 @@ impl HttpClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad(format!("malformed status line `{status_line}`")))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -141,10 +176,15 @@ impl HttpClient {
                         .parse()
                         .map_err(|_| bad(format!("bad Content-Length `{value}`")))?;
                 }
+                headers.push((name.trim().to_owned(), value.trim().to_owned()));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(HttpResponse { status, body })
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
     }
 }

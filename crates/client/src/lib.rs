@@ -28,16 +28,20 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod worker;
 
 use serde::Deserialize;
 use simdsim_api::{
-    ApiError, CellResult, CellsPage, Health, JobList, ScenarioInfo, SubmitResponse, SweepRequest,
-    SweepStatus, API_BASE,
+    ApiError, BatchSubmitResponse, CellResult, CellsPage, FleetStatus, Health, HeartbeatResponse,
+    JobList, LeaseRequest, LeaseResponse, RegisterRequest, RegisterResponse, ReportRequest,
+    ReportResponse, ScenarioInfo, SnapshotImported, StoreSnapshot, SubmitResponse, SweepRequest,
+    SweepStatus, API_BASE, API_VERSION,
 };
 use std::net::ToSocketAddrs;
 use std::time::Duration;
 
 pub use http::{HttpClient, HttpResponse};
+pub use worker::{run_worker, spawn_worker, WorkerConfig, WorkerHandle, WorkerStats};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -91,21 +95,33 @@ pub struct SimdsimClient {
 }
 
 impl SimdsimClient {
-    /// Connects to `addr` with `timeout` applied to reads and writes.
+    /// Connects to `addr` with `timeout` applied to reads and writes, and
+    /// **negotiates the API version**: the server's `/v1/healthz` must
+    /// list this client's version (`"v1"`) in `api_versions`, otherwise
+    /// the connection is refused with a [`ClientError::Protocol`].
     ///
     /// The timeout bounds every individual socket operation, so it must
     /// exceed the `wait_ms` passed to [`SimdsimClient::cells`].
     ///
     /// # Errors
     ///
-    /// Propagates resolution/connection errors.
+    /// Propagates resolution/connection errors, and fails the version
+    /// handshake against a server that does not speak `v1`.
     pub fn connect(
         addr: impl ToSocketAddrs + std::fmt::Display,
         timeout: Duration,
     ) -> Result<Self, ClientError> {
-        Ok(Self {
+        let mut client = Self {
             http: HttpClient::connect(addr, timeout)?,
-        })
+        };
+        let health = client.health()?;
+        if !health.speaks(API_VERSION) {
+            return Err(ClientError::Protocol(format!(
+                "server speaks {:?}, this client requires `{API_VERSION}`",
+                health.api_versions
+            )));
+        }
+        Ok(client)
     }
 
     /// Wraps an already-connected transport.
@@ -291,6 +307,139 @@ impl SimdsimClient {
             }
             std::thread::sleep(interval);
         }
+    }
+
+    /// `POST /v1/sweeps:batch` — submits many sweeps in one request.
+    /// Failures are **typed per item** ([`simdsim_api::BatchSubmitItem`]):
+    /// a bad request in position 2 does not reject positions 0 and 1.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors (an empty batch or an
+    /// unparseable envelope fails the whole request).
+    pub fn submit_batch(
+        &mut self,
+        requests: &[SweepRequest],
+    ) -> Result<BatchSubmitResponse, ClientError> {
+        let body = serde_json::to_string(&simdsim_api::BatchSubmitRequest {
+            sweeps: requests.to_vec(),
+        })
+        .map_err(|e| ClientError::Protocol(format!("request serialization: {e}")))?;
+        let resp = self.http.post(&format!("{API_BASE}/sweeps:batch"), &body)?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `POST /v1/workers/register` — joins the worker fleet, returning the
+    /// assigned worker id and the coordinator's timing contract.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn register_worker(
+        &mut self,
+        request: &RegisterRequest,
+    ) -> Result<RegisterResponse, ClientError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("request serialization: {e}")))?;
+        let resp = self
+            .http
+            .post(&format!("{API_BASE}/workers/register"), &body)?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `POST /v1/workers/{id}/heartbeat` — keeps a worker registration
+    /// live.  An evicted worker gets `unknown_worker` (404) and should
+    /// re-register.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn heartbeat(&mut self, worker: u64) -> Result<HeartbeatResponse, ClientError> {
+        let resp = self
+            .http
+            .post(&format!("{API_BASE}/workers/{worker}/heartbeat"), "{}")?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `POST /v1/workers/{id}/lease` — asks for cells to simulate.  The
+    /// coordinator long-polls up to `wait_ms`; `lease: null` means no work
+    /// arrived in time.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn lease(
+        &mut self,
+        worker: u64,
+        request: &LeaseRequest,
+    ) -> Result<LeaseResponse, ClientError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("request serialization: {e}")))?;
+        let resp = self
+            .http
+            .post(&format!("{API_BASE}/workers/{worker}/lease"), &body)?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `POST /v1/workers/{id}/report` — returns finished cells to the
+    /// coordinator.  Duplicates are counted `stale`, never an error.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn report(
+        &mut self,
+        worker: u64,
+        request: &ReportRequest,
+    ) -> Result<ReportResponse, ClientError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("request serialization: {e}")))?;
+        let resp = self
+            .http
+            .post(&format!("{API_BASE}/workers/{worker}/report"), &body)?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `GET /v1/workers` — the fleet listing: every registered worker
+    /// with liveness, lease, and completion counts.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn fleet_status(&mut self) -> Result<FleetStatus, ClientError> {
+        let resp = self.http.get(&format!("{API_BASE}/workers"))?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `GET /v1/store/snapshot` — exports the server's content-addressed
+    /// result store (empty when the server runs cache-less).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn store_export(&mut self) -> Result<StoreSnapshot, ClientError> {
+        let resp = self.http.get(&format!("{API_BASE}/store/snapshot"))?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `PUT /v1/store/snapshot` — imports a snapshot into the server's
+    /// store; existing keys are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Typed API errors: `not_implemented` (501) against a cache-less
+    /// server, `bad_request` (400) on a schema mismatch; plus
+    /// transport/protocol errors.
+    pub fn store_import(
+        &mut self,
+        snapshot: &StoreSnapshot,
+    ) -> Result<SnapshotImported, ClientError> {
+        let body = serde_json::to_string(snapshot)
+            .map_err(|e| ClientError::Protocol(format!("request serialization: {e}")))?;
+        let resp = self
+            .http
+            .put(&format!("{API_BASE}/store/snapshot"), &body)?;
+        Self::decode(&resp, 200)
     }
 
     /// The raw transport, for requests outside the typed surface

@@ -8,11 +8,17 @@
 //! ```
 //!
 //! The daemon speaks the typed v1 contract: `GET /v1/scenarios`,
-//! `GET|POST /v1/sweeps`, `GET /v1/sweeps/{id}`,
+//! `GET|POST /v1/sweeps`, `POST /v1/sweeps:batch`, `GET /v1/sweeps/{id}`,
 //! `GET /v1/sweeps/{id}/cells?since=N` (long-poll cell stream),
-//! `DELETE /v1/sweeps/{id}` (cancel), `GET /v1/healthz`, and
-//! `GET /metrics` (Prometheus text format).  Unversioned paths remain as
-//! deprecated aliases.
+//! `DELETE /v1/sweeps/{id}` (cancel), `GET /v1/healthz`,
+//! `GET /metrics` (Prometheus text format), the worker-fleet surface
+//! (`POST /v1/workers/register`, `POST /v1/workers/{id}/heartbeat|lease|report`,
+//! `GET /v1/workers`), and store snapshots (`GET|PUT /v1/store/snapshot`).
+//! Unversioned paths remain as deprecated aliases.
+//!
+//! Started plain, the daemon simulates in-process.  Point `sweepctl
+//! worker --connect` processes at it and jobs are sharded across the
+//! fleet instead — bit-identical either way.
 
 use simdsim_serve::{Server, ServerConfig};
 use simdsim_sweep::Scenario;
@@ -33,6 +39,8 @@ options:
   --cache-dir DIR       content-addressed result store (default target/simdsim-cache)
   --no-cache            disable the result store (every submission re-simulates)
   --scenario-file PATH  serve a user scenario from a JSON file (repeatable)
+  --fleet-heartbeat-ms N  worker heartbeat cadence; 3 misses evict (default 1000)
+  --fleet-lease-ttl-ms N  cell-lease TTL before re-queueing (default 30000)
   --help                print this help";
 
 fn main() {
@@ -64,6 +72,18 @@ fn main_impl(args: &[String]) -> Result<(), String> {
                     "--ttl-secs",
                 )? as u64));
             }
+            "--fleet-heartbeat-ms" => {
+                cfg.fleet.heartbeat_interval = Duration::from_millis(parse_num(
+                    &value("--fleet-heartbeat-ms")?,
+                    "--fleet-heartbeat-ms",
+                )? as u64);
+            }
+            "--fleet-lease-ttl-ms" => {
+                cfg.fleet.lease_ttl = Duration::from_millis(parse_num(
+                    &value("--fleet-lease-ttl-ms")?,
+                    "--fleet-lease-ttl-ms",
+                )? as u64);
+            }
             "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?.into()),
             "--no-cache" => cfg.cache_dir = None,
             "--scenario-file" => {
@@ -90,6 +110,12 @@ fn main_impl(args: &[String]) -> Result<(), String> {
     println!("  GET    /v1/sweeps/{{id}}           — job status/progress/result");
     println!("  GET    /v1/sweeps/{{id}}/cells     — stream cells (?since=N long-poll)");
     println!("  DELETE /v1/sweeps/{{id}}           — cancel a queued/running job");
+    println!("  POST   /v1/sweeps:batch          — submit many (typed partial failure)");
+    println!("  POST   /v1/workers/register      — join the worker fleet");
+    println!("  POST   /v1/workers/{{id}}/...      — heartbeat | lease | report");
+    println!("  GET    /v1/workers               — fleet status");
+    println!("  GET    /v1/store/snapshot        — export the result store");
+    println!("  PUT    /v1/store/snapshot        — import a result-store snapshot");
     println!("  GET    /v1/healthz               — liveness + API version");
     println!("  GET    /metrics                  — Prometheus text format");
     println!("  (unversioned paths are deprecated aliases of /v1)");

@@ -253,6 +253,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra `(name, value)` headers beyond the standard three (content
+    /// type/length, connection) — e.g. `Deprecation` on legacy aliases.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -264,6 +267,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -274,8 +278,16 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// The same response with an extra header appended.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// A typed JSON error body (`{"code": ..., "error": ...}`) under the
@@ -330,13 +342,17 @@ pub fn write_response(
 ) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in &resp.headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(&resp.body)?;
     w.flush()
 }
@@ -483,5 +499,19 @@ mod tests {
         assert!(text.contains("queue full"));
         // Error bodies carry the machine-readable code of the status.
         assert!(text.contains("\"code\":\"queue_full\""), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut out = Vec::new();
+        let resp = Response::json(200, "{}")
+            .with_header("Deprecation", "true")
+            .with_header("Sunset", "Fri, 01 Jan 2027 00:00:00 GMT");
+        write_response(&mut out, &resp, true).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        let head = text.split("\r\n\r\n").next().expect("header block");
+        assert!(head.contains("Deprecation: true"), "{text}");
+        assert!(head.contains("Sunset: Fri, 01 Jan 2027 00:00:00 GMT"));
+        assert!(text.ends_with("{}"));
     }
 }

@@ -1,11 +1,12 @@
 //! The bounded asynchronous job queue between the HTTP layer and the
-//! sweep engine.
+//! sweep engine: the **bookkeeping half** of job handling.
 //!
 //! A `POST /v1/sweeps` allocates a [`Job`], pushes it onto a bounded FIFO
-//! and returns immediately with the job id; a fixed pool of worker threads
-//! drains the queue, running each job through
-//! [`simdsim_sweep::run_with_progress`] so status polls see live per-cell
-//! progress and the `?since=` cursor can stream cells while the job runs.
+//! and returns immediately with the job id; the **execution half** lives
+//! in [`crate::exec`], whose worker threads drain the queue and drive each
+//! job through the engine (in-process, or sharded across the worker fleet
+//! of [`crate::fleet`]) so status polls see live per-cell progress and the
+//! `?since=` cursor can stream cells while the job runs.
 //!
 //! Beyond the FIFO, the registry implements the v1 contract's job
 //! semantics:
@@ -20,11 +21,10 @@
 //! * **retention** — finished jobs stay addressable until evicted by the
 //!   configurable count cap or TTL of [`RetentionPolicy`].
 
-use crate::metrics::Metrics;
 use simdsim_api::{
     CellResult, CellsPage, JobState, JobSummary, Progress, SweepResult, SweepStatus,
 };
-use simdsim_sweep::{fnv1a128, run_with_progress, EngineOptions, Scenario};
+use simdsim_sweep::{fnv1a128, ProgressEvent, Scenario};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -164,7 +164,7 @@ impl Job {
         }
     }
 
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         self.state().is_terminal()
     }
 
@@ -176,6 +176,68 @@ impl Job {
             .finished_at
             .map(|t| t.elapsed())
     }
+
+    /// Attempts the queued→running transition for the executor.
+    pub(crate) fn start(&self) -> StartOutcome {
+        let mut inner = self.inner.lock().expect("job lock");
+        if inner.state == JobState::Cancelled {
+            return StartOutcome::AlreadyTerminal;
+        }
+        if self.cancel.load(Ordering::Relaxed) {
+            // Cancelled after being popped but before starting: finish
+            // the transition the canceller could not (see `cancel`).
+            inner.state = JobState::Cancelled;
+            inner.finished_at = Some(Instant::now());
+            drop(inner);
+            self.cells_cv.notify_all();
+            return StartOutcome::CancelledNow;
+        }
+        inner.state = JobState::Running;
+        StartOutcome::Started
+    }
+
+    /// Publishes one engine progress event: updates the counters and
+    /// appends to the `?since=` cell stream.
+    pub(crate) fn publish_cell(&self, ev: &ProgressEvent) {
+        let cell = CellResult::from_progress(ev);
+        let mut inner = self.inner.lock().expect("job lock");
+        inner.progress.total = ev.total as u64;
+        // Events from concurrent engine workers can arrive out of counter
+        // order; keep the published count monotonic for pollers.
+        inner.progress.completed = inner.progress.completed.max(ev.completed as u64);
+        if ev.cached {
+            inner.progress.cached += 1;
+        }
+        inner.cells.push(cell);
+        drop(inner);
+        self.cells_cv.notify_all();
+    }
+
+    /// Moves the job to its terminal state with its result, waking every
+    /// streamer.  `total` is the authoritative cell count (a zero-cell
+    /// sweep never fires a progress event, so progress mirrors it here).
+    pub(crate) fn finish(&self, state: JobState, total: u64, result: SweepResult) {
+        let mut inner = self.inner.lock().expect("job lock");
+        inner.state = state;
+        inner.progress.total = total;
+        inner.progress.completed = total;
+        inner.result = Some(result);
+        inner.finished_at = Some(Instant::now());
+        drop(inner);
+        self.cells_cv.notify_all();
+    }
+}
+
+/// What [`Job::start`] achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StartOutcome {
+    /// The job is now running.
+    Started,
+    /// The job was cancelled between pop and start; this call performed
+    /// the terminal transition (the caller owns the metrics tally).
+    CancelledNow,
+    /// The job was already terminal; nothing to do.
+    AlreadyTerminal,
 }
 
 /// Fingerprints a submission for coalescing: the full scenario document
@@ -529,120 +591,10 @@ impl JobQueue {
     }
 }
 
-/// Runs one job to completion, publishing progress and streamed cells as
-/// they resolve.
-pub fn run_job(job: &Job, base_opts: &EngineOptions, metrics: &Metrics) {
-    {
-        let mut inner = job.inner.lock().expect("job lock");
-        if inner.state == JobState::Cancelled {
-            return;
-        }
-        if job.cancel.load(Ordering::Relaxed) {
-            // Cancelled after being popped but before starting: finish
-            // the transition the canceller could not (see `cancel`).
-            inner.state = JobState::Cancelled;
-            inner.finished_at = Some(Instant::now());
-            metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
-            drop(inner);
-            job.cells_cv.notify_all();
-            return;
-        }
-        inner.state = JobState::Running;
-    }
-    let mut opts = base_opts.clone().cancel_flag(Arc::clone(&job.cancel));
-    if let Some(f) = &job.filter {
-        opts = opts.filter(f.clone());
-    }
-    let report = run_with_progress(&job.scenario, &opts, &|ev| {
-        let cell = CellResult::from_progress(&ev);
-        let mut inner = job.inner.lock().expect("job lock");
-        inner.progress.total = ev.total as u64;
-        // Events from concurrent engine workers can arrive out of counter
-        // order; keep the published count monotonic for pollers.
-        inner.progress.completed = inner.progress.completed.max(ev.completed as u64);
-        if ev.cached {
-            inner.progress.cached += 1;
-        }
-        inner.cells.push(cell);
-        drop(inner);
-        job.cells_cv.notify_all();
-    });
-
-    let result = SweepResult::from_report(&report);
-    metrics.record_job(
-        result.cached as usize,
-        result.executed as usize,
-        report
-            .outcomes
-            .iter()
-            .filter(|o| !o.cached)
-            .filter_map(|o| o.stats.as_ref().ok().map(|s| s.instrs))
-            .sum(),
-        report.simulated_wall(),
-    );
-    let cancelled = job.cancel.load(Ordering::Relaxed);
-    if cancelled {
-        metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
-    } else if result.failed > 0 {
-        metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-    } else {
-        metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
-    }
-
-    let mut inner = job.inner.lock().expect("job lock");
-    inner.state = if cancelled {
-        JobState::Cancelled
-    } else if result.failed > 0 {
-        JobState::Failed
-    } else {
-        JobState::Done
-    };
-    // A sweep with zero matching cells never fires a progress event; the
-    // result is still well-formed (empty), so mirror it into progress.
-    inner.progress.total = report.outcomes.len() as u64;
-    inner.progress.completed = report.outcomes.len() as u64;
-    inner.result = Some(result);
-    inner.finished_at = Some(Instant::now());
-    drop(inner);
-    job.cells_cv.notify_all();
-}
-
-/// Spawns `n` worker threads draining `queue` until shutdown.
-#[must_use]
-pub fn spawn_workers(
-    n: usize,
-    queue: &Arc<JobQueue>,
-    opts: &EngineOptions,
-    metrics: &Arc<Metrics>,
-) -> Vec<std::thread::JoinHandle<()>> {
-    (0..n.max(1))
-        .map(|i| {
-            let queue = Arc::clone(queue);
-            let opts = opts.clone();
-            let metrics = Arc::clone(metrics);
-            std::thread::Builder::new()
-                .name(format!("sweep-worker-{i}"))
-                .spawn(move || {
-                    while let Some(job) = queue.pop_blocking() {
-                        run_job(&job, &opts, &metrics);
-                    }
-                })
-                .expect("spawn sweep worker")
-        })
-        .collect()
-}
-
-/// Polls `job` until it reaches a terminal state, sleeping `interval`
-/// between checks (test/CLI helper).
-pub fn wait_finished(job: &Job, interval: Duration) {
-    while !job.finished() {
-        std::thread::sleep(interval);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{run_job, spawn_workers, ExecContext};
     use simdsim_sweep::Scenario;
 
     fn tiny_scenario() -> Scenario {
@@ -691,11 +643,7 @@ mod tests {
         assert!(!other.deduped);
 
         // Once the job finishes, identical submissions queue a fresh run.
-        run_job(
-            &q.pop_blocking().expect("job"),
-            &EngineOptions::default(),
-            &Metrics::default(),
-        );
+        run_job(&q.pop_blocking().expect("job"), &ExecContext::default());
         let fresh = q.submit(tiny_scenario(), None).expect("fits");
         assert!(!fresh.deduped);
     }
@@ -705,7 +653,7 @@ mod tests {
         let q = JobQueue::new(8);
         let sub = q.submit(tiny_scenario(), None).expect("fits");
         let popped = q.pop_blocking().expect("job");
-        run_job(&popped, &EngineOptions::default(), &Metrics::default());
+        run_job(&popped, &ExecContext::default());
         let fetched = q.get(sub.id).expect("retained");
         assert_eq!(fetched.state(), JobState::Done);
         let result = fetched.result().expect("has result");
@@ -722,16 +670,12 @@ mod tests {
                 ttl: None,
             },
         );
-        let metrics = Metrics::default();
+        let ctx = ExecContext::default();
         let mut ids = Vec::new();
         for tag in ["a", "b", "c", "d"] {
             let sub = q.submit(distinct_scenario(tag), None).expect("fits");
             ids.push(sub.id);
-            run_job(
-                &q.pop_blocking().expect("job"),
-                &EngineOptions::default(),
-                &metrics,
-            );
+            run_job(&q.pop_blocking().expect("job"), &ctx);
         }
         // The eviction runs on submit; push one more to trigger it.
         let live = q.submit(distinct_scenario("e"), None).expect("fits");
@@ -752,11 +696,7 @@ mod tests {
             },
         );
         let sub = q.submit(distinct_scenario("old"), None).expect("fits");
-        run_job(
-            &q.pop_blocking().expect("job"),
-            &EngineOptions::default(),
-            &Metrics::default(),
-        );
+        run_job(&q.pop_blocking().expect("job"), &ExecContext::default());
         std::thread::sleep(Duration::from_millis(5));
         let _ = q.submit(distinct_scenario("new"), None).expect("fits");
         assert!(q.get(sub.id).is_none(), "expired job evicted");
@@ -802,11 +742,7 @@ mod tests {
         assert_eq!(outcome, CancelOutcome::AlreadyFinished(JobState::Cancelled));
 
         // The run still completes for the first submitter...
-        run_job(
-            &q.pop_blocking().expect("job"),
-            &EngineOptions::default(),
-            &Metrics::default(),
-        );
+        run_job(&q.pop_blocking().expect("job"), &ExecContext::default());
         assert_eq!(
             q.status_for(first.id).expect("status").state,
             JobState::Done
@@ -832,12 +768,7 @@ mod tests {
     #[test]
     fn shutdown_unblocks_workers() {
         let q = Arc::new(JobQueue::new(4));
-        let handles = spawn_workers(
-            2,
-            &q,
-            &EngineOptions::default(),
-            &Arc::new(Metrics::default()),
-        );
+        let handles = spawn_workers(2, &q, &ExecContext::default());
         q.shut_down();
         for h in handles {
             h.join().expect("worker exits");
@@ -852,12 +783,8 @@ mod tests {
             .ways([2]);
         let q = JobQueue::new(1);
         let sub = q.submit(scenario, None).expect("fits");
-        let metrics = Metrics::default();
-        run_job(
-            &q.pop_blocking().expect("job"),
-            &EngineOptions::default(),
-            &metrics,
-        );
+        let ctx = ExecContext::default();
+        run_job(&q.pop_blocking().expect("job"), &ctx);
         assert_eq!(sub.job.state(), JobState::Failed);
         let result = sub.job.result().expect("result");
         assert_eq!(result.failed, 1);
@@ -866,7 +793,7 @@ mod tests {
             .as_deref()
             .expect("error")
             .contains("no-such-kernel"));
-        assert_eq!(metrics.jobs_failed.load(Ordering::Relaxed), 1);
+        assert_eq!(ctx.metrics.jobs_failed.load(Ordering::Relaxed), 1);
         // The failed cell also streamed through the cursor.
         let page = sub.job.cells_page(sub.id, 0, Duration::ZERO);
         assert_eq!(page.cells.len(), 1);
@@ -878,11 +805,7 @@ mod tests {
     fn cells_page_beyond_the_end_is_empty_not_an_error() {
         let q = JobQueue::new(1);
         let sub = q.submit(tiny_scenario(), None).expect("fits");
-        run_job(
-            &q.pop_blocking().expect("job"),
-            &EngineOptions::default(),
-            &Metrics::default(),
-        );
+        run_job(&q.pop_blocking().expect("job"), &ExecContext::default());
         let page = sub.job.cells_page(sub.id, 999, Duration::ZERO);
         assert!(page.cells.is_empty());
         assert_eq!(page.since, 999);

@@ -18,7 +18,15 @@
 //!   TTL) on finished jobs;
 //! * **metrics** ([`metrics`]) in the Prometheus text format: requests,
 //!   queue depth, cache hit ratio, coalesce/cancel tallies, simulated
-//!   MIPS.
+//!   MIPS, fleet liveness;
+//! * a **worker fleet coordinator** ([`fleet`]): worker processes
+//!   register over `/v1/workers/*`, lease cells, execute them with the
+//!   very same deterministic engine, and report per-cell results; jobs
+//!   are sharded across live workers through the engine's
+//!   [`simdsim_sweep::CellExecutor`] seam ([`exec`]), with lease
+//!   timeouts re-queueing cells from dead workers, so a sharded sweep is
+//!   bit-identical to a single-process one even across mid-job worker
+//!   crashes.
 //!
 //! Results flow through the content-addressed store, so resubmitting an
 //! identical sweep is served from cache without re-simulating a single
@@ -53,11 +61,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
+pub mod fleet;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
 pub mod server;
 
+pub use exec::{run_job, spawn_workers, wait_finished, ExecContext};
+pub use fleet::{Fleet, FleetConfig, FleetExecutor};
 pub use http::{Request, Response};
 pub use jobs::{CancelOutcome, Job, JobQueue, RetentionPolicy, Submission};
 pub use metrics::{render_prometheus, Metrics, MetricsSnapshot};

@@ -27,6 +27,8 @@ pub struct Metrics {
     pub requests_cancel: AtomicU64,
     /// `GET /metrics` requests.
     pub requests_metrics: AtomicU64,
+    /// Fleet-surface requests (`/workers/*`, `/store/snapshot`).
+    pub requests_fleet: AtomicU64,
     /// Requests answered with 4xx/5xx.
     pub requests_errors: AtomicU64,
     /// Jobs accepted onto the queue.
@@ -49,6 +51,21 @@ pub struct Metrics {
     pub sim_instrs: AtomicU64,
     /// Wall-clock microseconds spent simulating (summed across workers).
     pub sim_wall_micros: AtomicU64,
+    /// Fleet workers that registered.
+    pub fleet_workers_registered: AtomicU64,
+    /// Fleet workers evicted for missing heartbeats.
+    pub fleet_workers_evicted: AtomicU64,
+    /// Leases granted to fleet workers.
+    pub fleet_leases_granted: AtomicU64,
+    /// Leases that expired without a full report.
+    pub fleet_leases_expired: AtomicU64,
+    /// Cell results accepted from fleet workers.
+    pub fleet_cells_reported: AtomicU64,
+    /// Reported results dropped as stale (duplicate or re-queued-and-
+    /// finished-elsewhere units).
+    pub fleet_reports_stale: AtomicU64,
+    /// Cells put back on the queue after a lease expiry or eviction.
+    pub fleet_cells_requeued: AtomicU64,
 }
 
 /// A point-in-time copy of every counter, plus the queue depth sampled at
@@ -72,6 +89,8 @@ pub struct MetricsSnapshot {
     pub requests_cancel: u64,
     /// `GET /metrics` requests.
     pub requests_metrics: u64,
+    /// Fleet-surface requests (`/workers/*`, `/store/snapshot`).
+    pub requests_fleet: u64,
     /// Requests answered with 4xx/5xx.
     pub requests_errors: u64,
     /// Jobs accepted onto the queue.
@@ -96,6 +115,25 @@ pub struct MetricsSnapshot {
     pub sim_instrs: u64,
     /// Seconds of simulation wall time (summed across workers).
     pub sim_wall_seconds: f64,
+    /// Fleet workers that registered.
+    pub fleet_workers_registered: u64,
+    /// Fleet workers evicted for missing heartbeats.
+    pub fleet_workers_evicted: u64,
+    /// Leases granted to fleet workers.
+    pub fleet_leases_granted: u64,
+    /// Leases that expired without a full report.
+    pub fleet_leases_expired: u64,
+    /// Cell results accepted from fleet workers.
+    pub fleet_cells_reported: u64,
+    /// Reported results dropped as stale.
+    pub fleet_reports_stale: u64,
+    /// Cells re-queued after a lease expiry or eviction.
+    pub fleet_cells_requeued: u64,
+    /// Live fleet workers at snapshot time (gauge, sampled by caller).
+    pub fleet_workers_live: u64,
+    /// Cells awaiting dispatch at snapshot time (gauge, sampled by
+    /// caller).
+    pub fleet_pending_cells: u64,
 }
 
 impl MetricsSnapshot {
@@ -133,6 +171,7 @@ impl MetricsSnapshot {
             + self.requests_cells
             + self.requests_cancel
             + self.requests_metrics
+            + self.requests_fleet
     }
 }
 
@@ -161,6 +200,7 @@ impl Metrics {
             requests_cells: get(&self.requests_cells),
             requests_cancel: get(&self.requests_cancel),
             requests_metrics: get(&self.requests_metrics),
+            requests_fleet: get(&self.requests_fleet),
             requests_errors: get(&self.requests_errors),
             jobs_submitted: get(&self.jobs_submitted),
             jobs_coalesced: get(&self.jobs_coalesced),
@@ -173,6 +213,15 @@ impl Metrics {
             cells_simulated: get(&self.cells_simulated),
             sim_instrs: get(&self.sim_instrs),
             sim_wall_seconds: get(&self.sim_wall_micros) as f64 / 1.0e6,
+            fleet_workers_registered: get(&self.fleet_workers_registered),
+            fleet_workers_evicted: get(&self.fleet_workers_evicted),
+            fleet_leases_granted: get(&self.fleet_leases_granted),
+            fleet_leases_expired: get(&self.fleet_leases_expired),
+            fleet_cells_reported: get(&self.fleet_cells_reported),
+            fleet_reports_stale: get(&self.fleet_reports_stale),
+            fleet_cells_requeued: get(&self.fleet_cells_requeued),
+            fleet_workers_live: 0,
+            fleet_pending_cells: 0,
         }
     }
 }
@@ -205,6 +254,7 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
             ("endpoint=\"sweep_cells\"", s.requests_cells),
             ("endpoint=\"sweep_cancel\"", s.requests_cancel),
             ("endpoint=\"metrics\"", s.requests_metrics),
+            ("endpoint=\"fleet\"", s.requests_fleet),
         ],
     );
     counter(
@@ -237,6 +287,31 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         "Committed instructions across all simulated cells.",
         &[("", s.sim_instrs)],
     );
+    counter(
+        "simdsim_fleet_workers_total",
+        "Fleet workers, by disposition.",
+        &[
+            ("event=\"registered\"", s.fleet_workers_registered),
+            ("event=\"evicted\"", s.fleet_workers_evicted),
+        ],
+    );
+    counter(
+        "simdsim_fleet_leases_total",
+        "Work leases, by disposition.",
+        &[
+            ("event=\"granted\"", s.fleet_leases_granted),
+            ("event=\"expired\"", s.fleet_leases_expired),
+        ],
+    );
+    counter(
+        "simdsim_fleet_cells_total",
+        "Fleet-dispatched cells, by disposition.",
+        &[
+            ("event=\"reported\"", s.fleet_cells_reported),
+            ("event=\"stale\"", s.fleet_reports_stale),
+            ("event=\"requeued\"", s.fleet_cells_requeued),
+        ],
+    );
 
     let mut gauge = |name: &str, help: &str, v: String| {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -263,6 +338,16 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         "Aggregate simulation throughput in million instructions per second.",
         format!("{:.3}", s.simulated_mips()),
     );
+    gauge(
+        "simdsim_fleet_workers_live",
+        "Fleet workers currently within their liveness contract.",
+        s.fleet_workers_live.to_string(),
+    );
+    gauge(
+        "simdsim_fleet_pending_cells",
+        "Cells queued for fleet dispatch and not currently leased.",
+        s.fleet_pending_cells.to_string(),
+    );
     out
 }
 
@@ -275,6 +360,7 @@ mod tests {
         let m = Metrics::default();
         m.requests_healthz.fetch_add(2, Ordering::Relaxed);
         m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
+        m.fleet_workers_registered.fetch_add(1, Ordering::Relaxed);
         m.record_job(5, 7, 1_000_000, Duration::from_millis(250));
         let s = m.snapshot(4);
         assert_eq!(s.queue_depth, 4);
@@ -291,6 +377,10 @@ mod tests {
             "simdsim_queue_depth 4",
             "# TYPE simdsim_cache_hit_ratio gauge",
             "simdsim_simulated_instructions_total 1000000",
+            "simdsim_fleet_workers_total{event=\"registered\"} 1",
+            "simdsim_fleet_cells_total{event=\"requeued\"} 0",
+            "simdsim_fleet_workers_live 0",
+            "simdsim_fleet_pending_cells 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -12,20 +12,33 @@
 //! | `/v1/sweeps/{id}` | GET | [`SweepStatus`]: state/progress/result |
 //! | `/v1/sweeps/{id}/cells?since=N` | GET | [`CellsPage`]: long-poll cell stream |
 //! | `/v1/sweeps/{id}` | DELETE | cancel → [`SweepStatus`] (or 404/409 [`ApiError`]) |
+//! | `/v1/sweeps:batch` | POST | submit many → [`BatchSubmitResponse`], typed partial failure |
+//! | `/v1/workers/register` | POST | join the fleet → [`simdsim_api::RegisterResponse`] |
+//! | `/v1/workers/{id}/heartbeat` | POST | liveness → [`simdsim_api::HeartbeatResponse`] |
+//! | `/v1/workers/{id}/lease` | POST | [`LeaseRequest`] → [`simdsim_api::LeaseResponse`] (long-poll) |
+//! | `/v1/workers/{id}/report` | POST | [`ReportRequest`] → [`simdsim_api::ReportResponse`] |
+//! | `/v1/workers` | GET | [`simdsim_api::FleetStatus`]: fleet listing + queue depth |
+//! | `/v1/store/snapshot` | GET | [`StoreSnapshot`]: the shared result cache |
+//! | `/v1/store/snapshot` | PUT | import a snapshot → [`SnapshotImported`] |
 //! | `/metrics` | GET | Prometheus text format (unversioned by convention) |
 //!
 //! Every pre-v1 unversioned route (`/healthz`, `/scenarios`, `/sweeps`,
 //! `/sweeps/{id}`, ...) remains as a **deprecated alias** onto the same
-//! handler — same handler, same bytes — so existing curl scripts keep
-//! working while new consumers speak `/v1`.
+//! handler — same handler, same bytes, plus `Deprecation`/`Sunset`
+//! response headers announcing the removal date — so existing curl
+//! scripts keep working while new consumers speak `/v1`.
 
+use crate::exec::{spawn_workers, ExecContext};
+use crate::fleet::{Fleet, FleetConfig};
 use crate::http::{parse_request, write_response, Request, Response};
-use crate::jobs::{spawn_workers, CancelOutcome, JobQueue, RetentionPolicy};
+use crate::jobs::{CancelOutcome, JobQueue, RetentionPolicy};
 use crate::metrics::{render_prometheus, Metrics};
 use simdsim_api::{
-    ApiError, CellsPage, ErrorCode, Health, JobList, ScenarioInfo, SubmitResponse, SweepRequest,
+    ApiError, BatchSubmitItem, BatchSubmitRequest, BatchSubmitResponse, CellsPage, ErrorCode,
+    Health, JobList, LeaseRequest, RegisterRequest, ReportRequest, ScenarioInfo, SnapshotImported,
+    StoreSnapshot, StoreSnapshotEntry, SubmitResponse, SweepRequest,
 };
-use simdsim_sweep::{EngineOptions, Scenario};
+use simdsim_sweep::{EngineOptions, ResultStore, Scenario, StoredCell, CACHE_SCHEMA_VERSION};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -41,6 +54,10 @@ const DEFAULT_CELLS_WAIT: Duration = Duration::from_millis(2000);
 /// well under the connection read timeout so a polling client never
 /// mistakes a held request for a dead server.
 const MAX_CELLS_WAIT: Duration = Duration::from_millis(20_000);
+
+/// The `Sunset` date advertised on deprecated unversioned aliases (see
+/// the README's deprecation timeline).
+const LEGACY_SUNSET: &str = "Fri, 01 Jan 2027 00:00:00 GMT";
 
 /// How the daemon is wired; every knob has a serving-appropriate default.
 #[derive(Debug, Clone)]
@@ -69,6 +86,8 @@ pub struct ServerConfig {
     pub job_retention: usize,
     /// Optional age limit on retained finished jobs.
     pub job_ttl: Option<Duration>,
+    /// The worker fleet's timing contract (heartbeat cadence, lease TTL).
+    pub fleet: FleetConfig,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +103,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             job_retention: 4096,
             job_ttl: None,
+            fleet: FleetConfig::default(),
         }
     }
 }
@@ -93,6 +113,10 @@ struct Shared {
     queue: Arc<JobQueue>,
     metrics: Arc<Metrics>,
     scenarios: Vec<(Scenario, &'static str)>,
+    fleet: Arc<Fleet>,
+    /// The content-addressed store, doubling as the fleet's shared cache
+    /// tier (`None` with caching disabled).
+    store: Option<ResultStore>,
 }
 
 /// A running daemon; dropping it does **not** stop the threads — call
@@ -130,10 +154,13 @@ impl Server {
             },
         ));
         let metrics = Arc::new(Metrics::default());
+        let fleet = Arc::new(Fleet::new(cfg.fleet, Arc::clone(&metrics)));
         let shared = Arc::new(Shared {
             queue: Arc::clone(&queue),
             metrics: Arc::clone(&metrics),
             scenarios,
+            fleet: Arc::clone(&fleet),
+            store: cfg.cache_dir.clone().map(ResultStore::new),
         });
 
         let mut opts = EngineOptions::default();
@@ -143,7 +170,12 @@ impl Server {
         if let Some(dir) = &cfg.cache_dir {
             opts = opts.cache(dir.clone());
         }
-        let worker_threads = spawn_workers(cfg.job_workers, &queue, &opts, &metrics);
+        let ctx = ExecContext {
+            opts,
+            metrics: Arc::clone(&metrics),
+            fleet: Some(fleet),
+        };
+        let worker_threads = spawn_workers(cfg.job_workers, &queue, &ctx);
 
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
@@ -212,7 +244,10 @@ impl Server {
     /// renders), for in-process embedders like the `loadgen` harness.
     #[must_use]
     pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
-        self.shared.metrics.snapshot(self.shared.queue.depth())
+        let mut snapshot = self.shared.metrics.snapshot(self.shared.queue.depth());
+        snapshot.fleet_workers_live = self.shared.fleet.live_workers() as u64;
+        snapshot.fleet_pending_cells = self.shared.fleet.pending_cells();
+        snapshot
     }
 
     /// Stops accepting connections, drains no further jobs, and joins the
@@ -281,11 +316,22 @@ fn json_dto<T: serde::Serialize>(status: u16, dto: &T) -> Response {
 }
 
 fn route(req: &Request, shared: &Shared) -> Response {
+    let resp = route_inner(req, shared);
+    // The versioned prefix is the contract; bare paths are deprecated
+    // aliases that answer identically but announce their removal date
+    // (`/metrics` is unversioned by Prometheus convention and exempt).
+    if req.path.starts_with("/v1") || req.path == "/metrics" {
+        resp
+    } else {
+        resp.with_header("Deprecation", "true")
+            .with_header("Sunset", LEGACY_SUNSET)
+    }
+}
+
+fn route_inner(req: &Request, shared: &Shared) -> Response {
     let bump = |a: &std::sync::atomic::AtomicU64| {
         a.fetch_add(1, Ordering::Relaxed);
     };
-    // The versioned prefix is the contract; bare paths are deprecated
-    // aliases onto the very same handlers.
     let path = req.path.strip_prefix("/v1").unwrap_or(&req.path);
     let path = if path.is_empty() { "/" } else { path };
 
@@ -328,14 +374,43 @@ fn route(req: &Request, shared: &Shared) -> Response {
             bump(&shared.metrics.requests_submit);
             submit_sweep(req, shared)
         }
+        ("POST", "/sweeps:batch") => {
+            bump(&shared.metrics.requests_submit);
+            submit_batch(req, shared)
+        }
         ("GET", p) if p.starts_with("/sweeps/") => sweep_get(p, req, shared),
         ("DELETE", p) if p.starts_with("/sweeps/") => {
             bump(&shared.metrics.requests_cancel);
             cancel_sweep(&p["/sweeps/".len()..], shared)
         }
+        ("POST", "/workers/register") => {
+            bump(&shared.metrics.requests_fleet);
+            match body_json::<RegisterRequest>(req) {
+                Ok(r) => json_dto(200, &shared.fleet.register(&r)),
+                Err(e) => Response::api_error(&e),
+            }
+        }
+        ("GET", "/workers") => {
+            bump(&shared.metrics.requests_fleet);
+            json_dto(200, &shared.fleet.status())
+        }
+        ("POST", p) if p.starts_with("/workers/") => {
+            bump(&shared.metrics.requests_fleet);
+            worker_post(&p["/workers/".len()..], req, shared)
+        }
+        ("GET", "/store/snapshot") => {
+            bump(&shared.metrics.requests_fleet);
+            store_export(shared)
+        }
+        ("PUT", "/store/snapshot") => {
+            bump(&shared.metrics.requests_fleet);
+            store_import(req, shared)
+        }
         ("GET", "/metrics") => {
             bump(&shared.metrics.requests_metrics);
-            let snapshot = shared.metrics.snapshot(shared.queue.depth());
+            let mut snapshot = shared.metrics.snapshot(shared.queue.depth());
+            snapshot.fleet_workers_live = shared.fleet.live_workers() as u64;
+            snapshot.fleet_pending_cells = shared.fleet.pending_cells();
             Response::text(200, render_prometheus(&snapshot))
         }
         ("GET" | "POST" | "DELETE", _) => Response::api_error(&ApiError::new(
@@ -454,28 +529,68 @@ fn cancel_sweep(id_text: &str, shared: &Shared) -> Response {
     }
 }
 
+/// Parses a JSON request body into a DTO, mapping every failure mode onto
+/// a `bad_request` [`ApiError`].
+fn body_json<T: serde::Deserialize>(req: &Request) -> Result<T, ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::new(ErrorCode::BadRequest, "body is not UTF-8"))?;
+    simdsim_api::parse_json(text)
+        .map_err(|e| ApiError::new(ErrorCode::BadRequest, format!("invalid request body: {e}")))
+}
+
 /// Parses a `POST /sweeps` body and queues the job.
 fn submit_sweep(req: &Request, shared: &Shared) -> Response {
-    let Ok(text) = std::str::from_utf8(&req.body) else {
-        return Response::api_error(&ApiError::new(ErrorCode::BadRequest, "body is not UTF-8"));
-    };
-    let request: SweepRequest = match simdsim_api::parse_json(text) {
+    let request: SweepRequest = match body_json(req) {
         Ok(r) => r,
-        Err(e) => {
-            return Response::api_error(&ApiError::new(
-                ErrorCode::BadRequest,
-                format!("invalid SweepRequest body: {e}"),
-            ))
-        }
+        Err(e) => return Response::api_error(&e),
     };
-    if let Err(e) = request.validate() {
-        return Response::api_error(&ApiError::new(ErrorCode::BadRequest, e));
+    match submit_one(request, shared) {
+        Ok(sub) => json_dto(202, &sub),
+        Err(e) => Response::api_error(&e),
     }
+}
+
+/// Routes `POST /sweeps:batch`: every item is submitted independently, and
+/// failures are typed per item rather than failing the whole batch.
+fn submit_batch(req: &Request, shared: &Shared) -> Response {
+    let request: BatchSubmitRequest = match body_json(req) {
+        Ok(r) => r,
+        Err(e) => return Response::api_error(&e),
+    };
+    if request.sweeps.is_empty() {
+        return Response::api_error(&ApiError::new(
+            ErrorCode::BadRequest,
+            "batch must contain at least one sweep",
+        ));
+    }
+    let items: Vec<BatchSubmitItem> = request
+        .sweeps
+        .into_iter()
+        .map(|sweep| match submit_one(sweep, shared) {
+            Ok(sub) => BatchSubmitItem {
+                submit: Some(sub),
+                error: None,
+            },
+            Err(e) => BatchSubmitItem {
+                submit: None,
+                error: Some(e),
+            },
+        })
+        .collect();
+    json_dto(200, &BatchSubmitResponse { items })
+}
+
+/// Validates one sweep request and queues it, for both the single and the
+/// batch submit route.
+fn submit_one(request: SweepRequest, shared: &Shared) -> Result<SubmitResponse, ApiError> {
+    request
+        .validate()
+        .map_err(|e| ApiError::new(ErrorCode::BadRequest, e))?;
     let scenario = match (&request.scenario, request.inline) {
         (Some(name), None) => match shared.scenarios.iter().find(|(s, _)| &s.name == name) {
             Some((s, _)) => s.clone(),
             None => {
-                return Response::api_error(&ApiError::new(
+                return Err(ApiError::new(
                     ErrorCode::UnknownScenario,
                     format!("unknown scenario `{name}` (see GET /v1/scenarios)"),
                 ))
@@ -498,19 +613,129 @@ fn submit_sweep(req: &Request, shared: &Shared) -> Response {
                     .jobs_coalesced
                     .fetch_add(1, Ordering::Relaxed);
             }
-            json_dto(
-                202,
-                &SubmitResponse {
-                    id: sub.id,
-                    url: format!("/v1/sweeps/{}", sub.id),
-                    state: sub.job.state(),
-                    deduped: sub.deduped,
-                },
-            )
+            Ok(SubmitResponse {
+                id: sub.id,
+                url: format!("/v1/sweeps/{}", sub.id),
+                state: sub.job.state(),
+                deduped: sub.deduped,
+            })
         }
         Err(full) => {
             shared.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            Response::api_error(&ApiError::new(ErrorCode::QueueFull, full.to_string()))
+            Err(ApiError::new(ErrorCode::QueueFull, full.to_string()))
         }
     }
+}
+
+/// Routes `POST /workers/{id}/heartbeat|lease|report`.
+fn worker_post(rest: &str, req: &Request, shared: &Shared) -> Response {
+    let Some((id_text, verb)) = rest.split_once('/') else {
+        return Response::api_error(&ApiError::new(
+            ErrorCode::NotFound,
+            format!("no route for {}", req.path),
+        ));
+    };
+    let Ok(worker) = id_text.parse::<u64>() else {
+        return Response::api_error(&ApiError::new(
+            ErrorCode::BadRequest,
+            format!("worker id must be an integer, got `{id_text}`"),
+        ));
+    };
+    match verb {
+        "heartbeat" => fleet_reply(shared.fleet.heartbeat(worker)),
+        "lease" => {
+            // An empty body is a plain "give me work" with the defaults.
+            let request: LeaseRequest = if req.body.is_empty() {
+                LeaseRequest::default()
+            } else {
+                match body_json(req) {
+                    Ok(r) => r,
+                    Err(e) => return Response::api_error(&e),
+                }
+            };
+            fleet_reply(shared.fleet.lease(worker, &request))
+        }
+        "report" => match body_json::<ReportRequest>(req) {
+            Ok(r) => fleet_reply(shared.fleet.report(worker, &r)),
+            Err(e) => Response::api_error(&e),
+        },
+        _ => Response::api_error(&ApiError::new(
+            ErrorCode::NotFound,
+            format!("no route for {}", req.path),
+        )),
+    }
+}
+
+/// Serializes a fleet call's outcome: the DTO on success, the typed error
+/// (e.g. `unknown_worker` after an eviction) otherwise.
+fn fleet_reply<T: serde::Serialize>(outcome: Result<T, ApiError>) -> Response {
+    match outcome {
+        Ok(dto) => json_dto(200, &dto),
+        Err(e) => Response::api_error(&e),
+    }
+}
+
+/// Routes `GET /store/snapshot`: exports the content-addressed store.  A
+/// cache-less server answers with an empty snapshot rather than an error so
+/// `sweepctl store export` composes with any deployment.
+fn store_export(shared: &Shared) -> Response {
+    let entries: Vec<StoreSnapshotEntry> = shared
+        .store
+        .as_ref()
+        .map(ResultStore::export)
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(key, cell)| StoreSnapshotEntry {
+            key: key.to_string(),
+            label: cell.label,
+            stats: cell.stats,
+        })
+        .collect();
+    json_dto(
+        200,
+        &StoreSnapshot {
+            schema: CACHE_SCHEMA_VERSION,
+            entries,
+        },
+    )
+}
+
+/// Routes `PUT /store/snapshot`: imports entries into the store, skipping
+/// keys already present.
+fn store_import(req: &Request, shared: &Shared) -> Response {
+    let Some(store) = &shared.store else {
+        return Response::api_error(&ApiError::new(
+            ErrorCode::NotImplemented,
+            "this server runs without a result store (started with --no-cache)",
+        ));
+    };
+    let snapshot: StoreSnapshot = match body_json(req) {
+        Ok(s) => s,
+        Err(e) => return Response::api_error(&e),
+    };
+    if snapshot.schema != CACHE_SCHEMA_VERSION {
+        return Response::api_error(&ApiError::new(
+            ErrorCode::BadRequest,
+            format!(
+                "snapshot schema {} does not match this server's schema {}",
+                snapshot.schema, CACHE_SCHEMA_VERSION
+            ),
+        ));
+    }
+    let (imported, skipped) = store.import(snapshot.entries.iter().map(|e| {
+        (
+            e.key.as_str(),
+            StoredCell {
+                label: e.label.clone(),
+                stats: e.stats.clone(),
+            },
+        )
+    }));
+    json_dto(
+        200,
+        &SnapshotImported {
+            imported: imported as u64,
+            skipped: skipped as u64,
+        },
+    )
 }

@@ -3,8 +3,8 @@
 //! work-stealing pool, and reports per-cell outcomes in deterministic
 //! order.
 
+use crate::exec::{CellExecutor, CellTask, LocalExecutor};
 use crate::scenario::{Cell, Scenario, WorkloadRef};
-use crate::scheduler;
 use crate::store::{cell_key, CacheKey, ResultStore, StoredCell};
 use serde::{Deserialize, Serialize};
 use simdsim_isa::{ClassCounts, Decoded};
@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The per-cell failure message of a cell skipped by a cancelled run.
@@ -123,12 +123,6 @@ impl EngineOptions {
     pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
         self
-    }
-
-    fn is_cancelled(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 }
 
@@ -288,6 +282,22 @@ pub fn run_with_progress(
     opts: &EngineOptions,
     progress: &(dyn Fn(ProgressEvent) + Sync),
 ) -> SweepReport {
+    let local = LocalExecutor::new(opts.jobs);
+    run_with_executor(scenario, opts, progress, &local)
+}
+
+/// [`run_with_progress`] with an explicit [`CellExecutor`]: expansion,
+/// filtering, the store probe, progress reporting and report assembly stay
+/// in the engine; only the pending cells' execution is delegated.  This is
+/// the seam the serving layer uses to satisfy a job from a remote worker
+/// fleet instead of the local thread pool.
+#[must_use]
+pub fn run_with_executor(
+    scenario: &Scenario,
+    opts: &EngineOptions,
+    progress: &(dyn Fn(ProgressEvent) + Sync),
+    executor: &dyn CellExecutor,
+) -> SweepReport {
     let mut cells = scenario.expand();
     if let Some(f) = &opts.filter {
         cells.retain(|c| c.label().contains(f.as_str()));
@@ -343,54 +353,61 @@ pub fn run_with_progress(
         }
     }
 
-    // Schedule only the cells the store could not serve.
-    let pending: Vec<(usize, &Cell, PipeConfig)> = preps
+    // Hand only the cells the store could not serve to the executor; each
+    // resolution is reported as it lands and parked in its slot for the
+    // in-order assembly below.
+    let tasks: Vec<CellTask> = preps
         .iter()
         .enumerate()
         .filter_map(|(i, p)| match p {
-            Prep::Pending { cfg, .. } => Some((i, &cells[i], *cfg)),
+            Prep::Pending { cfg, .. } => Some(CellTask {
+                index: i,
+                cell: cells[i].clone(),
+                cfg: *cfg,
+            }),
             _ => None,
         })
         .collect();
-    let workers = opts.jobs.unwrap_or_else(scheduler::default_workers);
-    let mut fresh = scheduler::run_jobs(&pending, workers, |(index, cell, cfg)| {
-        // Cooperative cancellation: cells that have not started when the
-        // flag goes up resolve as errors instead of simulating.
-        let out = if opts.is_cancelled() {
-            (
-                Err(SweepError::new(cell, CANCELLED_CELL_MESSAGE)),
-                Duration::ZERO,
-            )
-        } else {
-            exec_cell(cell, cfg)
-        };
+    // (cached, outcome, wall) for one resolved cell, parked until assembly.
+    type Slot = Option<(bool, Result<CellStats, SweepError>, Duration)>;
+    let slots: Vec<Mutex<Slot>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    executor.execute(tasks, opts.cancel.as_deref(), &|out| {
         progress(ProgressEvent {
             total,
             completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
-            index: *index,
-            cached: false,
-            label: cell.label(),
-            stats: out.0.as_ref().ok().cloned(),
-            error: out.0.as_ref().err().map(|e| e.message.clone()),
-            wall: out.1,
+            index: out.index,
+            cached: out.cached,
+            label: cells[out.index].label(),
+            stats: out.stats.as_ref().ok().cloned(),
+            error: out.stats.as_ref().err().map(|e| e.message.clone()),
+            wall: out.wall,
         });
-        out
-    })
-    .into_iter();
+        *slots[out.index].lock().expect("slot lock") = Some((out.cached, out.stats, out.wall));
+    });
 
     let mut outcomes = Vec::with_capacity(cells.len());
-    for (cell, prep) in cells.into_iter().zip(preps) {
+    for (i, (cell, prep)) in cells.into_iter().zip(preps).enumerate() {
         let (cached, stats, wall) = match prep {
             Prep::Failed(e) => (false, Err(e), Duration::ZERO),
             Prep::Cached(s) => (true, Ok(s), Duration::ZERO),
             Prep::Pending { key, .. } => {
-                let (result, wall) = match fresh.next().expect("one result per pending cell") {
-                    Ok((r, wall)) => (r, wall),
-                    Err(panic) => (
-                        Err(SweepError::new(&cell, panic.to_string())),
-                        Duration::ZERO,
-                    ),
-                };
+                let (cached, result, wall) = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .unwrap_or_else(|| {
+                        // The executor contract says this cannot happen;
+                        // degrade to a per-cell error rather than panic.
+                        (
+                            false,
+                            Err(SweepError::new(&cell, "executor dropped the cell")),
+                            Duration::ZERO,
+                        )
+                    });
+                // Fresh *and* remotely cached results both land in this
+                // run's store: when the executor is a fleet, the
+                // coordinator's store is the shared cache tier and must
+                // absorb results workers served from their own caches.
                 if let (Some(st), Some(k), Ok(s)) = (&store, &key, &result) {
                     st.save(
                         k,
@@ -400,7 +417,7 @@ pub fn run_with_progress(
                         },
                     );
                 }
-                (false, result, wall)
+                (cached, result, wall)
             }
         };
         outcomes.push(CellOutcome {
@@ -413,6 +430,16 @@ pub fn run_with_progress(
     SweepReport {
         scenario: scenario.name.clone(),
         outcomes,
+    }
+}
+
+/// Simulates one cell end-to-end (configuration resolution included) —
+/// the entry point a remote worker process uses to execute a leased cell
+/// with the exact semantics of the in-process engine.
+pub fn execute_cell(cell: &Cell) -> (Result<CellStats, SweepError>, Duration) {
+    match cell.config() {
+        Err(msg) => (Err(SweepError::new(cell, msg)), Duration::ZERO),
+        Ok(cfg) => exec_cell(cell, &cfg),
     }
 }
 
@@ -450,7 +477,10 @@ fn memo_decode(cell: &Cell, program: &simdsim_isa::Program) -> Rc<Decoded> {
 /// Simulates one cell on its resolved configuration, measuring the
 /// wall-clock time of the simulation itself (workload build included —
 /// it is part of the cost a cache hit saves).
-fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> (Result<CellStats, SweepError>, Duration) {
+pub(crate) fn exec_cell(
+    cell: &Cell,
+    cfg: &PipeConfig,
+) -> (Result<CellStats, SweepError>, Duration) {
     let start = Instant::now();
     let result = (|| {
         let built = cell

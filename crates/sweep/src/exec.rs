@@ -1,0 +1,164 @@
+//! The executor seam: *what* to simulate (a batch of [`CellTask`]s) is
+//! separated from *where* it runs.
+//!
+//! [`run_with_executor`](crate::engine::run_with_executor) hands the
+//! engine's pending cells to a [`CellExecutor`] and consumes
+//! [`TaskOutcome`]s as they resolve.  [`LocalExecutor`] is the in-process
+//! implementation on the work-stealing pool — byte-for-byte the engine's
+//! historical behaviour.  The serving layer provides a remote
+//! implementation that leases the same tasks to registered worker
+//! processes, which is how one job is satisfied transparently by local
+//! threads or by a fleet.
+
+use crate::engine::{exec_cell, CellStats, SweepError, CANCELLED_CELL_MESSAGE};
+use crate::scenario::Cell;
+use crate::scheduler;
+use simdsim_pipe::PipeConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// One cell the engine wants simulated: its position in the filtered
+/// expansion order, the cell itself and its fully resolved configuration.
+#[derive(Debug, Clone)]
+pub struct CellTask {
+    /// Position in the (filtered) expansion order.
+    pub index: usize,
+    /// The cell to simulate.
+    pub cell: Cell,
+    /// The cell's resolved processor configuration.
+    pub cfg: PipeConfig,
+}
+
+/// The resolution of one [`CellTask`], delivered through the `done`
+/// callback of [`CellExecutor::execute`].
+#[derive(Debug, Clone)]
+pub struct TaskOutcome {
+    /// The task's `index`.
+    pub index: usize,
+    /// `true` when the result came from a cache tier rather than a fresh
+    /// simulation (e.g. a remote worker's local store).
+    pub cached: bool,
+    /// The statistics, or the per-cell failure.
+    pub stats: Result<CellStats, SweepError>,
+    /// Wall-clock simulation time (zero for cached and failed cells).
+    pub wall: Duration,
+}
+
+/// Where a batch of cells executes.
+///
+/// Contract: `execute` calls `done` **exactly once per task** (in any
+/// order, possibly concurrently) and returns only after every task has
+/// resolved.  When `cancel` is set, tasks that have not started may
+/// resolve as [`CANCELLED_CELL_MESSAGE`] errors instead of simulating.
+pub trait CellExecutor: Sync {
+    /// Executes `tasks`, delivering each resolution through `done`.
+    fn execute(
+        &self,
+        tasks: Vec<CellTask>,
+        cancel: Option<&AtomicBool>,
+        done: &(dyn Fn(TaskOutcome) + Sync),
+    );
+}
+
+/// The in-process executor: cells run on the crate's work-stealing pool
+/// with per-job panic isolation, exactly as the engine always has.
+#[derive(Debug, Clone, Default)]
+pub struct LocalExecutor {
+    /// Worker-pool size; `None` uses the available parallelism.
+    pub jobs: Option<usize>,
+}
+
+impl LocalExecutor {
+    /// An executor with a fixed (or default, when `None`) pool size.
+    #[must_use]
+    pub fn new(jobs: Option<usize>) -> Self {
+        Self { jobs }
+    }
+}
+
+impl CellExecutor for LocalExecutor {
+    fn execute(
+        &self,
+        tasks: Vec<CellTask>,
+        cancel: Option<&AtomicBool>,
+        done: &(dyn Fn(TaskOutcome) + Sync),
+    ) {
+        let workers = self.jobs.unwrap_or_else(scheduler::default_workers);
+        let results = scheduler::run_jobs(&tasks, workers, |task| {
+            // Cooperative cancellation: cells that have not started when
+            // the flag goes up resolve as errors instead of simulating.
+            let (stats, wall) = if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                (
+                    Err(SweepError::new(&task.cell, CANCELLED_CELL_MESSAGE)),
+                    Duration::ZERO,
+                )
+            } else {
+                exec_cell(&task.cell, &task.cfg)
+            };
+            done(TaskOutcome {
+                index: task.index,
+                cached: false,
+                stats,
+                wall,
+            });
+        });
+        // A panicked job never reached its `done` call; resolve it here so
+        // the executor honours the once-per-task contract.
+        for (task, result) in tasks.iter().zip(results) {
+            if let Err(panic) = result {
+                done(TaskOutcome {
+                    index: task.index,
+                    cached: false,
+                    stats: Err(SweepError::new(&task.cell, panic.to_string())),
+                    wall: Duration::ZERO,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdsim_isa::Ext;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    fn task(index: usize) -> CellTask {
+        let cell = Cell {
+            scenario: "x".to_owned(),
+            workload: crate::scenario::WorkloadRef::Kernel("idct".to_owned()),
+            ext: Ext::Mmx64,
+            way: 2,
+            overrides: crate::scenario::OverrideSet::default(),
+            instr_limit: 200_000,
+        };
+        let cfg = cell.config().expect("paper config");
+        CellTask { index, cell, cfg }
+    }
+
+    #[test]
+    fn local_executor_resolves_every_task_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let seen = Mutex::new(Vec::new());
+        LocalExecutor::new(Some(2)).execute(vec![task(0), task(3), task(5)], None, &|out| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert!(out.stats.is_ok());
+            assert!(!out.cached);
+            seen.lock().expect("lock").push(out.index);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        let mut seen = seen.into_inner().expect("lock");
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn cancelled_tasks_resolve_as_cancelled_errors() {
+        let cancel = AtomicBool::new(true);
+        LocalExecutor::new(Some(1)).execute(vec![task(0)], Some(&cancel), &|out| {
+            let err = out.stats.expect_err("cancelled");
+            assert_eq!(err.message, CANCELLED_CELL_MESSAGE);
+        });
+    }
+}

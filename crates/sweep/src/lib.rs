@@ -42,14 +42,16 @@
 
 pub mod catalog;
 pub mod engine;
+pub mod exec;
 pub mod scenario;
 pub mod scheduler;
 pub mod store;
 
 pub use engine::{
-    run, run_with_progress, CellOutcome, CellStats, EngineOptions, ProgressEvent, SweepError,
-    SweepReport, CANCELLED_CELL_MESSAGE,
+    execute_cell, run, run_with_executor, run_with_progress, CellOutcome, CellStats, EngineOptions,
+    ProgressEvent, SweepError, SweepReport, CANCELLED_CELL_MESSAGE,
 };
+pub use exec::{CellExecutor, CellTask, LocalExecutor, TaskOutcome};
 pub use scenario::{Cell, OverrideSet, Param, Scenario, WorkloadRef, DEFAULT_INSTR_LIMIT};
 pub use scheduler::{default_workers, run_jobs, JobPanic};
 pub use store::{cell_key, fnv1a128, CacheKey, ResultStore, StoredCell, CACHE_SCHEMA_VERSION};

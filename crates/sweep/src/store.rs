@@ -32,6 +32,22 @@ impl CacheKey {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Parses a key from its canonical form: exactly 32 lowercase hex
+    /// digits.  Anything else — the wrong length, uppercase, path
+    /// separators — is rejected, which is what makes snapshot import safe
+    /// against hostile key strings becoming file paths.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() == 32
+            && s.bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            Some(Self(s.to_owned()))
+        } else {
+            None
+        }
+    }
 }
 
 impl std::fmt::Display for CacheKey {
@@ -156,6 +172,47 @@ impl ResultStore {
             let _ = std::fs::remove_file(&tmp);
         }
     }
+
+    /// Every `(key, entry)` pair in the store, sorted by key for a
+    /// deterministic snapshot.  Unreadable or misnamed files are skipped —
+    /// the same degrade-to-miss policy as [`ResultStore::load`].
+    #[must_use]
+    pub fn export(&self) -> Vec<(CacheKey, StoredCell)> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(CacheKey, StoredCell)> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let key = CacheKey::parse(name.strip_suffix(".json")?)?;
+                let cell = self.load(&key)?;
+                Some((key, cell))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        out
+    }
+
+    /// Imports snapshot entries, skipping malformed keys and keys already
+    /// present (an existing entry is authoritative — content addresses
+    /// never change meaning).  Returns `(imported, skipped)` counts.
+    pub fn import<'a>(
+        &self,
+        entries: impl IntoIterator<Item = (&'a str, StoredCell)>,
+    ) -> (usize, usize) {
+        let (mut imported, mut skipped) = (0, 0);
+        for (key, cell) in entries {
+            match CacheKey::parse(key) {
+                Some(k) if self.load(&k).is_none() => {
+                    self.save(&k, &cell);
+                    imported += 1;
+                }
+                _ => skipped += 1,
+            }
+        }
+        (imported, skipped)
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +246,48 @@ mod tests {
         let mut cfg2 = cfg;
         cfg2.lanes += 1;
         assert_ne!(cell_key(&a, &cfg), cell_key(&a, &cfg2));
+    }
+
+    #[test]
+    fn export_import_roundtrip_skips_bad_and_existing_keys() {
+        let base = std::env::temp_dir().join(format!("simdsim-snap-{}", std::process::id()));
+        let src = ResultStore::new(base.join("src"));
+        let dst = ResultStore::new(base.join("dst"));
+        let c = cell();
+        let key = cell_key(&c, &c.config().expect("config"));
+        let stored = StoredCell {
+            label: c.label(),
+            stats: CellStats {
+                cycles: 10,
+                instrs: 20,
+                ipc: 2.0,
+                vector_cycles: 1,
+                scalar_cycles: 9,
+                branches: 3,
+                mispredicts: 1,
+                counts: Default::default(),
+                l1: Default::default(),
+                l2: Default::default(),
+                memsys: Default::default(),
+            },
+        };
+        src.save(&key, &stored);
+        let snap = src.export();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, key);
+
+        let entries: Vec<(&str, StoredCell)> = vec![
+            (key.as_str(), stored.clone()),
+            ("../../../../etc/passwd", stored.clone()),
+            ("ABCDEF", stored.clone()),
+        ];
+        let (imported, skipped) = dst.import(entries.iter().map(|(k, c)| (*k, c.clone())));
+        assert_eq!((imported, skipped), (1, 2));
+        assert_eq!(dst.load(&key).expect("imported"), stored);
+        // Re-import: the existing entry wins, nothing is rewritten.
+        let (imported, skipped) = dst.import([(key.as_str(), stored.clone())]);
+        assert_eq!((imported, skipped), (0, 1));
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -68,6 +68,12 @@ loadgen *ARGS:
 serve-smoke:
     ./scripts/serve-smoke.sh
 
+# The CI fleet smoke: a coordinator plus two sweepctl workers shard fig4;
+# results must be bit-identical to the golden fixture, including after one
+# worker is killed mid-job (its leased cells re-queue and finish elsewhere).
+fleet-smoke:
+    ./scripts/fleet-smoke.sh
+
 # The CI serving-latency gate: fresh self-contained loadgen run compared
 # against the committed BENCH_simdsim.json baseline; fails on a >2x p99
 # regression (submit or complete).

@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Fleet smoke: boot a coordinator plus two sweepctl worker processes,
+# shard a sweep across them, and assert the statistics are bit-identical
+# to the committed single-process golden fixture — then kill one worker
+# mid-job and assert the coordinator re-queues its cells and the final
+# statistics are STILL golden.  Also round-trips a store snapshot through
+# `sweepctl store export`.  Shared by `just fleet-smoke` and the CI
+# `fleet-smoke` job so they cannot drift.
+set -euo pipefail
+
+PORT="${FLEET_SMOKE_PORT:-8952}"
+ADDR="127.0.0.1:${PORT}"
+ROOT="target/fleet-smoke"
+rm -rf "${ROOT}"
+mkdir -p "${ROOT}/coord" "${ROOT}/w1" "${ROOT}/w2"
+
+cargo build --release --locked -p simdsim-serve -p simdsim-client
+
+# Short heartbeat so eviction of the killed worker (3 missed intervals)
+# is fast enough for a smoke test.
+target/release/serve --addr "${ADDR}" --jobs 2 \
+  --cache-dir "${ROOT}/coord" --fleet-heartbeat-ms 200 &
+SERVE_PID=$!
+W1_PID=""
+W2_PID=""
+cleanup() {
+  # Workers first, so they exit before their coordinator disappears.
+  kill ${W1_PID} ${W2_PID} 2>/dev/null || true
+  sleep 0.2
+  kill "${SERVE_PID}" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+SWEEPCTL="target/release/sweepctl --addr ${ADDR}"
+for _ in $(seq 1 40); do
+  ${SWEEPCTL} health >/dev/null 2>&1 && break
+  sleep 0.5
+done
+${SWEEPCTL} health | grep -q 'api v1'
+
+target/release/sweepctl --addr "${ADDR}" --json \
+  worker --name w1 --slots 2 --cache-dir "${ROOT}/w1" --warm-start &
+W1_PID=$!
+target/release/sweepctl --addr "${ADDR}" --json \
+  worker --name w2 --slots 2 --cache-dir "${ROOT}/w2" --warm-start &
+W2_PID=$!
+# Keep bash quiet about the deliberate mid-job SIGKILL of w2 later on.
+disown ${W1_PID} ${W2_PID}
+
+# Both workers must be live before the sweep is submitted, or the
+# coordinator would fall back to in-process execution.
+live_workers() {
+  ${SWEEPCTL} --json fleet status \
+    | python3 -c 'import json,sys; f=json.load(sys.stdin); print(sum(1 for w in f["workers"] if w["live"]))'
+}
+for _ in $(seq 1 40); do
+  [ "$(live_workers)" -ge 2 ] && break
+  sleep 0.5
+done
+[ "$(live_workers)" -ge 2 ] || { echo "fleet never reached 2 live workers"; exit 1; }
+
+# Polls a job to completion, then asserts every cell's statistics are
+# bit-identical to tests/golden/pipestats.json (argv: job id, cell count).
+wait_and_assert_golden() {
+  local job_id=$1 cells=$2 status_file="${ROOT}/status.json"
+  for _ in $(seq 1 600); do
+    ${SWEEPCTL} --json status "${job_id}" > "${status_file}"
+    grep -q '"state":"done"' "${status_file}" && break
+    if grep -qE '"state":"(failed|cancelled)"' "${status_file}"; then
+      echo "job ${job_id} ended abnormally:"; cat "${status_file}"; exit 1
+    fi
+    sleep 0.5
+  done
+  python3 - "${status_file}" "${cells}" <<'EOF'
+import json, sys
+status = json.load(open(sys.argv[1]))
+assert status["state"] == "done", f"job state {status['state']}"
+result = status["result"]
+assert result["failed"] == 0, f"{result['failed']} failed cells"
+cells = result["cells"]
+assert len(cells) == int(sys.argv[2]), f"expected {sys.argv[2]} cells, got {len(cells)}"
+golden = json.load(open("tests/golden/pipestats.json"))
+fields = [("cycles", "cycles"), ("instrs", "instrs"), ("counts", "counts"),
+          ("branches", "branches"), ("mispredicts", "mispredicts"),
+          ("vector_cycles", "vector_region_cycles"),
+          ("scalar_cycles", "scalar_region_cycles"),
+          ("l1", "l1"), ("l2", "l2"), ("memsys", "memsys")]
+for cell in cells:
+    g = golden[cell["label"]]
+    s = cell["stats"]
+    for served, gold in fields:
+        assert s[served] == g[gold], \
+            f"{cell['label']}: sharded `{served}`={s[served]} != golden `{gold}`={g[gold]}"
+print(f"job {status['id']}: {len(cells)} cells bit-identical to the golden fixture")
+EOF
+}
+
+job_id() { python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])'; }
+
+# Phase 1: shard fig4 /idct/ across both workers; statistics must be
+# bit-identical to the single-process golden fixture.
+JOB1=$(${SWEEPCTL} --json submit --scenario fig4 --filter /idct/ | job_id)
+wait_and_assert_golden "${JOB1}" 4
+
+# The workers (not the coordinator) did the simulating.
+${SWEEPCTL} --json fleet status | python3 -c '
+import json, sys
+fleet = json.load(sys.stdin)
+done = sum(w["completed"] for w in fleet["workers"])
+assert done >= 4, f"fleet completed only {done} cells"
+print(f"fleet completed {done} cells across {len(fleet['"'"'workers'"'"'])} workers")'
+
+# Phase 2: workers die mid-job.  Register a wire-level worker that leases
+# a batch of cells and then goes silent forever — a deterministic mid-job
+# death, whatever the cell execution speed — AND kill the real w2 process
+# while the job runs.  The coordinator must evict both, re-queue their
+# cells, and the surviving worker must still finish the job golden.
+BASE="http://${ADDR}"
+DOOMED=$(curl -sf -X POST -d '{"name":"doomed","slots":8}' \
+  "${BASE}/v1/workers/register" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["worker_id"])')
+# Open the lease long-poll BEFORE submitting: the pending poll keeps the
+# doomed worker live (an open poll refreshes liveness) and is granted
+# cells the instant the job's queue fills, so the grant cannot be raced
+# by fast cells or by heartbeat eviction.
+curl -sf -X POST -d '{"max_cells":8,"wait_ms":15000}' \
+  "${BASE}/v1/workers/${DOOMED}/lease" > "${ROOT}/doomed-lease.json" &
+LEASE_CURL=$!
+JOB2=$(${SWEEPCTL} --json submit --scenario fig4 | job_id)
+wait "${LEASE_CURL}"
+LEASED=$(python3 -c 'import json,sys; l=json.load(open(sys.argv[1]))["lease"]; print(len(l["cells"]) if l else 0)' "${ROOT}/doomed-lease.json")
+[ "${LEASED}" -gt 0 ] || { echo "the doomed worker leased no cells"; exit 1; }
+echo "doomed worker ${DOOMED} leased ${LEASED} cell(s) and went silent"
+kill -9 "${W2_PID}"
+W2_PID=""
+echo "killed worker w2 mid-job"
+wait_and_assert_golden "${JOB2}" 44
+
+# The coordinator noticed: both dead workers evicted, and the doomed
+# worker's leased cells re-queued (and completed elsewhere — the job
+# above finished golden).  Eviction fires three heartbeat intervals
+# after the last sign of life, so poll briefly rather than racing it.
+for _ in $(seq 1 40); do
+  METRICS=$(curl -sf "${BASE}/metrics")
+  EVICTED=$(echo "${METRICS}" | sed -n 's/^simdsim_fleet_workers_total{event="evicted"} //p')
+  [ "${EVICTED:-0}" -ge 2 ] && break
+  sleep 0.5
+done
+[ "${EVICTED:-0}" -ge 2 ] || { echo "expected 2 evictions, metrics say ${EVICTED:-0}"; exit 1; }
+REQUEUED=$(echo "${METRICS}" | sed -n 's/^simdsim_fleet_cells_total{event="requeued"} //p')
+[ "${REQUEUED:-0}" -ge "${LEASED}" ] || { echo "only ${REQUEUED:-0} cells re-queued, expected >= ${LEASED}"; exit 1; }
+
+# The coordinator's store now holds every fig4 cell; the snapshot surface
+# must export them all.
+${SWEEPCTL} --json store export | python3 -c '
+import json, sys
+snap = json.load(sys.stdin)
+assert len(snap["entries"]) >= 44, f"snapshot has only {len(snap['"'"'entries'"'"'])} entries"
+print(f"store snapshot: {len(snap['"'"'entries'"'"'])} entries (schema {snap['"'"'schema'"'"']})")'
+
+echo "fleet-smoke ok"
