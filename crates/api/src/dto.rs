@@ -9,7 +9,7 @@
 //! routes alias the v1 handlers byte-compatibly.
 
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
-use simdsim_sweep::{CellOutcome, CellStats, ProgressEvent, Scenario, SweepReport};
+use simdsim_sweep::{CellOutcome, CellPhases, CellStats, ProgressEvent, Scenario, SweepReport};
 
 /// The API version segment every v1 route is mounted under.
 pub const API_BASE: &str = "/v1";
@@ -206,6 +206,11 @@ pub struct CellResult {
     pub stats: Option<CellStats>,
     /// The failure message (`null` when the cell succeeded).
     pub error: Option<String>,
+    /// Wall-clock breakdown of the cell's resolution (probe / decode /
+    /// simulate / store, milliseconds).  Cells streamed while the job
+    /// runs report the phases known so far; `store_ms` lands in the final
+    /// result, once the write-back has happened.
+    pub phases: Option<CellPhases>,
 }
 
 impl CellResult {
@@ -224,6 +229,7 @@ impl CellResult {
             mips,
             stats: ev.stats.clone(),
             error: ev.error.clone(),
+            phases: Some(ev.phases),
         }
     }
 
@@ -237,6 +243,7 @@ impl CellResult {
             mips: o.mips(),
             stats: o.stats.as_ref().ok().cloned(),
             error: o.stats.as_ref().err().map(|e| e.message.clone()),
+            phases: Some(o.phases),
         }
     }
 }
@@ -309,6 +316,10 @@ pub struct SubmitResponse {
     /// `true` when this submission was coalesced onto an identical
     /// already-queued/running job (one engine run, observed by both ids).
     pub deduped: bool,
+    /// The trace id the job is tagged with: the request's
+    /// `X-Simdsim-Trace-Id` header when one was sent, otherwise a
+    /// server-generated id.  Follow it on `GET /v1/debug/events?trace=`.
+    pub trace: Option<String>,
 }
 
 /// One entry of the scenario listing (`GET /v1/scenarios`).

@@ -10,10 +10,11 @@
 //! with exactly the semantics of the in-process engine, and results come
 //! back as the same [`CellStats`] the store caches.
 
+use crate::debug::DebugEvent;
 use crate::dto::{SubmitResponse, SweepRequest};
 use crate::error::ApiError;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
-use simdsim_sweep::{Cell, CellStats};
+use simdsim_sweep::{Cell, CellPhases, CellStats};
 
 /// A worker announcing itself (`POST /v1/workers/register`).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -133,6 +134,12 @@ pub struct LeasedCell {
     pub unit: u64,
     /// The cell to simulate.
     pub cell: Cell,
+    /// The job the unit belongs to, so worker-side spans can name it.
+    pub job: Option<u64>,
+    /// The trace id of the originating submission; the worker tags its
+    /// per-unit spans with it, which is what stitches a distributed sweep
+    /// into one trace.
+    pub trace: Option<String>,
 }
 
 /// A granted work assignment.
@@ -156,7 +163,7 @@ pub struct LeaseResponse {
 
 /// One simulated (or failed, or locally cached) cell coming back from a
 /// worker.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct UnitResult {
     /// The work-unit id from the lease.
     pub unit: u64,
@@ -168,17 +175,90 @@ pub struct UnitResult {
     pub stats: Option<CellStats>,
     /// The failure message (`null` when the cell succeeded).
     pub error: Option<String>,
+    /// The worker-measured breakdown of `wall_ms` (probe / decode /
+    /// simulate / store against the worker's local cache).
+    pub phases: Option<CellPhases>,
+}
+
+// Hand-written: reports are a *request*, so fields added after v1
+// shipped (`phases`) must read as absent rather than erroring — a worker
+// built against the original contract keeps reporting.
+impl Deserialize for UnitResult {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let Value::Object(_) = v else {
+            return Err(SerdeError::invalid("object", "UnitResult"));
+        };
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| SerdeError::new(format!("missing field `{key}` of UnitResult")))
+        };
+        fn opt<T: Deserialize>(v: &Value, key: &str) -> Result<Option<T>, SerdeError> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(val) => Option::from_value(val)
+                    .map_err(|e| SerdeError::new(format!("field `{key}` of UnitResult: {e}"))),
+            }
+        }
+        Ok(Self {
+            unit: u64::from_value(field("unit")?)
+                .map_err(|e| SerdeError::new(format!("field `unit` of UnitResult: {e}")))?,
+            cached: bool::from_value(field("cached")?)
+                .map_err(|e| SerdeError::new(format!("field `cached` of UnitResult: {e}")))?,
+            wall_ms: f64::from_value(field("wall_ms")?)
+                .map_err(|e| SerdeError::new(format!("field `wall_ms` of UnitResult: {e}")))?,
+            stats: opt(v, "stats")?,
+            error: opt(v, "error")?,
+            phases: opt(v, "phases")?,
+        })
+    }
 }
 
 /// A worker reporting lease results (`POST /v1/workers/{id}/report`).
 /// Workers report per cell as soon as it resolves; every report refreshes
 /// the lease, so only a single cell outrunning the TTL risks a re-queue.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ReportRequest {
     /// The lease these results belong to.
     pub lease_id: u64,
     /// The resolved cells.
     pub results: Vec<UnitResult>,
+    /// Worker-side spans for the resolved units (kind `worker.unit`),
+    /// tagged with each unit's originating trace.  The coordinator
+    /// ingests them into its flight recorder, so
+    /// `GET /v1/debug/events?trace=` shows coordinator and worker spans
+    /// side by side.
+    pub spans: Vec<DebugEvent>,
+}
+
+// Hand-written so a report without `spans` (a pre-observability worker,
+// or a minimal curl reproduction) still parses — spans are an additive
+// capability, not an obligation.
+impl Deserialize for ReportRequest {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let Value::Object(_) = v else {
+            return Err(SerdeError::invalid("object", "ReportRequest"));
+        };
+        let lease_id = match v.get("lease_id") {
+            Some(n) => u64::from_value(n)
+                .map_err(|e| SerdeError::new(format!("field `lease_id` of ReportRequest: {e}")))?,
+            None => return Err(SerdeError::new("missing field `lease_id` of ReportRequest")),
+        };
+        let results = match v.get("results") {
+            Some(list) => Vec::from_value(list)
+                .map_err(|e| SerdeError::new(format!("field `results` of ReportRequest: {e}")))?,
+            None => return Err(SerdeError::new("missing field `results` of ReportRequest")),
+        };
+        let spans = match v.get("spans") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(list) => Vec::from_value(list)
+                .map_err(|e| SerdeError::new(format!("field `spans` of ReportRequest: {e}")))?,
+        };
+        Ok(Self {
+            lease_id,
+            results,
+            spans,
+        })
+    }
 }
 
 /// The coordinator's answer to a report.
@@ -325,6 +405,8 @@ mod tests {
                 cells: vec![LeasedCell {
                     unit: 17,
                     cell: cell(),
+                    job: Some(9),
+                    trace: Some("ab".repeat(16)),
                 }],
             }),
         };
@@ -347,11 +429,38 @@ mod tests {
                 wall_ms: 1.5,
                 stats: None,
                 error: Some("boom".to_owned()),
+                phases: Some(CellPhases {
+                    probe_ms: 0.1,
+                    decode_ms: 0.2,
+                    simulate_ms: 1.0,
+                    store_ms: 0.0,
+                }),
+            }],
+            spans: vec![DebugEvent {
+                seq: 0,
+                ts_ms: 1,
+                kind: "worker.unit".to_owned(),
+                trace: Some("ab".repeat(16)),
+                job: Some(9),
+                worker: None,
+                unit: Some(17),
+                dur_ms: Some(1.5),
+                detail: String::new(),
             }],
         };
         let text = serde_json::to_string(&report).expect("serializes");
         let back: ReportRequest = serde_json::from_str(&text).expect("parses");
         assert_eq!(back, report);
+
+        // A pre-observability report — no `spans`, results without
+        // `phases` — must still parse (requests grow compatibly).
+        let sparse: ReportRequest = serde_json::from_str(
+            r#"{"lease_id":3,"results":[{"unit":17,"cached":true,"wall_ms":0.0}]}"#,
+        )
+        .expect("sparse report parses");
+        assert!(sparse.spans.is_empty());
+        assert_eq!(sparse.results[0].phases, None);
+        assert_eq!(sparse.results[0].stats, None);
     }
 
     #[test]
@@ -388,6 +497,7 @@ mod tests {
                         url: "/v1/sweeps/1".to_owned(),
                         state: JobState::Queued,
                         deduped: false,
+                        trace: None,
                     }),
                     error: None,
                 },

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod debug;
 pub mod dto;
 pub mod error;
 pub mod fleet;
@@ -27,6 +28,7 @@ pub mod fleet;
 /// The API version this crate defines.
 pub const API_VERSION: &str = "v1";
 
+pub use debug::{DebugEvent, DebugEvents};
 pub use dto::{
     parse_json, CellResult, CellsPage, Health, JobList, JobState, JobSummary, Progress,
     ScenarioInfo, SubmitResponse, SweepRequest, SweepResult, SweepStatus, API_BASE,
@@ -41,4 +43,5 @@ pub use fleet::{
 
 // Re-exported so API consumers can name the payload types carried by the
 // DTOs without depending on the engine crate directly.
-pub use simdsim_sweep::{Cell, CellStats, Scenario};
+pub use simdsim_obs::TRACE_HEADER;
+pub use simdsim_sweep::{Cell, CellPhases, CellStats, Scenario};

@@ -46,6 +46,7 @@ fn every_route_is_documented() {
         "GET | `/v1/workers`",
         "GET | `/v1/store/snapshot`",
         "PUT | `/v1/store/snapshot`",
+        "GET | `/v1/debug/events",
         "GET | `/metrics`",
     ] {
         assert!(
@@ -79,9 +80,12 @@ fn every_dto_has_a_section() {
         "HeartbeatResponse",
         "LeaseRequest",
         "LeaseResponse",
+        "CellPhases",
         "UnitResult",
         "ReportRequest",
         "ReportResponse",
+        "DebugEvent",
+        "DebugEvents",
         "WorkerInfo",
         "FleetStatus",
         "StoreSnapshotEntry",

@@ -13,8 +13,10 @@
 //! sweeps and streaming each to completion through the `?since=` cursor.
 //! The summary (submit latency = `POST /v1/sweeps` round trip, complete
 //! latency = submit→terminal including queueing and simulation) is
-//! printed and merged into `BENCH_simdsim.json` under the `"loadgen"`
-//! key, where CI compares p99s against the committed baseline.
+//! printed and merged into `BENCH_simdsim.json` — under the `"loadgen"`
+//! key normally, or `"loadgen_fleet"` when `--fleet N` shards cells over
+//! in-process workers — where CI compares p99s against the committed
+//! baseline, one gate per profile.
 
 use serde::{Serialize, Value};
 use simdsim_api::{JobState, SweepRequest};
@@ -35,7 +37,8 @@ options:
   --scenario NAME  scenario to submit (default fig4)
   --filter SUB     cell-label filter sent with each sweep (default /idct/)
   --fleet N        spawn N in-process fleet workers; jobs shard across them
-                   instead of the server's local pool (default 0: no fleet)
+                   instead of the server's local pool (default 0: no fleet);
+                   the summary then lands under the `loadgen_fleet` key
   --out PATH       artifact to merge the summary into (default BENCH_simdsim.json)
   --help           print this help";
 
@@ -323,8 +326,15 @@ fn main_impl(args: &[String]) -> Result<(), String> {
         );
     }
 
-    merge_summary(&cli.out, &summary)?;
-    println!("merged loadgen summary into {}", cli.out);
+    // The fleet profile measures a different path (lease/report over the
+    // wire), so it keeps its own baseline section and its own CI gate.
+    let section = if cli.fleet > 0 {
+        "loadgen_fleet"
+    } else {
+        "loadgen"
+    };
+    merge_summary(&cli.out, section, &summary)?;
+    println!("merged `{section}` summary into {}", cli.out);
 
     for (i, w) in workers.into_iter().enumerate() {
         let stats = w
@@ -344,8 +354,8 @@ fn main_impl(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Upserts the `"loadgen"` key of the (possibly existing) artifact.
-fn merge_summary(path: &str, summary: &LoadgenSummary) -> Result<(), String> {
+/// Upserts one loadgen section of the (possibly existing) artifact.
+fn merge_summary(path: &str, section: &str, summary: &LoadgenSummary) -> Result<(), String> {
     let base = std::fs::read_to_string(path)
         .ok()
         .and_then(|t| serde_json::from_str::<Value>(&t).ok());
@@ -357,9 +367,9 @@ fn merge_summary(path: &str, summary: &LoadgenSummary) -> Result<(), String> {
         )],
     };
     let entry = serde::Serialize::to_value(summary);
-    match pairs.iter_mut().find(|(k, _)| k == "loadgen") {
+    match pairs.iter_mut().find(|(k, _)| k == section) {
         Some((_, v)) => *v = entry,
-        None => pairs.push(("loadgen".to_owned(), entry)),
+        None => pairs.push((section.to_owned(), entry)),
     }
     std::fs::write(
         path,

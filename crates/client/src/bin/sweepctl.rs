@@ -8,6 +8,8 @@
 //! $ sweepctl run --scenario fig4 --filter /idct/     # submit + stream + summary
 //! $ sweepctl stream 3                                # follow an existing job
 //! $ sweepctl status 3
+//! $ sweepctl watch 3                                 # live progress until terminal
+//! $ sweepctl top                                     # live fleet dashboard
 //! $ sweepctl cancel 3
 //! $ sweepctl list
 //! $ sweepctl worker --name w1 --slots 2              # join the fleet
@@ -20,8 +22,9 @@
 //! Exit codes: `0` success, `1` the job failed or was cancelled (for
 //! `submit --batch`: any item rejected), `2` usage/transport/API errors.
 
-use simdsim_api::{CellResult, Scenario, StoreSnapshot, SweepRequest, SweepStatus};
+use simdsim_api::{CellResult, FleetStatus, Scenario, StoreSnapshot, SweepRequest, SweepStatus};
 use simdsim_client::{run_worker, ClientError, SimdsimClient, WorkerConfig};
+use simdsim_obs::quantile_from_buckets;
 use std::sync::atomic::AtomicBool;
 use std::time::Duration;
 
@@ -56,6 +59,8 @@ commands:
   run    [SWEEP OPTIONS]     submit, stream cells as they resolve, summarise
   status ID                  one job's status document (JSON)
   stream ID                  follow a job's per-cell stream to completion
+  watch  ID                  poll a job's progress live until it finishes
+  top                        live fleet dashboard (/metrics + /v1/workers)
   cancel ID                  cancel a queued/running job
   worker [WORKER OPTIONS]    join the daemon's fleet and simulate leased cells
   fleet status               list the fleet: workers, liveness, pending cells
@@ -67,7 +72,7 @@ sweep options:
   --filter SUBSTRING         keep only cells whose label matches
 worker options:
   --name NAME                worker name shown in fleet status (default: worker)
-  --slots N                  concurrent simulation slots (default 1)
+  --slots N                  concurrent simulation slots (default: all cores)
   --cache-dir DIR            local content-addressed store for leased cells
   --warm-start               seed --cache-dir from the server's snapshot
 global options:
@@ -236,11 +241,12 @@ fn main_impl(args: &[String]) -> Result<i32, String> {
                 jline(&sub);
             } else {
                 say(format_args!(
-                    "job {} {} ({}{})",
+                    "job {} {} ({}{}){}",
                     sub.id,
                     sub.url,
                     sub.state,
-                    if sub.deduped { ", deduped" } else { "" }
+                    if sub.deduped { ", deduped" } else { "" },
+                    trace_suffix(sub.trace.as_deref())
                 ));
             }
             Ok(0)
@@ -252,13 +258,14 @@ fn main_impl(args: &[String]) -> Result<i32, String> {
                 jline(&sub);
             } else {
                 esay(format_args!(
-                    "submitted job {}{}",
+                    "submitted job {}{}{}",
                     sub.id,
                     if sub.deduped {
                         " (deduped onto an identical in-flight job)"
                     } else {
                         ""
-                    }
+                    },
+                    trace_suffix(sub.trace.as_deref())
                 ));
             }
             let on_cell = cell_printer(global.json);
@@ -284,6 +291,11 @@ fn main_impl(args: &[String]) -> Result<i32, String> {
             let status = client.stream_cells(id, on_cell).map_err(fail)?;
             Ok(summarise(&status, global.json))
         }
+        "watch" => {
+            let id = parse_id(cmd_args)?;
+            watch_command(&mut client, id, global.json)
+        }
+        "top" => top_command(&mut client, &global),
         "cancel" => {
             let id = parse_id(cmd_args)?;
             let status = client.cancel(id).map_err(fail)?;
@@ -359,6 +371,7 @@ fn run_worker_command(global: &Global, args: &[String]) -> Result<i32, String> {
         timeout: global.timeout,
         ..WorkerConfig::default()
     };
+    let mut slots_set = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -373,11 +386,18 @@ fn run_worker_command(global: &Global, args: &[String]) -> Result<i32, String> {
                 cfg.slots = v
                     .parse()
                     .map_err(|_| format!("--slots expects a number, got `{v}`"))?;
+                slots_set = true;
             }
             "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?.into()),
             "--warm-start" => cfg.warm_start = true,
             flag => return Err(format!("unknown worker option `{flag}`")),
         }
+    }
+    if !slots_set {
+        // One slot per core: a worker's slots are both its concurrency
+        // and its cells-per-lease, so the machine's parallelism is the
+        // right default for a box someone just typed `sweepctl worker` on.
+        cfg.slots = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
     }
     if cfg.warm_start && cfg.cache_dir.is_none() {
         return Err("--warm-start needs --cache-dir".to_owned());
@@ -391,6 +411,215 @@ fn run_worker_command(global: &Global, args: &[String]) -> Result<i32, String> {
     let stop = AtomicBool::new(false);
     run_worker(&cfg, &stop).map_err(|e| e.to_string())?;
     Ok(0)
+}
+
+/// The polling core shared by `watch` and `top`: runs `tick` every
+/// `interval` until it asks to stop (`Ok(false)`) or fails.
+fn poll_loop(
+    interval: Duration,
+    mut tick: impl FnMut() -> Result<bool, String>,
+) -> Result<(), String> {
+    loop {
+        if !tick()? {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// The trailing `  trace=...` of a human submit line (empty when the
+/// server predates trace ids).
+fn trace_suffix(trace: Option<&str>) -> String {
+    trace.map(|t| format!("  trace={t}")).unwrap_or_default()
+}
+
+/// `sweepctl watch ID` — polls the job's status until it reaches a
+/// terminal state.  Human mode rewrites one progress line in place;
+/// `--json` prints one status document per poll, the exact stream a
+/// supervisor would tail.
+fn watch_command(client: &mut SimdsimClient, id: u64, json: bool) -> Result<i32, String> {
+    use std::io::Write as _;
+    let mut last_state = simdsim_api::JobState::Queued;
+    poll_loop(Duration::from_millis(500), || {
+        let status = client.status(id).map_err(|e| e.to_string())?;
+        last_state = status.state;
+        if json {
+            jline(&status);
+        } else {
+            let mut out = std::io::stdout();
+            let _ = write!(
+                out,
+                "\r\x1b[2Kjob {} {:<10} {:>4}/{:<4} cells ({} cached)",
+                status.id,
+                status.state.to_string(),
+                status.progress.completed,
+                status.progress.total,
+                status.progress.cached
+            );
+            let _ = out.flush();
+        }
+        Ok(!status.state.is_terminal())
+    })?;
+    if !json {
+        say(format_args!(""));
+    }
+    Ok(i32::from(last_state != simdsim_api::JobState::Done))
+}
+
+/// One refresh of the `top` dashboard, scraped from `/metrics` and
+/// `GET /v1/workers`.  Latency quantiles come from the Prometheus
+/// histogram buckets, so they match what any other scraper would derive.
+#[derive(serde::Serialize)]
+struct TopSnapshot {
+    queue_depth: u64,
+    pending_cells: u64,
+    workers_live: u64,
+    workers_total: u64,
+    simulated_mips: f64,
+    http_requests: u64,
+    http_p50_ms: f64,
+    http_p99_ms: f64,
+    reports: u64,
+    report_p50_ms: f64,
+    report_p99_ms: f64,
+}
+
+impl TopSnapshot {
+    fn from_scrape(metrics: &str, fleet: &FleetStatus) -> Self {
+        let (http_requests, http_p50_ms, http_p99_ms) =
+            histogram_quantiles(metrics, "simdsim_http_request_duration_ms");
+        let (reports, report_p50_ms, report_p99_ms) =
+            histogram_quantiles(metrics, "simdsim_fleet_report_latency_ms");
+        TopSnapshot {
+            queue_depth: parse_gauge(metrics, "simdsim_queue_depth") as u64,
+            pending_cells: fleet.pending_cells,
+            workers_live: fleet.workers.iter().filter(|w| w.live).count() as u64,
+            workers_total: fleet.workers.len() as u64,
+            simulated_mips: parse_gauge(metrics, "simdsim_simulated_mips"),
+            http_requests,
+            http_p50_ms,
+            http_p99_ms,
+            reports,
+            report_p50_ms,
+            report_p99_ms,
+        }
+    }
+}
+
+/// The first sample of an unlabelled gauge/counter family, 0 when absent.
+fn parse_gauge(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix(name)?
+                .strip_prefix(' ')?
+                .trim()
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0.0)
+}
+
+/// Total count plus (p50, p99) of one Prometheus histogram family,
+/// summing `_bucket` series across label sets (valid because every series
+/// of a family shares the same `le` bounds).
+fn histogram_quantiles(metrics: &str, family: &str) -> (u64, f64, f64) {
+    let prefix = format!("{family}_bucket{{");
+    let mut finite: Vec<(f64, u64)> = Vec::new();
+    let mut inf = 0u64;
+    for line in metrics.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some((labels, value)) = rest.rsplit_once("} ") else {
+            continue;
+        };
+        let Some(le) = labels
+            .split("le=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+        else {
+            continue;
+        };
+        let Ok(count) = value.trim().parse::<u64>() else {
+            continue;
+        };
+        if le == "+Inf" {
+            inf += count;
+        } else if let Ok(bound) = le.parse::<f64>() {
+            match finite.iter_mut().find(|(b, _)| *b == bound) {
+                Some((_, c)) => *c += count,
+                None => finite.push((bound, count)),
+            }
+        }
+    }
+    finite.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite le bounds"));
+    let bounds: Vec<f64> = finite.iter().map(|(b, _)| *b).collect();
+    let mut cumulative: Vec<u64> = finite.iter().map(|(_, c)| *c).collect();
+    cumulative.push(inf);
+    let count = inf;
+    (
+        count,
+        quantile_from_buckets(&bounds, &cumulative, 0.50),
+        quantile_from_buckets(&bounds, &cumulative, 0.99),
+    )
+}
+
+/// `sweepctl top` — a live dashboard over `/metrics` and `/v1/workers`,
+/// redrawn once a second until interrupted.  `--json` prints one
+/// [`TopSnapshot`] per poll instead of drawing.
+fn top_command(client: &mut SimdsimClient, global: &Global) -> Result<i32, String> {
+    poll_loop(Duration::from_millis(1000), || {
+        let fleet = client.fleet_status().map_err(|e| e.to_string())?;
+        let resp = client
+            .http()
+            .get("/metrics")
+            .map_err(|e| format!("scraping /metrics: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("/metrics answered {}", resp.status));
+        }
+        let snap = TopSnapshot::from_scrape(&resp.body_str(), &fleet);
+        if global.json {
+            jline(&snap);
+        } else {
+            render_top(&snap, &fleet, &global.addr);
+        }
+        Ok(true)
+    })?;
+    Ok(0)
+}
+
+/// Clears the terminal and draws one frame of the `top` dashboard.
+fn render_top(snap: &TopSnapshot, fleet: &FleetStatus, addr: &str) {
+    say(format_args!("\x1b[2J\x1b[Hsimdsim top — {addr}"));
+    say(format_args!(
+        "queue depth {:>6}    pending cells {:>6}    simulated {:>9.1} mips",
+        snap.queue_depth, snap.pending_cells, snap.simulated_mips
+    ));
+    say(format_args!(
+        "http   latency  p50 {:>8.2}ms  p99 {:>8.2}ms   over {} requests",
+        snap.http_p50_ms, snap.http_p99_ms, snap.http_requests
+    ));
+    say(format_args!(
+        "report latency  p50 {:>8.2}ms  p99 {:>8.2}ms   over {} reports",
+        snap.report_p50_ms, snap.report_p99_ms, snap.reports
+    ));
+    say(format_args!(
+        "fleet  {}/{} workers live",
+        snap.workers_live, snap.workers_total
+    ));
+    for w in &fleet.workers {
+        say(format_args!(
+            "  #{:<4} {:<16} {:<5} slots {:>2}  leased {:>4}  completed {:>6}  seen {}ms ago",
+            w.id,
+            w.name,
+            if w.live { "live" } else { "dead" },
+            w.slots,
+            w.leased,
+            w.completed,
+            w.last_seen_ms
+        ));
+    }
 }
 
 /// Reads a file argument, with `-` meaning stdin.

@@ -134,9 +134,31 @@ impl HttpClient {
         path: &str,
         body: &str,
     ) -> std::io::Result<HttpResponse> {
+        self.send_json_with_headers(method, path, body, &[])
+    }
+
+    /// [`HttpClient::send_json`] plus extra request headers (name, value).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn send_json_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        let mut extra = String::new();
+        for (name, value) in headers {
+            extra.push_str(name);
+            extra.push_str(": ");
+            extra.push_str(value);
+            extra.push_str("\r\n");
+        }
         write!(
             self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n{extra}\
              Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
             self.host,
             body.len()

@@ -32,11 +32,12 @@ pub mod worker;
 
 use serde::Deserialize;
 use simdsim_api::{
-    ApiError, BatchSubmitResponse, CellResult, CellsPage, FleetStatus, Health, HeartbeatResponse,
-    JobList, LeaseRequest, LeaseResponse, RegisterRequest, RegisterResponse, ReportRequest,
-    ReportResponse, ScenarioInfo, SnapshotImported, StoreSnapshot, SubmitResponse, SweepRequest,
-    SweepStatus, API_BASE, API_VERSION,
+    ApiError, BatchSubmitResponse, CellResult, CellsPage, DebugEvents, FleetStatus, Health,
+    HeartbeatResponse, JobList, LeaseRequest, LeaseResponse, RegisterRequest, RegisterResponse,
+    ReportRequest, ReportResponse, ScenarioInfo, SnapshotImported, StoreSnapshot, SubmitResponse,
+    SweepRequest, SweepStatus, API_BASE, API_VERSION, TRACE_HEADER,
 };
+use simdsim_obs::TraceId;
 use std::net::ToSocketAddrs;
 use std::time::Duration;
 
@@ -184,16 +185,41 @@ impl SimdsimClient {
         Self::decode(&resp, 200)
     }
 
-    /// `POST /v1/sweeps` — submits a sweep.
+    /// `POST /v1/sweeps` — submits a sweep.  A fresh trace id is generated
+    /// and sent in the `X-Simdsim-Trace-Id` header, so the submission and
+    /// everything it fans out into (job execution, fleet leases, worker
+    /// unit spans) share one id in `GET /v1/debug/events`; the id the job
+    /// actually runs under comes back in [`SubmitResponse::trace`]
+    /// (coalesced submissions observe the original job's trace).
     ///
     /// # Errors
     ///
     /// Transport, protocol, or typed API errors ([`simdsim_api::ErrorCode::QueueFull`]
     /// when the server is at capacity).
     pub fn submit(&mut self, request: &SweepRequest) -> Result<SubmitResponse, ClientError> {
+        self.submit_traced(request, &TraceId::generate().to_hex())
+    }
+
+    /// [`SimdsimClient::submit`] under a caller-chosen trace id (32 hex
+    /// chars) — lets a CLI print the id before submitting, or several
+    /// submissions share one trace.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SimdsimClient::submit`].
+    pub fn submit_traced(
+        &mut self,
+        request: &SweepRequest,
+        trace: &str,
+    ) -> Result<SubmitResponse, ClientError> {
         let body = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("request serialization: {e}")))?;
-        let resp = self.http.post(&format!("{API_BASE}/sweeps"), &body)?;
+        let resp = self.http.send_json_with_headers(
+            "POST",
+            &format!("{API_BASE}/sweeps"),
+            &body,
+            &[(TRACE_HEADER, trace)],
+        )?;
         Self::decode(&resp, 202)
     }
 
@@ -439,6 +465,43 @@ impl SimdsimClient {
         let resp = self
             .http
             .put(&format!("{API_BASE}/store/snapshot"), &body)?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `GET /v1/debug/events` — the coordinator's flight recorder,
+    /// filtered by any subset of trace id, job id, worker id, and kind
+    /// prefix (a `None` matches everything).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors.
+    pub fn debug_events(
+        &mut self,
+        trace: Option<&str>,
+        job: Option<u64>,
+        worker: Option<u64>,
+        kind: Option<&str>,
+    ) -> Result<DebugEvents, ClientError> {
+        let mut query = String::new();
+        let mut push = |name: &str, value: String| {
+            query.push(if query.is_empty() { '?' } else { '&' });
+            query.push_str(name);
+            query.push('=');
+            query.push_str(&value);
+        };
+        if let Some(t) = trace {
+            push("trace", t.to_owned());
+        }
+        if let Some(j) = job {
+            push("job", j.to_string());
+        }
+        if let Some(w) = worker {
+            push("worker", w.to_string());
+        }
+        if let Some(k) = kind {
+            push("kind", k.to_owned());
+        }
+        let resp = self.http.get(&format!("{API_BASE}/debug/events{query}"))?;
         Self::decode(&resp, 200)
     }
 

@@ -23,8 +23,10 @@
 
 use crate::{ClientError, SimdsimClient};
 use simdsim_api::{
-    ErrorCode, Lease, LeaseRequest, LeasedCell, RegisterRequest, ReportRequest, UnitResult,
+    CellPhases, DebugEvent, ErrorCode, Lease, LeaseRequest, LeasedCell, RegisterRequest,
+    ReportRequest, UnitResult,
 };
+use simdsim_obs::now_ms;
 use simdsim_sweep::{cell_key, execute_cell, ResultStore, StoredCell};
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -142,9 +144,11 @@ pub fn run_worker(cfg: &WorkerConfig, stop: &AtomicBool) -> Result<WorkerStats, 
                 stats.simulated += 1;
             }
         }
+        let spans = unit_spans(&lease, &results, reg.worker_id);
         let report = ReportRequest {
             lease_id: lease.lease_id,
             results,
+            spans,
         };
         match client.report(reg.worker_id, &report) {
             // Evicted mid-lease: the cells were re-queued (or our late
@@ -161,6 +165,36 @@ pub fn run_worker(cfg: &WorkerConfig, stop: &AtomicBool) -> Result<WorkerStats, 
 fn is_eviction(e: &ClientError) -> bool {
     e.api_error()
         .is_some_and(|err| err.code == ErrorCode::UnknownWorker)
+}
+
+/// One `worker.unit` span per resolved cell, tagged with the lease's
+/// trace/job ids — shipped inside the report so the coordinator's flight
+/// recorder shows the worker's side of the fan-out.
+fn unit_spans(lease: &Lease, results: &[UnitResult], worker: u64) -> Vec<DebugEvent> {
+    results
+        .iter()
+        .map(|r| {
+            let leased = lease.cells.iter().find(|c| c.unit == r.unit);
+            DebugEvent {
+                seq: 0,
+                ts_ms: now_ms(),
+                kind: "worker.unit".to_owned(),
+                trace: leased.and_then(|c| c.trace.clone()),
+                job: leased.and_then(|c| c.job),
+                worker: Some(worker),
+                unit: Some(r.unit),
+                dur_ms: Some(r.wall_ms),
+                detail: match leased {
+                    Some(c) => format!(
+                        "{} {}",
+                        c.cell.label(),
+                        if r.cached { "cached" } else { "simulated" }
+                    ),
+                    None => String::new(),
+                },
+            }
+        })
+        .collect()
 }
 
 /// Simulates every cell of one lease, up to `slots` at a time, while the
@@ -202,8 +236,10 @@ fn execute_lease(
     results
 }
 
-/// Simulates (or loads) one leased cell.
+/// Simulates (or loads) one leased cell, timing each phase: the store
+/// probe, the engine's decode/simulate split, and the store write-back.
 fn execute_one(leased: &LeasedCell, store: Option<&ResultStore>) -> UnitResult {
+    let probe = Instant::now();
     let key = leased
         .cell
         .config()
@@ -217,13 +253,21 @@ fn execute_one(leased: &LeasedCell, store: Option<&ResultStore>) -> UnitResult {
                 wall_ms: 0.0,
                 stats: Some(hit.stats),
                 error: None,
+                phases: Some(CellPhases {
+                    probe_ms: probe.elapsed().as_secs_f64() * 1e3,
+                    ..CellPhases::default()
+                }),
             };
         }
     }
-    let (outcome, wall) = execute_cell(&leased.cell);
-    match outcome {
+    let probe_ms = probe.elapsed().as_secs_f64() * 1e3;
+    let run = execute_cell(&leased.cell);
+    let mut phases = run.phases;
+    phases.probe_ms = probe_ms;
+    match run.stats {
         Ok(stats) => {
             if let (Some(store), Some(key)) = (store, &key) {
+                let write = Instant::now();
                 store.save(
                     key,
                     &StoredCell {
@@ -231,21 +275,24 @@ fn execute_one(leased: &LeasedCell, store: Option<&ResultStore>) -> UnitResult {
                         stats: stats.clone(),
                     },
                 );
+                phases.store_ms = write.elapsed().as_secs_f64() * 1e3;
             }
             UnitResult {
                 unit: leased.unit,
                 cached: false,
-                wall_ms: wall.as_secs_f64() * 1000.0,
+                wall_ms: run.wall.as_secs_f64() * 1000.0,
                 stats: Some(stats),
                 error: None,
+                phases: Some(phases),
             }
         }
         Err(e) => UnitResult {
             unit: leased.unit,
             cached: false,
-            wall_ms: wall.as_secs_f64() * 1000.0,
+            wall_ms: run.wall.as_secs_f64() * 1000.0,
             stats: None,
             error: Some(e.message),
+            phases: Some(phases),
         },
     }
 }

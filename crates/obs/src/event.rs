@@ -1,0 +1,190 @@
+//! The span/event model.
+//!
+//! An [`Event`] is one record in the flight recorder: something that
+//! happened (`kind`), when (`ts_ms`), optionally how long it took
+//! (`dur_ms` — which is what makes it a *span*), and which trace / job /
+//! worker / unit it belongs to.  The optional identity fields are exactly
+//! the axes `/v1/debug/events` filters on.
+
+/// Milliseconds since the Unix epoch, for event timestamps.
+#[must_use]
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// One flight-recorder record: an instantaneous event, or a span when
+/// `dur_ms` is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Recorder-assigned monotonically increasing sequence number.
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch (stamped at record time when 0).
+    pub ts_ms: u64,
+    /// Dotted event kind, e.g. `http.request`, `job.finish`, `lease.report`.
+    pub kind: String,
+    /// The trace this event belongs to (32 hex chars), if any.
+    pub trace: Option<String>,
+    /// The job id this event belongs to, if any.
+    pub job: Option<u64>,
+    /// The fleet worker id this event belongs to, if any.
+    pub worker: Option<u64>,
+    /// The leased unit id this event belongs to, if any.
+    pub unit: Option<u64>,
+    /// Span duration in milliseconds; `None` for instantaneous events.
+    pub dur_ms: Option<f64>,
+    /// Free-form human detail, e.g. `GET /v1/sweeps -> 202`.
+    pub detail: String,
+}
+
+impl Event {
+    /// A new event of the given kind; identity fields attach via the
+    /// `with_*` builders.
+    #[must_use]
+    pub fn new(kind: impl Into<String>) -> Self {
+        Event {
+            seq: 0,
+            ts_ms: 0,
+            kind: kind.into(),
+            trace: None,
+            job: None,
+            worker: None,
+            unit: None,
+            dur_ms: None,
+            detail: String::new(),
+        }
+    }
+
+    /// Attaches a trace id (no-op on `None`, so header plumbing stays terse).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<impl Into<String>>) -> Self {
+        self.trace = trace.map(Into::into);
+        self
+    }
+
+    /// Attaches a job id.
+    #[must_use]
+    pub fn with_job(mut self, job: u64) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// Attaches a fleet worker id.
+    #[must_use]
+    pub fn with_worker(mut self, worker: u64) -> Self {
+        self.worker = Some(worker);
+        self
+    }
+
+    /// Attaches a leased unit id.
+    #[must_use]
+    pub fn with_unit(mut self, unit: u64) -> Self {
+        self.unit = Some(unit);
+        self
+    }
+
+    /// Turns the event into a span of the given duration.
+    #[must_use]
+    pub fn with_dur_ms(mut self, dur_ms: f64) -> Self {
+        self.dur_ms = Some(dur_ms);
+        self
+    }
+
+    /// Attaches free-form detail text.
+    #[must_use]
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+
+    /// Renders the event as one JSON object (one JSONL line, no trailing
+    /// newline).  Absent optional fields are omitted, not `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        push_field(&mut out, "seq", &self.seq.to_string());
+        push_field(&mut out, "ts_ms", &self.ts_ms.to_string());
+        push_str_field(&mut out, "kind", &self.kind);
+        if let Some(trace) = &self.trace {
+            push_str_field(&mut out, "trace", trace);
+        }
+        if let Some(job) = self.job {
+            push_field(&mut out, "job", &job.to_string());
+        }
+        if let Some(worker) = self.worker {
+            push_field(&mut out, "worker", &worker.to_string());
+        }
+        if let Some(unit) = self.unit {
+            push_field(&mut out, "unit", &unit.to_string());
+        }
+        if let Some(dur) = self.dur_ms {
+            push_field(&mut out, "dur_ms", &format!("{dur:.3}"));
+        }
+        if !self.detail.is_empty() {
+            push_str_field(&mut out, "detail", &self.detail);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_field(out: &mut String, key: &str, raw: &str) {
+    if out.len() > 1 {
+        out.push(',');
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(raw);
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    if out.len() > 1 {
+        out.push(',');
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_json_into(out, value);
+    out.push('"');
+}
+
+/// Appends `value` to `out` with JSON string escaping.
+fn escape_json_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_omits_absent_fields_and_escapes_detail() {
+        let ev = Event::new("http.request")
+            .with_trace(Some("ab".repeat(16)))
+            .with_job(7)
+            .with_dur_ms(1.5)
+            .with_detail("GET \"/v1/sweeps\"\n-> 202");
+        let json = ev.to_json();
+        assert!(json.starts_with("{\"seq\":0,\"ts_ms\":0,\"kind\":\"http.request\""));
+        assert!(json.contains("\"job\":7"));
+        assert!(json.contains("\"dur_ms\":1.500"));
+        assert!(json.contains("\\\"/v1/sweeps\\\"\\n-> 202"));
+        assert!(!json.contains("worker"), "absent fields must be omitted");
+        assert!(!json.contains("unit"));
+    }
+}

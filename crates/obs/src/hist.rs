@@ -1,0 +1,235 @@
+//! Log-bucketed latency histograms over relaxed atomics.
+//!
+//! Buckets double from 0.25 ms to ~4 s plus an overflow bucket — wide
+//! enough to cover a sub-millisecond `/healthz` and a multi-second
+//! fleet-sharded sweep in the same family.  Observation is three relaxed
+//! atomic adds (bucket, sum, count); rendering follows the Prometheus
+//! histogram exposition format, where `_bucket{le="x"}` series are
+//! **cumulative** and `le` bounds are inclusive.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The upper bounds (`le`, inclusive) of the finite buckets, in
+/// milliseconds.  The final `+Inf` bucket is implicit.
+pub const BOUNDS_MS: [f64; 15] = [
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+];
+
+const BUCKETS: usize = BOUNDS_MS.len() + 1;
+
+/// A fixed-bucket latency histogram; cheap to observe from any thread.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of observations in microseconds (integer, so it can be atomic).
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+/// The finite bucket index an observation of `ms` falls into, or
+/// `BOUNDS_MS.len()` for the overflow (`+Inf`) bucket.
+#[must_use]
+pub fn bucket_index(ms: f64) -> usize {
+    BOUNDS_MS
+        .iter()
+        .position(|&bound| ms <= bound)
+        .unwrap_or(BOUNDS_MS.len())
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `ms` milliseconds.
+    pub fn observe(&self, ms: f64) {
+        let ms = if ms.is_finite() && ms > 0.0 { ms } else { 0.0 };
+        self.buckets[bucket_index(ms)].fetch_add(1, Ordering::Relaxed);
+        let us = (ms * 1000.0).round();
+        self.sum_us.fetch_add(us as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in milliseconds.
+    #[must_use]
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_us.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// The cumulative per-bucket counts, `+Inf` last (so the final entry
+    /// equals [`Histogram::count`]).
+    #[must_use]
+    pub fn cumulative(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        let mut acc = 0u64;
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            acc += bucket.load(Ordering::Relaxed);
+            *slot = acc;
+        }
+        out
+    }
+
+    /// Appends this histogram's `_bucket`/`_sum`/`_count` series to a
+    /// Prometheus exposition body.  `labels` is the series' own label
+    /// pairs (e.g. `endpoint="submit"`), empty for none; the caller emits
+    /// the family's `# HELP`/`# TYPE` header once.
+    pub fn render_prometheus(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write as _;
+        let le = |bound: &str| {
+            if labels.is_empty() {
+                format!("le=\"{bound}\"")
+            } else {
+                format!("{labels},le=\"{bound}\"")
+            }
+        };
+        let cumulative = self.cumulative();
+        for (bound, cum) in BOUNDS_MS.iter().zip(&cumulative) {
+            let _ = writeln!(out, "{name}_bucket{{{}}} {cum}", le(&trim_float(*bound)));
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{}}} {}",
+            le("+Inf"),
+            cumulative[BUCKETS - 1]
+        );
+        let suffix = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "{name}_sum{suffix} {:.3}", self.sum_ms());
+        let _ = writeln!(out, "{name}_count{suffix} {}", self.count());
+    }
+}
+
+/// Renders a bucket bound the way Prometheus clients expect: no trailing
+/// zeros, no trailing dot (`0.25`, `1`, `4096`).
+fn trim_float(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') {
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    } else {
+        s
+    }
+}
+
+/// Estimates the `q`-quantile (0..=1) from cumulative histogram buckets —
+/// the same linear interpolation Prometheus's `histogram_quantile` uses.
+/// `cumulative` must have one more entry than `bounds` (the `+Inf`
+/// bucket, last).  Observations in the overflow bucket clamp to the
+/// highest finite bound.
+#[must_use]
+pub fn quantile_from_buckets(bounds: &[f64], cumulative: &[u64], q: f64) -> f64 {
+    let total = cumulative.last().copied().unwrap_or(0);
+    if total == 0 || bounds.is_empty() || cumulative.len() != bounds.len() + 1 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let idx = cumulative
+        .iter()
+        .position(|&c| c as f64 >= rank)
+        .unwrap_or(cumulative.len() - 1);
+    if idx >= bounds.len() {
+        return bounds[bounds.len() - 1];
+    }
+    let upper = bounds[idx];
+    let lower = if idx == 0 { 0.0 } else { bounds[idx - 1] };
+    let below = if idx == 0 { 0 } else { cumulative[idx - 1] };
+    let in_bucket = cumulative[idx] - below;
+    if in_bucket == 0 {
+        return upper;
+    }
+    lower + (upper - lower) * ((rank - below as f64) / in_bucket as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_inclusive_and_doubling() {
+        // Exactly on a bound lands in that bucket (`le` is inclusive)...
+        assert_eq!(bucket_index(0.25), 0);
+        assert_eq!(bucket_index(0.5), 1);
+        assert_eq!(bucket_index(4096.0), BOUNDS_MS.len() - 1);
+        // ...just past it spills into the next.
+        assert_eq!(bucket_index(0.2500001), 1);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(4096.1), BOUNDS_MS.len());
+        for pair in BOUNDS_MS.windows(2) {
+            assert_eq!(pair[1], pair[0] * 2.0, "bounds must double");
+        }
+    }
+
+    #[test]
+    fn cumulative_counts_and_sum() {
+        let h = Histogram::new();
+        h.observe(0.1); // bucket 0
+        h.observe(0.3); // bucket 1
+        h.observe(3.0); // le=4
+        h.observe(1e9); // overflow
+        let cum = h.cumulative();
+        assert_eq!(cum[0], 1);
+        assert_eq!(cum[1], 2);
+        assert_eq!(bucket_index(3.0), 4);
+        assert_eq!(cum[4], 3);
+        assert_eq!(cum[BOUNDS_MS.len()], 4, "+Inf bucket counts everything");
+        assert_eq!(h.count(), 4);
+        assert!((h.sum_ms() - (0.1 + 0.3 + 3.0 + 1e9)).abs() < 1.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let h = Histogram::new();
+        h.observe(0.2);
+        h.observe(100.0);
+        let mut out = String::new();
+        h.render_prometheus(&mut out, "simdsim_test_ms", "endpoint=\"submit\"");
+        assert!(out.contains("simdsim_test_ms_bucket{endpoint=\"submit\",le=\"0.25\"} 1\n"));
+        assert!(out.contains("simdsim_test_ms_bucket{endpoint=\"submit\",le=\"128\"} 2\n"));
+        assert!(out.contains("simdsim_test_ms_bucket{endpoint=\"submit\",le=\"+Inf\"} 2\n"));
+        assert!(out.contains("simdsim_test_ms_count{endpoint=\"submit\"} 2\n"));
+        assert!(out.contains("simdsim_test_ms_sum{endpoint=\"submit\"} 100.200\n"));
+        // Unlabelled series carry only the `le` pair and a bare suffix.
+        let mut bare = String::new();
+        h.render_prometheus(&mut bare, "m", "");
+        assert!(bare.contains("m_bucket{le=\"+Inf\"} 2\n"));
+        assert!(bare.contains("m_count 2\n"));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let h = Histogram::new();
+        for i in 0..1000 {
+            h.observe(f64::from(i) * 0.37);
+        }
+        let cum = h.cumulative();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(cum[BOUNDS_MS.len()], 1000);
+    }
+
+    #[test]
+    fn quantile_estimation_brackets_the_truth() {
+        let h = Histogram::new();
+        for i in 1..=100 {
+            h.observe(f64::from(i)); // 1..=100 ms, uniform
+        }
+        let cum = h.cumulative();
+        let p50 = quantile_from_buckets(&BOUNDS_MS, &cum, 0.50);
+        let p99 = quantile_from_buckets(&BOUNDS_MS, &cum, 0.99);
+        // True p50 = 50ms, p99 = 99ms; log buckets bound the error by the
+        // enclosing bucket, so assert bracket membership, not equality.
+        assert!((32.0..=64.0).contains(&p50), "p50 estimate {p50}");
+        assert!((64.0..=128.0).contains(&p99), "p99 estimate {p99}");
+        // An empty histogram yields 0, not NaN.
+        assert_eq!(quantile_from_buckets(&BOUNDS_MS, &[0; 16], 0.99), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Trace identifiers: 128 bits, rendered as 32 lowercase hex characters.
+//!
+//! Generation needs no external randomness source: each id mixes the
+//! process's `RandomState` hash keys (seeded by the OS), the wall clock,
+//! and a process-wide counter, so ids are unique across processes and
+//! across rapid calls within one process.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 128-bit trace id.
+///
+/// The wire form (header value, query parameter, event field) is exactly
+/// 32 lowercase hex characters; [`TraceId::parse`] also accepts uppercase
+/// input and normalises it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u128);
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TraceId {
+    /// Generates a fresh id.
+    #[must_use]
+    pub fn generate() -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos());
+        let word = |salt: u64| {
+            // A fresh RandomState draws new (OS-seeded) SipHash keys, so
+            // two processes started in the same nanosecond still diverge.
+            let mut h = RandomState::new().build_hasher();
+            h.write_u64(salt);
+            h.write_u64(n);
+            h.write_u128(nanos);
+            h.finish()
+        };
+        let id = (u128::from(word(0x9e37_79b9_7f4a_7c15)) << 64) | u128::from(word(0x6a09_e667));
+        // Zero is reserved as "absent"; remap the astronomically unlikely hit.
+        TraceId(if id == 0 { 1 } else { id })
+    }
+
+    /// Parses a 32-hex-char wire form (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16)
+            .ok()
+            .filter(|&v| v != 0)
+            .map(TraceId)
+    }
+
+    /// The canonical wire form: 32 lowercase hex characters.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_are_valid_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let id = TraceId::generate();
+            let hex = id.to_hex();
+            assert_eq!(hex.len(), 32);
+            assert!(hex.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert_eq!(TraceId::parse(&hex), Some(id));
+            assert!(seen.insert(id), "duplicate trace id {hex}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(TraceId::parse("").is_none());
+        assert!(TraceId::parse("abc").is_none());
+        assert!(
+            TraceId::parse(&"0".repeat(32)).is_none(),
+            "zero is reserved"
+        );
+        assert!(TraceId::parse(&"g".repeat(32)).is_none());
+        assert!(TraceId::parse(&"a".repeat(33)).is_none());
+        let upper = "ABCDEF0123456789ABCDEF0123456789";
+        assert_eq!(
+            TraceId::parse(upper).map(|t| t.to_hex()),
+            Some(upper.to_lowercase())
+        );
+    }
+}

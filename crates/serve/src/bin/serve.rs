@@ -41,6 +41,8 @@ options:
   --scenario-file PATH  serve a user scenario from a JSON file (repeatable)
   --fleet-heartbeat-ms N  worker heartbeat cadence; 3 misses evict (default 1000)
   --fleet-lease-ttl-ms N  cell-lease TTL before re-queueing (default 30000)
+  --flight-recorder N   flight-recorder ring capacity in events (default 4096)
+  --log-json            print one JSON access-log line per request to stdout
   --help                print this help";
 
 fn main() {
@@ -84,6 +86,10 @@ fn main_impl(args: &[String]) -> Result<(), String> {
                     "--fleet-lease-ttl-ms",
                 )? as u64);
             }
+            "--flight-recorder" => {
+                cfg.flight_recorder = parse_num(&value("--flight-recorder")?, "--flight-recorder")?;
+            }
+            "--log-json" => cfg.log_json = true,
             "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?.into()),
             "--no-cache" => cfg.cache_dir = None,
             "--scenario-file" => {
@@ -117,6 +123,7 @@ fn main_impl(args: &[String]) -> Result<(), String> {
     println!("  GET    /v1/store/snapshot        — export the result store");
     println!("  PUT    /v1/store/snapshot        — import a result-store snapshot");
     println!("  GET    /v1/healthz               — liveness + API version");
+    println!("  GET    /v1/debug/events          — flight recorder (?trace=&job=&worker=&kind=)");
     println!("  GET    /metrics                  — Prometheus text format");
     println!("  (unversioned paths are deprecated aliases of /v1)");
     // The daemon runs until killed; park this thread forever.

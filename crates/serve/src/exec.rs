@@ -14,10 +14,11 @@ use crate::fleet::{Fleet, FleetExecutor};
 use crate::jobs::{Job, JobQueue, StartOutcome};
 use crate::metrics::Metrics;
 use simdsim_api::SweepResult;
+use simdsim_obs::{Event, FlightRecorder};
 use simdsim_sweep::{run_with_executor, run_with_progress, EngineOptions};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything a job-worker thread needs to execute jobs: the engine
 /// options applied to every run, the service counters, and (optionally)
@@ -32,6 +33,8 @@ pub struct ExecContext {
     /// The worker fleet; `None` (or an empty fleet) means every job runs
     /// in-process.
     pub fleet: Option<Arc<Fleet>>,
+    /// The flight recorder job lifecycle spans land in.
+    pub recorder: Arc<FlightRecorder>,
 }
 
 impl Default for ExecContext {
@@ -40,6 +43,7 @@ impl Default for ExecContext {
             opts: EngineOptions::default(),
             metrics: Arc::new(Metrics::default()),
             fleet: None,
+            recorder: Arc::new(FlightRecorder::new(1024)),
         }
     }
 }
@@ -55,6 +59,13 @@ pub fn run_job(job: &Job, ctx: &ExecContext) {
         }
         StartOutcome::Started => {}
     }
+    let started = Instant::now();
+    ctx.recorder.record(
+        Event::new("job.start")
+            .with_trace(job.trace.clone())
+            .with_job(job.id)
+            .with_detail(job.scenario.name.clone()),
+    );
     let mut opts = ctx.opts.clone().cancel_flag(Arc::clone(&job.cancel));
     if let Some(f) = &job.filter {
         opts = opts.filter(f.clone());
@@ -65,7 +76,8 @@ pub fn run_job(job: &Job, ctx: &ExecContext) {
     // in-process execution inside `FleetExecutor` itself.
     let report = match ctx.fleet.as_ref().filter(|f| f.live_workers() > 0) {
         Some(fleet) => {
-            let executor = FleetExecutor::new(Arc::clone(fleet), ctx.opts.jobs);
+            let executor = FleetExecutor::new(Arc::clone(fleet), ctx.opts.jobs)
+                .for_job(job.id, job.trace.clone());
             run_with_executor(&job.scenario, &opts, &progress, &executor)
         }
         None => run_with_progress(&job.scenario, &opts, &progress),
@@ -94,6 +106,17 @@ pub fn run_job(job: &Job, ctx: &ExecContext) {
         ctx.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
         simdsim_api::JobState::Done
     };
+    ctx.recorder.record(
+        Event::new("job.finish")
+            .with_trace(job.trace.clone())
+            .with_job(job.id)
+            .with_dur_ms(started.elapsed().as_secs_f64() * 1e3)
+            .with_detail(format!(
+                "{state:?} ({} cells, {} cached)",
+                report.outcomes.len(),
+                result.cached
+            )),
+    );
     job.finish(state, report.outcomes.len() as u64, result);
 }
 

@@ -24,6 +24,7 @@ use simdsim_api::{
     LeasedCell, RegisterRequest, RegisterResponse, ReportRequest, ReportResponse, UnitResult,
     WorkerInfo,
 };
+use simdsim_obs::{Event, FlightRecorder};
 use simdsim_sweep::{
     CellExecutor, CellTask, LocalExecutor, SweepError, TaskOutcome, CANCELLED_CELL_MESSAGE,
 };
@@ -87,6 +88,9 @@ struct LeaseState {
     worker: u64,
     units: Vec<u64>,
     expires: Instant,
+    /// When the lease was granted — the grant→report latency observed
+    /// into `simdsim_fleet_report_latency_ms` on the first report.
+    granted: Instant,
 }
 
 /// One `FleetExecutor::execute` call in flight: resolved-but-undrained
@@ -96,6 +100,10 @@ struct BatchState {
     outcomes: Vec<TaskOutcome>,
     open: usize,
     cancelled: bool,
+    /// The job this batch executes, threaded into leases and events.
+    job: Option<u64>,
+    /// The job's trace id, threaded into leases and events.
+    trace: Option<String>,
 }
 
 #[derive(Debug, Default)]
@@ -132,6 +140,7 @@ pub(crate) struct BatchPoll {
 pub struct Fleet {
     cfg: FleetConfig,
     metrics: Arc<Metrics>,
+    recorder: Arc<FlightRecorder>,
     state: Mutex<FleetState>,
     /// Notified when work lands on the queue — what lease long-polls wait
     /// on.
@@ -141,12 +150,14 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// An empty fleet with the given timing contract.
+    /// An empty fleet with the given timing contract, feeding lease and
+    /// worker lifecycle events into `recorder`.
     #[must_use]
-    pub fn new(cfg: FleetConfig, metrics: Arc<Metrics>) -> Self {
+    pub fn new(cfg: FleetConfig, metrics: Arc<Metrics>, recorder: Arc<FlightRecorder>) -> Self {
         Self {
             cfg,
             metrics,
+            recorder,
             state: Mutex::new(FleetState::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -187,6 +198,11 @@ impl Fleet {
         self.metrics
             .fleet_workers_registered
             .fetch_add(1, Ordering::Relaxed);
+        self.recorder.record(
+            Event::new("worker.register")
+                .with_worker(id)
+                .with_detail(format!("{} ({} slots)", req.name, req.slots)),
+        );
         RegisterResponse {
             worker_id: id,
             heartbeat_interval_ms: self.cfg.heartbeat_interval.as_millis() as u64,
@@ -270,9 +286,12 @@ impl Fleet {
             let Some(open) = st.units.get(&unit) else {
                 continue;
             };
+            let batch = st.batches.get(&open.batch);
             cells.push(LeasedCell {
                 unit,
                 cell: open.task.cell.clone(),
+                job: batch.and_then(|b| b.job),
+                trace: batch.and_then(|b| b.trace.clone()),
             });
         }
         if cells.is_empty() {
@@ -283,12 +302,14 @@ impl Fleet {
         for c in &cells {
             st.units.get_mut(&c.unit).expect("leased unit").lease = Some(lease_id);
         }
+        let now = Instant::now();
         st.leases.insert(
             lease_id,
             LeaseState {
                 worker,
                 units: cells.iter().map(|c| c.unit).collect(),
-                expires: Instant::now() + self.cfg.lease_ttl,
+                expires: now + self.cfg.lease_ttl,
+                granted: now,
             },
         );
         let granted = cells.len() as u64;
@@ -298,6 +319,12 @@ impl Fleet {
         self.metrics
             .fleet_leases_granted
             .fetch_add(1, Ordering::Relaxed);
+        let mut grant = Event::new("lease.grant")
+            .with_trace(cells[0].trace.clone())
+            .with_worker(worker)
+            .with_detail(format!("lease {lease_id}: {granted} cells"));
+        grant.job = cells[0].job;
+        self.recorder.record(grant);
         Some(Lease {
             lease_id,
             ttl_ms: self.cfg.lease_ttl.as_millis() as u64,
@@ -319,12 +346,19 @@ impl Fleet {
         if !st.workers.contains_key(&worker) {
             return Err(Self::unknown_worker(worker));
         }
+        // Measure grant→report latency up front: resolving the lease's
+        // final unit removes the lease, so a post-resolve lookup would
+        // miss exactly the reports that complete a lease.
+        let grant_latency = st.leases.get(&req.lease_id).map(|l| l.granted.elapsed());
         let (mut accepted, mut stale) = (0u64, 0u64);
+        let mut trace = None;
         for r in &req.results {
-            if self.resolve_unit_locked(&mut st, r) {
-                accepted += 1;
-            } else {
-                stale += 1;
+            match self.resolve_unit_locked(&mut st, r) {
+                Some(t) => {
+                    accepted += 1;
+                    trace = trace.or(t);
+                }
+                None => stale += 1,
             }
         }
         if let Some(l) = st.leases.get_mut(&req.lease_id) {
@@ -341,18 +375,41 @@ impl Fleet {
         self.metrics
             .fleet_reports_stale
             .fetch_add(stale, Ordering::Relaxed);
+        if let Some(d) = grant_latency {
+            self.metrics.fleet_report_ms.observe(d.as_secs_f64() * 1e3);
+        }
+        // The worker's own per-unit spans (tagged with the originating
+        // trace) land in the coordinator's recorder, so one trace id
+        // shows both sides of the fan-out.
+        for span in &req.spans {
+            let mut ev = span.to_event();
+            if ev.worker.is_none() {
+                ev.worker = Some(worker);
+            }
+            self.recorder.record(ev);
+        }
+        let mut ev = Event::new("lease.report")
+            .with_trace(trace)
+            .with_worker(worker)
+            .with_detail(format!(
+                "lease {}: {accepted} accepted, {stale} stale",
+                req.lease_id
+            ));
+        if let Some(d) = grant_latency {
+            ev = ev.with_dur_ms(d.as_secs_f64() * 1e3);
+        }
+        self.recorder.record(ev);
         if accepted > 0 {
             self.done_cv.notify_all();
         }
         Ok(ReportResponse { accepted, stale })
     }
 
-    /// Resolves one reported unit into its batch; `false` means the unit
-    /// was no longer open (stale).
-    fn resolve_unit_locked(&self, st: &mut FleetState, r: &UnitResult) -> bool {
-        let Some(open) = st.units.remove(&r.unit) else {
-            return false;
-        };
+    /// Resolves one reported unit into its batch.  `None` means the unit
+    /// was no longer open (stale); `Some(trace)` is the accepted unit's
+    /// batch trace, for the caller's `lease.report` event.
+    fn resolve_unit_locked(&self, st: &mut FleetState, r: &UnitResult) -> Option<Option<String>> {
+        let open = st.units.remove(&r.unit)?;
         if let Some(lid) = open.lease {
             if let Some(l) = st.leases.get_mut(&lid) {
                 l.units.retain(|&u| u != r.unit);
@@ -384,12 +441,15 @@ impl Fleet {
             cached: r.cached,
             stats,
             wall,
+            phases: r.phases.unwrap_or_default(),
         };
+        let mut trace = None;
         if let Some(b) = st.batches.get_mut(&open.batch) {
             b.outcomes.push(outcome);
             b.open = b.open.saturating_sub(1);
+            trace = b.trace.clone();
         }
-        true
+        Some(trace)
     }
 
     /// The fleet listing: every registered worker plus the queue depth.
@@ -460,13 +520,22 @@ impl Fleet {
                 .filter(|(_, l)| l.worker == id)
                 .map(|(&lid, _)| lid)
                 .collect();
+            let mut requeued = 0;
             for lid in orphaned {
                 let lease = st.leases.remove(&lid).expect("orphaned lease");
+                requeued += lease.units.len();
                 self.requeue_locked(st, &lease.units);
             }
             self.metrics
                 .fleet_workers_evicted
                 .fetch_add(1, Ordering::Relaxed);
+            self.recorder.record(
+                Event::new("worker.evict")
+                    .with_worker(id)
+                    .with_detail(format!(
+                        "missed {LIVENESS_INTERVALS} heartbeats; {requeued} leased cells requeued"
+                    )),
+            );
         }
         let expired: Vec<u64> = st
             .leases
@@ -483,6 +552,11 @@ impl Fleet {
             self.metrics
                 .fleet_leases_expired
                 .fetch_add(1, Ordering::Relaxed);
+            self.recorder.record(
+                Event::new("lease.expire")
+                    .with_worker(lease.worker)
+                    .with_detail(format!("lease {lid}: {} cells past TTL", lease.units.len())),
+            );
         }
     }
 
@@ -510,6 +584,12 @@ impl Fleet {
                 self.metrics
                     .fleet_cells_requeued
                     .fetch_add(1, Ordering::Relaxed);
+                let b = st.batches.get(&batch);
+                let mut ev = Event::new("cell.requeue")
+                    .with_trace(b.and_then(|b| b.trace.clone()))
+                    .with_unit(u);
+                ev.job = b.and_then(|b| b.job);
+                self.recorder.record(ev);
             }
         }
         if resolved {
@@ -521,8 +601,14 @@ impl Fleet {
     }
 
     /// Opens a batch: queues every task and returns the batch id the
-    /// executor polls.
-    pub(crate) fn open_batch(&self, tasks: Vec<CellTask>) -> u64 {
+    /// executor polls.  `job` and `trace` identify the submitting job and
+    /// ride on every lease and event the batch produces.
+    pub(crate) fn open_batch(
+        &self,
+        tasks: Vec<CellTask>,
+        job: Option<u64>,
+        trace: Option<String>,
+    ) -> u64 {
         let mut st = self.lock();
         st.next_batch += 1;
         let batch = st.next_batch;
@@ -546,6 +632,8 @@ impl Fleet {
                 outcomes: Vec::new(),
                 open,
                 cancelled: false,
+                job,
+                trace,
             },
         );
         drop(st);
@@ -651,6 +739,7 @@ fn cancelled_outcome(task: &CellTask) -> TaskOutcome {
         cached: false,
         stats: Err(SweepError::new(&task.cell, CANCELLED_CELL_MESSAGE)),
         wall: Duration::ZERO,
+        phases: Default::default(),
     }
 }
 
@@ -663,13 +752,31 @@ pub struct FleetExecutor {
     fleet: Arc<Fleet>,
     /// Pool size for the local fallback path.
     local_jobs: Option<usize>,
+    /// The submitting job's id, stamped on leases and fleet events.
+    job: Option<u64>,
+    /// The submitting job's trace id, stamped on leases and fleet events.
+    trace: Option<String>,
 }
 
 impl FleetExecutor {
     /// An executor dispatching onto `fleet`.
     #[must_use]
     pub fn new(fleet: Arc<Fleet>, local_jobs: Option<usize>) -> Self {
-        Self { fleet, local_jobs }
+        Self {
+            fleet,
+            local_jobs,
+            job: None,
+            trace: None,
+        }
+    }
+
+    /// Tags everything this executor dispatches with the submitting job's
+    /// id and trace, so fleet events and worker spans link back to it.
+    #[must_use]
+    pub fn for_job(mut self, job: u64, trace: Option<String>) -> Self {
+        self.job = Some(job);
+        self.trace = trace;
+        self
     }
 }
 
@@ -683,7 +790,7 @@ impl CellExecutor for FleetExecutor {
         if tasks.is_empty() {
             return;
         }
-        let batch = self.fleet.open_batch(tasks);
+        let batch = self.fleet.open_batch(tasks, self.job, self.trace.clone());
         loop {
             let cancelled = cancel.is_some_and(|c| c.load(Ordering::Relaxed));
             let poll = self.fleet.poll_batch(batch, cancelled);
@@ -751,6 +858,7 @@ mod tests {
                 max_lease_cells: 8,
             },
             Arc::new(Metrics::default()),
+            Arc::new(FlightRecorder::new(256)),
         )
     }
 
@@ -761,7 +869,7 @@ mod tests {
         assert_eq!(reg.worker_id, 1);
         assert_eq!(fleet.live_workers(), 1);
 
-        let batch = fleet.open_batch(vec![task(0), task(1)]);
+        let batch = fleet.open_batch(vec![task(0), task(1)], None, None);
         assert_eq!(fleet.pending_cells(), 2);
         let lease = fleet
             .lease(
@@ -787,6 +895,7 @@ mod tests {
                 wall_ms: 1.0,
                 stats: Some(fake_stats()),
                 error: None,
+                phases: None,
             })
             .collect();
         let resp = fleet
@@ -795,6 +904,7 @@ mod tests {
                 &ReportRequest {
                     lease_id: lease.lease_id,
                     results: results.clone(),
+                    spans: Vec::new(),
                 },
             )
             .expect("known worker");
@@ -807,6 +917,7 @@ mod tests {
                 &ReportRequest {
                     lease_id: lease.lease_id,
                     results,
+                    spans: Vec::new(),
                 },
             )
             .expect("known worker");
@@ -825,7 +936,7 @@ mod tests {
     fn expired_leases_requeue_and_late_reports_go_stale() {
         let fleet = fast_fleet(10_000, 30);
         let reg = fleet.register(&RegisterRequest::default());
-        let _batch = fleet.open_batch(vec![task(0)]);
+        let _batch = fleet.open_batch(vec![task(0)], None, None);
         let lease = fleet
             .lease(reg.worker_id, &LeaseRequest::default())
             .expect("known worker")
@@ -850,7 +961,9 @@ mod tests {
                         wall_ms: 1.0,
                         stats: Some(fake_stats()),
                         error: None,
+                        phases: None,
                     }],
+                    spans: Vec::new(),
                 },
             )
             .expect("worker still live");
@@ -862,7 +975,7 @@ mod tests {
     fn dead_workers_are_evicted_and_their_cells_requeued() {
         let fleet = fast_fleet(10, 60_000);
         let reg = fleet.register(&RegisterRequest::default());
-        let _batch = fleet.open_batch(vec![task(0), task(1)]);
+        let _batch = fleet.open_batch(vec![task(0), task(1)], None, None);
         let lease = fleet
             .lease(
                 reg.worker_id,
@@ -926,7 +1039,7 @@ mod tests {
                     .expect("registered");
                 let Some(lease) = resp.lease else { continue };
                 for c in &lease.cells {
-                    let (stats, wall) = execute_cell(&c.cell);
+                    let run = execute_cell(&c.cell);
                     let _ = worker_fleet.report(
                         reg.worker_id,
                         &ReportRequest {
@@ -934,10 +1047,12 @@ mod tests {
                             results: vec![UnitResult {
                                 unit: c.unit,
                                 cached: false,
-                                wall_ms: wall.as_secs_f64() * 1e3,
-                                stats: stats.as_ref().ok().cloned(),
-                                error: stats.as_ref().err().map(|e| e.message.clone()),
+                                wall_ms: run.wall.as_secs_f64() * 1e3,
+                                stats: run.stats.as_ref().ok().cloned(),
+                                error: run.stats.as_ref().err().map(|e| e.message.clone()),
+                                phases: Some(run.phases),
                             }],
+                            spans: Vec::new(),
                         },
                     );
                 }

@@ -72,6 +72,11 @@ pub struct Job {
     pub scenario: Scenario,
     /// Optional label filter.
     pub filter: Option<String>,
+    /// The trace id this job's lifecycle events are recorded under
+    /// (client-provided via `X-Simdsim-Trace-Id` or server-generated at
+    /// submission).  Coalesced submissions observe the original job's
+    /// trace.
+    pub trace: Option<String>,
     /// Cooperative cancellation flag, shared with the engine run.
     pub cancel: Arc<AtomicBool>,
     /// Fingerprint of (scenario, filter) used for coalescing.
@@ -364,6 +369,7 @@ impl JobQueue {
         &self,
         scenario: Scenario,
         filter: Option<String>,
+        trace: Option<String>,
     ) -> Result<Submission, QueueFull> {
         let key = coalesce_key(&scenario, filter.as_deref());
         let mut st = self.state.lock().expect("queue lock");
@@ -403,6 +409,7 @@ impl JobQueue {
             id: st.next_id,
             scenario,
             filter,
+            trace,
             cancel: Arc::new(AtomicBool::new(false)),
             coalesce_key: key,
             inner: Mutex::new(JobInner {
@@ -610,24 +617,26 @@ mod tests {
     #[test]
     fn capacity_is_enforced_and_ids_are_monotonic() {
         let q = JobQueue::new(2);
-        let a = q.submit(distinct_scenario("a"), None).expect("fits");
-        let b = q.submit(distinct_scenario("b"), None).expect("fits");
+        let a = q.submit(distinct_scenario("a"), None, None).expect("fits");
+        let b = q.submit(distinct_scenario("b"), None, None).expect("fits");
         assert!(b.id > a.id);
-        let err = q.submit(distinct_scenario("c"), None).expect_err("full");
+        let err = q
+            .submit(distinct_scenario("c"), None, None)
+            .expect_err("full");
         assert_eq!(err.capacity, 2);
         assert_eq!(q.depth(), 2);
         // Draining makes room again.
         assert_eq!(q.pop_blocking().expect("job").id, a.id);
-        q.submit(distinct_scenario("d"), None)
+        q.submit(distinct_scenario("d"), None, None)
             .expect("fits after pop");
     }
 
     #[test]
     fn identical_queued_submissions_coalesce_onto_one_job() {
         let q = JobQueue::new(8);
-        let first = q.submit(tiny_scenario(), None).expect("fits");
+        let first = q.submit(tiny_scenario(), None, None).expect("fits");
         assert!(!first.deduped);
-        let dup = q.submit(tiny_scenario(), None).expect("fits");
+        let dup = q.submit(tiny_scenario(), None, None).expect("fits");
         assert!(dup.deduped);
         assert!(dup.id > first.id);
         assert!(Arc::ptr_eq(&dup.job, &first.job));
@@ -638,20 +647,20 @@ mod tests {
 
         // A different filter is a different submission.
         let other = q
-            .submit(tiny_scenario(), Some("/idct/".to_owned()))
+            .submit(tiny_scenario(), Some("/idct/".to_owned()), None)
             .expect("fits");
         assert!(!other.deduped);
 
         // Once the job finishes, identical submissions queue a fresh run.
         run_job(&q.pop_blocking().expect("job"), &ExecContext::default());
-        let fresh = q.submit(tiny_scenario(), None).expect("fits");
+        let fresh = q.submit(tiny_scenario(), None, None).expect("fits");
         assert!(!fresh.deduped);
     }
 
     #[test]
     fn jobs_stay_addressable_after_finishing() {
         let q = JobQueue::new(8);
-        let sub = q.submit(tiny_scenario(), None).expect("fits");
+        let sub = q.submit(tiny_scenario(), None, None).expect("fits");
         let popped = q.pop_blocking().expect("job");
         run_job(&popped, &ExecContext::default());
         let fetched = q.get(sub.id).expect("retained");
@@ -673,12 +682,12 @@ mod tests {
         let ctx = ExecContext::default();
         let mut ids = Vec::new();
         for tag in ["a", "b", "c", "d"] {
-            let sub = q.submit(distinct_scenario(tag), None).expect("fits");
+            let sub = q.submit(distinct_scenario(tag), None, None).expect("fits");
             ids.push(sub.id);
             run_job(&q.pop_blocking().expect("job"), &ctx);
         }
         // The eviction runs on submit; push one more to trigger it.
-        let live = q.submit(distinct_scenario("e"), None).expect("fits");
+        let live = q.submit(distinct_scenario("e"), None, None).expect("fits");
         assert!(q.get(ids[0]).is_none(), "oldest finished job evicted");
         assert!(q.get(ids[1]).is_none(), "second-oldest evicted");
         assert!(q.get(ids[2]).is_some());
@@ -695,17 +704,21 @@ mod tests {
                 ttl: Some(Duration::ZERO),
             },
         );
-        let sub = q.submit(distinct_scenario("old"), None).expect("fits");
+        let sub = q
+            .submit(distinct_scenario("old"), None, None)
+            .expect("fits");
         run_job(&q.pop_blocking().expect("job"), &ExecContext::default());
         std::thread::sleep(Duration::from_millis(5));
-        let _ = q.submit(distinct_scenario("new"), None).expect("fits");
+        let _ = q
+            .submit(distinct_scenario("new"), None, None)
+            .expect("fits");
         assert!(q.get(sub.id).is_none(), "expired job evicted");
     }
 
     #[test]
     fn cancelling_a_queued_job_drops_it_before_it_runs() {
         let q = JobQueue::new(8);
-        let sub = q.submit(distinct_scenario("x"), None).expect("fits");
+        let sub = q.submit(distinct_scenario("x"), None, None).expect("fits");
         let (job, outcome) = q.cancel(sub.id).expect("known id");
         assert_eq!(outcome, CancelOutcome::Cancelled);
         assert_eq!(job.state(), JobState::Cancelled);
@@ -721,8 +734,8 @@ mod tests {
     #[test]
     fn cancelling_an_alias_detaches_without_stopping_the_shared_run() {
         let q = JobQueue::new(8);
-        let first = q.submit(tiny_scenario(), None).expect("fits");
-        let dup = q.submit(tiny_scenario(), None).expect("fits");
+        let first = q.submit(tiny_scenario(), None, None).expect("fits");
+        let dup = q.submit(tiny_scenario(), None, None).expect("fits");
         assert!(dup.deduped);
 
         // The duplicate bows out: its id reads cancelled, the shared run
@@ -753,8 +766,12 @@ mod tests {
         assert!(alias.result.is_none());
 
         // Cancelling the last live id stops the run itself.
-        let solo = q.submit(distinct_scenario("solo"), None).expect("fits");
-        let also = q.submit(distinct_scenario("solo"), None).expect("fits");
+        let solo = q
+            .submit(distinct_scenario("solo"), None, None)
+            .expect("fits");
+        let also = q
+            .submit(distinct_scenario("solo"), None, None)
+            .expect("fits");
         assert!(also.deduped);
         let (_, outcome) = q.cancel(solo.id).expect("detach first");
         assert_eq!(outcome, CancelOutcome::Cancelled);
@@ -782,7 +799,7 @@ mod tests {
             .exts([simdsim_isa::Ext::Mmx64])
             .ways([2]);
         let q = JobQueue::new(1);
-        let sub = q.submit(scenario, None).expect("fits");
+        let sub = q.submit(scenario, None, None).expect("fits");
         let ctx = ExecContext::default();
         run_job(&q.pop_blocking().expect("job"), &ctx);
         assert_eq!(sub.job.state(), JobState::Failed);
@@ -804,7 +821,7 @@ mod tests {
     #[test]
     fn cells_page_beyond_the_end_is_empty_not_an_error() {
         let q = JobQueue::new(1);
-        let sub = q.submit(tiny_scenario(), None).expect("fits");
+        let sub = q.submit(tiny_scenario(), None, None).expect("fits");
         run_job(&q.pop_blocking().expect("job"), &ExecContext::default());
         let page = sub.job.cells_page(sub.id, 999, Duration::ZERO);
         assert!(page.cells.is_empty());

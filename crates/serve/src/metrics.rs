@@ -1,12 +1,67 @@
-//! Service counters and their Prometheus text rendering.
+//! Service counters, latency histograms, and their Prometheus text
+//! rendering.
 //!
 //! All counters are relaxed atomics — they are monotonic tallies scraped
 //! for observability, not synchronisation points — so the request and
-//! worker paths pay one uncontended atomic add per event.
+//! worker paths pay one uncontended atomic add per event.  Latencies use
+//! the log-bucketed [`Histogram`] from `simdsim-obs` (three relaxed adds
+//! per observation), rendered in the Prometheus histogram exposition
+//! format with one `endpoint` label per request family.
 
 use serde::Serialize;
+use simdsim_obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// The endpoint families latency histograms are kept for, in label order.
+/// [`endpoint_index`] maps a request onto this table.
+pub const HTTP_ENDPOINTS: [&str; 10] = [
+    "healthz",
+    "scenarios",
+    "sweep_submit",
+    "sweep_status",
+    "sweep_list",
+    "sweep_cells",
+    "sweep_cancel",
+    "metrics",
+    "fleet",
+    "debug",
+];
+
+/// The [`HTTP_ENDPOINTS`] index a request belongs to, from its method and
+/// (version-stripped or full) path.  Unknown routes count under the
+/// family their prefix suggests, so 404s still land somewhere sensible.
+#[must_use]
+pub fn endpoint_index(method: &str, path: &str) -> usize {
+    let path = path.strip_prefix("/v1").unwrap_or(path);
+    let path = if path.is_empty() { "/" } else { path };
+    match (method, path) {
+        (_, "/healthz") => 0,
+        (_, "/scenarios") => 1,
+        ("POST", "/sweeps" | "/sweeps:batch") => 2,
+        ("GET", p) if p.starts_with("/sweeps/") && p.ends_with("/cells") => 5,
+        ("GET", p) if p.starts_with("/sweeps/") => 3,
+        ("GET", "/sweeps") => 4,
+        ("DELETE", p) if p.starts_with("/sweeps/") => 6,
+        (_, "/metrics") => 7,
+        (_, p) if p.starts_with("/workers") || p.starts_with("/store/") => 8,
+        (_, p) if p.starts_with("/debug/") => 9,
+        // Everything else (404s, method probes) is closest to a status
+        // poll in cost; attribute it to the catch-all fleet family.
+        _ => 8,
+    }
+}
+
+/// The gauge values a [`MetricsSnapshot`] cannot derive from the counter
+/// block — the caller samples them at snapshot time.  A typed struct so
+/// forgetting one is a compile error, not a silent zero on `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Fleet workers currently within their liveness contract.
+    pub fleet_workers_live: u64,
+    /// Cells queued for fleet dispatch and not currently leased.
+    pub fleet_pending_cells: u64,
+}
 
 /// Shared counter block, updated by connection handlers and job workers.
 #[derive(Debug, Default)]
@@ -29,6 +84,8 @@ pub struct Metrics {
     pub requests_metrics: AtomicU64,
     /// Fleet-surface requests (`/workers/*`, `/store/snapshot`).
     pub requests_fleet: AtomicU64,
+    /// `GET /debug/events` (flight-recorder) requests.
+    pub requests_debug: AtomicU64,
     /// Requests answered with 4xx/5xx.
     pub requests_errors: AtomicU64,
     /// Jobs accepted onto the queue.
@@ -66,6 +123,10 @@ pub struct Metrics {
     pub fleet_reports_stale: AtomicU64,
     /// Cells put back on the queue after a lease expiry or eviction.
     pub fleet_cells_requeued: AtomicU64,
+    /// Request latency per endpoint family, indexed by [`HTTP_ENDPOINTS`].
+    pub http_ms: [Histogram; HTTP_ENDPOINTS.len()],
+    /// Lease-grant→report latency per accepted fleet unit.
+    pub fleet_report_ms: Histogram,
 }
 
 /// A point-in-time copy of every counter, plus the queue depth sampled at
@@ -91,6 +152,8 @@ pub struct MetricsSnapshot {
     pub requests_metrics: u64,
     /// Fleet-surface requests (`/workers/*`, `/store/snapshot`).
     pub requests_fleet: u64,
+    /// `GET /debug/events` (flight-recorder) requests.
+    pub requests_debug: u64,
     /// Requests answered with 4xx/5xx.
     pub requests_errors: u64,
     /// Jobs accepted onto the queue.
@@ -129,10 +192,9 @@ pub struct MetricsSnapshot {
     pub fleet_reports_stale: u64,
     /// Cells re-queued after a lease expiry or eviction.
     pub fleet_cells_requeued: u64,
-    /// Live fleet workers at snapshot time (gauge, sampled by caller).
+    /// Live fleet workers at snapshot time (gauge, from [`Gauges`]).
     pub fleet_workers_live: u64,
-    /// Cells awaiting dispatch at snapshot time (gauge, sampled by
-    /// caller).
+    /// Cells awaiting dispatch at snapshot time (gauge, from [`Gauges`]).
     pub fleet_pending_cells: u64,
 }
 
@@ -172,6 +234,7 @@ impl MetricsSnapshot {
             + self.requests_cancel
             + self.requests_metrics
             + self.requests_fleet
+            + self.requests_debug
     }
 }
 
@@ -187,9 +250,18 @@ impl Metrics {
             .fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
     }
 
-    /// Copies every counter, with `queue_depth` sampled by the caller.
+    /// Records one request's latency under its endpoint family (an index
+    /// from [`endpoint_index`]).
+    pub fn observe_http(&self, endpoint: usize, ms: f64) {
+        self.http_ms[endpoint.min(HTTP_ENDPOINTS.len() - 1)].observe(ms);
+    }
+
+    /// Copies every counter.  `queue_depth` and the fleet gauges cannot
+    /// be derived from the counter block, so the caller samples them —
+    /// the typed [`Gauges`] argument exists because an earlier snapshot
+    /// API silently defaulted them to zero and `/metrics` lied.
     #[must_use]
-    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+    pub fn snapshot(&self, queue_depth: usize, gauges: Gauges) -> MetricsSnapshot {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         MetricsSnapshot {
             requests_healthz: get(&self.requests_healthz),
@@ -201,6 +273,7 @@ impl Metrics {
             requests_cancel: get(&self.requests_cancel),
             requests_metrics: get(&self.requests_metrics),
             requests_fleet: get(&self.requests_fleet),
+            requests_debug: get(&self.requests_debug),
             requests_errors: get(&self.requests_errors),
             jobs_submitted: get(&self.jobs_submitted),
             jobs_coalesced: get(&self.jobs_coalesced),
@@ -220,9 +293,36 @@ impl Metrics {
             fleet_cells_reported: get(&self.fleet_cells_reported),
             fleet_reports_stale: get(&self.fleet_reports_stale),
             fleet_cells_requeued: get(&self.fleet_cells_requeued),
-            fleet_workers_live: 0,
-            fleet_pending_cells: 0,
+            fleet_workers_live: gauges.fleet_workers_live,
+            fleet_pending_cells: gauges.fleet_pending_cells,
         }
+    }
+
+    /// Appends every latency-histogram family to a Prometheus exposition
+    /// body (the counters render separately via [`render_prometheus`],
+    /// which works from a copyable snapshot; histograms render straight
+    /// off the atomics).
+    pub fn render_histograms(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "# HELP simdsim_http_request_duration_ms Request latency by endpoint family."
+        );
+        let _ = writeln!(out, "# TYPE simdsim_http_request_duration_ms histogram");
+        for (name, hist) in HTTP_ENDPOINTS.iter().zip(&self.http_ms) {
+            hist.render_prometheus(
+                out,
+                "simdsim_http_request_duration_ms",
+                &format!("endpoint=\"{name}\""),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP simdsim_fleet_report_latency_ms Lease-grant to report latency per accepted unit."
+        );
+        let _ = writeln!(out, "# TYPE simdsim_fleet_report_latency_ms histogram");
+        self.fleet_report_ms
+            .render_prometheus(out, "simdsim_fleet_report_latency_ms", "");
     }
 }
 
@@ -255,6 +355,7 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
             ("endpoint=\"sweep_cancel\"", s.requests_cancel),
             ("endpoint=\"metrics\"", s.requests_metrics),
             ("endpoint=\"fleet\"", s.requests_fleet),
+            ("endpoint=\"debug\"", s.requests_debug),
         ],
     );
     counter(
@@ -362,7 +463,13 @@ mod tests {
         m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
         m.fleet_workers_registered.fetch_add(1, Ordering::Relaxed);
         m.record_job(5, 7, 1_000_000, Duration::from_millis(250));
-        let s = m.snapshot(4);
+        let s = m.snapshot(
+            4,
+            Gauges {
+                fleet_workers_live: 1,
+                fleet_pending_cells: 3,
+            },
+        );
         assert_eq!(s.queue_depth, 4);
         assert_eq!(s.cells_cached, 5);
         assert!((s.cache_hit_ratio() - 5.0 / 12.0).abs() < 1e-12);
@@ -379,8 +486,8 @@ mod tests {
             "simdsim_simulated_instructions_total 1000000",
             "simdsim_fleet_workers_total{event=\"registered\"} 1",
             "simdsim_fleet_cells_total{event=\"requeued\"} 0",
-            "simdsim_fleet_workers_live 0",
-            "simdsim_fleet_pending_cells 0",
+            "simdsim_fleet_workers_live 1",
+            "simdsim_fleet_pending_cells 3",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
@@ -388,9 +495,55 @@ mod tests {
 
     #[test]
     fn ratios_are_zero_before_any_work() {
-        let s = Metrics::default().snapshot(0);
+        let s = Metrics::default().snapshot(0, Gauges::default());
         assert_eq!(s.cache_hit_ratio(), 0.0);
         assert_eq!(s.simulated_mips(), 0.0);
         assert_eq!(s.requests_total(), 0);
+    }
+
+    #[test]
+    fn endpoint_classification_matches_the_router() {
+        for (method, path, want) in [
+            ("GET", "/v1/healthz", "healthz"),
+            ("GET", "/healthz", "healthz"),
+            ("POST", "/v1/sweeps", "sweep_submit"),
+            ("POST", "/v1/sweeps:batch", "sweep_submit"),
+            ("GET", "/v1/sweeps", "sweep_list"),
+            ("GET", "/v1/sweeps/7", "sweep_status"),
+            ("GET", "/v1/sweeps/7/cells", "sweep_cells"),
+            ("DELETE", "/v1/sweeps/7", "sweep_cancel"),
+            ("GET", "/metrics", "metrics"),
+            ("POST", "/v1/workers/3/lease", "fleet"),
+            ("PUT", "/v1/store/snapshot", "fleet"),
+            ("GET", "/v1/debug/events", "debug"),
+            ("GET", "/no/such/route", "fleet"),
+        ] {
+            assert_eq!(
+                HTTP_ENDPOINTS[endpoint_index(method, path)],
+                want,
+                "{method} {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histograms_render_as_prometheus_histogram_families() {
+        let m = Metrics::default();
+        m.observe_http(endpoint_index("POST", "/v1/sweeps"), 3.0);
+        m.observe_http(endpoint_index("GET", "/v1/healthz"), 0.1);
+        m.fleet_report_ms.observe(42.0);
+        let mut text = String::new();
+        m.render_histograms(&mut text);
+        for needle in [
+            "# TYPE simdsim_http_request_duration_ms histogram",
+            "simdsim_http_request_duration_ms_bucket{endpoint=\"sweep_submit\",le=\"4\"} 1",
+            "simdsim_http_request_duration_ms_bucket{endpoint=\"sweep_submit\",le=\"+Inf\"} 1",
+            "simdsim_http_request_duration_ms_count{endpoint=\"healthz\"} 1",
+            "# TYPE simdsim_fleet_report_latency_ms histogram",
+            "simdsim_fleet_report_latency_ms_bucket{le=\"64\"} 1",
+            "simdsim_fleet_report_latency_ms_count 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 }

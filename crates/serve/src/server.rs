@@ -20,6 +20,7 @@
 //! | `/v1/workers` | GET | [`simdsim_api::FleetStatus`]: fleet listing + queue depth |
 //! | `/v1/store/snapshot` | GET | [`StoreSnapshot`]: the shared result cache |
 //! | `/v1/store/snapshot` | PUT | import a snapshot → [`SnapshotImported`] |
+//! | `/v1/debug/events` | GET | [`DebugEvents`]: the flight recorder, filterable |
 //! | `/metrics` | GET | Prometheus text format (unversioned by convention) |
 //!
 //! Every pre-v1 unversioned route (`/healthz`, `/scenarios`, `/sweeps`,
@@ -32,19 +33,21 @@ use crate::exec::{spawn_workers, ExecContext};
 use crate::fleet::{Fleet, FleetConfig};
 use crate::http::{parse_request, write_response, Request, Response};
 use crate::jobs::{CancelOutcome, JobQueue, RetentionPolicy};
-use crate::metrics::{render_prometheus, Metrics};
+use crate::metrics::{endpoint_index, render_prometheus, Gauges, Metrics};
 use simdsim_api::{
-    ApiError, BatchSubmitItem, BatchSubmitRequest, BatchSubmitResponse, CellsPage, ErrorCode,
-    Health, JobList, LeaseRequest, RegisterRequest, ReportRequest, ScenarioInfo, SnapshotImported,
-    StoreSnapshot, StoreSnapshotEntry, SubmitResponse, SweepRequest,
+    ApiError, BatchSubmitItem, BatchSubmitRequest, BatchSubmitResponse, CellsPage, DebugEvent,
+    DebugEvents, ErrorCode, Health, JobList, LeaseRequest, RegisterRequest, ReportRequest,
+    ScenarioInfo, SnapshotImported, StoreSnapshot, StoreSnapshotEntry, SubmitResponse,
+    SweepRequest,
 };
+use simdsim_obs::{Event, EventFilter, FlightRecorder, TraceId, TRACE_HEADER};
 use simdsim_sweep::{EngineOptions, ResultStore, Scenario, StoredCell, CACHE_SCHEMA_VERSION};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default long-poll hold of `GET /v1/sweeps/{id}/cells` when the cursor
 /// is at the stream's end and the job is still running.
@@ -58,6 +61,10 @@ const MAX_CELLS_WAIT: Duration = Duration::from_millis(20_000);
 /// The `Sunset` date advertised on deprecated unversioned aliases (see
 /// the README's deprecation timeline).
 const LEGACY_SUNSET: &str = "Fri, 01 Jan 2027 00:00:00 GMT";
+
+/// Events answered by `GET /v1/debug/events` when the client sends no
+/// `limit` — newest kept, so a default query is always bounded.
+const DEFAULT_DEBUG_LIMIT: usize = 512;
 
 /// How the daemon is wired; every knob has a serving-appropriate default.
 #[derive(Debug, Clone)]
@@ -88,6 +95,11 @@ pub struct ServerConfig {
     pub job_ttl: Option<Duration>,
     /// The worker fleet's timing contract (heartbeat cadence, lease TTL).
     pub fleet: FleetConfig,
+    /// Flight-recorder ring capacity: how many recent structured events
+    /// `GET /v1/debug/events` can look back over (overflow drops oldest).
+    pub flight_recorder: usize,
+    /// Emit one structured JSON access-log line per request on stdout.
+    pub log_json: bool,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +116,8 @@ impl Default for ServerConfig {
             job_retention: 4096,
             job_ttl: None,
             fleet: FleetConfig::default(),
+            flight_recorder: 4096,
+            log_json: false,
         }
     }
 }
@@ -117,6 +131,10 @@ struct Shared {
     /// The content-addressed store, doubling as the fleet's shared cache
     /// tier (`None` with caching disabled).
     store: Option<ResultStore>,
+    /// The flight recorder behind `GET /v1/debug/events`.
+    recorder: Arc<FlightRecorder>,
+    /// Whether to print a JSON access-log line per request.
+    log_json: bool,
 }
 
 /// A running daemon; dropping it does **not** stop the threads — call
@@ -154,13 +172,20 @@ impl Server {
             },
         ));
         let metrics = Arc::new(Metrics::default());
-        let fleet = Arc::new(Fleet::new(cfg.fleet, Arc::clone(&metrics)));
+        let recorder = Arc::new(FlightRecorder::new(cfg.flight_recorder));
+        let fleet = Arc::new(Fleet::new(
+            cfg.fleet,
+            Arc::clone(&metrics),
+            Arc::clone(&recorder),
+        ));
         let shared = Arc::new(Shared {
             queue: Arc::clone(&queue),
             metrics: Arc::clone(&metrics),
             scenarios,
             fleet: Arc::clone(&fleet),
             store: cfg.cache_dir.clone().map(ResultStore::new),
+            recorder: Arc::clone(&recorder),
+            log_json: cfg.log_json,
         });
 
         let mut opts = EngineOptions::default();
@@ -174,6 +199,7 @@ impl Server {
             opts,
             metrics: Arc::clone(&metrics),
             fleet: Some(fleet),
+            recorder: Arc::clone(&recorder),
         };
         let worker_threads = spawn_workers(cfg.job_workers, &queue, &ctx);
 
@@ -244,10 +270,13 @@ impl Server {
     /// renders), for in-process embedders like the `loadgen` harness.
     #[must_use]
     pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
-        let mut snapshot = self.shared.metrics.snapshot(self.shared.queue.depth());
-        snapshot.fleet_workers_live = self.shared.fleet.live_workers() as u64;
-        snapshot.fleet_pending_cells = self.shared.fleet.pending_cells();
-        snapshot
+        self.shared.metrics.snapshot(
+            self.shared.queue.depth(),
+            Gauges {
+                fleet_workers_live: self.shared.fleet.live_workers() as u64,
+                fleet_pending_cells: self.shared.fleet.pending_cells(),
+            },
+        )
     }
 
     /// Stops accepting connections, drains no further jobs, and joins the
@@ -278,7 +307,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         match parse_request(&mut reader) {
             Ok(None) => break, // clean close between requests
             Ok(Some(req)) => {
+                let started = Instant::now();
                 let resp = route(&req, shared);
+                observe_request(&req, resp.status, started.elapsed(), shared);
                 if resp.status >= 400 {
                     shared
                         .metrics
@@ -307,6 +338,39 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 break;
             }
         }
+    }
+}
+
+/// The request's `X-Simdsim-Trace-Id` header, normalised to the canonical
+/// 32-hex-char form; malformed values are treated as absent.
+fn request_trace(req: &Request) -> Option<String> {
+    req.header(&TRACE_HEADER.to_ascii_lowercase())
+        .and_then(TraceId::parse)
+        .map(|t| t.to_hex())
+}
+
+/// Feeds one answered request into the observability layer: the
+/// per-endpoint latency histogram always, a JSONL access-log line on
+/// stdout under `--log-json`, and — for mutating methods only, so polls
+/// cannot flood the ring — an `http.request` span in the flight recorder.
+fn observe_request(req: &Request, status: u16, elapsed: Duration, shared: &Shared) {
+    let ms = elapsed.as_secs_f64() * 1e3;
+    shared
+        .metrics
+        .observe_http(endpoint_index(&req.method, &req.path), ms);
+    let span = || {
+        Event::new("http.request")
+            .with_trace(request_trace(req))
+            .with_dur_ms(ms)
+            .with_detail(format!("{} {} -> {}", req.method, req.path, status))
+    };
+    if shared.log_json {
+        let mut line = span();
+        line.ts_ms = simdsim_obs::now_ms();
+        println!("{}", line.to_json());
+    }
+    if matches!(req.method.as_str(), "POST" | "PUT" | "DELETE") {
+        shared.recorder.record(span());
     }
 }
 
@@ -406,12 +470,22 @@ fn route_inner(req: &Request, shared: &Shared) -> Response {
             bump(&shared.metrics.requests_fleet);
             store_import(req, shared)
         }
+        ("GET", "/debug/events") => {
+            bump(&shared.metrics.requests_debug);
+            debug_events(req, shared)
+        }
         ("GET", "/metrics") => {
             bump(&shared.metrics.requests_metrics);
-            let mut snapshot = shared.metrics.snapshot(shared.queue.depth());
-            snapshot.fleet_workers_live = shared.fleet.live_workers() as u64;
-            snapshot.fleet_pending_cells = shared.fleet.pending_cells();
-            Response::text(200, render_prometheus(&snapshot))
+            let snapshot = shared.metrics.snapshot(
+                shared.queue.depth(),
+                Gauges {
+                    fleet_workers_live: shared.fleet.live_workers() as u64,
+                    fleet_pending_cells: shared.fleet.pending_cells(),
+                },
+            );
+            let mut text = render_prometheus(&snapshot);
+            shared.metrics.render_histograms(&mut text);
+            Response::text(200, text)
         }
         ("GET" | "POST" | "DELETE", _) => Response::api_error(&ApiError::new(
             ErrorCode::NotFound,
@@ -496,6 +570,47 @@ fn sweep_get(path: &str, req: &Request, shared: &Shared) -> Response {
     json_dto(200, &page)
 }
 
+/// Routes `GET /debug/events`: snapshots the flight recorder, filtered by
+/// the `trace` / `job` / `worker` / `kind` / `limit` query parameters.
+fn debug_events(req: &Request, shared: &Shared) -> Response {
+    let mut filter = EventFilter {
+        trace: req.query_param("trace").map(str::to_owned),
+        kind_prefix: req.query_param("kind").map(str::to_owned),
+        limit: DEFAULT_DEBUG_LIMIT,
+        ..EventFilter::default()
+    };
+    for (name, slot) in [("job", &mut filter.job), ("worker", &mut filter.worker)] {
+        match req.query_param(name).map(str::parse::<u64>) {
+            None => {}
+            Some(Ok(id)) => *slot = Some(id),
+            Some(Err(_)) => {
+                return Response::api_error(&ApiError::new(
+                    ErrorCode::BadRequest,
+                    format!("`{name}` must be a non-negative integer"),
+                ))
+            }
+        }
+    }
+    match req.query_param("limit").map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(n)) => filter.limit = n,
+        Some(Err(_)) => {
+            return Response::api_error(&ApiError::new(
+                ErrorCode::BadRequest,
+                "`limit` must be a non-negative integer",
+            ))
+        }
+    }
+    let (events, dropped) = shared.recorder.snapshot(&filter);
+    json_dto(
+        200,
+        &DebugEvents {
+            events: events.iter().map(DebugEvent::from_event).collect(),
+            dropped,
+        },
+    )
+}
+
 /// Routes `DELETE /sweeps/{id}`.
 fn cancel_sweep(id_text: &str, shared: &Shared) -> Response {
     let Ok(id) = id_text.parse::<u64>() else {
@@ -544,7 +659,7 @@ fn submit_sweep(req: &Request, shared: &Shared) -> Response {
         Ok(r) => r,
         Err(e) => return Response::api_error(&e),
     };
-    match submit_one(request, shared) {
+    match submit_one(request, shared, request_trace(req)) {
         Ok(sub) => json_dto(202, &sub),
         Err(e) => Response::api_error(&e),
     }
@@ -563,10 +678,13 @@ fn submit_batch(req: &Request, shared: &Shared) -> Response {
             "batch must contain at least one sweep",
         ));
     }
+    // One client action, one trace: every sweep in the batch shares the
+    // caller's trace id (each gets its own when the header is absent).
+    let trace = request_trace(req);
     let items: Vec<BatchSubmitItem> = request
         .sweeps
         .into_iter()
-        .map(|sweep| match submit_one(sweep, shared) {
+        .map(|sweep| match submit_one(sweep, shared, trace.clone()) {
             Ok(sub) => BatchSubmitItem {
                 submit: Some(sub),
                 error: None,
@@ -581,8 +699,13 @@ fn submit_batch(req: &Request, shared: &Shared) -> Response {
 }
 
 /// Validates one sweep request and queues it, for both the single and the
-/// batch submit route.
-fn submit_one(request: SweepRequest, shared: &Shared) -> Result<SubmitResponse, ApiError> {
+/// batch submit route.  `trace` is the caller-supplied trace id; a fresh
+/// one is generated when absent, so every job is traceable.
+fn submit_one(
+    request: SweepRequest,
+    shared: &Shared,
+    trace: Option<String>,
+) -> Result<SubmitResponse, ApiError> {
     request
         .validate()
         .map_err(|e| ApiError::new(ErrorCode::BadRequest, e))?;
@@ -601,7 +724,9 @@ fn submit_one(request: SweepRequest, shared: &Shared) -> Result<SubmitResponse, 
         _ => unreachable!("validated request has exactly one source"),
     };
 
-    match shared.queue.submit(scenario, request.filter) {
+    let scenario_name = scenario.name.clone();
+    let trace = trace.unwrap_or_else(|| TraceId::generate().to_hex());
+    match shared.queue.submit(scenario, request.filter, Some(trace)) {
         Ok(sub) => {
             shared
                 .metrics
@@ -613,11 +738,25 @@ fn submit_one(request: SweepRequest, shared: &Shared) -> Result<SubmitResponse, 
                     .jobs_coalesced
                     .fetch_add(1, Ordering::Relaxed);
             }
+            // Coalesced submissions observe the surviving job's trace, so
+            // the response's trace id always matches the job's events.
+            let trace = sub.job.trace.clone();
+            shared.recorder.record(
+                Event::new("job.submit")
+                    .with_trace(trace.clone())
+                    .with_job(sub.id)
+                    .with_detail(if sub.deduped {
+                        format!("{scenario_name} (coalesced)")
+                    } else {
+                        scenario_name
+                    }),
+            );
             Ok(SubmitResponse {
                 id: sub.id,
                 url: format!("/v1/sweeps/{}", sub.id),
                 state: sub.job.state(),
                 deduped: sub.deduped,
+                trace,
             })
         }
         Err(full) => {

@@ -264,19 +264,21 @@ fn duplicate_report_is_a_stale_no_op() {
         .cells
         .iter()
         .map(|leased| {
-            let (outcome, wall) = execute_cell(&leased.cell);
+            let run = execute_cell(&leased.cell);
             UnitResult {
                 unit: leased.unit,
                 cached: false,
-                wall_ms: wall.as_secs_f64() * 1000.0,
-                stats: Some(outcome.expect("cell simulates")),
+                wall_ms: run.wall.as_secs_f64() * 1000.0,
+                stats: Some(run.stats.expect("cell simulates")),
                 error: None,
+                phases: Some(run.phases),
             }
         })
         .collect();
     let report = ReportRequest {
         lease_id: lease.lease_id,
         results,
+        spans: Vec::new(),
     };
     let first = c.report(reg.worker_id, &report).expect("report");
     assert_eq!((first.accepted, first.stale), (4, 0));

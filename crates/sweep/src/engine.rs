@@ -126,6 +126,40 @@ impl EngineOptions {
     }
 }
 
+/// Wall-clock breakdown of one cell's resolution, in milliseconds.
+///
+/// The phases do not have to sum to the cell's `wall` time: `probe_ms`
+/// and `store_ms` happen outside the simulation proper, and a cell that
+/// fails early simply leaves later phases at zero.  Events streamed while
+/// a job runs carry the phases known at that point; `store_ms` lands once
+/// the result is written back during report assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CellPhases {
+    /// Content-addressed store probe (hit or miss).
+    pub probe_ms: f64,
+    /// Workload build + instruction predecode (amortised across cells by
+    /// the per-thread decode memo, so often near zero).
+    pub decode_ms: f64,
+    /// The pipeline simulation itself.
+    pub simulate_ms: f64,
+    /// Store write-back of a fresh result.
+    pub store_ms: f64,
+}
+
+impl CellPhases {
+    /// Merges two breakdowns by summing each phase — used when a cell's
+    /// execution (worker-side phases) and its write-back (coordinator-side
+    /// `store_ms`) are measured in different places.
+    #[must_use]
+    pub fn merged(mut self, other: CellPhases) -> CellPhases {
+        self.probe_ms += other.probe_ms;
+        self.decode_ms += other.decode_ms;
+        self.simulate_ms += other.simulate_ms;
+        self.store_ms += other.store_ms;
+        self
+    }
+}
+
 /// The outcome of one cell.
 #[derive(Debug, Clone)]
 pub struct CellOutcome {
@@ -138,6 +172,8 @@ pub struct CellOutcome {
     /// Wall-clock time spent simulating this cell in this run (zero for
     /// cached cells and for cells whose job panicked).
     pub wall: Duration,
+    /// Where this cell's wall time went (probe/decode/simulate/store).
+    pub phases: CellPhases,
 }
 
 impl CellOutcome {
@@ -230,10 +266,14 @@ impl SweepReport {
 /// What the preparation pass decided about each cell.
 enum Prep {
     Failed(SweepError),
-    Cached(CellStats),
+    Cached {
+        stats: CellStats,
+        probe_ms: f64,
+    },
     Pending {
         cfg: PipeConfig,
         key: Option<CacheKey>,
+        probe_ms: f64,
     },
 }
 
@@ -263,6 +303,9 @@ pub struct ProgressEvent {
     /// Wall-clock time spent simulating this cell (zero for cached and
     /// failed cells).
     pub wall: Duration,
+    /// Where the cell's time went, as far as is known when the event
+    /// fires (`store_ms` is measured later, at report assembly).
+    pub phases: CellPhases,
 }
 
 /// Runs `scenario` and returns one outcome per cell, in expansion order
@@ -311,15 +354,20 @@ pub fn run_with_executor(
         .map(|cell| match cell.config() {
             Err(msg) => Prep::Failed(SweepError::new(cell, msg)),
             Ok(cfg) => {
+                let probe = Instant::now();
                 let key = store.as_ref().map(|_| cell_key(cell, &cfg));
                 if let (Some(st), Some(k)) = (&store, &key) {
                     if let Some(hit) = st.load(k) {
-                        return Prep::Cached(hit.stats);
+                        return Prep::Cached {
+                            stats: hit.stats,
+                            probe_ms: probe.elapsed().as_secs_f64() * 1.0e3,
+                        };
                     }
                 }
                 Prep::Pending {
                     cfg,
                     key: key.clone(),
+                    probe_ms: probe.elapsed().as_secs_f64() * 1.0e3,
                 }
             }
         })
@@ -329,7 +377,7 @@ pub fn run_with_executor(
     let completed = AtomicUsize::new(0);
     for (index, (cell, prep)) in cells.iter().zip(&preps).enumerate() {
         match prep {
-            Prep::Cached(stats) => progress(ProgressEvent {
+            Prep::Cached { stats, probe_ms } => progress(ProgressEvent {
                 total,
                 completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
                 index,
@@ -338,6 +386,10 @@ pub fn run_with_executor(
                 stats: Some(stats.clone()),
                 error: None,
                 wall: Duration::ZERO,
+                phases: CellPhases {
+                    probe_ms: *probe_ms,
+                    ..CellPhases::default()
+                },
             }),
             Prep::Failed(e) => progress(ProgressEvent {
                 total,
@@ -348,6 +400,7 @@ pub fn run_with_executor(
                 stats: None,
                 error: Some(e.message.clone()),
                 wall: Duration::ZERO,
+                phases: CellPhases::default(),
             }),
             Prep::Pending { .. } => {}
         }
@@ -368,10 +421,19 @@ pub fn run_with_executor(
             _ => None,
         })
         .collect();
-    // (cached, outcome, wall) for one resolved cell, parked until assembly.
-    type Slot = Option<(bool, Result<CellStats, SweepError>, Duration)>;
+    // (cached, outcome, wall, phases) for one resolved cell, parked until
+    // assembly.
+    type Slot = Option<(bool, Result<CellStats, SweepError>, Duration, CellPhases)>;
     let slots: Vec<Mutex<Slot>> = cells.iter().map(|_| Mutex::new(None)).collect();
     executor.execute(tasks, opts.cancel.as_deref(), &|out| {
+        let probe_ms = match &preps[out.index] {
+            Prep::Pending { probe_ms, .. } => *probe_ms,
+            _ => 0.0,
+        };
+        let phases = out.phases.merged(CellPhases {
+            probe_ms,
+            ..CellPhases::default()
+        });
         progress(ProgressEvent {
             total,
             completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
@@ -381,17 +443,27 @@ pub fn run_with_executor(
             stats: out.stats.as_ref().ok().cloned(),
             error: out.stats.as_ref().err().map(|e| e.message.clone()),
             wall: out.wall,
+            phases,
         });
-        *slots[out.index].lock().expect("slot lock") = Some((out.cached, out.stats, out.wall));
+        *slots[out.index].lock().expect("slot lock") =
+            Some((out.cached, out.stats, out.wall, phases));
     });
 
     let mut outcomes = Vec::with_capacity(cells.len());
     for (i, (cell, prep)) in cells.into_iter().zip(preps).enumerate() {
-        let (cached, stats, wall) = match prep {
-            Prep::Failed(e) => (false, Err(e), Duration::ZERO),
-            Prep::Cached(s) => (true, Ok(s), Duration::ZERO),
+        let (cached, stats, wall, phases) = match prep {
+            Prep::Failed(e) => (false, Err(e), Duration::ZERO, CellPhases::default()),
+            Prep::Cached { stats, probe_ms } => (
+                true,
+                Ok(stats),
+                Duration::ZERO,
+                CellPhases {
+                    probe_ms,
+                    ..CellPhases::default()
+                },
+            ),
             Prep::Pending { key, .. } => {
-                let (cached, result, wall) = slots[i]
+                let (cached, result, wall, mut phases) = slots[i]
                     .lock()
                     .expect("slot lock")
                     .take()
@@ -402,6 +474,7 @@ pub fn run_with_executor(
                             false,
                             Err(SweepError::new(&cell, "executor dropped the cell")),
                             Duration::ZERO,
+                            CellPhases::default(),
                         )
                     });
                 // Fresh *and* remotely cached results both land in this
@@ -409,6 +482,7 @@ pub fn run_with_executor(
                 // coordinator's store is the shared cache tier and must
                 // absorb results workers served from their own caches.
                 if let (Some(st), Some(k), Ok(s)) = (&store, &key, &result) {
+                    let write = Instant::now();
                     st.save(
                         k,
                         &StoredCell {
@@ -416,8 +490,9 @@ pub fn run_with_executor(
                             stats: s.clone(),
                         },
                     );
+                    phases.store_ms += write.elapsed().as_secs_f64() * 1.0e3;
                 }
-                (cached, result, wall)
+                (cached, result, wall, phases)
             }
         };
         outcomes.push(CellOutcome {
@@ -425,6 +500,7 @@ pub fn run_with_executor(
             cached,
             stats,
             wall,
+            phases,
         });
     }
     SweepReport {
@@ -433,12 +509,30 @@ pub fn run_with_executor(
     }
 }
 
+/// The resolution of one [`execute_cell`] call: the statistics (or the
+/// per-cell failure), the total simulation wall time, and its breakdown.
+#[derive(Debug, Clone)]
+pub struct CellExecution {
+    /// The statistics, or the per-cell failure.
+    pub stats: Result<CellStats, SweepError>,
+    /// Wall-clock time of the whole execution.
+    pub wall: Duration,
+    /// Where that time went (decode vs. simulate; probe/store belong to
+    /// the caller's cache tier and stay zero here).
+    pub phases: CellPhases,
+}
+
 /// Simulates one cell end-to-end (configuration resolution included) —
 /// the entry point a remote worker process uses to execute a leased cell
 /// with the exact semantics of the in-process engine.
-pub fn execute_cell(cell: &Cell) -> (Result<CellStats, SweepError>, Duration) {
+#[must_use]
+pub fn execute_cell(cell: &Cell) -> CellExecution {
     match cell.config() {
-        Err(msg) => (Err(SweepError::new(cell, msg)), Duration::ZERO),
+        Err(msg) => CellExecution {
+            stats: Err(SweepError::new(cell, msg)),
+            wall: Duration::ZERO,
+            phases: CellPhases::default(),
+        },
         Ok(cfg) => exec_cell(cell, &cfg),
     }
 }
@@ -477,19 +571,21 @@ fn memo_decode(cell: &Cell, program: &simdsim_isa::Program) -> Rc<Decoded> {
 /// Simulates one cell on its resolved configuration, measuring the
 /// wall-clock time of the simulation itself (workload build included —
 /// it is part of the cost a cache hit saves).
-pub(crate) fn exec_cell(
-    cell: &Cell,
-    cfg: &PipeConfig,
-) -> (Result<CellStats, SweepError>, Duration) {
+pub(crate) fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> CellExecution {
     let start = Instant::now();
+    let mut phases = CellPhases::default();
     let result = (|| {
+        let decode = Instant::now();
         let built = cell
             .workload
             .build(cell.ext)
             .map_err(|m| SweepError::new(cell, m))?;
         let dec = memo_decode(cell, &built.program);
+        phases.decode_ms = decode.elapsed().as_secs_f64() * 1.0e3;
+        let simulate = Instant::now();
         let (_, t) = simulate_decoded(&dec, &built.machine, cfg, cell.instr_limit)
             .map_err(|e| SweepError::new(cell, e.to_string()))?;
+        phases.simulate_ms = simulate.elapsed().as_secs_f64() * 1.0e3;
         Ok(CellStats {
             cycles: t.cycles,
             instrs: t.instrs,
@@ -504,5 +600,9 @@ pub(crate) fn exec_cell(
             memsys: t.memsys,
         })
     })();
-    (result, start.elapsed())
+    CellExecution {
+        stats: result,
+        wall: start.elapsed(),
+        phases,
+    }
 }

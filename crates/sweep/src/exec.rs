@@ -10,7 +10,7 @@
 //! processes, which is how one job is satisfied transparently by local
 //! threads or by a fleet.
 
-use crate::engine::{exec_cell, CellStats, SweepError, CANCELLED_CELL_MESSAGE};
+use crate::engine::{exec_cell, CellPhases, CellStats, SweepError, CANCELLED_CELL_MESSAGE};
 use crate::scenario::Cell;
 use crate::scheduler;
 use simdsim_pipe::PipeConfig;
@@ -42,6 +42,9 @@ pub struct TaskOutcome {
     pub stats: Result<CellStats, SweepError>,
     /// Wall-clock simulation time (zero for cached and failed cells).
     pub wall: Duration,
+    /// Breakdown of where the executor spent that time (a remote
+    /// executor reports the worker-measured phases here).
+    pub phases: CellPhases,
 }
 
 /// Where a batch of cells executes.
@@ -87,19 +90,22 @@ impl CellExecutor for LocalExecutor {
         let results = scheduler::run_jobs(&tasks, workers, |task| {
             // Cooperative cancellation: cells that have not started when
             // the flag goes up resolve as errors instead of simulating.
-            let (stats, wall) = if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            let (stats, wall, phases) = if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
                 (
                     Err(SweepError::new(&task.cell, CANCELLED_CELL_MESSAGE)),
                     Duration::ZERO,
+                    CellPhases::default(),
                 )
             } else {
-                exec_cell(&task.cell, &task.cfg)
+                let run = exec_cell(&task.cell, &task.cfg);
+                (run.stats, run.wall, run.phases)
             };
             done(TaskOutcome {
                 index: task.index,
                 cached: false,
                 stats,
                 wall,
+                phases,
             });
         });
         // A panicked job never reached its `done` call; resolve it here so
@@ -111,6 +117,7 @@ impl CellExecutor for LocalExecutor {
                     cached: false,
                     stats: Err(SweepError::new(&task.cell, panic.to_string())),
                     wall: Duration::ZERO,
+                    phases: CellPhases::default(),
                 });
             }
         }

@@ -74,12 +74,16 @@ serve-smoke:
 fleet-smoke:
     ./scripts/fleet-smoke.sh
 
-# The CI serving-latency gate: fresh self-contained loadgen run compared
-# against the committed BENCH_simdsim.json baseline; fails on a >2x p99
-# regression (submit or complete).
+# The CI serving-latency gate: fresh self-contained loadgen runs (local
+# pool, then a 2-worker fleet) compared against the committed
+# BENCH_simdsim.json baseline; fails on a >2x p99 regression in either
+# profile (submit or complete).
 loadgen-check:
     # Cold result cache: the gate must time the submit→engine→store path,
     # not pure store reads (the committed baseline is measured cold too).
     rm -rf target/simdsim-cache
     cargo run --release --locked -p simdsim-bench --bin loadgen -- --spawn --clients 16 --requests 2 --out target/BENCH_loadgen.json
     python3 scripts/check-loadgen-regression.py target/BENCH_loadgen.json
+    rm -rf target/simdsim-cache
+    cargo run --release --locked -p simdsim-bench --bin loadgen -- --spawn --fleet 2 --clients 16 --requests 2 --out target/BENCH_loadgen.json
+    python3 scripts/check-loadgen-regression.py target/BENCH_loadgen.json --section loadgen_fleet

@@ -2,12 +2,15 @@
 """Fail when serving latency regresses versus the committed baseline.
 
 Usage: check-loadgen-regression.py FRESH_BENCH_JSON [BASELINE_BENCH_JSON]
+                                   [--section NAME]
 
 Compares the fresh ``loadgen`` summary's submit/complete p99 against the
 committed ``BENCH_simdsim.json`` trajectory and exits non-zero when either
-exceeds ``FACTOR`` (default 2.0) times the baseline.  An absolute floor
-(``FLOOR_MS``) keeps microsecond-level baselines from turning scheduler
-jitter into failures on slow CI runners.
+exceeds ``FACTOR`` (default 2.0) times the baseline.  ``--section`` picks
+the artifact key to compare (``loadgen`` for the local-pool profile,
+``loadgen_fleet`` for the ``loadgen --fleet N`` sharded profile).  An
+absolute floor (``FLOOR_MS``) keeps microsecond-level baselines from
+turning scheduler jitter into failures on slow CI runners.
 """
 
 import json
@@ -18,12 +21,15 @@ FACTOR = float(os.environ.get("LOADGEN_REGRESSION_FACTOR", "2.0"))
 FLOOR_MS = float(os.environ.get("LOADGEN_REGRESSION_FLOOR_MS", "50.0"))
 
 
-def p99s(path: str) -> dict:
+def p99s(path: str, section: str) -> dict:
     with open(path) as f:
         doc = json.load(f)
-    loadgen = doc.get("loadgen")
+    loadgen = doc.get(section)
     if not loadgen:
-        sys.exit(f"{path}: no 'loadgen' section — run the loadgen bench first")
+        sys.exit(
+            f"{path}: no '{section}' section — run the matching loadgen "
+            "profile first"
+        )
     return {
         "submit": loadgen["submit_ms"]["p99"],
         "complete": loadgen["complete_ms"]["p99"],
@@ -31,11 +37,20 @@ def p99s(path: str) -> dict:
 
 
 def main() -> int:
-    if len(sys.argv) < 2:
+    section = "loadgen"
+    paths = []
+    args = iter(sys.argv[1:])
+    for arg in args:
+        if arg == "--section":
+            section = next(args, None) or sys.exit("--section needs a value")
+        else:
+            paths.append(arg)
+    if not paths:
         sys.exit(__doc__)
-    fresh_path = sys.argv[1]
-    baseline_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_simdsim.json"
-    fresh, baseline = p99s(fresh_path), p99s(baseline_path)
+    fresh_path = paths[0]
+    baseline_path = paths[1] if len(paths) > 1 else "BENCH_simdsim.json"
+    fresh = p99s(fresh_path, section)
+    baseline = p99s(baseline_path, section)
 
     failed = False
     for phase in ("submit", "complete"):
@@ -43,17 +58,17 @@ def main() -> int:
         status = "ok" if fresh[phase] <= limit else "REGRESSION"
         failed |= fresh[phase] > limit
         print(
-            f"{phase:<8} p99 {fresh[phase]:8.2f}ms  "
+            f"[{section}] {phase:<8} p99 {fresh[phase]:8.2f}ms  "
             f"baseline {baseline[phase]:8.2f}ms  "
             f"limit {limit:8.2f}ms  {status}"
         )
     if failed:
         print(
-            f"serving p99 regressed more than {FACTOR}x over the committed "
-            f"baseline ({baseline_path})"
+            f"`{section}` p99 regressed more than {FACTOR}x over the "
+            f"committed baseline ({baseline_path})"
         )
         return 1
-    print("loadgen regression check ok")
+    print(f"loadgen regression check ok ({section})")
     return 0
 
 

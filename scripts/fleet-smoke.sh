@@ -99,7 +99,9 @@ job_id() { python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])'; }
 
 # Phase 1: shard fig4 /idct/ across both workers; statistics must be
 # bit-identical to the single-process golden fixture.
-JOB1=$(${SWEEPCTL} --json submit --scenario fig4 --filter /idct/ | job_id)
+SUB1=$(${SWEEPCTL} --json submit --scenario fig4 --filter /idct/)
+JOB1=$(echo "${SUB1}" | job_id)
+TRACE1=$(echo "${SUB1}" | python3 -c 'import json,sys; print(json.load(sys.stdin)["trace"])')
 wait_and_assert_golden "${JOB1}" 4
 
 # The workers (not the coordinator) did the simulating.
@@ -109,6 +111,21 @@ fleet = json.load(sys.stdin)
 done = sum(w["completed"] for w in fleet["workers"])
 assert done >= 4, f"fleet completed only {done} cells"
 print(f"fleet completed {done} cells across {len(fleet['"'"'workers'"'"'])} workers")'
+
+# The submission's trace id must link the whole fan-out in the flight
+# recorder: coordinator spans (submit, start, lease grant/report, finish)
+# AND the unit spans the workers shipped back with their reports.
+curl -sf "http://${ADDR}/v1/debug/events?trace=${TRACE1}" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+kinds = {e["kind"] for e in doc["events"]}
+for needed in ("job.submit", "job.start", "lease.grant", "lease.report",
+               "worker.unit", "job.finish"):
+    assert needed in kinds, f"trace is missing {needed}: {sorted(kinds)}"
+units = [e for e in doc["events"] if e["kind"] == "worker.unit"]
+assert all(e.get("worker") is not None for e in units), "unit spans need worker ids"
+print(f"trace links {len(doc['"'"'events'"'"'])} events, "
+      f"{len(units)} worker unit spans")'
 
 # Phase 2: workers die mid-job.  Register a wire-level worker that leases
 # a batch of cells and then goes silent forever — a deterministic mid-job
