@@ -11,7 +11,7 @@
 //! $ perf --out other.json --jobs 2
 //! ```
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use simdsim::sweep::{catalog, run, EngineOptions, SweepReport};
 
 const USAGE: &str = "\
@@ -27,6 +27,10 @@ options:
   --help       print this help";
 
 /// One row of the throughput artifact.
+///
+/// `mips` divides by the cell's full wall time (workload build, decode
+/// and store probe included); `core_mips` divides by `simulate_ms` only,
+/// so it isolates the simulator core the superblock engine accelerates.
 #[derive(Debug, Serialize)]
 struct BenchCell {
     label: String,
@@ -34,20 +38,31 @@ struct BenchCell {
     cycles: u64,
     wall_ms: f64,
     mips: f64,
+    simulate_ms: f64,
+    core_mips: f64,
 }
 
-/// Aggregate of one scenario's simulated cells.
+/// Aggregate of one scenario's simulated cells.  `core_mips` is the
+/// instruction-weighted aggregate `sum(instrs) / sum(simulate_ms)` — the
+/// throughput of the core as if the whole replay were one simulation, so
+/// cells contribute in proportion to the work they carry.
 #[derive(Debug, Serialize)]
 struct BenchTotal {
     instrs: u64,
     wall_ms: f64,
     mips: f64,
+    simulate_ms: f64,
+    core_mips: f64,
 }
 
 /// The `BENCH_simdsim.json` schema.  `jobs` records the worker-pool size
 /// the cells ran under: per-cell wall times include contention between
 /// concurrent workers, so trajectories are only comparable at equal
 /// `jobs`.
+///
+/// Schema version 2 added the setup-excluded `simulate_ms`/`core_mips`
+/// pair per cell and in the total; readers must tolerate version-1
+/// artifacts that lack them.
 #[derive(Debug, Serialize)]
 struct BenchArtifact {
     bench: String,
@@ -64,15 +79,43 @@ fn collect(report: &SweepReport, cells: &mut Vec<BenchCell>) -> Result<(), Strin
             .stats
             .as_ref()
             .map_err(|e| format!("cell {} failed: {}", e.cell, e.message))?;
+        let simulate_ms = o.phases.simulate_ms;
         cells.push(BenchCell {
             label: o.cell.label(),
             instrs: stats.instrs,
             cycles: stats.cycles,
             wall_ms: o.wall.as_secs_f64() * 1.0e3,
             mips: o.mips().unwrap_or(0.0),
+            simulate_ms,
+            core_mips: if simulate_ms > 0.0 {
+                stats.instrs as f64 / (simulate_ms / 1.0e3) / 1.0e6
+            } else {
+                0.0
+            },
         });
     }
     Ok(())
+}
+
+/// Writes the artifact, preserving any foreign top-level sections an
+/// existing file carries (the `loadgen`/`loadgen_fleet` summaries merged
+/// in by the loadgen driver) so a throughput refresh never erases them.
+fn write_artifact(path: &str, artifact: &BenchArtifact) -> Result<(), String> {
+    let Value::Object(mut pairs) = serde::Serialize::to_value(artifact) else {
+        return Err("artifact did not serialize as an object".to_owned());
+    };
+    if let Some(Value::Object(old)) = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+    {
+        for (k, v) in old {
+            if !pairs.iter().any(|(fresh, _)| *fresh == k) {
+                pairs.push((k, v));
+            }
+        }
+    }
+    std::fs::write(path, simdsim::report::to_json(&Value::Object(pairs)))
+        .map_err(|e| format!("writing {path}: {e}"))
 }
 
 fn main() {
@@ -129,28 +172,34 @@ fn main_impl(args: &[String]) -> Result<(), String> {
 
     let total_instrs: u64 = cells.iter().map(|c| c.instrs).sum();
     let total_wall_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
+    let total_simulate_ms: f64 = cells.iter().map(|c| c.simulate_ms).sum();
+    let per_ms = |instrs: u64, ms: f64| {
+        if ms > 0.0 {
+            instrs as f64 / (ms / 1.0e3) / 1.0e6
+        } else {
+            0.0
+        }
+    };
     let artifact = BenchArtifact {
         bench: "simdsim-throughput".to_owned(),
-        schema_version: 1,
+        schema_version: 2,
         mode: if quick { "quick" } else { "full" }.to_owned(),
         jobs,
         cells,
         total: BenchTotal {
             instrs: total_instrs,
             wall_ms: total_wall_ms,
-            mips: if total_wall_ms > 0.0 {
-                total_instrs as f64 / (total_wall_ms / 1.0e3) / 1.0e6
-            } else {
-                0.0
-            },
+            mips: per_ms(total_instrs, total_wall_ms),
+            simulate_ms: total_simulate_ms,
+            core_mips: per_ms(total_instrs, total_simulate_ms),
         },
     };
-    std::fs::write(&out, simdsim::report::to_json(&artifact))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    write_artifact(&out, &artifact)?;
     println!(
-        "wrote {out} ({} cells, {:.1} MIPS aggregate)",
+        "wrote {out} ({} cells, {:.1} MIPS aggregate, {:.1} core MIPS)",
         artifact.cells.len(),
-        artifact.total.mips
+        artifact.total.mips,
+        artifact.total.core_mips
     );
     Ok(())
 }

@@ -476,6 +476,9 @@ struct TopSnapshot {
     workers_live: u64,
     workers_total: u64,
     simulated_mips: f64,
+    blocks_predecoded: u64,
+    block_fused_hits: u64,
+    block_side_exits: u64,
     http_requests: u64,
     http_p50_ms: f64,
     http_p99_ms: f64,
@@ -496,6 +499,21 @@ impl TopSnapshot {
             workers_live: fleet.workers.iter().filter(|w| w.live).count() as u64,
             workers_total: fleet.workers.len() as u64,
             simulated_mips: parse_gauge(metrics, "simdsim_simulated_mips"),
+            blocks_predecoded: parse_labelled(
+                metrics,
+                "simdsim_superblocks_total",
+                "event=\"predecoded\"",
+            ) as u64,
+            block_fused_hits: parse_labelled(
+                metrics,
+                "simdsim_superblocks_total",
+                "event=\"fused_hit\"",
+            ) as u64,
+            block_side_exits: parse_labelled(
+                metrics,
+                "simdsim_superblocks_total",
+                "event=\"side_exit\"",
+            ) as u64,
             http_requests,
             http_p50_ms,
             http_p99_ms,
@@ -504,6 +522,16 @@ impl TopSnapshot {
             report_p99_ms,
         }
     }
+}
+
+/// The sample of one labelled counter series (`name{label} value`),
+/// 0 when absent.
+fn parse_labelled(metrics: &str, name: &str, label: &str) -> f64 {
+    let prefix = format!("{name}{{{label}}} ");
+    metrics
+        .lines()
+        .find_map(|line| line.strip_prefix(&prefix)?.trim().parse().ok())
+        .unwrap_or(0.0)
 }
 
 /// The first sample of an unlabelled gauge/counter family, 0 when absent.
@@ -595,6 +623,10 @@ fn render_top(snap: &TopSnapshot, fleet: &FleetStatus, addr: &str) {
     say(format_args!(
         "queue depth {:>6}    pending cells {:>6}    simulated {:>9.1} mips",
         snap.queue_depth, snap.pending_cells, snap.simulated_mips
+    ));
+    say(format_args!(
+        "blocks {:>6} predecoded   {:>9} fused hits   {:>6} side exits",
+        snap.blocks_predecoded, snap.block_fused_hits, snap.block_side_exits
     ));
     say(format_args!(
         "http   latency  p50 {:>8.2}ms  p99 {:>8.2}ms   over {} requests",

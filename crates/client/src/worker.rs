@@ -185,11 +185,22 @@ fn unit_spans(lease: &Lease, results: &[UnitResult], worker: u64) -> Vec<DebugEv
                 unit: Some(r.unit),
                 dur_ms: Some(r.wall_ms),
                 detail: match leased {
-                    Some(c) => format!(
-                        "{} {}",
-                        c.cell.label(),
-                        if r.cached { "cached" } else { "simulated" }
-                    ),
+                    Some(c) => {
+                        let mut d = format!(
+                            "{} {}",
+                            c.cell.label(),
+                            if r.cached { "cached" } else { "simulated" }
+                        );
+                        // Freshly simulated cells carry superblock-engine
+                        // counters; cached cells replay stored stats.
+                        if let Some(s) = r.stats.as_ref().filter(|_| !r.cached) {
+                            d.push_str(&format!(
+                                " blocks={} hits={} side_exits={}",
+                                s.blocks_cached, s.block_hits, s.side_exits
+                            ));
+                        }
+                        d
+                    }
                     None => String::new(),
                 },
             }

@@ -4,8 +4,8 @@ use crate::subword;
 use crate::trace::{DynInstr, MemAccess, TraceSink};
 use crate::EmuError;
 use simdsim_isa::{
-    AccOp, AluOp, ClassCounts, Decoded, Esz, Ext, FOp, Instr, MOperand, MemSz, Operand2, Program,
-    Region, Sat, VLoc, MAX_VL,
+    AccOp, AluOp, ClassCounts, Decoded, DecodedInstr, Esz, Ext, FOp, Instr, MOperand, MemSz,
+    Operand2, Program, Region, Sat, VLoc, MAX_BLOCK_LEN, MAX_VL, NO_BLOCK,
 };
 
 /// Architectural statistics of one emulated run.
@@ -22,6 +22,13 @@ pub struct RunStats {
     /// Total sub-word element operations performed by vector-arithmetic
     /// instructions (a measure of exploited DLP).
     pub element_ops: u64,
+    /// Superblocks discovered for the program (static block-cache size).
+    pub blocks_cached: u64,
+    /// Superblocks delivered whole to the sink (fast-path block commits).
+    pub block_hits: u64,
+    /// Blocks delivered partially (run stopped mid-block on a fault or
+    /// the instruction limit, or entry off a block leader).
+    pub side_exits: u64,
 }
 
 /// A functional emulator instance: registers, accumulators and a flat
@@ -352,42 +359,102 @@ impl Machine {
         dec.validate(self.ext.is_matrix())
             .map_err(EmuError::Validation)?;
         let table = dec.instrs();
-        let mut stats = RunStats::default();
+        let blocks = dec.blocks();
+        let mut stats = RunStats {
+            blocks_cached: blocks.len() as u64,
+            ..RunStats::default()
+        };
         let mut pc: u32 = 0;
+        let mut buf: Vec<DynInstr> = Vec::with_capacity(MAX_BLOCK_LEN);
 
-        while (pc as usize) < table.len() {
-            if stats.dyn_instrs >= max_instrs {
-                return Err(EmuError::InstrLimit { limit: max_instrs });
+        'run: while (pc as usize) < table.len() {
+            let bidx = dec.block_idx_at(pc as usize);
+            if bidx == NO_BLOCK {
+                // Control flow always lands on a block leader (targets,
+                // fall-throughs and split points all start blocks), so
+                // this per-instruction path only guards hand-built
+                // `Decoded` tables.
+                if stats.dyn_instrs >= max_instrs {
+                    return Err(EmuError::InstrLimit { limit: max_instrs });
+                }
+                let d = &table[pc as usize];
+                let mut taken: Option<u32> = None;
+                let mut mem: Option<MemAccess> = None;
+                let mut halted = false;
+                self.execute(d.instr, pc, &mut taken, &mut mem, &mut halted, &mut stats)?;
+                let di = DynInstr {
+                    pc,
+                    instr: d.instr,
+                    region: d.region,
+                    taken,
+                    mem,
+                    vl: if d.is_full_vl { self.vl as u8 } else { 1 },
+                };
+                sink.push(&di, d);
+                Self::account(&mut stats, d);
+                stats.side_exits += 1;
+                if halted {
+                    break;
+                }
+                pc = taken.unwrap_or(pc + 1);
+                continue;
             }
-            let d = &table[pc as usize];
-            let mut taken: Option<u32> = None;
-            let mut mem: Option<MemAccess> = None;
-            let mut halted = false;
 
-            self.execute(d.instr, pc, &mut taken, &mut mem, &mut halted, &mut stats)?;
-
-            let di = DynInstr {
-                pc,
-                instr: d.instr,
-                region: d.region,
-                taken,
-                mem,
-                vl: if d.is_full_vl { self.vl as u8 } else { 1 },
-            };
-            sink.push(&di, d);
-            stats.dyn_instrs += 1;
-            stats.counts.add(d.class, 1);
-            match d.region {
-                Region::Scalar => stats.scalar_region_instrs += 1,
-                Region::Vector => stats.vector_region_instrs += 1,
+            let block = &blocks[bidx as usize];
+            let start = block.start;
+            let decs = &table[start as usize..(start + block.len) as usize];
+            buf.clear();
+            for (rel, d) in decs.iter().enumerate() {
+                if stats.dyn_instrs >= max_instrs {
+                    // Deliver the committed prefix before bailing so the
+                    // sink sees the same stream the per-instruction path
+                    // produced (stats are dropped with the error).
+                    sink.push_block(&buf, decs, block);
+                    return Err(EmuError::InstrLimit { limit: max_instrs });
+                }
+                let ipc = start + rel as u32;
+                let mut taken: Option<u32> = None;
+                let mut mem: Option<MemAccess> = None;
+                let mut halted = false;
+                if let Err(e) =
+                    self.execute(d.instr, ipc, &mut taken, &mut mem, &mut halted, &mut stats)
+                {
+                    sink.push_block(&buf, decs, block);
+                    return Err(e);
+                }
+                buf.push(DynInstr {
+                    pc: ipc,
+                    instr: d.instr,
+                    region: d.region,
+                    taken,
+                    mem,
+                    vl: if d.is_full_vl { self.vl as u8 } else { 1 },
+                });
+                Self::account(&mut stats, d);
+                pc = taken.unwrap_or(ipc + 1);
+                if halted {
+                    // `halt` ends its block, so the buffer is complete.
+                    stats.block_hits += 1;
+                    sink.push_block(&buf, decs, block);
+                    break 'run;
+                }
             }
-
-            if halted {
-                break;
-            }
-            pc = taken.unwrap_or(pc + 1);
+            stats.block_hits += 1;
+            sink.push_block(&buf, decs, block);
         }
         Ok(stats)
+    }
+
+    /// Per-committed-instruction statistics bookkeeping shared by the
+    /// block and per-instruction paths.
+    #[inline]
+    fn account(stats: &mut RunStats, d: &DecodedInstr) {
+        stats.dyn_instrs += 1;
+        stats.counts.add(d.class, 1);
+        match d.region {
+            Region::Scalar => stats.scalar_region_instrs += 1,
+            Region::Vector => stats.vector_region_instrs += 1,
+        }
     }
 
     #[allow(clippy::too_many_lines)]

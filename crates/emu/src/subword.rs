@@ -5,6 +5,14 @@
 //! and only the low `width` bytes participate.  All functions are pure and
 //! extensively property-tested — they are the semantic ground truth the
 //! kernels' correctness tests rest on.
+//!
+//! The hot entry points ([`apply_vop`], [`apply_shift`], [`splat`]) are
+//! implemented as branch-free SWAR (SIMD-within-a-register) bit tricks on
+//! the whole `u128` for 8/16/32-bit elements, so a `paddb` over 16 lanes
+//! costs a handful of word ops instead of 16 extract/insert round trips.
+//! 64-bit elements (rare, data-movement only) and the multiply family keep
+//! the per-lane loops; those loops double as the differential oracles in
+//! `scalar_ref`.
 
 use simdsim_isa::{Esz, VOp, VShiftOp};
 
@@ -87,22 +95,131 @@ fn lanewise_u(a: u128, b: u128, esz: Esz, width: usize, f: impl Fn(u64, u64) -> 
     out
 }
 
+// ---------------------------------------------------------------------------
+// SWAR core
+//
+// Each element size has two replicated constants: `L` (a one in every lane's
+// least-significant bit) and `H = L << (bits-1)` (every lane's sign bit).
+// All per-lane arithmetic below is expressed so carries and borrows never
+// cross a lane boundary; see each helper for the invariant that makes the
+// plain `u128` add/sub safe.
+// ---------------------------------------------------------------------------
+
+/// One in the least-significant bit of every lane.
+const fn lsb_ones(esz: Esz) -> u128 {
+    match esz {
+        Esz::B => 0x0101_0101_0101_0101_0101_0101_0101_0101,
+        Esz::H => 0x0001_0001_0001_0001_0001_0001_0001_0001,
+        Esz::W => 0x0000_0001_0000_0001_0000_0001_0000_0001,
+        Esz::D => 0x0000_0000_0000_0001_0000_0000_0000_0001,
+    }
+}
+
+/// One in the most-significant (sign) bit of every lane.
+const fn msb_ones(esz: Esz) -> u128 {
+    lsb_ones(esz) << (esz.bits() - 1)
+}
+
+/// Expands a word with ones only in lane LSB positions into full-lane
+/// masks: `m * (2^bits - 1)` computed as a shift and subtract.
+#[inline]
+fn lane_fill(lsb: u128, bits: usize) -> u128 {
+    (lsb << bits).wrapping_sub(lsb)
+}
+
+/// Full-lane mask from a word with bits only in lane sign positions.
+#[inline]
+fn fill_from_msb(msb: u128, bits: usize) -> u128 {
+    lane_fill(msb >> (bits - 1), bits)
+}
+
+/// Lane-wise wrapping addition: add with sign bits masked off (so no carry
+/// escapes a lane), then xor the sign bits back in.
+#[inline]
+fn swar_add(a: u128, b: u128, h: u128) -> u128 {
+    ((a & !h) + (b & !h)) ^ ((a ^ b) & h)
+}
+
+/// Lane-wise wrapping subtraction: force the minuend's sign bit so the low
+/// bits can never borrow across a lane, then patch the sign bit.
+#[inline]
+fn swar_sub(a: u128, b: u128, h: u128) -> u128 {
+    ((a | h) - (b & !h)) ^ ((a ^ !b) & h)
+}
+
+/// Sign bit set in every lane where `a < b` unsigned.
+///
+/// `z`'s sign bit holds "low bits of `a` ≥ low bits of `b`"; combine with
+/// the operands' own sign bits: `a < b` iff the sign bits say so outright,
+/// or they tie and the low bits borrowed.
+#[inline]
+fn ltu_msb(a: u128, b: u128, h: u128) -> u128 {
+    let z = ((a & !h) | h) - (b & !h);
+    ((!a & b) | (!(a ^ b) & !z)) & h
+}
+
+/// Sign bit set in every lane where `a == b`.
+#[inline]
+fn eq_msb(a: u128, b: u128, h: u128) -> u128 {
+    let v = a ^ b;
+    // Adding 0x7f.. to the low bits carries into the sign position iff they
+    // are non-zero; `| v` folds in the lane's own sign bit.
+    ((((v & !h) + !h) | v) & h) ^ h
+}
+
+/// Selects `x` where `mask` lanes are all-ones, else `y`.
+#[inline]
+fn sel(mask: u128, x: u128, y: u128) -> u128 {
+    y ^ ((x ^ y) & mask)
+}
+
+/// Lane-wise signed saturating add/sub: `s` is the wrapping result and
+/// `ov` has sign bits set on overflowing lanes; overflowed lanes are
+/// replaced by `0x7f..` plus the sign of `a` (giving `0x80..` when `a` is
+/// negative).
+#[inline]
+fn swar_saturate_signed(a: u128, s: u128, ov: u128, h: u128, bits: usize) -> u128 {
+    let ov_lsb = ov >> (bits - 1);
+    let ovf = lane_fill(ov_lsb, bits);
+    let sat = (ovf & !h) + ((a >> (bits - 1)) & ov_lsb);
+    (s & !ovf) | sat
+}
+
+/// Lane-wise unsigned average `(a + b + 1) >> 1` without widening:
+/// `(a | b) - ((a ^ b) >> 1)`.  The shifted word's lane sign positions are
+/// contaminated by the neighbouring lane's LSB, and a per-lane logical
+/// shift always leaves them zero, so mask them off.
+#[inline]
+fn swar_avg(a: u128, b: u128, h: u128) -> u128 {
+    (a | b) - (((a ^ b) >> 1) & !h)
+}
+
+/// `psadbw` via SWAR: per-byte absolute difference (max − min, which never
+/// borrows across lanes), then a three-step horizontal fold to one sum per
+/// 64-bit group.
+#[inline]
+fn swar_sad(a: u128, b: u128) -> u128 {
+    let h = msb_ones(Esz::B);
+    const FOLD_B: u128 = lsb_ones(Esz::H) * 0xff;
+    const FOLD_H: u128 = lsb_ones(Esz::W) * 0xffff;
+    const FOLD_W: u128 = lsb_ones(Esz::D) * 0xffff_ffff;
+    let m = fill_from_msb(ltu_msb(a, b, h), 8);
+    let diff = sel(m, b, a) - sel(m, a, b); // max - min, lane-wise
+    let t = (diff & FOLD_B) + ((diff >> 8) & FOLD_B);
+    let t = (t & FOLD_H) + ((t >> 16) & FOLD_H);
+    (t & FOLD_W) + ((t >> 32) & FOLD_W)
+}
+
 /// `psadbw`-style sum of absolute byte differences: one 64-bit sum per
 /// 64-bit group of the register.
 #[must_use]
 pub fn sad(a: u128, b: u128, width: usize) -> u128 {
-    let mut out = 0u128;
-    for g in 0..width / 8 {
-        let mut sum = 0u64;
-        for j in 0..8 {
-            let l = g * 8 + j;
-            let x = get_lane_u(a, Esz::B, l) as i64;
-            let y = get_lane_u(b, Esz::B, l) as i64;
-            sum += x.abs_diff(y);
-        }
-        out |= (sum as u128) << (g * 64);
+    let r = swar_sad(a, b);
+    if width == 16 {
+        r
+    } else {
+        r & ((1u128 << (width * 8)) - 1)
     }
-    out
 }
 
 /// `pmaddwd`: multiply signed 16-bit lanes, add adjacent 32-bit products.
@@ -166,6 +283,14 @@ pub fn unpack(a: u128, b: u128, esz: Esz, width: usize, hi: bool) -> u128 {
     out
 }
 
+/// Whether `esz` takes the SWAR fast path (64-bit lanes keep the scalar
+/// loops: they appear only in data movement, and their ground-truth
+/// semantics route through `i64` intermediates).
+#[inline]
+const fn swar_esz(esz: Esz) -> bool {
+    !matches!(esz, Esz::D)
+}
+
 /// Applies a binary [`VOp`] to two SIMD words of `width` bytes.
 ///
 /// # Panics
@@ -179,6 +304,57 @@ pub fn apply_vop(op: VOp, a: u128, b: u128, width: usize) -> u128 {
         (1u128 << (width * 8)) - 1
     };
     let r = match op {
+        VOp::Add(e) if swar_esz(e) => swar_add(a, b, msb_ones(e)),
+        VOp::Sub(e) if swar_esz(e) => swar_sub(a, b, msb_ones(e)),
+        VOp::AddS(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            let s = swar_add(a, b, h);
+            let ov = !(a ^ b) & (a ^ s) & h;
+            swar_saturate_signed(a, s, ov, h, e.bits())
+        }
+        VOp::SubS(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            let s = swar_sub(a, b, h);
+            let ov = (a ^ b) & (a ^ s) & h;
+            swar_saturate_signed(a, s, ov, h, e.bits())
+        }
+        VOp::AddU(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            let s = swar_add(a, b, h);
+            let carry = ((a & b) | ((a | b) & !s)) & h;
+            s | fill_from_msb(carry, e.bits())
+        }
+        VOp::SubU(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            let s = swar_sub(a, b, h);
+            s & !fill_from_msb(ltu_msb(a, b, h), e.bits())
+        }
+        VOp::Avg(e) if swar_esz(e) => swar_avg(a, b, msb_ones(e)),
+        VOp::MinS(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            sel(fill_from_msb(ltu_msb(a ^ h, b ^ h, h), e.bits()), a, b)
+        }
+        VOp::MaxS(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            sel(fill_from_msb(ltu_msb(a ^ h, b ^ h, h), e.bits()), b, a)
+        }
+        VOp::MinU(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            sel(fill_from_msb(ltu_msb(a, b, h), e.bits()), a, b)
+        }
+        VOp::MaxU(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            sel(fill_from_msb(ltu_msb(a, b, h), e.bits()), b, a)
+        }
+        VOp::CmpEq(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            fill_from_msb(eq_msb(a, b, h), e.bits())
+        }
+        VOp::CmpGt(e) if swar_esz(e) => {
+            let h = msb_ones(e);
+            fill_from_msb(ltu_msb(b ^ h, a ^ h, h), e.bits())
+        }
+        // 64-bit lanes and everything below stay on the scalar loops.
         VOp::Add(e) => lanewise_u(a, b, e, width, |x, y| x.wrapping_add(y)),
         VOp::AddS(e) => lanewise(a, b, e, width, |x, y| sat_s(x + y, e)),
         VOp::AddU(e) => lanewise_u(a, b, e, width, |x, y| sat_u((x + y) as i64, e)),
@@ -209,6 +385,11 @@ pub fn apply_vop(op: VOp, a: u128, b: u128, width: usize) -> u128 {
 }
 
 /// Applies an element-wise shift-by-immediate.
+///
+/// All lanes shift by the same amount, so the whole word is shifted once
+/// and a replicated mask clears the bits that leaked in from neighbouring
+/// lanes; arithmetic right shifts OR a replicated sign-extension mask into
+/// lanes whose sign bit was set.
 #[must_use]
 pub fn apply_shift(op: VShiftOp, a: u128, amount: u8, width: usize) -> u128 {
     let mask: u128 = if width == 16 {
@@ -223,45 +404,157 @@ pub fn apply_shift(op: VShiftOp, a: u128, amount: u8, width: usize) -> u128 {
     };
     let bits = esz.bits() as u32;
     let amt = (amount as u32).min(bits); // shifting by >= width clears (or fills with sign)
-    let n = esz.lanes(width * 8);
-    let mut out = 0u128;
-    for l in 0..n {
-        let v = get_lane_u(a, esz, l);
-        let r = match kind {
-            0 => {
-                if amt >= bits {
-                    0
-                } else {
-                    (v << amt) & (u64::MAX >> (64 - bits))
-                }
-            }
-            1 => {
-                if amt >= bits {
-                    0
-                } else {
-                    v >> amt
-                }
-            }
-            _ => {
-                let s = get_lane_i(a, esz, l);
-                let sh = amt.min(bits - 1);
-                ((s >> sh) as u64) & (u64::MAX >> (64 - bits))
-            }
-        };
-        out = set_lane(out, esz, l, r);
-    }
+    let lane = esz.lane_mask();
+    let l_ones = lsb_ones(esz);
+    let out = match kind {
+        0 => {
+            let keep = ((lane << amt) & lane) * l_ones;
+            (a << amt) & keep
+        }
+        1 => {
+            let keep = (lane >> amt) * l_ones;
+            (a >> amt) & keep
+        }
+        _ => {
+            let sh = amt.min(bits - 1);
+            let keep = lane >> sh;
+            let ext = (keep ^ lane) * l_ones;
+            let signs = lane_fill((a >> (bits - 1)) & l_ones, bits as usize);
+            ((a >> sh) & (keep * l_ones)) | (ext & signs)
+        }
+    };
     out & mask
 }
 
 /// Broadcasts the low `esz` bits of `v` to every lane of a `width`-byte word.
 #[must_use]
 pub fn splat(v: u64, esz: Esz, width: usize) -> u128 {
-    let n = esz.lanes(width * 8);
-    let mut out = 0u128;
-    for l in 0..n {
-        out = set_lane(out, esz, l, v);
+    let word = ((v as u128) & esz.lane_mask()) * lsb_ones(esz);
+    if width == 16 {
+        word
+    } else {
+        word & ((1u128 << (width * 8)) - 1)
     }
-    out
+}
+
+/// The original per-lane reference implementations, kept verbatim as the
+/// differential oracles for the SWAR fast paths (`tests/prop.rs` drives
+/// them against [`apply_vop`]/[`apply_shift`]/[`splat`] across every
+/// `Esz` × op × width combination).
+#[cfg(any(test, feature = "scalar-ref"))]
+pub mod scalar_ref {
+    use super::*;
+
+    /// Per-lane reference for [`super::sad`].
+    #[must_use]
+    pub fn sad(a: u128, b: u128, width: usize) -> u128 {
+        let mut out = 0u128;
+        for g in 0..width / 8 {
+            let mut sum = 0u64;
+            for j in 0..8 {
+                let l = g * 8 + j;
+                let x = get_lane_u(a, Esz::B, l) as i64;
+                let y = get_lane_u(b, Esz::B, l) as i64;
+                sum += x.abs_diff(y);
+            }
+            out |= (sum as u128) << (g * 64);
+        }
+        out
+    }
+
+    /// Per-lane reference for [`super::apply_vop`].
+    #[must_use]
+    pub fn apply_vop(op: VOp, a: u128, b: u128, width: usize) -> u128 {
+        let mask: u128 = if width == 16 {
+            u128::MAX
+        } else {
+            (1u128 << (width * 8)) - 1
+        };
+        let r = match op {
+            VOp::Add(e) => lanewise_u(a, b, e, width, |x, y| x.wrapping_add(y)),
+            VOp::AddS(e) => lanewise(a, b, e, width, |x, y| sat_s(x + y, e)),
+            VOp::AddU(e) => lanewise_u(a, b, e, width, |x, y| sat_u((x + y) as i64, e)),
+            VOp::Sub(e) => lanewise_u(a, b, e, width, |x, y| x.wrapping_sub(y)),
+            VOp::SubS(e) => lanewise(a, b, e, width, |x, y| sat_s(x - y, e)),
+            VOp::SubU(e) => lanewise_u(a, b, e, width, |x, y| sat_u(x as i64 - y as i64, e)),
+            VOp::Mullo(e) => lanewise(a, b, e, width, |x, y| (x.wrapping_mul(y)) as u64),
+            VOp::Mulhi(e) => lanewise(a, b, e, width, |x, y| ((x * y) >> e.bits()) as u64),
+            VOp::Madd => madd(a, b, width),
+            VOp::Sad => sad(a, b, width),
+            VOp::Avg(e) => lanewise_u(a, b, e, width, |x, y| (x + y + 1) >> 1),
+            VOp::MinS(e) => lanewise(a, b, e, width, |x, y| x.min(y) as u64),
+            VOp::MinU(e) => lanewise_u(a, b, e, width, |x, y| x.min(y)),
+            VOp::MaxS(e) => lanewise(a, b, e, width, |x, y| x.max(y) as u64),
+            VOp::MaxU(e) => lanewise_u(a, b, e, width, |x, y| x.max(y)),
+            VOp::CmpEq(e) => lanewise_u(a, b, e, width, |x, y| if x == y { u64::MAX } else { 0 }),
+            VOp::CmpGt(e) => lanewise(a, b, e, width, |x, y| if x > y { u64::MAX } else { 0 }),
+            VOp::And => a & b,
+            VOp::Or => a | b,
+            VOp::Xor => a ^ b,
+            VOp::AndNot => a & !b,
+            VOp::PackS(e) => pack(a, b, e, width, false),
+            VOp::PackU(e) => pack(a, b, e, width, true),
+            VOp::UnpackLo(e) => unpack(a, b, e, width, false),
+            VOp::UnpackHi(e) => unpack(a, b, e, width, true),
+        };
+        r & mask
+    }
+
+    /// Per-lane reference for [`super::apply_shift`].
+    #[must_use]
+    pub fn apply_shift(op: VShiftOp, a: u128, amount: u8, width: usize) -> u128 {
+        let mask: u128 = if width == 16 {
+            u128::MAX
+        } else {
+            (1u128 << (width * 8)) - 1
+        };
+        let (esz, kind) = match op {
+            VShiftOp::Sll(e) => (e, 0),
+            VShiftOp::Srl(e) => (e, 1),
+            VShiftOp::Sra(e) => (e, 2),
+        };
+        let bits = esz.bits() as u32;
+        let amt = (amount as u32).min(bits); // shifting by >= width clears (or fills with sign)
+        let n = esz.lanes(width * 8);
+        let mut out = 0u128;
+        for l in 0..n {
+            let v = get_lane_u(a, esz, l);
+            let r = match kind {
+                0 => {
+                    if amt >= bits {
+                        0
+                    } else {
+                        (v << amt) & (u64::MAX >> (64 - bits))
+                    }
+                }
+                1 => {
+                    if amt >= bits {
+                        0
+                    } else {
+                        v >> amt
+                    }
+                }
+                _ => {
+                    let s = get_lane_i(a, esz, l);
+                    let sh = amt.min(bits - 1);
+                    ((s >> sh) as u64) & (u64::MAX >> (64 - bits))
+                }
+            };
+            out = set_lane(out, esz, l, r);
+        }
+        out & mask
+    }
+
+    /// Per-lane reference for [`super::splat`].
+    #[must_use]
+    pub fn splat(v: u64, esz: Esz, width: usize) -> u128 {
+        let n = esz.lanes(width * 8);
+        let mut out = 0u128;
+        for l in 0..n {
+            out = set_lane(out, esz, l, v);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -357,5 +650,58 @@ mod tests {
         let a = u128::MAX;
         let r = apply_vop(VOp::Add(Esz::B), a, 0, 8);
         assert_eq!(r >> 64, 0);
+    }
+
+    #[test]
+    fn swar_matches_scalar_spot_checks() {
+        // Deterministic spot checks; the exhaustive sweep lives in
+        // tests/prop.rs.
+        let a: u128 = 0x8000_7fff_0001_fffe_80ff_0100_7f80_01ff;
+        let b: u128 = 0x7fff_8001_ffff_0002_01ff_80fe_ff00_8080;
+        for e in [Esz::B, Esz::H, Esz::W] {
+            for op in [
+                VOp::Add(e),
+                VOp::Sub(e),
+                VOp::AddS(e),
+                VOp::SubS(e),
+                VOp::AddU(e),
+                VOp::SubU(e),
+                VOp::Avg(e),
+                VOp::MinS(e),
+                VOp::MaxS(e),
+                VOp::MinU(e),
+                VOp::MaxU(e),
+                VOp::CmpEq(e),
+                VOp::CmpGt(e),
+            ] {
+                for width in [8usize, 16] {
+                    assert_eq!(
+                        apply_vop(op, a, b, width),
+                        scalar_ref::apply_vop(op, a, b, width),
+                        "{op:?} width {width}"
+                    );
+                }
+            }
+        }
+        assert_eq!(sad(a, b, 16), scalar_ref::sad(a, b, 16));
+        assert_eq!(sad(a, b, 8), scalar_ref::sad(a, b, 8));
+    }
+
+    #[test]
+    fn swar_shift_matches_scalar_all_amounts() {
+        let a: u128 = 0x8000_7fff_0001_fffe_80ff_0100_7f80_01ff;
+        for e in [Esz::B, Esz::H, Esz::W, Esz::D] {
+            for amt in 0..=(e.bits() as u8 + 2) {
+                for op in [VShiftOp::Sll(e), VShiftOp::Srl(e), VShiftOp::Sra(e)] {
+                    for width in [8usize, 16] {
+                        assert_eq!(
+                            apply_shift(op, a, amt, width),
+                            scalar_ref::apply_shift(op, a, amt, width),
+                            "{op:?} amt {amt} width {width}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -57,6 +57,41 @@ impl RegId {
     }
 }
 
+/// Base of the scalar integer file in the flat scoreboard index space.
+const FLAT_I: u16 = 0;
+/// Base of the scalar floating-point file.
+const FLAT_F: u16 = FLAT_I + crate::NUM_IREGS as u16;
+/// Base of the 1-D SIMD file.
+const FLAT_V: u16 = FLAT_F + crate::NUM_FREGS as u16;
+/// Base of the matrix file.
+const FLAT_M: u16 = FLAT_V + crate::NUM_VREGS as u16;
+/// Base of the packed-accumulator file.
+const FLAT_A: u16 = FLAT_M + crate::NUM_MREGS as u16;
+/// Flat index of the vector-length register.
+const FLAT_VL: u16 = FLAT_A + crate::NUM_AREGS as u16;
+
+/// Total number of flat scoreboard slots: every architectural register
+/// across all files maps to a unique index in `0..NUM_FLAT_REGS` (see
+/// [`RegId::flat`]), so the timing model can keep ready times in one flat
+/// array instead of matching on [`RegId`] per access.
+pub const NUM_FLAT_REGS: usize = FLAT_VL as usize + 1;
+
+impl RegId {
+    /// Dense index of this register in the flat scoreboard layout
+    /// `[I | F | V | M | A | VL]`; always `< NUM_FLAT_REGS`.
+    #[must_use]
+    pub const fn flat(self) -> u16 {
+        match self {
+            RegId::I(n) => FLAT_I + n as u16,
+            RegId::F(n) => FLAT_F + n as u16,
+            RegId::V(n) => FLAT_V + n as u16,
+            RegId::M(n) => FLAT_M + n as u16,
+            RegId::A(n) => FLAT_A + n as u16,
+            RegId::Vl => FLAT_VL,
+        }
+    }
+}
+
 /// Worst-case number of registers one instruction reads.  The widest
 /// cases today use four (`mload` with a register stride: base, stride,
 /// VL, read-modify-write destination; `mop`: two sources, VL, RMW

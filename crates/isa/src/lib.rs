@@ -55,12 +55,16 @@ mod reg;
 
 pub use class::{Class, FuKind};
 pub use deps::{
-    DefUse, RegId, MAX_DEFS, MAX_USES, NUM_RENAME_CLASSES, RENAME_FP, RENAME_INT, RENAME_SIMD,
+    DefUse, RegId, MAX_DEFS, MAX_USES, NUM_FLAT_REGS, NUM_RENAME_CLASSES, RENAME_FP, RENAME_INT,
+    RENAME_SIMD,
 };
 pub use elem::{Esz, MemSz};
 pub use ext::Ext;
 pub use instr::{AccOp, AluOp, Cond, FOp, Instr, MOperand, Operand2, Sat, VLoc, VOp, VShiftOp};
-pub use predecode::{Decoded, DecodedInstr, RENAME_NONE};
+pub use predecode::{
+    fu_index, Decoded, DecodedBlock, DecodedInstr, EDGE_INTERNAL, MAX_BLOCK_LEN, NO_BLOCK,
+    NUM_FU_KINDS, RENAME_NONE,
+};
 pub use program::{ClassCounts, Program, Region};
 pub use reg::{AReg, FReg, IReg, MReg, VReg};
 

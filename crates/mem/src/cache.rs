@@ -65,10 +65,20 @@ struct Line {
 }
 
 /// A set-associative cache tag array with LRU replacement.
+///
+/// The tag store is a single flat array indexed by `set * assoc` so a
+/// lookup touches one contiguous cache-resident slice; set selection is a
+/// shift-and-mask when the geometry is a power of two (it always is for
+/// the paper's Table IV hierarchies), with a modulo fallback otherwise.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
+    assoc: usize,
+    nsets: usize,
+    line_shift: u32,
+    /// `nsets - 1` when the set count is a power of two.
+    set_mask: Option<u64>,
     tick: u64,
     stats: CacheStats,
 }
@@ -87,8 +97,13 @@ impl Cache {
             "line size must be a power of two"
         );
         assert!(cfg.sets() > 0, "cache too small for its line size/assoc");
+        let nsets = cfg.sets();
         Self {
-            sets: vec![vec![Line::default(); cfg.assoc]; cfg.sets()],
+            lines: vec![Line::default(); nsets * cfg.assoc],
+            assoc: cfg.assoc,
+            nsets,
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: nsets.is_power_of_two().then(|| nsets as u64 - 1),
             cfg,
             tick: 0,
             stats: CacheStats::default(),
@@ -107,9 +122,14 @@ impl Cache {
         self.stats
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line as u64;
-        ((line as usize) % self.cfg.sets(), line)
+        let line = addr >> self.line_shift;
+        let set = match self.set_mask {
+            Some(m) => (line & m) as usize,
+            None => (line as usize) % self.nsets,
+        };
+        (set, line)
     }
 
     /// Looks up the line containing `addr`, installing it on a miss.
@@ -117,7 +137,7 @@ impl Cache {
     pub fn access(&mut self, addr: u64, store: bool) -> bool {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(addr);
-        let lines = &mut self.sets[set];
+        let lines = &mut self.lines[set * self.assoc..(set + 1) * self.assoc];
         if let Some(l) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
             l.lru = self.tick;
             l.dirty |= store;
@@ -146,14 +166,16 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[set * self.assoc..(set + 1) * self.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates the line containing `addr`; returns `true` when the
     /// line was present and dirty (a writeback is required).
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        for l in &mut self.sets[set] {
+        for l in &mut self.lines[set * self.assoc..(set + 1) * self.assoc] {
             if l.valid && l.tag == tag {
                 l.valid = false;
                 self.stats.invalidations += 1;
@@ -166,10 +188,10 @@ impl Cache {
     /// Iterates over the line-aligned addresses covered by
     /// `[addr, addr+len)`.
     pub fn lines_covering(&self, addr: u64, len: u64) -> impl Iterator<Item = u64> + use<> {
-        let line = self.cfg.line as u64;
-        let first = addr / line;
-        let last = (addr + len.max(1) - 1) / line;
-        (first..=last).map(move |l| l * line)
+        let shift = self.line_shift;
+        let first = addr >> shift;
+        let last = (addr + len.max(1) - 1) >> shift;
+        (first..=last).map(move |l| l << shift)
     }
 }
 

@@ -149,8 +149,7 @@ impl MemSystem {
         let beats = bytes.div_ceil(self.cfg.l1.port_width as u64).max(1);
         let mut done = start + self.cfg.l1.latency + (beats - 1);
         let mut worst_extra = 0u64;
-        let lines: Vec<u64> = self.l1.lines_covering(addr, bytes).collect();
-        for line in lines {
+        for line in self.l1.lines_covering(addr, bytes) {
             let l1_hit = self.l1.access(line, store);
             if !l1_hit {
                 let l2_hit = self.l2.access(line, false);
@@ -197,20 +196,15 @@ impl MemSystem {
         let mut coherency = 0u64;
         for r in 0..u64::from(acc.rows) {
             let row_addr = (acc.addr as i64 + acc.stride * r as i64) as u64;
-            let lines: Vec<u64> = self
-                .l2
-                .lines_covering(row_addr, u64::from(acc.row_bytes))
-                .collect();
-            for line in lines {
+            for line in self.l2.lines_covering(row_addr, u64::from(acc.row_bytes)) {
                 if !self.l2.access(line, acc.store) {
                     misses += 1;
                 }
                 // Inclusion: keep L1 coherent with vector traffic.
-                let l1_lines: Vec<u64> = self
+                for l1_line in self
                     .l1
                     .lines_covering(line, self.cfg.l2.line.min(32) as u64)
-                    .collect();
-                for l1_line in l1_lines {
+                {
                     if acc.store {
                         if self.l1.invalidate(l1_line) {
                             coherency += 1;

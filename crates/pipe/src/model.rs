@@ -5,8 +5,8 @@ use serde::{Deserialize, Serialize};
 use simdsim_emu::{DynInstr, EmuError, Machine, MemAccess, RunStats, TraceSink};
 use simdsim_isa::Decoded;
 use simdsim_isa::{
-    ClassCounts, DecodedInstr, FuKind, Instr, Program, RegId, Region, NUM_AREGS, NUM_FREGS,
-    NUM_IREGS, NUM_MREGS, NUM_VREGS, RENAME_NONE,
+    ClassCounts, DecodedBlock, DecodedInstr, FuKind, Instr, Program, Region, EDGE_INTERNAL,
+    MAX_BLOCK_LEN, NUM_FLAT_REGS, RENAME_NONE,
 };
 use simdsim_mem::{CacheStats, MemSystem, MemTimingStats};
 use std::cell::RefCell;
@@ -28,7 +28,7 @@ const CLS_SIMD: usize = 3;
 const CLS_VMEM: usize = 4;
 
 /// Timing statistics of one simulated run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipeStats {
     /// Total execution cycles (cycle of the last commit).
     pub cycles: u64,
@@ -74,51 +74,21 @@ impl PipeStats {
     }
 }
 
-/// Register-ready timestamps, one flat array per architectural register
-/// file.  Replaces the old `HashMap<RegId, u64>` scoreboard: every operand
-/// lookup on the commit path is now a direct index instead of a hash.
-/// Registers never written report cycle 0, exactly like a hash miss did.
+/// Register-ready timestamps in one flat array across all architectural
+/// register files, indexed by [`simdsim_isa::RegId::flat`].  The
+/// predecoded table carries the flat indices of every operand
+/// (`DecodedInstr::flat_uses`/`flat_defs`), so an operand lookup on the
+/// commit path is a single array index — no per-register-file match.
+/// Registers never written report cycle 0.
 #[derive(Debug)]
 struct Scoreboard {
-    i: [u64; NUM_IREGS],
-    f: [u64; NUM_FREGS],
-    v: [u64; NUM_VREGS],
-    m: [u64; NUM_MREGS],
-    a: [u64; NUM_AREGS],
-    vl: u64,
+    t: [u64; NUM_FLAT_REGS],
 }
 
 impl Scoreboard {
     const fn new() -> Self {
         Self {
-            i: [0; NUM_IREGS],
-            f: [0; NUM_FREGS],
-            v: [0; NUM_VREGS],
-            m: [0; NUM_MREGS],
-            a: [0; NUM_AREGS],
-            vl: 0,
-        }
-    }
-
-    fn get(&self, r: RegId) -> u64 {
-        match r {
-            RegId::I(x) => self.i[x as usize],
-            RegId::F(x) => self.f[x as usize],
-            RegId::V(x) => self.v[x as usize],
-            RegId::M(x) => self.m[x as usize],
-            RegId::A(x) => self.a[x as usize],
-            RegId::Vl => self.vl,
-        }
-    }
-
-    fn set(&mut self, r: RegId, t: u64) {
-        match r {
-            RegId::I(x) => self.i[x as usize] = t,
-            RegId::F(x) => self.f[x as usize] = t,
-            RegId::V(x) => self.v[x as usize] = t,
-            RegId::M(x) => self.m[x as usize] = t,
-            RegId::A(x) => self.a[x as usize] = t,
-            RegId::Vl => self.vl = t,
+            t: [0; NUM_FLAT_REGS],
         }
     }
 }
@@ -291,10 +261,12 @@ impl Pipeline {
         issue
     }
 
-    fn push_instr(&mut self, di: &DynInstr, dec: &DecodedInstr) {
-        let instr = di.instr;
-        let du = &dec.du;
-
+    /// Front end of one instruction: fetch-group accounting, ROB head
+    /// release, issue-queue drain and rename-budget stalls.  Returns the
+    /// dispatch cycle.  Shared by the per-instruction and fused block
+    /// paths so the two cannot diverge.
+    #[inline]
+    fn stage_front(&mut self, dec: &DecodedInstr) -> u64 {
         // ------------------------------------------------------------
         // Fetch
         // ------------------------------------------------------------
@@ -336,19 +308,15 @@ impl Pipeline {
                 dispatch = dispatch.max(t);
             }
         }
+        dispatch
+    }
 
-        // ------------------------------------------------------------
-        // Operand readiness
-        // ------------------------------------------------------------
-        let mut ready = dispatch;
-        for u in du.uses() {
-            ready = ready.max(self.reg_ready.get(*u));
-        }
-
-        // ------------------------------------------------------------
-        // Issue and execute
-        // ------------------------------------------------------------
-        let complete = match dec.fu {
+    /// Issue-and-execute stage: claims a functional unit (and the memory
+    /// system for loads/stores) from `ready` and returns the completion
+    /// cycle.
+    #[inline]
+    fn stage_execute(&mut self, di: &DynInstr, dec: &DecodedInstr, ready: u64) -> u64 {
+        match dec.fu {
             FuKind::None => ready,
             FuKind::IntAlu => {
                 let issue = self.fu_issue(0, CLS_INT, ready, u64::from(dec.occ));
@@ -398,11 +366,20 @@ impl Pipeline {
                     done
                 }
             }
-        };
-
-        for d in du.defs() {
-            self.reg_ready.set(*d, complete);
         }
+    }
+
+    /// Back end of one instruction: scheduler-slot release time, branch
+    /// prediction, in-order commit, ROB/rename occupancy and statistics.
+    #[inline]
+    fn stage_retire(
+        &mut self,
+        di: &DynInstr,
+        dec: &DecodedInstr,
+        dispatch: u64,
+        ready: u64,
+        complete: u64,
+    ) {
         // Scheduler entry is held from dispatch to issue; completion is a
         // safe upper bound for memory operations whose issue the memory
         // system decides.
@@ -416,7 +393,7 @@ impl Pipeline {
         // ------------------------------------------------------------
         // Control flow
         // ------------------------------------------------------------
-        match instr {
+        match di.instr {
             Instr::Branch { .. } => {
                 self.branches += 1;
                 let actual = di.taken.is_some();
@@ -487,6 +464,54 @@ impl Pipeline {
         }
     }
 
+    /// Per-instruction path: operand readiness from the flat scoreboard,
+    /// destination write-back after execute.
+    fn push_instr(&mut self, di: &DynInstr, dec: &DecodedInstr) {
+        let dispatch = self.stage_front(dec);
+        let mut ready = dispatch;
+        for k in 0..dec.du.uses().len() {
+            ready = ready.max(self.reg_ready.t[dec.flat_uses[k] as usize]);
+        }
+        let complete = self.stage_execute(di, dec, ready);
+        if !dec.du.defs().is_empty() {
+            self.reg_ready.t[dec.flat_defs[0] as usize] = complete;
+        }
+        self.stage_retire(di, dec, dispatch, ready, complete);
+    }
+
+    /// Fused block path: scoreboards a whole superblock in one call.
+    /// Operand readiness comes from the block's precomputed dependence
+    /// edges — block-internal producers resolve against a local
+    /// completion-time array, live-ins against the flat scoreboard — and
+    /// scoreboard write-back is deferred to one write per live-out
+    /// register.  Cycle-exact with the per-instruction path: internal
+    /// edges substitute exactly for the scoreboard reads they shadow, and
+    /// `live_out` holds the last writer of every register the block
+    /// defines.
+    fn push_block_fused(&mut self, dis: &[DynInstr], decs: &[DecodedInstr], block: &DecodedBlock) {
+        let mut complete = [0u64; MAX_BLOCK_LEN];
+        for (rel, (di, dec)) in dis.iter().zip(decs).enumerate() {
+            let dispatch = self.stage_front(dec);
+            let mut ready = dispatch;
+            let lo = block.edge_off[rel] as usize;
+            let hi = block.edge_off[rel + 1] as usize;
+            for &e in &block.edges[lo..hi] {
+                let t = if e & EDGE_INTERNAL != 0 {
+                    complete[(e & !EDGE_INTERNAL) as usize]
+                } else {
+                    self.reg_ready.t[e as usize]
+                };
+                ready = ready.max(t);
+            }
+            let c = self.stage_execute(di, dec, ready);
+            complete[rel] = c;
+            self.stage_retire(di, dec, dispatch, ready, c);
+        }
+        for &(flat, writer) in &block.live_out {
+            self.reg_ready.t[flat as usize] = complete[writer as usize];
+        }
+    }
+
     fn order_against_stores(&self, issue: u64, acc: &MemAccess) -> u64 {
         let mut start = issue;
         for key in line_keys(acc) {
@@ -534,9 +559,23 @@ impl TraceSink for Pipeline {
     fn push(&mut self, di: &DynInstr, dec: &DecodedInstr) {
         self.push_instr(di, dec);
     }
+
+    fn push_block(&mut self, dis: &[DynInstr], decs: &[DecodedInstr], block: &DecodedBlock) {
+        if dis.len() == decs.len() {
+            self.push_block_fused(dis, decs, block);
+        } else {
+            // Side exit (fault or instruction limit mid-block): the
+            // block's live-out map describes instructions that never
+            // committed, so replay the prefix per instruction.
+            for (di, dec) in dis.iter().zip(decs) {
+                self.push_instr(di, dec);
+            }
+        }
+    }
 }
 
 thread_local! {
+
     /// Per-thread scratch machine reused across [`simulate`] calls, so a
     /// sweep worker replaying many cells resets one resident memory image
     /// instead of cloning a fresh multi-megabyte machine per cell.
@@ -769,6 +808,70 @@ mod tests {
             }
         });
         assert!(stats.instrs > 100);
+    }
+
+    #[test]
+    fn fused_block_path_matches_per_instruction_fallback() {
+        use simdsim_isa::DecodedBlock;
+
+        /// Forwards every block to the per-instruction path, forcing the
+        /// fallback the fused engine takes on side exits.
+        struct PerInstr(Pipeline);
+        impl TraceSink for PerInstr {
+            fn push(&mut self, di: &DynInstr, dec: &DecodedInstr) {
+                self.0.push(di, dec);
+            }
+            fn push_block(&mut self, dis: &[DynInstr], decs: &[DecodedInstr], _b: &DecodedBlock) {
+                for (di, dec) in dis.iter().zip(decs) {
+                    self.0.push(di, dec);
+                }
+            }
+        }
+
+        // A branchy, memory-heavy, vector-tinged workload: exercises
+        // internal and external dependence edges, RMW defs, stores and
+        // multi-block control flow.
+        let mut a = Asm::new();
+        let (x, i, t, p) = (a.ireg(), a.ireg(), a.ireg(), a.ireg());
+        a.li(x, 0x1234_5678);
+        a.li(p, 4096);
+        a.li(i, 0);
+        a.for_loop(i, 300, |a| {
+            a.muli(x, x, 1103515245);
+            a.addi(x, x, 12345);
+            a.sd(x, p, 0);
+            a.ld(t, p, 0);
+            a.add(x, x, t);
+            a.srli(t, x, 13);
+            a.if_(Cond::Eq, t, 0, |a| {
+                a.addi(x, x, 7);
+            });
+            a.addi(p, p, 32);
+        });
+        a.halt();
+        let prog = a.finish();
+        let dec = prog.decode();
+        let cfg = PipeConfig::paper(4, Ext::Mmx64);
+        let machine = Machine::new(cfg.ext, 1 << 20);
+
+        let fused = {
+            let mut m = machine.clone();
+            let mut pipe = Pipeline::new(cfg);
+            m.run_decoded(&dec, &mut pipe, 1_000_000).unwrap();
+            pipe.finalize()
+        };
+        let fallback = {
+            let mut m = machine.clone();
+            let mut sink = PerInstr(Pipeline::new(cfg));
+            m.run_decoded(&dec, &mut sink, 1_000_000).unwrap();
+            sink.0.finalize()
+        };
+        assert_eq!(
+            fused, fallback,
+            "fused block path must be cycle-exact with the per-instruction path"
+        );
+        assert!(fused.instrs > 1000);
+        assert!(fused.branches > 0 && fused.l1.misses > 0);
     }
 
     #[test]

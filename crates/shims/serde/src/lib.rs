@@ -120,6 +120,31 @@ pub fn from_field<T: Deserialize>(v: &Value, key: &str, ty: &str) -> Result<T, E
     }
 }
 
+/// Deserializes field `key` of an object value, falling back to
+/// `T::default()` when the key is absent (derive-generated code for
+/// `#[serde(default)]` fields — the tolerant-reader seam that lets newer
+/// builds read JSON written before a field existed).
+///
+/// # Errors
+///
+/// Returns an error when `v` is not an object or a *present* field fails
+/// to parse; absence is not an error.
+pub fn from_field_default<T: Deserialize + Default>(
+    v: &Value,
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => match v.get(key) {
+            Some(field) => {
+                T::from_value(field).map_err(|e| Error(format!("field `{key}` of {ty}: {e}")))
+            }
+            None => Ok(T::default()),
+        },
+        _ => Err(Error::invalid("object", ty)),
+    }
+}
+
 /// Deserializes element `idx` of an array value (derive-generated code).
 ///
 /// # Errors

@@ -18,8 +18,9 @@ enum Fields {
     Unit,
     /// Tuple fields; the count is all the codegen needs.
     Tuple(usize),
-    /// Named fields, in declaration order.
-    Named(Vec<String>),
+    /// Named fields, in declaration order, with whether the field carries
+    /// `#[serde(default)]` (absent keys fall back to `Default::default()`).
+    Named(Vec<(String, bool)>),
 }
 
 enum Kind {
@@ -164,13 +165,50 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
     split_top_level(stream).len()
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// `true` when an attribute body (the bracket group after `#`) spells
+/// `serde(default)` — the only serde field attribute the shim honours.
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
     let mut names = Vec::new();
     for chunk in split_top_level(stream) {
         let mut i = 0;
-        skip_attrs_and_vis(&chunk, &mut i);
+        let mut has_default = false;
+        loop {
+            match chunk.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                        if g.delimiter() == Delimiter::Bracket {
+                            has_default |= is_serde_default(g);
+                            i += 1;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
         match chunk.get(i) {
-            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => names.push((id.to_string(), has_default)),
             other => return Err(format!("expected field name, got {other:?}")),
         }
     }
@@ -205,10 +243,10 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> 
 // Codegen: Serialize
 // ---------------------------------------------------------------------------
 
-fn ser_named_object(fields: &[String], access_prefix: &str) -> String {
+fn ser_named_object(fields: &[(String, bool)], access_prefix: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
-        .map(|f| {
+        .map(|(f, _)| {
             format!(
                 "(::std::string::String::from({f:?}), \
                  ::serde::Serialize::to_value(&{access_prefix}{f}))"
@@ -259,10 +297,11 @@ fn gen_serialize(item: &Input) -> String {
                     }
                     Fields::Named(fs) => {
                         let inner = ser_named_object(fs, "");
+                        let binds: Vec<String> = fs.iter().map(|(f, _)| f.clone()).collect();
                         format!(
                             "{name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![\
                              (::std::string::String::from({v:?}), {inner})]),",
-                            fs.join(", ")
+                            binds.join(", ")
                         )
                     }
                 };
@@ -281,10 +320,17 @@ fn gen_serialize(item: &Input) -> String {
 // Codegen: Deserialize
 // ---------------------------------------------------------------------------
 
-fn de_named_ctor(ty: &str, path: &str, fields: &[String], src: &str) -> String {
+fn de_named_ctor(ty: &str, path: &str, fields: &[(String, bool)], src: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| format!("{f}: ::serde::from_field({src}, {f:?}, {ty:?})?"))
+        .map(|(f, has_default)| {
+            let getter = if *has_default {
+                "from_field_default"
+            } else {
+                "from_field"
+            };
+            format!("{f}: ::serde::{getter}({src}, {f:?}, {ty:?})?")
+        })
         .collect();
     format!("{path} {{ {} }}", inits.join(", "))
 }

@@ -76,6 +76,16 @@ pub struct CellStats {
     pub l2: CacheStats,
     /// Memory-system timing counters.
     pub memsys: MemTimingStats,
+    /// Superblocks discovered at predecode (static block count).
+    #[serde(default)]
+    pub blocks_cached: u64,
+    /// Dynamic superblocks executed end-to-end on the fused path.
+    #[serde(default)]
+    pub block_hits: u64,
+    /// Dynamic instructions committed outside any superblock (per-
+    /// instruction fallback path).
+    #[serde(default)]
+    pub side_exits: u64,
 }
 
 /// How the engine runs a scenario.
@@ -583,7 +593,7 @@ pub(crate) fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> CellExecution {
         let dec = memo_decode(cell, &built.program);
         phases.decode_ms = decode.elapsed().as_secs_f64() * 1.0e3;
         let simulate = Instant::now();
-        let (_, t) = simulate_decoded(&dec, &built.machine, cfg, cell.instr_limit)
+        let (rs, t) = simulate_decoded(&dec, &built.machine, cfg, cell.instr_limit)
             .map_err(|e| SweepError::new(cell, e.to_string()))?;
         phases.simulate_ms = simulate.elapsed().as_secs_f64() * 1.0e3;
         Ok(CellStats {
@@ -598,6 +608,9 @@ pub(crate) fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> CellExecution {
             l1: t.l1,
             l2: t.l2,
             memsys: t.memsys,
+            blocks_cached: rs.blocks_cached,
+            block_hits: rs.block_hits,
+            side_exits: rs.side_exits,
         })
     })();
     CellExecution {

@@ -19,8 +19,9 @@ use std::path::{Path, PathBuf};
 /// Version of the stored-cell schema; bump when [`CellStats`] or the key
 /// material changes shape.  Version 2 added the L1/L2/memory-system
 /// counters to [`CellStats`] so the serving layer can return full timing
-/// statistics per cell.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// statistics per cell.  Version 3 added the superblock-engine counters
+/// (`blocks_cached`, `block_hits`, `side_exits`).
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// A content hash addressing one cell's result (32 hex digits).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -269,6 +270,9 @@ mod tests {
                 l1: Default::default(),
                 l2: Default::default(),
                 memsys: Default::default(),
+                blocks_cached: 2,
+                block_hits: 7,
+                side_exits: 0,
             },
         };
         src.save(&key, &stored);

@@ -54,7 +54,35 @@ fn stats(seed: u64, ipc: f64) -> CellStats {
             unit_stride_accesses: seed % 151,
             coherency_writebacks: seed % 29,
         },
+        blocks_cached: seed % 43,
+        block_hits: seed % 211,
+        side_exits: seed % 3,
     }
+}
+
+/// JSON written before the superblock counters existed (cache schema v2)
+/// still parses: the `#[serde(default)]` fields fall back to zero instead
+/// of failing the read.
+#[test]
+fn reader_tolerates_missing_block_counters() {
+    use serde::{Deserialize, Serialize, Value};
+    let full = stats(9, 1.25);
+    let Value::Object(pairs) = full.to_value() else {
+        panic!("CellStats serializes as an object")
+    };
+    let stripped = Value::Object(
+        pairs
+            .into_iter()
+            .filter(|(k, _)| !matches!(k.as_str(), "blocks_cached" | "block_hits" | "side_exits"))
+            .collect(),
+    );
+    let parsed = CellStats::from_value(&stripped).expect("pre-superblock payload parses");
+    assert_eq!(
+        (parsed.blocks_cached, parsed.block_hits, parsed.side_exits),
+        (0, 0, 0)
+    );
+    assert_eq!(parsed.instrs, full.instrs);
+    assert_eq!(parsed.l1, full.l1);
 }
 
 proptest! {

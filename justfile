@@ -53,6 +53,13 @@ perf-smoke:
     cargo run --release --locked -p simdsim-bench --bin perf -- --quick --out target/BENCH_simdsim.json
     python3 -c "import json,sys; d=json.load(open('target/BENCH_simdsim.json')); sys.exit(0 if d['total']['mips'] > 0 else 1)"
 
+# The CI throughput gate: a fresh quick-mode perf run compared against the
+# committed BENCH_simdsim.json baseline over their shared cells; fails when
+# instruction-weighted MIPS drops below 0.8x the baseline.
+perf-check:
+    cargo run --release --locked -p simdsim-bench --bin perf -- --quick --out target/BENCH_simdsim.json
+    python3 scripts/check-perf-regression.py target/BENCH_simdsim.json --min-ratio 0.8
+
 # Run the sweep service (e.g. `just serve`, `just serve -- --addr 0.0.0.0:9000`).
 serve *ARGS:
     cargo run --release -p simdsim-serve --bin serve -- {{ARGS}}
