@@ -9,7 +9,10 @@
 //! routes alias the v1 handlers byte-compatibly.
 
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
-use simdsim_sweep::{CellOutcome, CellPhases, CellStats, ProgressEvent, Scenario, SweepReport};
+use simdsim_sweep::{
+    CellOutcome, CellPhases, CellStats, CpiStack, ProgressEvent, Scenario, StallCause, SweepReport,
+    NUM_REGIONS, REGION_LABELS,
+};
 
 /// The API version segment every v1 route is mounted under.
 pub const API_BASE: &str = "/v1";
@@ -211,6 +214,11 @@ pub struct CellResult {
     /// runs report the phases known so far; `store_ms` lands in the final
     /// result, once the write-back has happened.
     pub phases: Option<CellPhases>,
+    /// The cell's rendered CPI stack (`null` when the cell failed or its
+    /// run had profiling off).  Absent in bodies from pre-profiler
+    /// servers, which reads as `null`.
+    #[serde(default)]
+    pub profile: Option<CpiProfile>,
 }
 
 impl CellResult {
@@ -230,6 +238,11 @@ impl CellResult {
             stats: ev.stats.clone(),
             error: ev.error.clone(),
             phases: Some(ev.phases),
+            profile: ev
+                .stats
+                .as_ref()
+                .and_then(|s| s.profile.as_ref())
+                .map(CpiProfile::from_stack),
         }
     }
 
@@ -244,8 +257,123 @@ impl CellResult {
             stats: o.stats.as_ref().ok().cloned(),
             error: o.stats.as_ref().err().map(|e| e.message.clone()),
             phases: Some(o.phases),
+            profile: o
+                .stats
+                .as_ref()
+                .ok()
+                .and_then(|s| s.profile.as_ref())
+                .map(CpiProfile::from_stack),
         }
     }
+}
+
+/// One row of a rendered CPI stack: commit slots charged to one stall
+/// cause in one code region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallEntry {
+    /// Stall cause (`data_dep`, `fu_contention`, `issue_width`,
+    /// `branch_recovery`, `l1`, `l2`, `memory`, `rename_queue`).
+    pub cause: String,
+    /// Code region the slots belong to (`scalar` or `vector`).
+    pub region: String,
+    /// Commit slots lost to this cause in this region.
+    pub slots: u64,
+}
+
+/// Retired commit slots of one Figure-7 instruction class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSlots {
+    /// Class label (`smem`, `sarith`, `sctrl`, `vmem`, `varith`).
+    pub class: String,
+    /// Commit slots that retired an instruction of this class.
+    pub slots: u64,
+}
+
+/// A rendered CPI stack: where every commit slot of a run (or of a whole
+/// job, when aggregated) went.  Invariant: `issue + Σ stalls == slots`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpiProfile {
+    /// Execution cycles (summed across cells in an aggregate).
+    pub cycles: u64,
+    /// Commit width the slots were counted at; `0` when the aggregate
+    /// mixes widths.
+    pub way: u64,
+    /// Total commit slots accounted (`cycles × way` per cell).
+    pub slots: u64,
+    /// Slots that retired an instruction (== committed instructions).
+    pub issue: u64,
+    /// Cycles per committed instruction.
+    pub cpi: f64,
+    /// Retired slots by Figure-7 class, in the figure's stacking order.
+    pub classes: Vec<ClassSlots>,
+    /// Stalled slots by cause and region, largest first (zero rows are
+    /// omitted).
+    pub stalls: Vec<StallEntry>,
+}
+
+impl CpiProfile {
+    /// Renders a model-layer [`CpiStack`] into the wire shape: labelled
+    /// rows, sorted largest-stall-first.
+    #[must_use]
+    pub fn from_stack(stack: &CpiStack) -> Self {
+        let classes = simdsim_isa::Class::ALL
+            .iter()
+            .map(|c| ClassSlots {
+                class: c.label().to_owned(),
+                slots: stack.class_slots[*c as usize],
+            })
+            .collect();
+        let mut stalls: Vec<StallEntry> = StallCause::ALL
+            .iter()
+            .flat_map(|cause| {
+                (0..NUM_REGIONS).map(|region| StallEntry {
+                    cause: cause.label().to_owned(),
+                    region: REGION_LABELS[region].to_owned(),
+                    slots: stack.stall(*cause, region),
+                })
+            })
+            .filter(|e| e.slots > 0)
+            .collect();
+        stalls.sort_by(|a, b| {
+            b.slots
+                .cmp(&a.slots)
+                .then_with(|| a.cause.cmp(&b.cause))
+                .then_with(|| a.region.cmp(&b.region))
+        });
+        Self {
+            cycles: stack.cycles,
+            way: stack.way,
+            slots: stack.slots,
+            issue: stack.issue_total(),
+            cpi: stack.cpi(),
+            classes,
+            stalls,
+        }
+    }
+
+    /// Slots lost to stalls, all rows.
+    #[must_use]
+    pub fn stall_total(&self) -> u64 {
+        self.stalls.iter().map(|e| e.slots).sum()
+    }
+}
+
+/// The aggregated CPI stack of one job
+/// (`GET /v1/sweeps/{id}/profile`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileResponse {
+    /// The id the profile was requested under.
+    pub id: u64,
+    /// The job's state when the aggregate was cut (a running job yields
+    /// the partial aggregate over cells resolved so far).
+    pub state: JobState,
+    /// Cells whose stacks contributed to the aggregate.
+    pub cells: u64,
+    /// Cells that resolved successfully but carried no stack (profiling
+    /// off, or results cached by a pre-profiler build).
+    pub missing: u64,
+    /// The aggregate stack (`null` when no cell contributed).
+    pub profile: Option<CpiProfile>,
 }
 
 /// The final result of a finished job.

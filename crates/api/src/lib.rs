@@ -30,8 +30,9 @@ pub const API_VERSION: &str = "v1";
 
 pub use debug::{DebugEvent, DebugEvents};
 pub use dto::{
-    parse_json, CellResult, CellsPage, Health, JobList, JobState, JobSummary, Progress,
-    ScenarioInfo, SubmitResponse, SweepRequest, SweepResult, SweepStatus, API_BASE,
+    parse_json, CellResult, CellsPage, ClassSlots, CpiProfile, Health, JobList, JobState,
+    JobSummary, ProfileResponse, Progress, ScenarioInfo, StallEntry, SubmitResponse, SweepRequest,
+    SweepResult, SweepStatus, API_BASE,
 };
 pub use error::{ApiError, ErrorCode};
 pub use fleet::{
@@ -44,4 +45,4 @@ pub use fleet::{
 // Re-exported so API consumers can name the payload types carried by the
 // DTOs without depending on the engine crate directly.
 pub use simdsim_obs::TRACE_HEADER;
-pub use simdsim_sweep::{Cell, CellPhases, CellStats, Scenario};
+pub use simdsim_sweep::{Cell, CellPhases, CellStats, CpiStack, Scenario, StallCause};

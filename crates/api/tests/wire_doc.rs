@@ -38,6 +38,7 @@ fn every_route_is_documented() {
         "POST | `/v1/sweeps:batch`",
         "GET | `/v1/sweeps/{id}`",
         "GET | `/v1/sweeps/{id}/cells",
+        "GET | `/v1/sweeps/{id}/profile`",
         "DELETE | `/v1/sweeps/{id}`",
         "POST | `/v1/workers/register`",
         "POST | `/v1/workers/{id}/heartbeat`",
@@ -57,6 +58,18 @@ fn every_route_is_documented() {
 }
 
 #[test]
+fn every_stall_cause_label_is_documented() {
+    let doc = wire_doc();
+    for cause in simdsim_api::StallCause::ALL {
+        let label = format!("`{}`", cause.label());
+        assert!(
+            doc.contains(&label),
+            "docs/wire-v1.md does not mention stall cause {label}"
+        );
+    }
+}
+
+#[test]
 fn every_dto_has_a_section() {
     let doc = wire_doc();
     for dto in [
@@ -70,6 +83,10 @@ fn every_dto_has_a_section() {
         "JobState",
         "Progress",
         "CellResult",
+        "StallEntry",
+        "ClassSlots",
+        "CpiProfile",
+        "ProfileResponse",
         "SweepResult",
         "SweepStatus",
         "CellsPage",

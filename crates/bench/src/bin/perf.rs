@@ -15,13 +15,16 @@ use serde::{Serialize, Value};
 use simdsim::sweep::{catalog, run, EngineOptions, SweepReport};
 
 const USAGE: &str = "\
-usage: perf [--quick] [--jobs N] [--out PATH]
+usage: perf [--quick] [--profile] [--jobs N] [--out PATH]
 
 Measure end-to-end simulation throughput (wall time and simulated MIPS
 per sweep cell) and write the BENCH_simdsim.json trajectory artifact.
 
 options:
   --quick      run only the fig4 kernel sweep (CI smoke)
+  --profile    keep cycle-accounting (CPI stacks) on while measuring;
+               off by default so the artifact tracks the bare core and
+               stays comparable with pre-profiler baselines
   --jobs N     worker-pool size (default: available parallelism)
   --out PATH   artifact path (default: BENCH_simdsim.json)
   --help       print this help";
@@ -68,6 +71,9 @@ struct BenchArtifact {
     bench: String,
     schema_version: u32,
     mode: String,
+    /// Whether cycle accounting (CPI stacks) was left on during the
+    /// measurement; readers of older artifacts may assume `false`.
+    profile: bool,
     jobs: usize,
     cells: Vec<BenchCell>,
     total: BenchTotal,
@@ -132,12 +138,14 @@ fn main() {
 
 fn main_impl(args: &[String]) -> Result<(), String> {
     let mut quick = false;
+    let mut profile = false;
     let mut jobs: Option<usize> = None;
     let mut out = String::from("BENCH_simdsim.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--profile" => profile = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 jobs = Some(
@@ -155,8 +163,11 @@ fn main_impl(args: &[String]) -> Result<(), String> {
     }
 
     // No cache: the point is to *measure* the simulation, every run.
+    // Cycle accounting is opt-in here (the sweep service defaults it on):
+    // the trajectory tracks the bare core unless `--profile` asks for the
+    // overhead to be part of the measurement.
     let jobs = jobs.unwrap_or_else(simdsim::sweep::default_workers);
-    let opts = EngineOptions::default().jobs(jobs);
+    let opts = EngineOptions::default().jobs(jobs).profile(profile);
     let scenarios = if quick {
         vec![catalog::fig4()]
     } else {
@@ -184,6 +195,7 @@ fn main_impl(args: &[String]) -> Result<(), String> {
         bench: "simdsim-throughput".to_owned(),
         schema_version: 2,
         mode: if quick { "quick" } else { "full" }.to_owned(),
+        profile,
         jobs,
         cells,
         total: BenchTotal {

@@ -22,7 +22,9 @@
 //! Exit codes: `0` success, `1` the job failed or was cancelled (for
 //! `submit --batch`: any item rejected), `2` usage/transport/API errors.
 
-use simdsim_api::{CellResult, FleetStatus, Scenario, StoreSnapshot, SweepRequest, SweepStatus};
+use simdsim_api::{
+    CellResult, FleetStatus, ProfileResponse, Scenario, StoreSnapshot, SweepRequest, SweepStatus,
+};
 use simdsim_client::{run_worker, ClientError, SimdsimClient, WorkerConfig};
 use simdsim_obs::quantile_from_buckets;
 use std::sync::atomic::AtomicBool;
@@ -58,6 +60,7 @@ commands:
   submit --batch PATH        submit a JSON array of sweeps in one request
   run    [SWEEP OPTIONS]     submit, stream cells as they resolve, summarise
   status ID                  one job's status document (JSON)
+  profile ID                 the job's aggregated CPI stack as a table
   stream ID                  follow a job's per-cell stream to completion
   watch  ID                  poll a job's progress live until it finishes
   top                        live fleet dashboard (/metrics + /v1/workers)
@@ -285,6 +288,16 @@ fn main_impl(args: &[String]) -> Result<i32, String> {
             }
             Ok(0)
         }
+        "profile" => {
+            let id = parse_id(cmd_args)?;
+            let p = client.profile(id).map_err(fail)?;
+            if global.json {
+                jline(&p);
+            } else {
+                render_profile(&p);
+            }
+            Ok(0)
+        }
         "stream" => {
             let id = parse_id(cmd_args)?;
             let on_cell = cell_printer(global.json);
@@ -413,6 +426,61 @@ fn run_worker_command(global: &Global, args: &[String]) -> Result<i32, String> {
     Ok(0)
 }
 
+/// `sweepctl profile ID` — renders the job's aggregated CPI stack as a
+/// table: the issue row first, then every stall row largest-first, each
+/// with its share of the job's total commit slots.  The shares sum to
+/// 100% by the model's accounting invariant
+/// (`issue + Σ stalls == cycles × way`).
+fn render_profile(p: &ProfileResponse) {
+    say(format_args!(
+        "job {} {} — {} cells profiled, {} without a stack",
+        p.id, p.state, p.cells, p.missing
+    ));
+    let Some(prof) = &p.profile else {
+        say(format_args!(
+            "no profile yet (no profiled cell has resolved — job queued, \
+             profiling off, or results cached by a pre-profiler build)"
+        ));
+        return;
+    };
+    let way = if prof.way == 0 {
+        "mixed".to_owned()
+    } else {
+        prof.way.to_string()
+    };
+    say(format_args!(
+        "cycles {}  commit slots {}  way {}  cpi {:.3}",
+        prof.cycles, prof.slots, way, prof.cpi
+    ));
+    let pct = |slots: u64| 100.0 * slots as f64 / prof.slots.max(1) as f64;
+    say(format_args!(
+        "{:<16} {:<8} {:>14} {:>7}",
+        "cause", "region", "slots", "share"
+    ));
+    say(format_args!(
+        "{:<16} {:<8} {:>14} {:>6.1}%",
+        "issue",
+        "-",
+        prof.issue,
+        pct(prof.issue)
+    ));
+    for e in &prof.stalls {
+        say(format_args!(
+            "{:<16} {:<8} {:>14} {:>6.1}%",
+            e.cause,
+            e.region,
+            e.slots,
+            pct(e.slots)
+        ));
+    }
+    let classes: Vec<String> = prof
+        .classes
+        .iter()
+        .map(|c| format!("{} {}", c.class, c.slots))
+        .collect();
+    say(format_args!("retired by class: {}", classes.join("  ")));
+}
+
 /// The polling core shared by `watch` and `top`: runs `tick` every
 /// `interval` until it asks to stop (`Ok(false)`) or fails.
 fn poll_loop(
@@ -440,8 +508,34 @@ fn trace_suffix(trace: Option<&str>) -> String {
 fn watch_command(client: &mut SimdsimClient, id: u64, json: bool) -> Result<i32, String> {
     use std::io::Write as _;
     let mut last_state = simdsim_api::JobState::Queued;
+    let mut failed_polls = 0u32;
     poll_loop(Duration::from_millis(500), || {
-        let status = client.status(id).map_err(|e| e.to_string())?;
+        let status = match client.status(id) {
+            Ok(s) => {
+                failed_polls = 0;
+                s
+            }
+            // A definitive "no such job" can't heal; stop immediately.
+            // Anything else (restarting server, transient 5xx) gets a few
+            // retries before the watch gives up.
+            Err(e) => {
+                if e.api_error()
+                    .is_some_and(|err| err.code == simdsim_api::ErrorCode::UnknownJob)
+                {
+                    return Err(e.to_string());
+                }
+                failed_polls += 1;
+                if failed_polls >= 5 {
+                    return Err(format!("{e} ({failed_polls} consecutive failed polls)"));
+                }
+                if !json {
+                    let mut out = std::io::stdout();
+                    let _ = write!(out, "\r\x1b[2Kjob {id} n/a        (poll failed, retrying)");
+                    let _ = out.flush();
+                }
+                return Ok(true);
+            }
+        };
         last_state = status.state;
         if json {
             jline(&status);
@@ -469,92 +563,105 @@ fn watch_command(client: &mut SimdsimClient, id: u64, json: bool) -> Result<i32,
 /// One refresh of the `top` dashboard, scraped from `/metrics` and
 /// `GET /v1/workers`.  Latency quantiles come from the Prometheus
 /// histogram buckets, so they match what any other scraper would derive.
+/// Every field is optional: a family missing from the scrape, or a
+/// fleet listing the server does not serve, renders as `n/a` (and as
+/// `null` under `--json`) instead of killing the poll loop.
 #[derive(serde::Serialize)]
 struct TopSnapshot {
-    queue_depth: u64,
-    pending_cells: u64,
-    workers_live: u64,
-    workers_total: u64,
-    simulated_mips: f64,
-    blocks_predecoded: u64,
-    block_fused_hits: u64,
-    block_side_exits: u64,
-    http_requests: u64,
-    http_p50_ms: f64,
-    http_p99_ms: f64,
-    reports: u64,
-    report_p50_ms: f64,
-    report_p99_ms: f64,
+    queue_depth: Option<u64>,
+    pending_cells: Option<u64>,
+    workers_live: Option<u64>,
+    workers_total: Option<u64>,
+    simulated_mips: Option<f64>,
+    blocks_predecoded: Option<u64>,
+    block_fused_hits: Option<u64>,
+    block_side_exits: Option<u64>,
+    http_requests: Option<u64>,
+    http_p50_ms: Option<f64>,
+    http_p99_ms: Option<f64>,
+    reports: Option<u64>,
+    report_p50_ms: Option<f64>,
+    report_p99_ms: Option<f64>,
 }
 
 impl TopSnapshot {
-    fn from_scrape(metrics: &str, fleet: &FleetStatus) -> Self {
-        let (http_requests, http_p50_ms, http_p99_ms) =
-            histogram_quantiles(metrics, "simdsim_http_request_duration_ms");
-        let (reports, report_p50_ms, report_p99_ms) =
-            histogram_quantiles(metrics, "simdsim_fleet_report_latency_ms");
+    fn from_scrape(metrics: &str, fleet: Option<&FleetStatus>) -> Self {
+        let http = histogram_quantiles(metrics, "simdsim_http_request_duration_ms");
+        let report = histogram_quantiles(metrics, "simdsim_fleet_report_latency_ms");
         TopSnapshot {
-            queue_depth: parse_gauge(metrics, "simdsim_queue_depth") as u64,
-            pending_cells: fleet.pending_cells,
-            workers_live: fleet.workers.iter().filter(|w| w.live).count() as u64,
-            workers_total: fleet.workers.len() as u64,
+            queue_depth: parse_gauge(metrics, "simdsim_queue_depth").map(|v| v as u64),
+            pending_cells: fleet.map(|f| f.pending_cells),
+            workers_live: fleet.map(|f| f.workers.iter().filter(|w| w.live).count() as u64),
+            workers_total: fleet.map(|f| f.workers.len() as u64),
             simulated_mips: parse_gauge(metrics, "simdsim_simulated_mips"),
             blocks_predecoded: parse_labelled(
                 metrics,
                 "simdsim_superblocks_total",
                 "event=\"predecoded\"",
-            ) as u64,
+            )
+            .map(|v| v as u64),
             block_fused_hits: parse_labelled(
                 metrics,
                 "simdsim_superblocks_total",
                 "event=\"fused_hit\"",
-            ) as u64,
+            )
+            .map(|v| v as u64),
             block_side_exits: parse_labelled(
                 metrics,
                 "simdsim_superblocks_total",
                 "event=\"side_exit\"",
-            ) as u64,
-            http_requests,
-            http_p50_ms,
-            http_p99_ms,
-            reports,
-            report_p50_ms,
-            report_p99_ms,
+            )
+            .map(|v| v as u64),
+            http_requests: http.map(|(n, _, _)| n),
+            http_p50_ms: http.map(|(_, p50, _)| p50),
+            http_p99_ms: http.map(|(_, _, p99)| p99),
+            reports: report.map(|(n, _, _)| n),
+            report_p50_ms: report.map(|(_, p50, _)| p50),
+            report_p99_ms: report.map(|(_, _, p99)| p99),
         }
     }
 }
 
+/// `Some` rendered to `places` decimals, `None` as `n/a`.
+fn or_na_f(v: Option<f64>, places: usize) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |x| format!("{x:.places$}"))
+}
+
+/// `Some` rendered with `Display`, `None` as `n/a`.
+fn or_na<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |x| x.to_string())
+}
+
 /// The sample of one labelled counter series (`name{label} value`),
-/// 0 when absent.
-fn parse_labelled(metrics: &str, name: &str, label: &str) -> f64 {
+/// `None` when the series is absent from the scrape.
+fn parse_labelled(metrics: &str, name: &str, label: &str) -> Option<f64> {
     let prefix = format!("{name}{{{label}}} ");
     metrics
         .lines()
         .find_map(|line| line.strip_prefix(&prefix)?.trim().parse().ok())
-        .unwrap_or(0.0)
 }
 
-/// The first sample of an unlabelled gauge/counter family, 0 when absent.
-fn parse_gauge(metrics: &str, name: &str) -> f64 {
-    metrics
-        .lines()
-        .find_map(|line| {
-            line.strip_prefix(name)?
-                .strip_prefix(' ')?
-                .trim()
-                .parse()
-                .ok()
-        })
-        .unwrap_or(0.0)
+/// The first sample of an unlabelled gauge/counter family, `None` when
+/// the family is absent from the scrape.
+fn parse_gauge(metrics: &str, name: &str) -> Option<f64> {
+    metrics.lines().find_map(|line| {
+        line.strip_prefix(name)?
+            .strip_prefix(' ')?
+            .trim()
+            .parse()
+            .ok()
+    })
 }
 
 /// Total count plus (p50, p99) of one Prometheus histogram family,
 /// summing `_bucket` series across label sets (valid because every series
-/// of a family shares the same `le` bounds).
-fn histogram_quantiles(metrics: &str, family: &str) -> (u64, f64, f64) {
+/// of a family shares the same `le` bounds).  `None` when the family is
+/// absent from the scrape.
+fn histogram_quantiles(metrics: &str, family: &str) -> Option<(u64, f64, f64)> {
     let prefix = format!("{family}_bucket{{");
     let mut finite: Vec<(f64, u64)> = Vec::new();
     let mut inf = 0u64;
+    let mut seen = false;
     for line in metrics.lines() {
         let Some(rest) = line.strip_prefix(&prefix) else {
             continue;
@@ -572,6 +679,7 @@ fn histogram_quantiles(metrics: &str, family: &str) -> (u64, f64, f64) {
         let Ok(count) = value.trim().parse::<u64>() else {
             continue;
         };
+        seen = true;
         if le == "+Inf" {
             inf += count;
         } else if let Ok(bound) = le.parse::<f64>() {
@@ -581,36 +689,53 @@ fn histogram_quantiles(metrics: &str, family: &str) -> (u64, f64, f64) {
             }
         }
     }
+    if !seen {
+        return None;
+    }
     finite.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite le bounds"));
     let bounds: Vec<f64> = finite.iter().map(|(b, _)| *b).collect();
     let mut cumulative: Vec<u64> = finite.iter().map(|(_, c)| *c).collect();
     cumulative.push(inf);
     let count = inf;
-    (
+    Some((
         count,
         quantile_from_buckets(&bounds, &cumulative, 0.50),
         quantile_from_buckets(&bounds, &cumulative, 0.99),
-    )
+    ))
 }
 
 /// `sweepctl top` — a live dashboard over `/metrics` and `/v1/workers`,
 /// redrawn once a second until interrupted.  `--json` prints one
 /// [`TopSnapshot`] per poll instead of drawing.
+///
+/// The dashboard degrades rather than dies: a server that answers the
+/// fleet listing with an API error (say, a build without `/v1/workers`)
+/// or serves `/metrics` without some family just shows `n/a` for those
+/// values.  Only transport failures — the server actually going away —
+/// end the poll loop.
 fn top_command(client: &mut SimdsimClient, global: &Global) -> Result<i32, String> {
     poll_loop(Duration::from_millis(1000), || {
-        let fleet = client.fleet_status().map_err(|e| e.to_string())?;
+        let fleet = match client.fleet_status() {
+            Ok(f) => Some(f),
+            Err(e @ ClientError::Io(_)) => return Err(e.to_string()),
+            Err(_) => None,
+        };
         let resp = client
             .http()
             .get("/metrics")
             .map_err(|e| format!("scraping /metrics: {e}"))?;
-        if resp.status != 200 {
-            return Err(format!("/metrics answered {}", resp.status));
-        }
-        let snap = TopSnapshot::from_scrape(&resp.body_str(), &fleet);
+        // A non-200 scrape is treated like an empty one: every
+        // metrics-derived field goes n/a for this frame.
+        let body = if resp.status == 200 {
+            resp.body_str()
+        } else {
+            String::new()
+        };
+        let snap = TopSnapshot::from_scrape(&body, fleet.as_ref());
         if global.json {
             jline(&snap);
         } else {
-            render_top(&snap, &fleet, &global.addr);
+            render_top(&snap, fleet.as_ref(), &global.addr);
         }
         Ok(true)
     })?;
@@ -618,28 +743,41 @@ fn top_command(client: &mut SimdsimClient, global: &Global) -> Result<i32, Strin
 }
 
 /// Clears the terminal and draws one frame of the `top` dashboard.
-fn render_top(snap: &TopSnapshot, fleet: &FleetStatus, addr: &str) {
+fn render_top(snap: &TopSnapshot, fleet: Option<&FleetStatus>, addr: &str) {
     say(format_args!("\x1b[2J\x1b[Hsimdsim top — {addr}"));
     say(format_args!(
-        "queue depth {:>6}    pending cells {:>6}    simulated {:>9.1} mips",
-        snap.queue_depth, snap.pending_cells, snap.simulated_mips
+        "queue depth {:>6}    pending cells {:>6}    simulated {:>9} mips",
+        or_na(snap.queue_depth),
+        or_na(snap.pending_cells),
+        or_na_f(snap.simulated_mips, 1)
     ));
     say(format_args!(
         "blocks {:>6} predecoded   {:>9} fused hits   {:>6} side exits",
-        snap.blocks_predecoded, snap.block_fused_hits, snap.block_side_exits
+        or_na(snap.blocks_predecoded),
+        or_na(snap.block_fused_hits),
+        or_na(snap.block_side_exits)
     ));
     say(format_args!(
-        "http   latency  p50 {:>8.2}ms  p99 {:>8.2}ms   over {} requests",
-        snap.http_p50_ms, snap.http_p99_ms, snap.http_requests
+        "http   latency  p50 {:>8}ms  p99 {:>8}ms   over {} requests",
+        or_na_f(snap.http_p50_ms, 2),
+        or_na_f(snap.http_p99_ms, 2),
+        or_na(snap.http_requests)
     ));
     say(format_args!(
-        "report latency  p50 {:>8.2}ms  p99 {:>8.2}ms   over {} reports",
-        snap.report_p50_ms, snap.report_p99_ms, snap.reports
+        "report latency  p50 {:>8}ms  p99 {:>8}ms   over {} reports",
+        or_na_f(snap.report_p50_ms, 2),
+        or_na_f(snap.report_p99_ms, 2),
+        or_na(snap.reports)
     ));
     say(format_args!(
         "fleet  {}/{} workers live",
-        snap.workers_live, snap.workers_total
+        or_na(snap.workers_live),
+        or_na(snap.workers_total)
     ));
+    let Some(fleet) = fleet else {
+        say(format_args!("  (worker listing unavailable)"));
+        return;
+    };
     for w in &fleet.workers {
         say(format_args!(
             "  #{:<4} {:<16} {:<5} slots {:>2}  leased {:>4}  completed {:>6}  seen {}ms ago",

@@ -33,9 +33,9 @@ pub mod worker;
 use serde::Deserialize;
 use simdsim_api::{
     ApiError, BatchSubmitResponse, CellResult, CellsPage, DebugEvents, FleetStatus, Health,
-    HeartbeatResponse, JobList, LeaseRequest, LeaseResponse, RegisterRequest, RegisterResponse,
-    ReportRequest, ReportResponse, ScenarioInfo, SnapshotImported, StoreSnapshot, SubmitResponse,
-    SweepRequest, SweepStatus, API_BASE, API_VERSION, TRACE_HEADER,
+    HeartbeatResponse, JobList, LeaseRequest, LeaseResponse, ProfileResponse, RegisterRequest,
+    RegisterResponse, ReportRequest, ReportResponse, ScenarioInfo, SnapshotImported, StoreSnapshot,
+    SubmitResponse, SweepRequest, SweepStatus, API_BASE, API_VERSION, TRACE_HEADER,
 };
 use simdsim_obs::TraceId;
 use std::net::ToSocketAddrs;
@@ -230,6 +230,19 @@ impl SimdsimClient {
     /// Transport, protocol, or typed API errors.
     pub fn status(&mut self, id: u64) -> Result<SweepStatus, ClientError> {
         let resp = self.http.get(&format!("{API_BASE}/sweeps/{id}"))?;
+        Self::decode(&resp, 200)
+    }
+
+    /// `GET /v1/sweeps/{id}/profile` — the job's aggregated CPI stack.
+    /// A running job answers with the partial aggregate over the cells
+    /// resolved so far; `profile` is `null` until one profiled cell has.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or typed API errors (`unknown_job` for
+    /// unknown ids).
+    pub fn profile(&mut self, id: u64) -> Result<ProfileResponse, ClientError> {
+        let resp = self.http.get(&format!("{API_BASE}/sweeps/{id}/profile"))?;
         Self::decode(&resp, 200)
     }
 

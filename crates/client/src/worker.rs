@@ -198,6 +198,9 @@ fn unit_spans(lease: &Lease, results: &[UnitResult], worker: u64) -> Vec<DebugEv
                                 " blocks={} hits={} side_exits={}",
                                 s.blocks_cached, s.block_hits, s.side_exits
                             ));
+                            if let Some(top) = s.profile.as_ref().and_then(top_stall) {
+                                d.push_str(&format!(" top_stall={top}"));
+                            }
                         }
                         d
                     }
@@ -206,6 +209,21 @@ fn unit_spans(lease: &Lease, results: &[UnitResult], worker: u64) -> Vec<DebugEv
             }
         })
         .collect()
+}
+
+/// The dominant stall cause of one cell's CPI stack as `cause:slots`
+/// (slots summed across regions); `None` for a stall-free cell.
+fn top_stall(stack: &simdsim_sweep::CpiStack) -> Option<String> {
+    use simdsim_sweep::{StallCause, NUM_REGIONS};
+    StallCause::ALL
+        .iter()
+        .map(|c| {
+            let slots: u64 = (0..NUM_REGIONS).map(|r| stack.stall(*c, r)).sum();
+            (c.label(), slots)
+        })
+        .max_by_key(|&(_, slots)| slots)
+        .filter(|&(_, slots)| slots > 0)
+        .map(|(label, slots)| format!("{label}:{slots}"))
 }
 
 /// Simulates every cell of one lease, up to `slots` at a time, while the

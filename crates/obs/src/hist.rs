@@ -124,15 +124,25 @@ fn trim_float(v: f64) -> String {
 /// Estimates the `q`-quantile (0..=1) from cumulative histogram buckets —
 /// the same linear interpolation Prometheus's `histogram_quantile` uses.
 /// `cumulative` must have one more entry than `bounds` (the `+Inf`
-/// bucket, last).  Observations in the overflow bucket clamp to the
-/// highest finite bound.
+/// bucket, last).
+///
+/// Total functions only: every degenerate input maps to a defined,
+/// finite value rather than a NaN or a panic — scrapers feed this
+/// whatever a server exposed.
+///
+/// * Empty `bounds`, mismatched lengths, or an all-zero `cumulative`
+///   yield `0.0`.
+/// * A `q` outside `[0, 1]` clamps; a NaN `q` reads as `0.0`.
+/// * Ranks landing in the overflow bucket (including *every*
+///   observation overflowing) clamp to the highest finite bound.
 #[must_use]
 pub fn quantile_from_buckets(bounds: &[f64], cumulative: &[u64], q: f64) -> f64 {
     let total = cumulative.last().copied().unwrap_or(0);
     if total == 0 || bounds.is_empty() || cumulative.len() != bounds.len() + 1 {
         return 0.0;
     }
-    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = q * total as f64;
     let idx = cumulative
         .iter()
         .position(|&c| c as f64 >= rank)
@@ -143,7 +153,10 @@ pub fn quantile_from_buckets(bounds: &[f64], cumulative: &[u64], q: f64) -> f64 
     let upper = bounds[idx];
     let lower = if idx == 0 { 0.0 } else { bounds[idx - 1] };
     let below = if idx == 0 { 0 } else { cumulative[idx - 1] };
-    let in_bucket = cumulative[idx] - below;
+    // `position` guarantees below < rank <= cumulative[idx] on monotone
+    // input; saturate so a malformed (non-monotone) scrape still cannot
+    // underflow.
+    let in_bucket = cumulative[idx].saturating_sub(below);
     if in_bucket == 0 {
         return upper;
     }
@@ -231,5 +244,108 @@ mod tests {
         assert!((64.0..=128.0).contains(&p99), "p99 estimate {p99}");
         // An empty histogram yields 0, not NaN.
         assert_eq!(quantile_from_buckets(&BOUNDS_MS, &[0; 16], 0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_degenerate_inputs_are_defined() {
+        // No buckets at all, and shape mismatches, read as "no data".
+        assert_eq!(quantile_from_buckets(&[], &[], 0.5), 0.0);
+        assert_eq!(quantile_from_buckets(&[], &[7], 0.5), 0.0);
+        assert_eq!(quantile_from_buckets(&BOUNDS_MS, &[1, 2, 3], 0.5), 0.0);
+        // Every observation in the overflow bucket clamps to the highest
+        // finite bound instead of inventing a value past it.
+        let mut overflow = [0u64; BOUNDS_MS.len() + 1];
+        overflow[BOUNDS_MS.len()] = 9;
+        assert_eq!(quantile_from_buckets(&BOUNDS_MS, &overflow, 0.01), 4096.0);
+        assert_eq!(quantile_from_buckets(&BOUNDS_MS, &overflow, 0.99), 4096.0);
+        // Out-of-range and non-finite q values are sanitized, not
+        // propagated.
+        let mut cum = [0u64; BOUNDS_MS.len() + 1];
+        for (i, c) in cum.iter_mut().enumerate() {
+            *c = i as u64 + 1;
+        }
+        for q in [-3.0, 2.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let v = quantile_from_buckets(&BOUNDS_MS, &cum, q);
+            assert!(v.is_finite(), "q={q} produced {v}");
+            assert!((0.0..=4096.0).contains(&v), "q={q} produced {v}");
+        }
+        assert!(!quantile_from_buckets(&BOUNDS_MS, &cum, f64::NAN).is_nan());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds a valid cumulative array (monotone, `+Inf` last) from
+        /// arbitrary per-bucket counts.
+        fn cumulative_from(counts: &[u64]) -> Vec<u64> {
+            counts
+                .iter()
+                .scan(0u64, |acc, &c| {
+                    *acc += c;
+                    Some(*acc)
+                })
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn quantile_is_total_finite_and_bounded(
+                counts in prop::collection::vec(0u64..1_000, BOUNDS_MS.len() + 1),
+                q_mille in 0u32..1_001,
+            ) {
+                let cum = cumulative_from(&counts);
+                let q = f64::from(q_mille) / 1000.0;
+                let v = quantile_from_buckets(&BOUNDS_MS, &cum, q);
+                prop_assert!(v.is_finite(), "q={q} counts={counts:?} -> {v}");
+                prop_assert!(
+                    (0.0..=BOUNDS_MS[BOUNDS_MS.len() - 1]).contains(&v),
+                    "q={q} counts={counts:?} -> {v} out of range"
+                );
+            }
+
+            #[test]
+            fn quantile_is_monotone_in_q(
+                counts in prop::collection::vec(0u64..1_000, BOUNDS_MS.len() + 1),
+                a in 0u32..1_001,
+                b in 0u32..1_001,
+            ) {
+                let cum = cumulative_from(&counts);
+                let (lo, hi) = (a.min(b), a.max(b));
+                let v_lo = quantile_from_buckets(&BOUNDS_MS, &cum, f64::from(lo) / 1000.0);
+                let v_hi = quantile_from_buckets(&BOUNDS_MS, &cum, f64::from(hi) / 1000.0);
+                prop_assert!(
+                    v_lo <= v_hi,
+                    "q={lo}/1000 -> {v_lo} but q={hi}/1000 -> {v_hi}"
+                );
+            }
+
+            #[test]
+            fn quantile_survives_hostile_q(
+                counts in prop::collection::vec(0u64..1_000, BOUNDS_MS.len() + 1),
+                q in prop_oneof![
+                    Just(f64::NAN),
+                    Just(f64::INFINITY),
+                    Just(f64::NEG_INFINITY),
+                    (-4_000i32..4_000).prop_map(|m| f64::from(m) / 1000.0),
+                ],
+            ) {
+                let v = quantile_from_buckets(&BOUNDS_MS, &cumulative_from(&counts), q);
+                prop_assert!(v.is_finite(), "q={q} counts={counts:?} -> {v}");
+            }
+
+            #[test]
+            fn quantile_never_panics_on_malformed_shapes(
+                bounds_len in 0usize..6,
+                cum in prop::collection::vec(0u64..50, 0..8),
+                q_mille in 0u32..1_001,
+            ) {
+                // Deliberately mismatched bounds/cumulative lengths and
+                // non-monotone counts: the function must stay total.
+                let bounds: Vec<f64> = BOUNDS_MS[..bounds_len].to_vec();
+                let v = quantile_from_buckets(&bounds, &cum, f64::from(q_mille) / 1000.0);
+                prop_assert!(v.is_finite());
+            }
+        }
     }
 }

@@ -116,6 +116,14 @@ impl FlightRecorder {
         out
     }
 
+    /// How many events the ring has dropped to overflow since startup,
+    /// without cloning the buffer (what a metrics scrape wants —
+    /// [`FlightRecorder::snapshot`] copies every matching event).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("flight recorder poisoned").dropped
+    }
+
     /// The ring capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
@@ -135,6 +143,7 @@ mod tests {
         }
         let (events, dropped) = ring.snapshot(&EventFilter::default());
         assert_eq!(dropped, 6);
+        assert_eq!(ring.dropped(), 6, "cheap accessor agrees with snapshot");
         assert_eq!(
             events.iter().map(|e| e.seq).collect::<Vec<_>>(),
             vec![6, 7, 8, 9],

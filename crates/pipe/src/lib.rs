@@ -31,10 +31,14 @@
 mod bpred;
 mod config;
 mod model;
+mod profile;
 
 pub use bpred::Gshare;
 pub use config::PipeConfig;
-pub use model::{simulate, simulate_decoded, simulate_in, PipeStats, Pipeline};
+pub use model::{
+    simulate, simulate_decoded, simulate_decoded_profiled, simulate_in, PipeStats, Pipeline,
+};
+pub use profile::{CpiStack, StallCause, NUM_REGIONS, NUM_STALL_CAUSES, REGION_LABELS};
 
 /// Timing-model revision, part of `simdsim-sweep`'s content-addressed
 /// cache key.  Bump whenever a change to this crate (or a behavioural

@@ -1,5 +1,6 @@
 //! The timestamp-based out-of-order pipeline model.
 
+use crate::profile::{CpiAccum, CpiStack, StallCause, NUM_REGIONS};
 use crate::{Gshare, PipeConfig};
 use serde::{Deserialize, Serialize};
 use simdsim_emu::{DynInstr, EmuError, Machine, MemAccess, RunStats, TraceSink};
@@ -125,6 +126,10 @@ pub struct Pipeline {
     branches: u64,
     mispredicts: u64,
     cleanup_at: u64,
+    /// Cycle-accounting accumulator; `None` keeps the hot path free of
+    /// profiling work.  Boxed so the (cold) counters stay off the
+    /// pipeline's cache-resident core.
+    prof: Option<Box<CpiAccum>>,
 }
 
 /// Claims the first cycle at or after `from` with a free `cls` slot in the
@@ -188,10 +193,22 @@ impl Pipeline {
             branches: 0,
             mispredicts: 0,
             cleanup_at: 1 << 16,
+            prof: None,
             cfg,
         };
         p.reset(cfg);
         p
+    }
+
+    /// Enables or disables cycle accounting.  Profiling only *observes*
+    /// the timestamps the model computes — enabling it never changes
+    /// simulated timing (asserted by the model's tests).
+    pub fn set_profiling(&mut self, on: bool) {
+        match (on, self.prof.is_some()) {
+            (true, false) => self.prof = Some(Box::default()),
+            (false, true) => self.prof = None,
+            _ => {}
+        }
     }
 
     /// Returns the pipeline to its reset state under a (possibly new)
@@ -238,6 +255,9 @@ impl Pipeline {
         self.branches = 0;
         self.mispredicts = 0;
         self.cleanup_at = 1 << 16;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.reset();
+        }
         self.cfg = cfg;
     }
 
@@ -275,6 +295,7 @@ impl Pipeline {
             self.fetch_used = 0;
         }
         let mut fetch = self.next_fetch;
+        let fetch_base = fetch;
         if self.rob.len() >= self.cfg.rob {
             let oldest = self.rob.pop_front().expect("rob non-empty");
             fetch = fetch.max(oldest);
@@ -308,6 +329,13 @@ impl Pipeline {
                 dispatch = dispatch.max(t);
             }
         }
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.begin_instr();
+            // ROB-release raise plus issue-queue/rename-budget raise: both
+            // are back-pressure on dispatch, charged as queue pressure.
+            p.cur_front = (fetch - fetch_base) + (dispatch - (fetch + self.cfg.frontend_depth));
+            p.cur_branch = p.redirect_until != 0 && fetch_base <= p.redirect_until;
+        }
         dispatch
     }
 
@@ -320,14 +348,17 @@ impl Pipeline {
             FuKind::None => ready,
             FuKind::IntAlu => {
                 let issue = self.fu_issue(0, CLS_INT, ready, u64::from(dec.occ));
+                self.prof_exec(issue - ready, u64::from(dec.lat), 0);
                 issue + u64::from(dec.lat)
             }
             FuKind::IntMul => {
                 let issue = self.fu_issue(0, CLS_INT, ready, u64::from(dec.occ));
+                self.prof_exec(issue - ready, u64::from(dec.lat), 0);
                 issue + u64::from(dec.lat)
             }
             FuKind::Fp => {
                 let issue = self.fu_issue(1, CLS_FP, ready, u64::from(dec.occ));
+                self.prof_exec(issue - ready, u64::from(dec.lat), 0);
                 issue + u64::from(dec.lat)
             }
             FuKind::Simd => {
@@ -338,6 +369,7 @@ impl Pipeline {
                     1
                 };
                 let issue = self.fu_issue(2, CLS_SIMD, ready, occ);
+                self.prof_exec(issue - ready, occ - 1 + base, 0);
                 issue + occ - 1 + base
             }
             FuKind::Mem => {
@@ -349,8 +381,10 @@ impl Pipeline {
                         .scalar_access(start, acc.addr, u64::from(acc.row_bytes), acc.store);
                 self.record_store(&acc, done);
                 if acc.store {
+                    self.prof_exec(start - ready, 0, 0);
                     start + 1 // retire via store buffer
                 } else {
+                    self.prof_exec(start - ready, 0, done - start);
                     done
                 }
             }
@@ -361,11 +395,25 @@ impl Pipeline {
                 let done = self.mem.vector_access(start, &acc);
                 self.record_store(&acc, done);
                 if acc.store {
+                    self.prof_exec(start - ready, 0, 0);
                     start + 1
                 } else {
+                    self.prof_exec(start - ready, 0, done - start);
                     done
                 }
             }
+        }
+    }
+
+    /// Records the in-flight instruction's issue wait, execution latency
+    /// and load latency into the profiling scratch.  A no-op (one branch)
+    /// when profiling is off.
+    #[inline]
+    fn prof_exec(&mut self, fu_wait: u64, exec_lat: u64, mem_wait: u64) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.cur_fu_wait = fu_wait;
+            p.cur_exec_lat = exec_lat;
+            p.cur_mem_wait = mem_wait;
         }
     }
 
@@ -405,6 +453,9 @@ impl Pipeline {
                     if restart > self.next_fetch {
                         self.next_fetch = restart;
                         self.fetch_used = 0;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.redirect_until = p.redirect_until.max(restart);
+                        }
                     }
                 } else {
                     // One branch prediction per cycle: every branch ends
@@ -444,10 +495,73 @@ impl Pipeline {
             Region::Scalar => 0,
             Region::Vector => 1,
         };
+        let prev_commit = self.last_commit;
         self.region_cycles[region_idx] += c.saturating_sub(self.last_commit);
         self.last_commit = c;
         self.instrs += 1;
         self.counts.add(dec.class, 1);
+
+        if self.prof.is_some() {
+            let way = self.cfg.way as u64;
+            let l1_lat = self.cfg.mem.l1.latency;
+            let mem_lat = self.cfg.mem.mem_latency;
+            let redirect_pen = self.cfg.redirect_penalty;
+            let used = self.commit_used as u64;
+            let p = self.prof.as_deref_mut().expect("profiling enabled");
+            // Commit slots are ordered `(cycle, position)`; this commit
+            // landed in slot `(c-1)·way + (used-1)`, strictly after the
+            // previous one (the cursor never moves backwards and `used`
+            // is capped at `way`).
+            let slot_idx = (c - 1) * way + (used - 1);
+            let gap = slot_idx - p.next_slot;
+            if gap > 0 {
+                // Charge the whole gap to the dominant component of the
+                // instruction that ended it.  Every weight is the
+                // *incremental* delay the component added beyond the
+                // previous commit: commit is in order, so anything bounded
+                // by an older instruction's completion (operand readiness,
+                // window-occupancy releases) is already behind
+                // `prev_commit` — measuring from dispatch instead would
+                // double-count every upstream stall and drown the
+                // per-instruction latencies that actually pace a full
+                // window.  Ties break in evaluation order below — memory
+                // first, width last — so attribution is deterministic.
+                let over = dispatch.saturating_sub(prev_commit);
+                let w_branch = if p.cur_branch { over + redirect_pen } else { 0 };
+                let w_queue = if !p.cur_branch && p.cur_front > 0 {
+                    over
+                } else {
+                    0
+                };
+                let w_dep = ready.saturating_sub(dispatch.max(prev_commit)) + p.cur_exec_lat;
+                let mem_cause = if p.cur_mem_wait >= mem_lat {
+                    StallCause::Memory
+                } else if p.cur_mem_wait > l1_lat {
+                    StallCause::L2
+                } else {
+                    StallCause::L1
+                };
+                let mut cause = StallCause::IssueWidth;
+                let mut best = 0;
+                for (w, cs) in [
+                    (p.cur_mem_wait, mem_cause),
+                    (w_branch, StallCause::BranchRecovery),
+                    (w_dep, StallCause::DataDep),
+                    (p.cur_fu_wait, StallCause::FuContention),
+                    (w_queue, StallCause::RenameQueue),
+                ] {
+                    if w > best {
+                        best = w;
+                        cause = cs;
+                    }
+                }
+                p.stall_slots[cause as usize * NUM_REGIONS + region_idx] += gap;
+            }
+            p.issue_slots[region_idx] += 1;
+            p.class_slots[dec.class as usize] += 1;
+            p.next_slot = slot_idx + 1;
+            p.last_region = region_idx;
+        }
 
         if self.instrs >= self.cleanup_at {
             // Same policy the old HashMap scoreboard had: drop store
@@ -553,6 +667,33 @@ impl Pipeline {
             memsys: self.mem.stats(),
         }
     }
+
+    /// The run's CPI stack, or `None` when profiling is off.
+    ///
+    /// The drained tail after the last commit (`cycles × way` minus the
+    /// slots walked so far) is charged to [`StallCause::IssueWidth`] in
+    /// the last committed region at read time, so the returned stack
+    /// always satisfies `issue_total() + stall_total() == slots`.
+    #[must_use]
+    pub fn cpi_stack(&self) -> Option<CpiStack> {
+        let p = self.prof.as_deref()?;
+        let way = self.cfg.way as u64;
+        let cycles = self.last_commit;
+        let slots = cycles * way;
+        let mut stall_slots = p.stall_slots;
+        // `next_slot` never exceeds `last_commit × way`: the last commit
+        // used at most `way` positions of cycle `last_commit`.
+        stall_slots[StallCause::IssueWidth as usize * NUM_REGIONS + p.last_region] +=
+            slots - p.next_slot;
+        Some(CpiStack {
+            cycles,
+            way,
+            slots,
+            issue_slots: p.issue_slots,
+            class_slots: p.class_slots,
+            stall_slots,
+        })
+    }
 }
 
 impl TraceSink for Pipeline {
@@ -594,7 +735,8 @@ fn run_pooled(
     dec: &Decoded,
     cfg: &PipeConfig,
     max_instrs: u64,
-) -> Result<(RunStats, PipeStats), EmuError> {
+    profile: bool,
+) -> Result<(RunStats, PipeStats, Option<CpiStack>), EmuError> {
     PIPE_POOL.with(|p| {
         let mut slot = p.borrow_mut();
         let pipe = match slot.as_mut() {
@@ -604,8 +746,9 @@ fn run_pooled(
             }
             None => slot.insert(Pipeline::new(*cfg)),
         };
+        pipe.set_profiling(profile);
         let rs = machine.run_decoded(dec, pipe, max_instrs)?;
-        Ok((rs, pipe.stats()))
+        Ok((rs, pipe.stats(), pipe.cpi_stack()))
     })
 }
 
@@ -645,6 +788,36 @@ pub fn simulate_decoded(
     cfg: &PipeConfig,
     max_instrs: u64,
 ) -> Result<(RunStats, PipeStats), EmuError> {
+    let (rs, t, _) = scratch_run(dec, machine, cfg, max_instrs, false)?;
+    Ok((rs, t))
+}
+
+/// [`simulate_decoded`] with cycle accounting enabled: additionally
+/// returns the run's [`CpiStack`].  Profiling observes the timestamps the
+/// model already computes, so the `PipeStats` are identical to an
+/// unprofiled run's (asserted by this crate's tests) at a small
+/// throughput cost.
+///
+/// # Errors
+///
+/// Propagates emulation errors ([`EmuError`]).
+pub fn simulate_decoded_profiled(
+    dec: &Decoded,
+    machine: &Machine,
+    cfg: &PipeConfig,
+    max_instrs: u64,
+) -> Result<(RunStats, PipeStats, CpiStack), EmuError> {
+    let (rs, t, stack) = scratch_run(dec, machine, cfg, max_instrs, true)?;
+    Ok((rs, t, stack.expect("profiling was enabled")))
+}
+
+fn scratch_run(
+    dec: &Decoded,
+    machine: &Machine,
+    cfg: &PipeConfig,
+    max_instrs: u64,
+    profile: bool,
+) -> Result<(RunStats, PipeStats, Option<CpiStack>), EmuError> {
     SCRATCH.with(|s| {
         let mut slot = s.borrow_mut();
         let m = match slot.as_mut() {
@@ -654,7 +827,7 @@ pub fn simulate_decoded(
             }
             None => slot.insert(machine.clone()),
         };
-        run_pooled(m, dec, cfg, max_instrs)
+        run_pooled(m, dec, cfg, max_instrs, profile)
     })
 }
 
@@ -673,7 +846,8 @@ pub fn simulate_in(
     cfg: &PipeConfig,
     max_instrs: u64,
 ) -> Result<(RunStats, PipeStats), EmuError> {
-    run_pooled(machine, &program.decode(), cfg, max_instrs)
+    let (rs, t, _) = run_pooled(machine, &program.decode(), cfg, max_instrs, false)?;
+    Ok((rs, t))
 }
 
 #[cfg(test)]
@@ -872,6 +1046,193 @@ mod tests {
         );
         assert!(fused.instrs > 1000);
         assert!(fused.branches > 0 && fused.l1.misses > 0);
+    }
+
+    /// Profiled run of `build` under `cfg`, via an explicit pipeline so
+    /// the pooled thread-local state cannot leak between assertions.
+    fn run_profiled(cfg: &PipeConfig, build: impl FnOnce(&mut Asm)) -> (PipeStats, CpiStack) {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.halt();
+        let prog = a.finish();
+        let dec = prog.decode();
+        let mut m = Machine::new(cfg.ext, 1 << 20);
+        let mut pipe = Pipeline::new(*cfg);
+        pipe.set_profiling(true);
+        m.run_decoded(&dec, &mut pipe, 10_000_000).unwrap();
+        let stats = pipe.stats();
+        let stack = pipe.cpi_stack().expect("profiling enabled");
+        (stats, stack)
+    }
+
+    fn assert_accounts(stats: &PipeStats, stack: &CpiStack) {
+        assert_eq!(stack.cycles, stats.cycles);
+        assert_eq!(stack.slots, stack.cycles * stack.way);
+        assert_eq!(
+            stack.issue_total() + stack.stall_total(),
+            stack.slots,
+            "CPI stack must account for every commit slot"
+        );
+        assert_eq!(stack.issue_total(), stats.instrs);
+        assert_eq!(stack.class_slots.iter().sum::<u64>(), stats.instrs);
+    }
+
+    #[test]
+    fn cpi_stack_sums_to_total_slots() {
+        // The branchy/memory/dependence mix from the fused-parity test,
+        // across all three widths: every slot must be accounted for.
+        for way in [2, 4, 8] {
+            let cfg = PipeConfig::paper(way, Ext::Mmx64);
+            let (stats, stack) = run_profiled(&cfg, |a| {
+                let (x, i, t, p) = (a.ireg(), a.ireg(), a.ireg(), a.ireg());
+                a.li(x, 0x1234_5678);
+                a.li(p, 4096);
+                a.li(i, 0);
+                a.for_loop(i, 200, |a| {
+                    a.muli(x, x, 1103515245);
+                    a.sd(x, p, 0);
+                    a.ld(t, p, 0);
+                    a.add(x, x, t);
+                    a.srli(t, x, 13);
+                    a.if_(Cond::Eq, t, 0, |a| {
+                        a.addi(x, x, 7);
+                    });
+                    a.addi(p, p, 32);
+                });
+            });
+            assert_eq!(stack.way, way as u64);
+            assert_accounts(&stats, &stack);
+            assert!(stack.stall_total() > 0, "{way}-way run saw no stalls");
+        }
+    }
+
+    #[test]
+    fn profiling_does_not_change_timing() {
+        let body = |a: &mut Asm| {
+            let (x, i, p, t) = (a.ireg(), a.ireg(), a.ireg(), a.ireg());
+            a.li(x, 0x9e37_79b9);
+            a.li(p, 8192);
+            a.li(i, 0);
+            a.for_loop(i, 300, |a| {
+                a.muli(x, x, 1103515245);
+                a.ld(t, p, 0);
+                a.add(x, x, t);
+                a.sd(x, p, 8);
+                a.addi(p, p, 64);
+            });
+        };
+        let cfg = PipeConfig::paper(4, Ext::Mmx64);
+        let plain = run(&cfg, body);
+        let (profiled, stack) = run_profiled(&cfg, body);
+        assert_eq!(plain, profiled, "profiling must not perturb timing");
+        assert_accounts(&profiled, &stack);
+    }
+
+    #[test]
+    fn fused_block_profile_matches_per_instruction_fallback() {
+        use simdsim_isa::DecodedBlock;
+
+        struct PerInstr(Pipeline);
+        impl TraceSink for PerInstr {
+            fn push(&mut self, di: &DynInstr, dec: &DecodedInstr) {
+                self.0.push(di, dec);
+            }
+            fn push_block(&mut self, dis: &[DynInstr], decs: &[DecodedInstr], _b: &DecodedBlock) {
+                for (di, dec) in dis.iter().zip(decs) {
+                    self.0.push(di, dec);
+                }
+            }
+        }
+
+        let mut a = Asm::new();
+        let (x, i, t, p) = (a.ireg(), a.ireg(), a.ireg(), a.ireg());
+        a.li(x, 0x1234_5678);
+        a.li(p, 4096);
+        a.li(i, 0);
+        a.for_loop(i, 300, |a| {
+            a.muli(x, x, 1103515245);
+            a.addi(x, x, 12345);
+            a.sd(x, p, 0);
+            a.ld(t, p, 0);
+            a.add(x, x, t);
+            a.srli(t, x, 13);
+            a.if_(Cond::Eq, t, 0, |a| {
+                a.addi(x, x, 7);
+            });
+            a.addi(p, p, 32);
+        });
+        a.halt();
+        let prog = a.finish();
+        let dec = prog.decode();
+        let cfg = PipeConfig::paper(4, Ext::Mmx64);
+        let machine = Machine::new(cfg.ext, 1 << 20);
+
+        let fused = {
+            let mut m = machine.clone();
+            let mut pipe = Pipeline::new(cfg);
+            pipe.set_profiling(true);
+            m.run_decoded(&dec, &mut pipe, 1_000_000).unwrap();
+            pipe.cpi_stack().unwrap()
+        };
+        let fallback = {
+            let mut m = machine.clone();
+            let mut sink = PerInstr(Pipeline::new(cfg));
+            sink.0.set_profiling(true);
+            m.run_decoded(&dec, &mut sink, 1_000_000).unwrap();
+            sink.0.cpi_stack().unwrap()
+        };
+        assert_eq!(
+            fused, fallback,
+            "fused block path must attribute stalls exactly like the fallback"
+        );
+    }
+
+    #[test]
+    fn dependence_chain_attributed_to_data_dep() {
+        let cfg = PipeConfig::paper(8, Ext::Mmx64);
+        let (stats, stack) = run_profiled(&cfg, |a| {
+            let r = a.ireg();
+            a.li(r, 0);
+            for _ in 0..2000 {
+                a.addi(r, r, 1);
+            }
+        });
+        assert_accounts(&stats, &stack);
+        let dep = stack.stall(StallCause::DataDep, 0);
+        assert!(
+            dep * 2 > stack.stall_total(),
+            "serial chain: data-dep stalls {} of {}",
+            dep,
+            stack.stall_total()
+        );
+    }
+
+    #[test]
+    fn cold_loads_attributed_to_memory_hierarchy() {
+        let cfg = PipeConfig::paper(2, Ext::Mmx64);
+        let (stats, stack) = run_profiled(&cfg, |a| {
+            let (p, t) = (a.ireg(), a.ireg());
+            a.li(p, 4096);
+            for _ in 0..64 {
+                a.ld(t, p, 0);
+                a.add(p, p, t);
+                a.addi(p, p, 64);
+            }
+        });
+        assert_accounts(&stats, &stack);
+        let mem = stack.stall(StallCause::Memory, 0)
+            + stack.stall(StallCause::L2, 0)
+            + stack.stall(StallCause::L1, 0);
+        assert!(
+            mem * 2 > stack.stall_total(),
+            "cold-miss chain: memory stalls {} of {}",
+            mem,
+            stack.stall_total()
+        );
+        assert!(
+            stack.stall(StallCause::Memory, 0) > 0,
+            "main-memory misses must surface as Memory stalls"
+        );
     }
 
     #[test]

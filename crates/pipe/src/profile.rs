@@ -1,0 +1,265 @@
+//! Cycle accounting: where every commit slot of a run went.
+//!
+//! The model commits up to `way` instructions per cycle, so a run of
+//! `cycles` cycles offers exactly `cycles × way` commit slots.  Each slot
+//! either retired an instruction (an *issue* slot) or was lost to some
+//! stall.  The profiler walks the committed instruction stream — slots are
+//! strictly ordered by `(cycle, position-in-cycle)` — and charges every
+//! gap between consecutive commits to the dominant timing component of
+//! the instruction that ended the gap.  The result is a CPI stack in the
+//! classic cycle-accounting sense: `issue + Σ stalls == cycles × way`,
+//! by construction, for every run.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a commit slot went unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Operand not ready: waiting on a producer (dependence chains and
+    /// non-memory execution latency).
+    DataDep,
+    /// Functional-unit or issue-bandwidth contention: the operands were
+    /// ready but no unit (or per-class issue slot) was free.
+    FuContention,
+    /// Nothing blocked the instruction; the machine simply could not
+    /// commit more than `way` per cycle (also absorbs the drained tail
+    /// after the last commit).
+    IssueWidth,
+    /// Fetch restarted after a branch mispredict; the front end was
+    /// refilling.
+    BranchRecovery,
+    /// Load serviced by the L1 data cache.
+    L1,
+    /// Load serviced by the L2 (or the vector port, which bypasses L1).
+    L2,
+    /// Load serviced by main memory.
+    Memory,
+    /// Rename budget, issue-queue or re-order-buffer occupancy held
+    /// dispatch back.
+    RenameQueue,
+}
+
+/// Number of stall causes (the width of the per-region stall arrays).
+pub const NUM_STALL_CAUSES: usize = 8;
+
+/// Number of code regions (scalar, vector).
+pub const NUM_REGIONS: usize = 2;
+
+impl StallCause {
+    /// Every cause, in the order `CpiStack::stall_slots` stores them.
+    pub const ALL: [StallCause; NUM_STALL_CAUSES] = [
+        StallCause::DataDep,
+        StallCause::FuContention,
+        StallCause::IssueWidth,
+        StallCause::BranchRecovery,
+        StallCause::L1,
+        StallCause::L2,
+        StallCause::Memory,
+        StallCause::RenameQueue,
+    ];
+
+    /// Stable snake_case label used on the wire and in reports.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            StallCause::DataDep => "data_dep",
+            StallCause::FuContention => "fu_contention",
+            StallCause::IssueWidth => "issue_width",
+            StallCause::BranchRecovery => "branch_recovery",
+            StallCause::L1 => "l1",
+            StallCause::L2 => "l2",
+            StallCause::Memory => "memory",
+            StallCause::RenameQueue => "rename_queue",
+        }
+    }
+}
+
+/// Region labels, indexed like the region dimension of
+/// [`CpiStack::stall_slots`] (0 = scalar, 1 = vector).
+pub const REGION_LABELS: [&str; NUM_REGIONS] = ["scalar", "vector"];
+
+/// A finished run's CPI stack.
+///
+/// Invariant (asserted by the model's tests and the fleet smoke check):
+/// `issue_slots.iter().sum() + stall_slots.iter().sum() == slots`, and
+/// `slots == cycles × way` for a single-cell stack.  Merged stacks keep
+/// the invariant because both sides hold it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Execution cycles of the run (summed across cells after a merge).
+    pub cycles: u64,
+    /// Commit width the slots were counted at; 0 after merging stacks of
+    /// differing widths.
+    pub way: u64,
+    /// Total commit slots accounted (`cycles × way` per cell).
+    pub slots: u64,
+    /// Slots that retired an instruction, by region (0 = scalar,
+    /// 1 = vector).
+    pub issue_slots: [u64; NUM_REGIONS],
+    /// Retired slots by Figure-7 class, indexed by `Class` declaration
+    /// order (smem, sarith, sctrl, vmem, varith).
+    pub class_slots: [u64; 5],
+    /// Stalled slots, indexed `cause × NUM_REGIONS + region` with `cause`
+    /// in [`StallCause::ALL`] order.
+    pub stall_slots: [u64; NUM_STALL_CAUSES * NUM_REGIONS],
+}
+
+impl CpiStack {
+    /// Slots that retired an instruction, both regions.
+    #[must_use]
+    pub fn issue_total(&self) -> u64 {
+        self.issue_slots.iter().sum()
+    }
+
+    /// Slots lost to stalls, all causes and regions.
+    #[must_use]
+    pub fn stall_total(&self) -> u64 {
+        self.stall_slots.iter().sum()
+    }
+
+    /// Stalled slots charged to `cause` in `region` (0 = scalar,
+    /// 1 = vector).
+    #[must_use]
+    pub fn stall(&self, cause: StallCause, region: usize) -> u64 {
+        self.stall_slots[cause as usize * NUM_REGIONS + region]
+    }
+
+    /// Cycles per committed instruction implied by the stack.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        let instrs = self.issue_total();
+        if instrs == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / instrs as f64
+        }
+    }
+
+    /// Folds `other` into this stack.  Slot counts add; `way` survives
+    /// only when both sides agree (a merged stack over mixed widths
+    /// reports `way == 0`, and its `slots` field stays authoritative).
+    pub fn merge(&mut self, other: &CpiStack) {
+        if self.slots == 0 {
+            self.way = other.way;
+        } else if self.way != other.way {
+            self.way = 0;
+        }
+        self.cycles += other.cycles;
+        self.slots += other.slots;
+        for (a, b) in self.issue_slots.iter_mut().zip(&other.issue_slots) {
+            *a += b;
+        }
+        for (a, b) in self.class_slots.iter_mut().zip(&other.class_slots) {
+            *a += b;
+        }
+        for (a, b) in self.stall_slots.iter_mut().zip(&other.stall_slots) {
+            *a += b;
+        }
+    }
+}
+
+/// In-flight accumulator the [`Pipeline`](crate::Pipeline) carries while
+/// profiling is enabled.  The `cur_*` fields are the per-instruction
+/// scratch the three pipeline stages fill in; `stage_retire` consumes
+/// them when the instruction commits.
+#[derive(Debug, Default)]
+pub(crate) struct CpiAccum {
+    /// First commit slot index not yet accounted for.
+    pub next_slot: u64,
+    /// Retired slots by region.
+    pub issue_slots: [u64; NUM_REGIONS],
+    /// Retired slots by Figure-7 class (declaration order).
+    pub class_slots: [u64; 5],
+    /// Stalled slots, `cause × NUM_REGIONS + region`.
+    pub stall_slots: [u64; NUM_STALL_CAUSES * NUM_REGIONS],
+    /// Region of the most recent commit; the post-run drain tail is
+    /// charged here.
+    pub last_region: usize,
+    /// Fetch cycles at or before this point were set by a mispredict
+    /// redirect.
+    pub redirect_until: u64,
+    /// Front-end raise (ROB release + issue-queue drain + rename budget)
+    /// of the instruction in flight.
+    pub cur_front: u64,
+    /// The in-flight instruction was fetched at a redirect restart.
+    pub cur_branch: bool,
+    /// Cycles between operand readiness and unit issue.
+    pub cur_fu_wait: u64,
+    /// Non-memory execution latency (issue to completion).
+    pub cur_exec_lat: u64,
+    /// Load latency (memory-system start to data return).
+    pub cur_mem_wait: u64,
+}
+
+impl CpiAccum {
+    /// Clears the accumulator for a fresh run.
+    pub fn reset(&mut self) {
+        *self = CpiAccum::default();
+    }
+
+    /// Clears the per-instruction scratch at the top of `stage_front`.
+    #[inline]
+    pub fn begin_instr(&mut self) {
+        self.cur_front = 0;
+        self.cur_branch = false;
+        self.cur_fu_wait = 0;
+        self.cur_exec_lat = 0;
+        self.cur_mem_wait = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_slot_accounting() {
+        let mut a = CpiStack {
+            cycles: 10,
+            way: 2,
+            slots: 20,
+            issue_slots: [5, 3],
+            class_slots: [2, 3, 1, 1, 1],
+            ..CpiStack::default()
+        };
+        let mut b = CpiStack {
+            cycles: 4,
+            way: 4,
+            slots: 16,
+            issue_slots: [4, 0],
+            ..CpiStack::default()
+        };
+        b.stall_slots[StallCause::Memory as usize * NUM_REGIONS] = 12;
+        a.stall_slots[StallCause::DataDep as usize * NUM_REGIONS + 1] = 12;
+        a.merge(&b);
+        assert_eq!(a.slots, 36);
+        assert_eq!(a.way, 0, "mixed widths collapse to 0");
+        assert_eq!(a.issue_total() + a.stall_total(), 36);
+        assert_eq!(a.stall(StallCause::Memory, 0), 12);
+        assert_eq!(a.stall(StallCause::DataDep, 1), 12);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_width() {
+        let mut empty = CpiStack::default();
+        let one = CpiStack {
+            cycles: 3,
+            way: 4,
+            slots: 12,
+            issue_slots: [6, 6],
+            ..CpiStack::default()
+        };
+        empty.merge(&one);
+        assert_eq!(empty.way, 4);
+        assert_eq!(empty, one);
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for c in StallCause::ALL {
+            assert!(seen.insert(c.label()), "duplicate label {}", c.label());
+        }
+        assert_eq!(seen.len(), NUM_STALL_CAUSES);
+    }
+}

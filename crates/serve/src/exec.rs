@@ -109,6 +109,18 @@ pub fn run_job(job: &Job, ctx: &ExecContext) {
         });
     ctx.metrics
         .record_blocks(block_totals.0, block_totals.1, block_totals.2);
+    // Fold every freshly simulated cell's CPI stack into the fleet-wide
+    // stall counters (`simdsim_stall_cycles_total`).  Both execution
+    // paths land here, so in-process and fleet-sharded jobs are counted
+    // identically.
+    for stack in report
+        .outcomes
+        .iter()
+        .filter(|o| !o.cached)
+        .filter_map(|o| o.stats.as_ref().ok().and_then(|s| s.profile.as_ref()))
+    {
+        ctx.metrics.record_stalls(stack);
+    }
     let cancelled = job.cancel.load(Ordering::Relaxed);
     let state = if cancelled {
         ctx.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);

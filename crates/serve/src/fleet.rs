@@ -831,7 +831,12 @@ mod tests {
             instr_limit: 200_000,
         };
         let cfg = cell.config().expect("paper config");
-        CellTask { index, cell, cfg }
+        CellTask {
+            index,
+            cell,
+            cfg,
+            profile: true,
+        }
     }
 
     fn fake_stats() -> CellStats {
@@ -850,6 +855,7 @@ mod tests {
             blocks_cached: 4,
             block_hits: 50,
             side_exits: 0,
+            profile: None,
         }
     }
 

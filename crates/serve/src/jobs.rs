@@ -24,7 +24,7 @@
 use simdsim_api::{
     CellResult, CellsPage, JobState, JobSummary, Progress, SweepResult, SweepStatus,
 };
-use simdsim_sweep::{fnv1a128, ProgressEvent, Scenario};
+use simdsim_sweep::{fnv1a128, CpiStack, ProgressEvent, Scenario};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -59,6 +59,16 @@ struct JobInner {
     cells: Vec<CellResult>,
     result: Option<SweepResult>,
     finished_at: Option<Instant>,
+    /// Merged cycle-accounting stack over every profiled ok cell
+    /// published so far — the aggregate behind
+    /// `GET /v1/sweeps/{id}/profile`, maintained incrementally so a
+    /// running job serves a partial aggregate without replaying cells.
+    profile: CpiStack,
+    /// Cells whose stacks contributed to `profile`.
+    profile_cells: u64,
+    /// Cells that resolved ok but carried no stack (profiling off, or
+    /// results cached by a pre-profiler build).
+    profile_missing: u64,
 }
 
 /// One submitted sweep, shared between the HTTP layer (status polls,
@@ -169,6 +179,17 @@ impl Job {
         }
     }
 
+    /// The job's aggregated CPI stack so far as
+    /// `(stack, contributing_cells, missing_cells)`.  The stack is `None`
+    /// until at least one profiled cell resolves, so a poll on a fresh
+    /// job reads "no data yet" rather than an all-zero aggregate.
+    #[must_use]
+    pub fn profile_aggregate(&self) -> (Option<CpiStack>, u64, u64) {
+        let inner = self.inner.lock().expect("job lock");
+        let stack = (inner.profile_cells > 0).then_some(inner.profile);
+        (stack, inner.profile_cells, inner.profile_missing)
+    }
+
     pub(crate) fn finished(&self) -> bool {
         self.state().is_terminal()
     }
@@ -206,6 +227,14 @@ impl Job {
     pub(crate) fn publish_cell(&self, ev: &ProgressEvent) {
         let cell = CellResult::from_progress(ev);
         let mut inner = self.inner.lock().expect("job lock");
+        match ev.stats.as_ref().map(|s| s.profile.as_ref()) {
+            Some(Some(stack)) => {
+                inner.profile.merge(stack);
+                inner.profile_cells += 1;
+            }
+            Some(None) => inner.profile_missing += 1,
+            None => {} // failed cell: neither contributes nor is "missing"
+        }
         inner.progress.total = ev.total as u64;
         // Events from concurrent engine workers can arrive out of counter
         // order; keep the published count monotonic for pollers.
@@ -418,6 +447,9 @@ impl JobQueue {
                 cells: Vec::new(),
                 result: None,
                 finished_at: None,
+                profile: CpiStack::default(),
+                profile_cells: 0,
+                profile_missing: 0,
             }),
             cells_cv: Condvar::new(),
         });

@@ -10,8 +10,13 @@
 
 use serde::Serialize;
 use simdsim_obs::Histogram;
+use simdsim_sweep::{CpiStack, StallCause, NUM_REGIONS, NUM_STALL_CAUSES, REGION_LABELS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// `cause × region` stall-counter slots (the flattened layout of
+/// [`CpiStack::stall_slots`](simdsim_sweep::CpiStack)).
+const STALL_SLOTS: usize = NUM_STALL_CAUSES * NUM_REGIONS;
 
 /// The endpoint families latency histograms are kept for, in label order.
 /// [`endpoint_index`] maps a request onto this table.
@@ -61,6 +66,10 @@ pub struct Gauges {
     pub fleet_workers_live: u64,
     /// Cells queued for fleet dispatch and not currently leased.
     pub fleet_pending_cells: u64,
+    /// Events the flight recorder has dropped to ring overflow since
+    /// startup.  Monotonic, but it lives in the recorder rather than the
+    /// counter block, so the caller samples it here like the gauges.
+    pub flight_recorder_dropped: u64,
 }
 
 /// Shared counter block, updated by connection handlers and job workers.
@@ -130,6 +139,11 @@ pub struct Metrics {
     pub fleet_reports_stale: AtomicU64,
     /// Cells put back on the queue after a lease expiry or eviction.
     pub fleet_cells_requeued: AtomicU64,
+    /// Commit slots lost to each stall cause, split by code region —
+    /// the fleet-wide CPI stack, accumulated from every freshly simulated
+    /// cell's profile by [`Metrics::record_stalls`].  Flattened
+    /// `cause × NUM_REGIONS + region`, matching `CpiStack::stall_slots`.
+    pub stall_cycles: [AtomicU64; STALL_SLOTS],
     /// Request latency per endpoint family, indexed by [`HTTP_ENDPOINTS`].
     pub http_ms: [Histogram; HTTP_ENDPOINTS.len()],
     /// Lease-grant→report latency per accepted fleet unit.
@@ -206,10 +220,15 @@ pub struct MetricsSnapshot {
     pub fleet_reports_stale: u64,
     /// Cells re-queued after a lease expiry or eviction.
     pub fleet_cells_requeued: u64,
+    /// Stalled commit slots by `cause × NUM_REGIONS + region`, the
+    /// flattened layout of `CpiStack::stall_slots`.
+    pub stall_cycles: [u64; STALL_SLOTS],
     /// Live fleet workers at snapshot time (gauge, from [`Gauges`]).
     pub fleet_workers_live: u64,
     /// Cells awaiting dispatch at snapshot time (gauge, from [`Gauges`]).
     pub fleet_pending_cells: u64,
+    /// Flight-recorder events dropped to overflow (sampled, [`Gauges`]).
+    pub flight_recorder_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -274,6 +293,16 @@ impl Metrics {
         self.sim_side_exits.fetch_add(side_exits, Ordering::Relaxed);
     }
 
+    /// Folds one cell's cycle-accounting stack into the fleet-wide stall
+    /// counters (`simdsim_stall_cycles_total` on `/metrics`).
+    pub fn record_stalls(&self, stack: &CpiStack) {
+        for (slot, &v) in self.stall_cycles.iter().zip(&stack.stall_slots) {
+            if v > 0 {
+                slot.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Records one request's latency under its endpoint family (an index
     /// from [`endpoint_index`]).
     pub fn observe_http(&self, endpoint: usize, ms: f64) {
@@ -320,8 +349,10 @@ impl Metrics {
             fleet_cells_reported: get(&self.fleet_cells_reported),
             fleet_reports_stale: get(&self.fleet_reports_stale),
             fleet_cells_requeued: get(&self.fleet_cells_requeued),
+            stall_cycles: std::array::from_fn(|i| get(&self.stall_cycles[i])),
             fleet_workers_live: gauges.fleet_workers_live,
             fleet_pending_cells: gauges.fleet_pending_cells,
+            flight_recorder_dropped: gauges.flight_recorder_dropped,
         }
     }
 
@@ -449,6 +480,29 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
             ("event=\"requeued\"", s.fleet_cells_requeued),
         ],
     );
+    counter(
+        "simdsim_flight_recorder_dropped_total",
+        "Flight-recorder events dropped to ring overflow.",
+        &[("", s.flight_recorder_dropped)],
+    );
+    {
+        let name = "simdsim_stall_cycles_total";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Commit slots lost to each stall cause, by code region."
+        );
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for cause in &StallCause::ALL {
+            for (region, label) in REGION_LABELS.iter().enumerate() {
+                let v = s.stall_cycles[*cause as usize * NUM_REGIONS + region];
+                let _ = writeln!(
+                    out,
+                    "{name}{{cause=\"{}\",region=\"{label}\"}} {v}",
+                    cause.label()
+                );
+            }
+        }
+    }
 
     let mut gauge = |name: &str, help: &str, v: String| {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -500,11 +554,17 @@ mod tests {
         m.fleet_workers_registered.fetch_add(1, Ordering::Relaxed);
         m.record_job(5, 7, 1_000_000, Duration::from_millis(250));
         m.record_blocks(40, 9_000, 12);
+        let mut stack = CpiStack::default();
+        stack.stall_slots[StallCause::DataDep as usize * NUM_REGIONS] = 11; // scalar
+        stack.stall_slots[StallCause::Memory as usize * NUM_REGIONS + 1] = 23; // vector
+        m.record_stalls(&stack);
+        m.record_stalls(&stack);
         let s = m.snapshot(
             4,
             Gauges {
                 fleet_workers_live: 1,
                 fleet_pending_cells: 3,
+                flight_recorder_dropped: 9,
             },
         );
         assert_eq!(s.queue_depth, 4);
@@ -528,6 +588,10 @@ mod tests {
             "simdsim_fleet_cells_total{event=\"requeued\"} 0",
             "simdsim_fleet_workers_live 1",
             "simdsim_fleet_pending_cells 3",
+            "simdsim_flight_recorder_dropped_total 9",
+            "simdsim_stall_cycles_total{cause=\"data_dep\",region=\"scalar\"} 22",
+            "simdsim_stall_cycles_total{cause=\"memory\",region=\"vector\"} 46",
+            "simdsim_stall_cycles_total{cause=\"issue_width\",region=\"scalar\"} 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
@@ -551,6 +615,7 @@ mod tests {
             ("GET", "/v1/sweeps", "sweep_list"),
             ("GET", "/v1/sweeps/7", "sweep_status"),
             ("GET", "/v1/sweeps/7/cells", "sweep_cells"),
+            ("GET", "/v1/sweeps/7/profile", "sweep_status"),
             ("DELETE", "/v1/sweeps/7", "sweep_cancel"),
             ("GET", "/metrics", "metrics"),
             ("POST", "/v1/workers/3/lease", "fleet"),

@@ -11,6 +11,7 @@
 //! | `/v1/sweeps` | POST | submit a [`SweepRequest`] → `202` [`SubmitResponse`] |
 //! | `/v1/sweeps/{id}` | GET | [`SweepStatus`]: state/progress/result |
 //! | `/v1/sweeps/{id}/cells?since=N` | GET | [`CellsPage`]: long-poll cell stream |
+//! | `/v1/sweeps/{id}/profile` | GET | [`ProfileResponse`]: aggregated CPI stack |
 //! | `/v1/sweeps/{id}` | DELETE | cancel → [`SweepStatus`] (or 404/409 [`ApiError`]) |
 //! | `/v1/sweeps:batch` | POST | submit many → [`BatchSubmitResponse`], typed partial failure |
 //! | `/v1/workers/register` | POST | join the fleet → [`simdsim_api::RegisterResponse`] |
@@ -35,10 +36,10 @@ use crate::http::{parse_request, write_response, Request, Response};
 use crate::jobs::{CancelOutcome, JobQueue, RetentionPolicy};
 use crate::metrics::{endpoint_index, render_prometheus, Gauges, Metrics};
 use simdsim_api::{
-    ApiError, BatchSubmitItem, BatchSubmitRequest, BatchSubmitResponse, CellsPage, DebugEvent,
-    DebugEvents, ErrorCode, Health, JobList, LeaseRequest, RegisterRequest, ReportRequest,
-    ScenarioInfo, SnapshotImported, StoreSnapshot, StoreSnapshotEntry, SubmitResponse,
-    SweepRequest,
+    ApiError, BatchSubmitItem, BatchSubmitRequest, BatchSubmitResponse, CellsPage, CpiProfile,
+    DebugEvent, DebugEvents, ErrorCode, Health, JobList, LeaseRequest, ProfileResponse,
+    RegisterRequest, ReportRequest, ScenarioInfo, SnapshotImported, StoreSnapshot,
+    StoreSnapshotEntry, SubmitResponse, SweepRequest,
 };
 use simdsim_obs::{Event, EventFilter, FlightRecorder, TraceId, TRACE_HEADER};
 use simdsim_sweep::{EngineOptions, ResultStore, Scenario, StoredCell, CACHE_SCHEMA_VERSION};
@@ -275,6 +276,7 @@ impl Server {
             Gauges {
                 fleet_workers_live: self.shared.fleet.live_workers() as u64,
                 fleet_pending_cells: self.shared.fleet.pending_cells(),
+                flight_recorder_dropped: self.shared.recorder.dropped(),
             },
         )
     }
@@ -481,6 +483,7 @@ fn route_inner(req: &Request, shared: &Shared) -> Response {
                 Gauges {
                     fleet_workers_live: shared.fleet.live_workers() as u64,
                     fleet_pending_cells: shared.fleet.pending_cells(),
+                    flight_recorder_dropped: shared.recorder.dropped(),
                 },
             );
             let mut text = render_prometheus(&snapshot);
@@ -498,12 +501,23 @@ fn route_inner(req: &Request, shared: &Shared) -> Response {
     }
 }
 
-/// Routes `GET /sweeps/{id}` and `GET /sweeps/{id}/cells`.
+/// Which view of a job a `GET /sweeps/{id}[/...]` request asked for.
+enum SweepView {
+    Status,
+    Cells,
+    Profile,
+}
+
+/// Routes `GET /sweeps/{id}`, `GET /sweeps/{id}/cells` and
+/// `GET /sweeps/{id}/profile`.
 fn sweep_get(path: &str, req: &Request, shared: &Shared) -> Response {
     let rest = &path["/sweeps/".len()..];
-    let (id_text, cells) = match rest.strip_suffix("/cells") {
-        Some(id_text) => (id_text, true),
-        None => (rest, false),
+    let (id_text, view) = if let Some(id_text) = rest.strip_suffix("/cells") {
+        (id_text, SweepView::Cells)
+    } else if let Some(id_text) = rest.strip_suffix("/profile") {
+        (id_text, SweepView::Profile)
+    } else {
+        (rest, SweepView::Status)
     };
     let Ok(id) = id_text.parse::<u64>() else {
         return Response::api_error(&ApiError::new(
@@ -517,15 +531,42 @@ fn sweep_get(path: &str, req: &Request, shared: &Shared) -> Response {
             format!("no job {id}"),
         ));
     };
-    if !cells {
-        shared
-            .metrics
-            .requests_status
-            .fetch_add(1, Ordering::Relaxed);
-        return json_dto(
-            200,
-            &shared.queue.status_for(id).expect("job just looked up"),
-        );
+    match view {
+        SweepView::Status => {
+            shared
+                .metrics
+                .requests_status
+                .fetch_add(1, Ordering::Relaxed);
+            return json_dto(
+                200,
+                &shared.queue.status_for(id).expect("job just looked up"),
+            );
+        }
+        SweepView::Profile => {
+            // Counted under the status family: a profile poll has the
+            // same shape and cost as a status poll.
+            shared
+                .metrics
+                .requests_status
+                .fetch_add(1, Ordering::Relaxed);
+            let (stack, cells, missing) = job.profile_aggregate();
+            let state = if id_cancelled {
+                simdsim_api::JobState::Cancelled
+            } else {
+                job.state()
+            };
+            return json_dto(
+                200,
+                &ProfileResponse {
+                    id,
+                    state,
+                    cells,
+                    missing,
+                    profile: stack.as_ref().map(CpiProfile::from_stack),
+                },
+            );
+        }
+        SweepView::Cells => {}
     }
 
     shared

@@ -3,7 +3,9 @@
 //! `SimdsimClient` against a real ephemeral-port daemon.
 
 use serde::{Serialize, Value};
-use simdsim_api::{CellResult, ErrorCode, JobState, SweepRequest};
+use simdsim_api::{
+    BatchSubmitResponse, CellResult, ErrorCode, JobState, SweepRequest, TRACE_HEADER,
+};
 use simdsim_client::{ClientError, SimdsimClient};
 use simdsim_serve::{Server, ServerConfig};
 use simdsim_sweep::Scenario;
@@ -358,6 +360,78 @@ fn batch_submit_has_typed_partial_failure() {
         }
         other => panic!("empty batch accepted: {other:?}"),
     }
+
+    server.shutdown();
+}
+
+/// Trace propagation through `POST /v1/sweeps:batch`: without a caller
+/// header every accepted item gets its own server-generated trace; with
+/// an `X-Simdsim-Trace-Id` header the whole batch — one client action —
+/// shares the caller's id.  Either way each item's `SubmitResponse`
+/// echoes the trace its job actually runs under.
+#[test]
+fn batch_submit_propagates_trace_ids_per_item() {
+    let server = start_server(|_| {});
+    let mut c = connect(&server);
+
+    // Headerless batch: distinct, well-formed traces per item.
+    let anon = c
+        .submit_batch(&[
+            SweepRequest::by_name("fig4").filter("/trace-a/"),
+            SweepRequest::by_name("fig4").filter("/trace-b/"),
+        ])
+        .expect("headerless batch");
+    let traces: Vec<String> = anon
+        .items
+        .iter()
+        .map(|item| {
+            item.submit
+                .as_ref()
+                .expect("item queued")
+                .trace
+                .clone()
+                .expect("every job is traceable")
+        })
+        .collect();
+    assert_eq!(traces.len(), 2);
+    assert_ne!(traces[0], traces[1], "separate jobs, separate traces");
+    for t in &traces {
+        assert_eq!(t.len(), 32, "trace ids are 32 hex chars: {t}");
+        assert!(t.chars().all(|ch| ch.is_ascii_hexdigit()), "non-hex: {t}");
+    }
+
+    // Caller-supplied header: every accepted item shares it, and a
+    // per-item failure neither gets a trace nor disturbs its neighbours.
+    let trace = "00112233445566778899aabbccddeeff";
+    let body = serde_json::to_string(&simdsim_api::BatchSubmitRequest {
+        sweeps: vec![
+            SweepRequest::by_name("fig4").filter("/trace-c/"),
+            SweepRequest::by_name("no-such-scenario"),
+            SweepRequest::by_name("fig4").filter("/trace-d/"),
+        ],
+    })
+    .expect("serialize");
+    let resp = c
+        .http()
+        .send_json_with_headers("POST", "/v1/sweeps:batch", &body, &[(TRACE_HEADER, trace)])
+        .expect("traced batch");
+    assert_eq!(resp.status, 200);
+    let shared: BatchSubmitResponse =
+        serde_json::from_str(&resp.body_str()).expect("batch response parses");
+    assert_eq!(shared.items.len(), 3);
+    for idx in [0usize, 2] {
+        let sub = shared.items[idx].submit.as_ref().expect("item queued");
+        assert_eq!(
+            sub.trace.as_deref(),
+            Some(trace),
+            "item {idx} does not run under the caller's trace"
+        );
+    }
+    assert!(shared.items[1].submit.is_none(), "bad item stays failed");
+    assert_eq!(
+        shared.items[1].error.as_ref().map(|e| e.code),
+        Some(ErrorCode::UnknownScenario)
+    );
 
     server.shutdown();
 }

@@ -1,0 +1,226 @@
+//! Acceptance tests for the cycle-accounting profile surface:
+//! `GET /v1/sweeps/{id}/profile`, per-cell `CellResult.profile`, and the
+//! sum-to-total invariant (`issue + Σ stalls == cycles × way`) that makes
+//! a CPI stack trustworthy.
+
+use simdsim_api::{CellResult, CpiProfile, ErrorCode, JobState, SweepRequest};
+use simdsim_client::{ClientError, SimdsimClient};
+use simdsim_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+const POLL: Duration = Duration::from_millis(25);
+
+fn start_server() -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: None,
+        job_workers: 1,
+        engine_jobs: Some(2),
+        ..ServerConfig::default()
+    })
+    .expect("server binds an ephemeral port")
+}
+
+fn connect(server: &Server) -> SimdsimClient {
+    SimdsimClient::connect(server.addr(), TIMEOUT).expect("client connects")
+}
+
+/// Every accounted slot must be explained: retired slots plus stalled
+/// slots equals the commit bandwidth the run had.
+fn assert_sums_to_total(p: &CpiProfile, what: &str) {
+    assert_eq!(
+        p.issue + p.stall_total(),
+        p.slots,
+        "{what}: issue {} + stalls {} != slots {}",
+        p.issue,
+        p.stall_total(),
+        p.slots
+    );
+    if p.way > 0 {
+        assert_eq!(
+            p.slots,
+            p.cycles * p.way,
+            "{what}: slots != cycles × way at fixed width"
+        );
+    }
+    let class_total: u64 = p.classes.iter().map(|c| c.slots).sum();
+    assert_eq!(
+        class_total, p.issue,
+        "{what}: per-class retired slots must partition the issue slots"
+    );
+}
+
+/// The tentpole acceptance path: run a sweep, read the aggregate CPI
+/// stack over the wire, and check it is exactly the sum of the per-cell
+/// stacks — with every level obeying the sum-to-total invariant.
+#[test]
+fn profile_route_aggregates_cell_stacks_and_sums_to_total() {
+    let server = start_server();
+    let mut c = connect(&server);
+
+    let id = c
+        .submit(&SweepRequest::by_name("fig4").filter("/idct/"))
+        .expect("submit")
+        .id;
+    let mut streamed: Vec<CellResult> = Vec::new();
+    let status = c
+        .stream_cells(id, |cell| streamed.push(cell.clone()))
+        .expect("stream");
+    assert_eq!(status.state, JobState::Done);
+    assert_eq!(streamed.len(), 4, "fig4 /idct/ yields 4 cells");
+
+    // Every simulated cell carries its own stack, each internally
+    // consistent.
+    for cell in &streamed {
+        let p = cell
+            .profile
+            .as_ref()
+            .unwrap_or_else(|| panic!("cell {} has no profile", cell.label));
+        assert!(p.cycles > 0, "{}: empty profile", cell.label);
+        assert_sums_to_total(p, &cell.label);
+    }
+
+    // The aggregate route reports all four cells contributing and obeys
+    // the same invariant.
+    let resp = c.profile(id).expect("profile route");
+    assert_eq!(resp.id, id);
+    assert_eq!(resp.state, JobState::Done);
+    assert_eq!(resp.cells, 4);
+    assert_eq!(resp.missing, 0);
+    let agg = resp.profile.as_ref().expect("aggregate stack");
+    assert_sums_to_total(agg, "aggregate");
+
+    // Aggregate == sum of the parts, not a resampling: cycles, slots,
+    // issue, and every stall row line up with the per-cell stacks.
+    let cell_profiles: Vec<&CpiProfile> =
+        streamed.iter().filter_map(|c| c.profile.as_ref()).collect();
+    assert_eq!(
+        agg.cycles,
+        cell_profiles.iter().map(|p| p.cycles).sum::<u64>()
+    );
+    assert_eq!(
+        agg.slots,
+        cell_profiles.iter().map(|p| p.slots).sum::<u64>()
+    );
+    assert_eq!(
+        agg.issue,
+        cell_profiles.iter().map(|p| p.issue).sum::<u64>()
+    );
+    assert_eq!(agg.way, 2, "fig4 is a fixed 2-way sweep");
+    for row in &agg.stalls {
+        let from_cells: u64 = cell_profiles
+            .iter()
+            .flat_map(|p| &p.stalls)
+            .filter(|e| e.cause == row.cause && e.region == row.region)
+            .map(|e| e.slots)
+            .sum();
+        assert_eq!(
+            row.slots, from_cells,
+            "aggregate {}/{} diverges from cell sum",
+            row.cause, row.region
+        );
+    }
+    // Rows are rendered largest-first so a dashboard can truncate.
+    assert!(
+        agg.stalls.windows(2).all(|w| w[0].slots >= w[1].slots),
+        "stall rows sorted descending"
+    );
+
+    server.shutdown();
+}
+
+/// Degenerate and error answers: an empty job has a `null` profile (not
+/// a zeroed one), and an unknown id is a typed 404.
+#[test]
+fn profile_route_handles_empty_jobs_and_unknown_ids() {
+    let server = start_server();
+    let mut c = connect(&server);
+
+    let id = c
+        .submit(&SweepRequest::by_name("fig4").filter("/no-such-cell/"))
+        .expect("submit")
+        .id;
+    let _ = c.wait_timeout(id, POLL, TIMEOUT).expect("done");
+    let resp = c.profile(id).expect("profile of an empty job");
+    assert_eq!(resp.state, JobState::Done);
+    assert_eq!(resp.cells, 0);
+    assert_eq!(resp.missing, 0);
+    assert!(
+        resp.profile.is_none(),
+        "no contributing cells distinguishes itself from an all-zero stack"
+    );
+
+    match c.profile(id + 999) {
+        Err(ClientError::Api { status, error }) => {
+            assert_eq!(status, 404);
+            assert_eq!(error.code, ErrorCode::UnknownJob);
+        }
+        other => panic!("expected unknown_job, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+/// The stall counters exported on `/metrics` agree with the aggregate
+/// stack: what the profile route explains is what Prometheus scrapes.
+#[test]
+fn metrics_stall_counters_match_the_job_aggregate() {
+    let server = start_server();
+    let mut c = connect(&server);
+
+    let id = c
+        .submit(&SweepRequest::by_name("fig4").filter("/idct/"))
+        .expect("submit")
+        .id;
+    let _ = c.wait_timeout(id, POLL, TIMEOUT).expect("done");
+    let agg = c
+        .profile(id)
+        .expect("profile")
+        .profile
+        .expect("aggregate stack");
+
+    let scrape = c.http().get("/metrics").expect("scrape");
+    assert_eq!(scrape.status, 200);
+    let body = scrape.body_str();
+    let mut exported = 0u64;
+    for line in body
+        .lines()
+        .filter(|l| l.starts_with("simdsim_stall_cycles_total{"))
+    {
+        let v: u64 = line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .expect("counter sample parses");
+        exported += v;
+    }
+    assert_eq!(
+        exported,
+        agg.stall_total(),
+        "exported stall slots != job aggregate"
+    );
+    // Every cause appears with both region labels even at zero, so
+    // dashboards never see a vanishing series.
+    for cause in [
+        "data_dep",
+        "fu_contention",
+        "issue_width",
+        "branch_recovery",
+        "l1",
+        "l2",
+        "memory",
+        "rename_queue",
+    ] {
+        for region in ["scalar", "vector"] {
+            assert!(
+                body.contains(&format!(
+                    "simdsim_stall_cycles_total{{cause=\"{cause}\",region=\"{region}\"}}"
+                )),
+                "missing series {cause}/{region}"
+            );
+        }
+    }
+
+    server.shutdown();
+}

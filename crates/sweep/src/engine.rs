@@ -9,7 +9,7 @@ use crate::store::{cell_key, CacheKey, ResultStore, StoredCell};
 use serde::{Deserialize, Serialize};
 use simdsim_isa::{ClassCounts, Decoded};
 use simdsim_mem::{CacheStats, MemTimingStats};
-use simdsim_pipe::{simulate_decoded, PipeConfig};
+use simdsim_pipe::{simulate_decoded, simulate_decoded_profiled, CpiStack, PipeConfig};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -86,10 +86,14 @@ pub struct CellStats {
     /// instruction fallback path).
     #[serde(default)]
     pub side_exits: u64,
+    /// The cell's CPI stack (`None` when the run had profiling disabled,
+    /// or for results cached by a pre-profiler build).
+    #[serde(default)]
+    pub profile: Option<CpiStack>,
 }
 
 /// How the engine runs a scenario.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Worker-pool size; `None` uses the available parallelism.
     pub jobs: Option<usize>,
@@ -104,6 +108,22 @@ pub struct EngineOptions {
     /// in-flight cells run to completion (the engine stops *between*
     /// cells, never mid-simulation).
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Cycle accounting: when `true` (the default) every simulated cell
+    /// carries a [`CpiStack`] in its [`CellStats::profile`].  Hot-path
+    /// benchmarks turn this off to measure the bare model.
+    pub profile: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            jobs: None,
+            cache_dir: None,
+            filter: None,
+            cancel: None,
+            profile: true,
+        }
+    }
 }
 
 impl EngineOptions {
@@ -132,6 +152,13 @@ impl EngineOptions {
     #[must_use]
     pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
+        self
+    }
+
+    /// Enables or disables cycle accounting for simulated cells.
+    #[must_use]
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 }
@@ -427,6 +454,7 @@ pub fn run_with_executor(
                 index: i,
                 cell: cells[i].clone(),
                 cfg: *cfg,
+                profile: opts.profile,
             }),
             _ => None,
         })
@@ -534,7 +562,9 @@ pub struct CellExecution {
 
 /// Simulates one cell end-to-end (configuration resolution included) —
 /// the entry point a remote worker process uses to execute a leased cell
-/// with the exact semantics of the in-process engine.
+/// with the exact semantics of the in-process engine.  Workers always
+/// profile: the coordinator's aggregate CPI stack must not depend on
+/// which worker a cell landed on.
 #[must_use]
 pub fn execute_cell(cell: &Cell) -> CellExecution {
     match cell.config() {
@@ -543,7 +573,7 @@ pub fn execute_cell(cell: &Cell) -> CellExecution {
             wall: Duration::ZERO,
             phases: CellPhases::default(),
         },
-        Ok(cfg) => exec_cell(cell, &cfg),
+        Ok(cfg) => exec_cell(cell, &cfg, true),
     }
 }
 
@@ -581,7 +611,7 @@ fn memo_decode(cell: &Cell, program: &simdsim_isa::Program) -> Rc<Decoded> {
 /// Simulates one cell on its resolved configuration, measuring the
 /// wall-clock time of the simulation itself (workload build included —
 /// it is part of the cost a cache hit saves).
-pub(crate) fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> CellExecution {
+pub(crate) fn exec_cell(cell: &Cell, cfg: &PipeConfig, profile: bool) -> CellExecution {
     let start = Instant::now();
     let mut phases = CellPhases::default();
     let result = (|| {
@@ -593,8 +623,14 @@ pub(crate) fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> CellExecution {
         let dec = memo_decode(cell, &built.program);
         phases.decode_ms = decode.elapsed().as_secs_f64() * 1.0e3;
         let simulate = Instant::now();
-        let (rs, t) = simulate_decoded(&dec, &built.machine, cfg, cell.instr_limit)
-            .map_err(|e| SweepError::new(cell, e.to_string()))?;
+        let (rs, t, stack) = if profile {
+            simulate_decoded_profiled(&dec, &built.machine, cfg, cell.instr_limit)
+                .map(|(rs, t, s)| (rs, t, Some(s)))
+        } else {
+            simulate_decoded(&dec, &built.machine, cfg, cell.instr_limit)
+                .map(|(rs, t)| (rs, t, None))
+        }
+        .map_err(|e| SweepError::new(cell, e.to_string()))?;
         phases.simulate_ms = simulate.elapsed().as_secs_f64() * 1.0e3;
         Ok(CellStats {
             cycles: t.cycles,
@@ -611,6 +647,7 @@ pub(crate) fn exec_cell(cell: &Cell, cfg: &PipeConfig) -> CellExecution {
             blocks_cached: rs.blocks_cached,
             block_hits: rs.block_hits,
             side_exits: rs.side_exits,
+            profile: stack,
         })
     })();
     CellExecution {

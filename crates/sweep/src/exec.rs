@@ -27,6 +27,9 @@ pub struct CellTask {
     pub cell: Cell,
     /// The cell's resolved processor configuration.
     pub cfg: PipeConfig,
+    /// Whether the simulation should carry cycle accounting
+    /// ([`CellStats::profile`]).
+    pub profile: bool,
 }
 
 /// The resolution of one [`CellTask`], delivered through the `done`
@@ -97,7 +100,7 @@ impl CellExecutor for LocalExecutor {
                     CellPhases::default(),
                 )
             } else {
-                let run = exec_cell(&task.cell, &task.cfg);
+                let run = exec_cell(&task.cell, &task.cfg, task.profile);
                 (run.stats, run.wall, run.phases)
             };
             done(TaskOutcome {
@@ -141,7 +144,12 @@ mod tests {
             instr_limit: 200_000,
         };
         let cfg = cell.config().expect("paper config");
-        CellTask { index, cell, cfg }
+        CellTask {
+            index,
+            cell,
+            cfg,
+            profile: true,
+        }
     }
 
     #[test]

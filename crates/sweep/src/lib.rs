@@ -55,4 +55,5 @@ pub use engine::{
 pub use exec::{CellExecutor, CellTask, LocalExecutor, TaskOutcome};
 pub use scenario::{Cell, OverrideSet, Param, Scenario, WorkloadRef, DEFAULT_INSTR_LIMIT};
 pub use scheduler::{default_workers, run_jobs, JobPanic};
+pub use simdsim_pipe::{CpiStack, StallCause, NUM_REGIONS, NUM_STALL_CAUSES, REGION_LABELS};
 pub use store::{cell_key, fnv1a128, CacheKey, ResultStore, StoredCell, CACHE_SCHEMA_VERSION};

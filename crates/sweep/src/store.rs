@@ -20,8 +20,10 @@ use std::path::{Path, PathBuf};
 /// material changes shape.  Version 2 added the L1/L2/memory-system
 /// counters to [`CellStats`] so the serving layer can return full timing
 /// statistics per cell.  Version 3 added the superblock-engine counters
-/// (`blocks_cached`, `block_hits`, `side_exits`).
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+/// (`blocks_cached`, `block_hits`, `side_exits`).  Version 4 added the
+/// cycle-accounting `profile` stack, so caches populated by unprofiled
+/// builds never serve profile-less results to a profiling service.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// A content hash addressing one cell's result (32 hex digits).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -273,6 +275,7 @@ mod tests {
                 blocks_cached: 2,
                 block_hits: 7,
                 side_exits: 0,
+                profile: None,
             },
         };
         src.save(&key, &stored);

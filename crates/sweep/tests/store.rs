@@ -57,6 +57,15 @@ fn stats(seed: u64, ipc: f64) -> CellStats {
         blocks_cached: seed % 43,
         block_hits: seed % 211,
         side_exits: seed % 3,
+        // Bounded so `cycles * way` cannot overflow for any generated seed.
+        profile: Some(simdsim_pipe::CpiStack {
+            cycles: (seed % (1 << 40)).max(1),
+            way: 4,
+            slots: (seed % (1 << 40)).max(1) * 4,
+            issue_slots: [seed % 59, seed % 61],
+            class_slots: [seed % 11, seed % 13, seed % 7, seed % 5, seed % 3],
+            stall_slots: std::array::from_fn(|i| seed % (i as u64 + 2)),
+        }),
     }
 }
 

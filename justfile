@@ -55,10 +55,14 @@ perf-smoke:
 
 # The CI throughput gate: a fresh quick-mode perf run compared against the
 # committed BENCH_simdsim.json baseline over their shared cells; fails when
-# instruction-weighted MIPS drops below 0.8x the baseline.
+# instruction-weighted MIPS drops below 0.8x the baseline.  A second run
+# with cycle accounting on then gates the profiler's overhead: profiled
+# core MIPS must stay above 0.9x the unprofiled run just measured.
 perf-check:
     cargo run --release --locked -p simdsim-bench --bin perf -- --quick --out target/BENCH_simdsim.json
     python3 scripts/check-perf-regression.py target/BENCH_simdsim.json --min-ratio 0.8
+    cargo run --release --locked -p simdsim-bench --bin perf -- --quick --profile --out target/BENCH_simdsim_profiled.json
+    python3 scripts/check-perf-regression.py target/BENCH_simdsim_profiled.json target/BENCH_simdsim.json --min-ratio 0.9
 
 # Run the sweep service (e.g. `just serve`, `just serve -- --addr 0.0.0.0:9000`).
 serve *ARGS:

@@ -112,6 +112,28 @@ done = sum(w["completed"] for w in fleet["workers"])
 assert done >= 4, f"fleet completed only {done} cells"
 print(f"fleet completed {done} cells across {len(fleet['"'"'workers'"'"'])} workers")'
 
+# The sharded job's aggregated CPI stack, through the sweepctl profile
+# command: every commit slot must be accounted for (issue + stalls ==
+# cycles × way) even though the cells were simulated by two separate
+# worker processes and merged on the coordinator.
+${SWEEPCTL} --json profile "${JOB1}" > "${ROOT}/profile.json"
+python3 - "${ROOT}/profile.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["state"] == "done", f"profile cut at state {doc['state']}"
+assert doc["cells"] == 4, f"expected 4 profiled cells, got {doc['cells']}"
+assert doc["missing"] == 0, f"{doc['missing']} cells came back without a stack"
+p = doc["profile"]
+assert p is not None, "aggregate profile missing"
+stalls = sum(e["slots"] for e in p["stalls"])
+assert p["issue"] + stalls == p["slots"], \
+    f"CPI stack does not sum to total: {p['issue']} + {stalls} != {p['slots']}"
+assert p["way"] > 0 and p["slots"] == p["cycles"] * p["way"], \
+    f"slots {p['slots']} != cycles {p['cycles']} x way {p['way']}"
+print(f"job {doc['id']} profile: {p['slots']} slots fully attributed "
+      f"({p['issue']} issue + {stalls} stalled), cpi {p['cpi']:.3f}")
+EOF
+
 # The submission's trace id must link the whole fan-out in the flight
 # recorder: coordinator spans (submit, start, lease grant/report, finish)
 # AND the unit spans the workers shipped back with their reports.
