@@ -24,6 +24,12 @@ pub struct RegisterRequest {
     /// Concurrent simulation slots the worker offers; also the cell count
     /// it wants per lease.
     pub slots: u64,
+    /// Content-address keys already present in the worker's local result
+    /// store.  The coordinator uses them for lease affinity: a queued
+    /// cell whose key a worker advertises is preferentially leased to
+    /// that worker, where it resolves as a cache probe instead of a
+    /// simulation.  Optional — an empty list opts out.
+    pub cache_keys: Vec<String>,
 }
 
 impl Default for RegisterRequest {
@@ -31,6 +37,7 @@ impl Default for RegisterRequest {
         Self {
             name: "worker".to_owned(),
             slots: 1,
+            cache_keys: Vec::new(),
         }
     }
 }
@@ -54,6 +61,13 @@ impl Deserialize for RegisterRequest {
                 Ok(s) if s >= 1 => out.slots = s,
                 _ => return Err(SerdeError::new("`slots` must be a number >= 1")),
             },
+        }
+        match v.get("cache_keys") {
+            None | Some(Value::Null) => {}
+            Some(list) => {
+                out.cache_keys = Vec::from_value(list)
+                    .map_err(|_| SerdeError::new("`cache_keys` must be a list of strings"))?;
+            }
         }
         Ok(out)
     }
@@ -385,8 +399,13 @@ mod tests {
             serde_json::from_str(r#"{"name":"w1","slots":4}"#).expect("parses");
         assert_eq!(r.name, "w1");
         assert_eq!(r.slots, 4);
+        assert!(r.cache_keys.is_empty());
+        let r: RegisterRequest =
+            serde_json::from_str(r#"{"name":"w2","cache_keys":["ab12","cd34"]}"#).expect("parses");
+        assert_eq!(r.cache_keys, vec!["ab12".to_owned(), "cd34".to_owned()]);
         assert!(serde_json::from_str::<RegisterRequest>(r#"{"slots":0}"#).is_err());
         assert!(serde_json::from_str::<RegisterRequest>(r#"{"name":7}"#).is_err());
+        assert!(serde_json::from_str::<RegisterRequest>(r#"{"cache_keys":[3]}"#).is_err());
 
         let l: LeaseRequest = serde_json::from_str("{}").expect("parses");
         assert_eq!(l, LeaseRequest::default());

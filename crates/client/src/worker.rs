@@ -87,11 +87,18 @@ pub struct WorkerStats {
 pub fn run_worker(cfg: &WorkerConfig, stop: &AtomicBool) -> Result<WorkerStats, ClientError> {
     let mut client = SimdsimClient::connect(&cfg.addr, cfg.timeout)?;
     let store = cfg.cache_dir.clone().map(ResultStore::new);
-    let register = RegisterRequest {
+    // Advertise the local cache contents so the coordinator can lease
+    // with affinity.  Recomputed at every (re-)registration: the store
+    // grows as the worker runs, and an evicted worker that comes back
+    // should advertise everything it has accumulated since.
+    let register = |store: Option<&ResultStore>| RegisterRequest {
         name: cfg.name.clone(),
         slots: cfg.slots.max(1),
+        cache_keys: store
+            .map(|s| s.keys().iter().map(|k| k.as_str().to_owned()).collect())
+            .unwrap_or_default(),
     };
-    let mut reg = client.register_worker(&register)?;
+    let mut reg = client.register_worker(&register(store.as_ref()))?;
     if cfg.warm_start {
         if let Some(store) = &store {
             let snapshot = client.store_export()?;
@@ -124,7 +131,7 @@ pub fn run_worker(cfg: &WorkerConfig, stop: &AtomicBool) -> Result<WorkerStats, 
                 None => continue, // no work arrived within the poll
             },
             Err(e) if is_eviction(&e) => {
-                reg = client.register_worker(&register)?;
+                reg = client.register_worker(&register(store.as_ref()))?;
                 continue;
             }
             Err(e) => return Err(e),
@@ -154,7 +161,9 @@ pub fn run_worker(cfg: &WorkerConfig, stop: &AtomicBool) -> Result<WorkerStats, 
             // Evicted mid-lease: the cells were re-queued (or our late
             // report raced a re-execution — either way the coordinator
             // resolved them).  Rejoin and keep going.
-            Err(e) if is_eviction(&e) => reg = client.register_worker(&register)?,
+            Err(e) if is_eviction(&e) => {
+                reg = client.register_worker(&register(store.as_ref()))?;
+            }
             Err(e) => return Err(e),
             Ok(_) => {}
         }

@@ -1,0 +1,14 @@
+; Scalar ALU: add/sub/mul with immediate and register operands.
+.ext mmx64
+.reg r1 = 1000
+.reg r2 = -37
+add r3, r1, r2        ; 963
+add r4, r3, #-963     ; 0
+sub r5, r1, r2        ; 1037
+sub r6, r2, #-37      ; 0
+mul r7, r1, r2        ; -37000
+mul r8, r7, #0        ; 0
+li r9, 9223372036854775807
+add r10, r9, #1       ; wraps to i64::MIN
+mul r11, r9, r9       ; wrapping multiply
+halt

@@ -1,0 +1,16 @@
+; Scalar division and remainder, including the divide-by-zero
+; convention (quotient 0, remainder passes the dividend through).
+.ext mmx64
+.reg r1 = 100
+.reg r2 = 7
+.reg r3 = -100
+.reg r4 = 0
+div r5, r1, r2        ; 14
+rem r6, r1, r2        ; 2
+div r7, r3, r2        ; -14
+rem r8, r3, r2        ; -2
+div r9, r1, r4        ; /0 -> 0
+rem r10, r1, r4       ; %0 -> dividend
+div r11, r1, #-7      ; -14
+rem r12, r3, #-7      ; -2
+halt

@@ -1,0 +1,16 @@
+; Scalar logic ops and set-on-compare.
+.ext mmx64
+.reg r1 = 240
+.reg r2 = 165
+.reg r3 = -1
+and r4, r1, r2        ; 160
+or  r5, r1, r2        ; 245
+xor r6, r1, r2        ; 85
+and r7, r1, #15       ; 0
+slt r8, r2, r1        ; 1
+slt r9, r1, r2        ; 0
+sltu r10, r3, r1      ; -1 as unsigned is huge: 0
+sltu r11, r1, r3      ; 1
+seq r12, r1, #240     ; 1
+seq r13, r1, r2       ; 0
+halt

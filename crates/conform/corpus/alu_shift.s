@@ -1,0 +1,13 @@
+; Scalar shifts: amounts are taken mod 64, sra keeps the sign.
+.ext mmx64
+.reg r1 = -8
+.reg r2 = 3
+.reg r3 = 67
+sll r4, r1, r2        ; -64
+srl r5, r1, r2        ; logical: high zeros come in
+sra r6, r1, r2        ; -1
+sll r7, r1, r3        ; 67 & 63 == 3
+srl r8, r1, #63       ; 1
+sra r9, r1, #63       ; -1
+sll r10, r2, #0       ; unchanged
+halt

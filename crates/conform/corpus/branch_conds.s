@@ -1,0 +1,23 @@
+; All eight branch conditions, each taken and not taken once.
+; Targets are absolute instruction indices (directives don't count).
+.ext mmx64
+.reg r1 = 5
+.reg r2 = -5
+beq r1, #5, @2        ; taken: skip the poison write
+li r31, 111
+bne r1, #5, @4        ; not taken
+add r3, r3, #1
+blt r2, r1, @6        ; taken (signed)
+li r31, 222
+bge r1, r2, @8        ; taken
+li r31, 333
+ble r1, #5, @10       ; taken (equal)
+li r31, 444
+bgt r1, r2, @12       ; taken
+li r31, 555
+bltu r1, r2, @14      ; taken: -5 unsigned is huge
+li r31, 666
+bgeu r2, r1, @16      ; taken
+li r31, 777
+add r4, r3, #10
+halt

@@ -1,0 +1,8 @@
+; Counted loop with a backward branch: sum 1..=10.
+.ext mmx64
+li r1, 10             ; counter
+li r2, 0              ; sum
+add r2, r2, r1        ; @2 loop body
+sub r1, r1, #1
+bne r1, #0, @2
+halt                  ; r2 == 55

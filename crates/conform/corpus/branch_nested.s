@@ -1,0 +1,11 @@
+; Nested loops: 4 outer x 3 inner iterations.
+.ext mmx64
+li r1, 4              ; outer counter
+li r3, 0              ; total
+li r2, 3              ; @2 inner counter reset
+add r3, r3, #1        ; @3 inner body
+sub r2, r2, #1
+bne r2, #0, @3
+sub r1, r1, #1
+bne r1, #0, @2
+halt                  ; r3 == 12

@@ -1,0 +1,7 @@
+; Error conformance: lane index out of range for the element size.
+.ext mmx128
+.reg r1 = 7
+vsplat.h v0, r1
+movsv.h r2, v0[3]      ; fine: 8 h-lanes
+movsv.h r3, v0[8]      ; faults: lane 8 out of range
+halt

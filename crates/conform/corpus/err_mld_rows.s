@@ -1,0 +1,9 @@
+; Error conformance: matrix row transfer wider than the machine,
+; after some rows of architectural state already changed.
+.ext vmmx64
+.reg r1 = 0
+.reg r2 = 3
+setvl #2
+msplat.b m0, r2
+mld.16 m1, (r1) vs=#16 ; faults: 16 bytes/row on an 8-byte machine
+halt

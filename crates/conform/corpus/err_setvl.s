@@ -1,0 +1,9 @@
+; Error conformance: setvl from a register holding a non-positive
+; value faults, and the committed prefix must still match.
+.ext vmmx128
+.reg r1 = -3
+li r2, 42
+setvl #8
+setvl r1               ; faults: non-positive length
+li r3, 99              ; never committed
+halt

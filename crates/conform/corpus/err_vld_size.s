@@ -1,0 +1,6 @@
+; Error conformance: vector transfer wider than the machine.
+.ext mmx64
+.reg r1 = 0
+vld.8 v0, (r1)         ; fine on the 8-byte machine
+vld.16 v1, (r1)        ; faults: 16 bytes on an 8-byte machine
+halt

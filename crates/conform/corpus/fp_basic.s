@@ -1,0 +1,16 @@
+; Floating point: arithmetic, loads/stores, int<->fp conversion.
+.ext mmx64
+.freg f1 = 2.5
+.freg f2 = -0.5
+.reg r1 = 1024
+.reg r2 = 7
+fadd f3, f1, f2        ; 2.0
+fsub f4, f1, f2        ; 3.0
+fmul f5, f1, f2        ; -1.25
+fdiv f6, f1, f2        ; -5.0
+fst f5, 0(r1)
+fld f7, 0(r1)          ; -1.25 round-trips through memory
+cvtif f8, r2           ; 7.0
+cvtfi r3, f1           ; 2 (truncates)
+cvtfi r4, f2           ; 0
+halt

@@ -1,0 +1,10 @@
+; Unconditional jumps, including dead code the jump skips
+; and falling off the end of the program (a clean stop, no halt).
+.ext mmx64
+li r1, 1
+j @4
+li r1, 999            ; dead
+li r2, 999            ; dead
+add r3, r1, #41       ; @4: r3 = 42
+j @6
+add r4, r3, #0        ; @6: last instruction, then fall off the end

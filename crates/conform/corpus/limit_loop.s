@@ -1,0 +1,6 @@
+; An infinite loop: all engines must stop at the same committed
+; instruction when the dynamic-instruction limit is reached.
+.ext mmx64
+li r1, 0
+add r1, r1, #1         ; @1
+j @1

@@ -1,0 +1,10 @@
+; Negative and zero offsets, and .data-initialised memory.
+.ext mmx64
+.data 256: 11 22 33 44 55 66 77 88
+.reg r1 = 260
+lw r2, -4(r1)          ; bytes 11 22 33 44 little-endian
+lub r3, (r1)           ; 0x55
+luh r4, 2(r1)          ; 0x8877
+sd r2, -260(r1)        ; store at address 0
+ld r5, -260(r1)        ; reload the word stored at address 0
+halt

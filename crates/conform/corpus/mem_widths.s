@@ -1,0 +1,16 @@
+; Store and reload at every width; loads sign-extend by default.
+.ext mmx64
+.reg r1 = 512          ; base address
+.reg r2 = -2           ; 0xff..fe
+sb r2, 0(r1)
+sh r2, 8(r1)
+sw r2, 16(r1)
+sd r2, 24(r1)
+lb r3, 0(r1)           ; -2
+lh r4, 8(r1)           ; -2
+lw r5, 16(r1)          ; -2
+ld r6, 24(r1)          ; -2
+lub r7, 0(r1)          ; 0xfe
+luh r8, 8(r1)          ; 0xfffe
+luw r9, 16(r1)         ; 0xfffffffe
+halt

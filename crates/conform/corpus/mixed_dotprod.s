@@ -1,0 +1,29 @@
+; A small kernel-shaped program: 16-element h-lane dot product,
+; SIMD multiply-accumulate in the vector region, scalar reduction.
+.ext mmx128
+.data 0:  01 00 02 00 03 00 04 00  05 00 06 00 07 00 08 00
+.data 16: 09 00 0a 00 0b 00 0c 00  0d 00 0e 00 0f 00 10 00
+.data 32: 02 00 02 00 02 00 02 00  03 00 03 00 03 00 03 00
+.data 48: 04 00 04 00 04 00 04 00  05 00 05 00 05 00 05 00
+.reg r1 = 0            ; a cursor
+.reg r2 = 32           ; b cursor
+.reg r3 = 2            ; chunks of 8 h-lanes
+.reg r4 = 0            ; result
+.region vector
+vld.16 v1, (r1)        ; @0 loop head
+vld.16 v2, (r2)
+vmadd v3, v1, v2       ; pairwise 32-bit partial sums
+movsv.w r5, v3[0]
+movsv.w r6, v3[1]
+movsv.w r7, v3[2]
+movsv.w r8, v3[3]
+.region scalar
+add r4, r4, r5
+add r4, r4, r6
+add r4, r4, r7
+add r4, r4, r8
+add r1, r1, #16
+add r2, r2, #16
+sub r3, r3, #1
+bne r3, #0, @0
+halt

@@ -1,0 +1,17 @@
+; The same sub-word ops on the 64-bit machine: 8-byte registers.
+.ext mmx64
+.data 0:  7f 80 ff 00 01 fe 55 aa
+.data 8:  01 01 01 01 02 02 02 02
+.reg r1 = 0
+vld.8 v0, (r1)
+vld.8 v1, 8(r1)
+vadd.b v2, v0, v1
+vadds.b v3, v0, v1
+vaddu.h v4, v0, v1
+vavg.b v5, v0, v1
+vmullo.h v6, v0, v1
+vpacks.h v7, v0, v1
+vsra.h v8, v0, #3
+vmadd v9, v0, v1
+vsad v10, v0, v1
+halt

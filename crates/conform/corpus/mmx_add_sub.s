@@ -1,0 +1,18 @@
+; Wrapping sub-word add/sub at every element size.
+.ext mmx128
+.data 0:  ff 01 7f 80 00 10 20 30  40 50 60 70 80 90 a0 b0
+.data 16: 01 01 01 01 ff ff ff ff  02 02 02 02 03 03 03 03
+.reg r1 = 0
+.region vector
+vld.16 v0, (r1)
+vld.16 v1, 16(r1)
+vadd.b v2, v0, v1     ; per-byte wrap: ff+01 -> 00
+vadd.h v3, v0, v1
+vadd.w v4, v0, v1
+vadd.d v5, v0, v1
+vsub.b v6, v0, v1
+vsub.h v7, v0, v1
+vsub.w v8, v0, v1
+vsub.d v9, v0, v1
+.region scalar
+halt

@@ -1,0 +1,17 @@
+; Rounding average and signed/unsigned min/max.
+.ext mmx128
+.data 0:  00 01 fe ff 7f 80 10 20  00 00 ff ff 01 01 02 02
+.data 16: 01 02 ff 01 80 7f 30 40  ff ff 00 00 03 03 04 04
+.reg r1 = 0
+vld.16 v0, (r1)
+vld.16 v1, 16(r1)
+vavg.b v2, v0, v1     ; (a+b+1)>>1 unsigned, rounds up
+vavg.h v3, v0, v1
+vavg.w v4, v0, v1
+vmins.b v5, v0, v1    ; 0x80 is most negative
+vmaxs.b v6, v0, v1
+vminu.b v7, v0, v1    ; 0xff is largest
+vmaxu.b v8, v0, v1
+vmins.h v9, v0, v1
+vmaxu.w v10, v0, v1
+halt

@@ -1,0 +1,17 @@
+; Element compares produce all-ones/all-zero masks; bitwise ops
+; combine them (the classic branch-free select).
+.ext mmx128
+.data 0:  05 05 10 90 7f 7f 00 ff  01 02 03 04 05 06 07 08
+.data 16: 05 06 20 10 7f 80 00 ff  08 07 06 05 04 03 02 01
+.reg r1 = 0
+vld.16 v0, (r1)
+vld.16 v1, 16(r1)
+vcmpeq.b v2, v0, v1
+vcmpgt.b v3, v0, v1   ; signed: 0x90 is negative
+vcmpeq.h v4, v0, v1
+vcmpgt.w v5, v0, v1
+vand v6, v0, v2
+vandn v7, v2, v1      ; b & !a mask select
+vor v8, v6, v7
+vxor v9, v0, v1
+halt

@@ -1,0 +1,16 @@
+; Scalar<->vector lane moves, splats and whole-register moves.
+.ext mmx128
+.reg r2 = -2
+.reg r3 = 1000
+vsplat.b v0, r2       ; all 0xfe
+vsplat.h v1, r3
+vsplat.w v2, r2
+vsplat.d v3, r3
+movvs.h v1[3], r2     ; poke one lane
+movsv.h r4, v1[3]     ; -2 sign-extended back
+movsvu.h r5, v1[3]    ; 0xfffe zero-extended
+movsv.b r6, v0[15]    ; top lane
+movsv.w r7, v2[0]
+movsvu.w r8, v2[1]
+vmov v4, v1
+halt

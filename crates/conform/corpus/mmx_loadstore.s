@@ -1,0 +1,17 @@
+; Vector loads/stores at partial transfer sizes; the untouched
+; destination bytes must survive a partial vld.
+.ext mmx128
+.data 0: 11 22 33 44 55 66 77 88  99 aa bb cc dd ee ff 00
+.reg r1 = 0
+.reg r2 = 64
+vld.16 v0, (r1)
+vld.8 v1, (r1)        ; low 8 bytes only
+vld.4 v2, 4(r1)
+vld.1 v3, 15(r1)
+vst.16 v0, (r2)
+vst.8 v0, 16(r2)
+vst.4 v0, 24(r2)
+vst.1 v0, 28(r2)
+vld.16 v4, (r2)       ; reload what we stored
+vld.16 v5, 16(r2)
+halt

@@ -1,0 +1,11 @@
+; vmadd: pairwise 16-bit multiply-add into 32-bit lanes.
+; vsad: sum of absolute byte differences per 8-byte group.
+.ext mmx128
+.data 0:  01 00 02 00 03 00 04 00  ff ff 00 80 10 00 20 00
+.data 16: 0a 00 0b 00 0c 00 0d 00  01 00 ff 7f 02 00 03 00
+.reg r1 = 0
+vld.16 v0, (r1)
+vld.16 v1, 16(r1)
+vmadd v2, v0, v1
+vsad v3, v0, v1
+halt

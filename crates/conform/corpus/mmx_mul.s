@@ -1,0 +1,13 @@
+; Sub-word multiplies: low half wraps, high half is signed.
+.ext mmx128
+.data 0:  ff 7f 00 80 64 00 9c ff  02 00 00 00 ff ff ff ff
+.data 16: 02 00 02 00 0a 00 0a 00  03 00 00 00 02 00 00 00
+.reg r1 = 0
+vld.16 v0, (r1)
+vld.16 v1, 16(r1)
+vmullo.h v2, v0, v1
+vmulhi.h v3, v0, v1   ; 0x7fff*2 >> 16
+vmullo.w v4, v0, v1
+vmulhi.w v5, v0, v1
+vmullo.b v6, v0, v1
+halt

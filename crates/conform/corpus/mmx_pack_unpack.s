@@ -1,0 +1,16 @@
+; Pack narrows with saturation; unpack interleaves halves.
+.ext mmx128
+.data 0:  00 01 ff 7f 00 80 ff ff  34 12 78 56 bc 9a f0 de
+.data 16: 01 00 00 01 80 ff 7f 00  11 22 33 44 55 66 77 88
+.reg r1 = 0
+vld.16 v0, (r1)
+vld.16 v1, 16(r1)
+vpacks.h v2, v0, v1   ; 16->8 signed saturate
+vpacku.h v3, v0, v1   ; 16->8 unsigned saturate
+vpacks.w v4, v0, v1
+vpacku.d v5, v0, v1
+vunpklo.b v6, v0, v1
+vunpkhi.b v7, v0, v1
+vunpklo.h v8, v0, v1
+vunpkhi.w v9, v0, v1
+halt

@@ -1,0 +1,18 @@
+; Saturating add/sub at the signed and unsigned boundaries.
+.ext mmx128
+.data 0:  7f 7f 80 80 ff ff 00 00  7e 81 01 fe 40 c0 20 e0
+.data 16: 01 7f 01 ff 01 ff 01 80  7f 80 7f 80 7f 80 7f 80
+.reg r1 = 0
+vld.16 v0, (r1)
+vld.16 v1, 16(r1)
+vadds.b v2, v0, v1    ; 7f+01 clamps to 7f, 80+ff(-1) stays
+vaddu.b v3, v0, v1    ; ff+01 clamps to ff
+vsubs.b v4, v0, v1    ; 80-01 clamps to 80
+vsubu.b v5, v0, v1    ; 00-01 clamps to 00
+vadds.h v6, v0, v1
+vaddu.h v7, v0, v1
+vsubs.h v8, v0, v1
+vsubu.h v9, v0, v1
+vadds.w v10, v0, v1
+vsubu.w v11, v0, v1
+halt

@@ -1,0 +1,16 @@
+; Sub-word shifts, including over-shift: sll/srl zero out at
+; amount >= lane bits, sra clamps to bits-1 (sign fill).
+.ext mmx128
+.data 0: 01 80 ff 7f 00 80 ff ff  10 00 00 80 f0 0f aa 55
+.reg r1 = 0
+vld.16 v0, (r1)
+vsll.b v1, v0, #1
+vsll.b v2, v0, #8     ; zeroed
+vsrl.b v3, v0, #4
+vsrl.h v4, v0, #17    ; zeroed
+vsra.b v5, v0, #4     ; sign fill
+vsra.h v6, v0, #20    ; clamps to 15: all sign bits
+vsll.w v7, v0, #31
+vsra.d v8, v0, #63
+vsrl.d v9, v0, #0     ; unchanged
+halt

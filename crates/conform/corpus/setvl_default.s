@@ -1,0 +1,11 @@
+; Full-VL ops without any setvl run at the architectural default
+; VL = MAX_VL.
+.ext vmmx128
+.reg r1 = 9
+.reg r2 = 0
+msplat.b m0, r1        ; 16 rows
+mvadd.b m1, m0, m0
+mst.16 m1, (r2) vs=#16
+setvl #2
+msplat.b m0, r1        ; only 2 rows overwritten
+halt

@@ -1,0 +1,18 @@
+; The 64-bit matrix machine: 8-byte rows, 4 h-lanes.
+.ext vmmx64
+.data 0:  01 00 02 00 03 00 04 00
+.data 8:  ff ff fe ff 00 80 ff 7f
+.reg r1 = 0
+.reg r2 = 10
+.reg r4 = 8
+setvl #4
+mld.8 m0, (r1) vs=#0   ; stride 0: same row 4 times
+mld.8 m1, (r4) vs=#0
+mvadds.h m2, m0, m1
+mvsubs.h m3, m0, m1
+mvmulhi.h m4, m0, m1
+macc.mac acc0, m0, m1
+accsum r3, acc0
+mtrans.h m5, m0        ; 4x4 square at VL=4
+msplat.h m6, r2
+halt

@@ -1,0 +1,23 @@
+; Packed accumulators: matrix and one-row accumulate ops,
+; horizontal sum, clear, and saturating pack-out.
+.ext vmmx128
+.data 0:   01 02 03 04 05 06 07 08  09 0a 0b 0c 0d 0e 0f 10
+.data 16:  10 0f 0e 0d 0c 0b 0a 09  08 07 06 05 04 03 02 01
+.reg r1 = 0
+setvl #4
+mld.16 m0, (r1) vs=#4
+mld.16 m1, 0(r1) vs=#8
+macc.sad acc0, m0, m1  ; byte abs-diff sums
+macc.mac acc1, m0, m1  ; 16-bit products
+macc.addh acc2, m0, m1
+macc.ssd acc3, m0, m1
+accsum r2, acc0
+accsum r3, acc1
+vacc.sad acc0, m0[0], m1[1]   ; one-row accumulate on rows
+vacc.mac acc2, m0[2], m1[3]
+accpack.h.sat v0, acc1, >>2
+accpack.h.satu v1, acc1, >>0
+accpack.w.wrap v2, acc3, >>4
+accclr acc1
+accsum r4, acc1        ; 0
+halt

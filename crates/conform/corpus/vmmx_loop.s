@@ -1,0 +1,19 @@
+; A strip-mined full-VL loop: process 16 rows in VL=4 chunks.
+.ext vmmx128
+.reg r1 = 0            ; src cursor
+.reg r2 = 1024         ; dst cursor
+.reg r3 = 4            ; chunks remaining
+.reg r5 = 3
+.data 0: 01 02 03 04 05 06 07 08 09 0a 0b 0c 0d 0e 0f 10
+setvl #4
+.region vector
+mld.16 m0, (r1) vs=#16 ; @1 loop head
+msplat.b m1, r5
+mvadd.b m2, m0, m1
+mst.16 m2, (r2) vs=#16
+.region scalar
+add r1, r1, #64
+add r2, r2, #64
+sub r3, r3, #1
+bne r3, #0, @1
+halt

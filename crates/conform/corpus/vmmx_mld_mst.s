@@ -1,0 +1,19 @@
+; Strided matrix loads/stores: immediate and register strides,
+; full and partial row widths.
+.ext vmmx128
+.data 0:   01 02 03 04 05 06 07 08  09 0a 0b 0c 0d 0e 0f 10
+.data 16:  11 12 13 14 15 16 17 18  19 1a 1b 1c 1d 1e 1f 20
+.data 32:  21 22 23 24 25 26 27 28  29 2a 2b 2c 2d 2e 2f 30
+.data 48:  31 32 33 34 35 36 37 38  39 3a 3b 3c 3d 3e 3f 40
+.reg r1 = 0
+.reg r2 = 512
+.reg r3 = 8            ; register stride
+setvl #4
+mld.16 m0, (r1) vs=#16 ; dense 4x16
+mld.8 m1, (r1) vs=r3   ; overlapping 8-byte rows
+mld.4 m2, (r1) vs=#3   ; unaligned stride
+mst.16 m0, (r2) vs=#16
+mst.8 m1, (r2) vs=#32  ; scattered rows
+setvl #2
+mst.4 m2, 0(r2) vs=r3
+halt

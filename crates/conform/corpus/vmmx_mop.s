@@ -1,0 +1,19 @@
+; Full-VL element-wise matrix ops: matrix-matrix, row-broadcast,
+; and aliased destination (mop reads rows sequentially).
+.ext vmmx128
+.data 0:   01 02 03 04 05 06 07 08  09 0a 0b 0c 0d 0e 0f 10
+.reg r1 = 0
+.reg r2 = 5
+setvl #4
+mld.16 m0, (r1) vs=#4  ; shifted copies of the pattern
+msplat.b m1, r2
+mvadd.b m2, m0, m1
+mvsub.b m3, m0, m1
+mvadds.b m4, m0, m0
+mvavg.b m5, m0, m1
+mvmullo.h m6, m0, m1
+mvadd.b m7, m0, m0[2]:bcast  ; broadcast one row
+mvcmpgt.b m8, m0, m1
+mvand m9, m0, m1
+mvadd.b m0, m0, m0     ; dst aliases both sources
+halt

@@ -1,0 +1,18 @@
+; Full-VL shifts, register copies and the square transpose.
+.ext vmmx128
+.data 0:   80 01 7f ff 10 20 30 40  50 60 70 80 90 a0 b0 c0
+.reg r1 = 0
+.reg r2 = 66
+setvl #8               ; 8 rows x 8 h-lanes: square for mtrans.h
+mld.16 m0, (r1) vs=#2
+mvsll.h m1, m0, #3
+mvsrl.h m2, m0, #5
+mvsra.h m3, m0, #12
+mvsra.b m4, m0, #9     ; over-shift clamps per lane
+mmov m5, m1
+mtrans.h m6, m0
+mtrans.h m7, m6        ; transpose twice: back to m0
+setvl #16
+msplat.b m8, r2
+mtrans.b m9, m8        ; 16x16 byte transpose
+halt

@@ -1,0 +1,19 @@
+; Matrix rows as one-word SIMD operands: VLoc::Row in vadd/vmov/
+; vsplat/vld/vst and lane moves.
+.ext vmmx64
+.data 0: 01 02 03 04 05 06 07 08
+.reg r1 = 0
+.reg r2 = 77
+setvl #4
+vld.8 m0[0], (r1)
+vld.8 m0[1], 0(r1)
+vsplat.b m0[2], r2
+vmov m0[3], m0[0]
+vadd.b v0, m0[0], m0[2]
+vadd.h m1[0], m0[0], m0[3]
+vsra.h m1[1], m0[0], #2
+movvs.b m1[2][0], r2   ; row 2, byte lane 0
+movsv.b r3, m0[2][5]
+vst.8 m1[0], 64(r1)
+vmov v1, m1[0]
+halt

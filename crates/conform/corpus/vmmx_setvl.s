@@ -1,0 +1,14 @@
+; VL manipulation: immediate and register setvl, and a full-VL
+; splat whose row count follows the current VL.
+.ext vmmx128
+.reg r1 = 3
+.reg r2 = -9
+setvl #4
+msplat.h m0, r2       ; 4 rows written
+setvl r1              ; VL = 3
+msplat.w m1, r2
+setvl #16             ; MAX_VL
+msplat.b m2, r1
+setvl #1
+msplat.d m3, r2
+halt

@@ -1,0 +1,749 @@
+//! Text assembler for the conformance corpus.
+//!
+//! Parses exactly the grammar the ISA's `Display` impls emit (the
+//! disassembler is the grammar's source of truth — a round-trip test
+//! feeds every built-in kernel's listing back through this parser), plus
+//! a small directive layer for machine setup:
+//!
+//! ```text
+//! ; comment (also allowed after an instruction)
+//! .ext vmmx128        ; machine extension (default vmmx128)
+//! .mem 4096           ; memory image bytes (default 4096)
+//! .reg r3 = -7        ; initial integer register
+//! .freg f1 = 2.5      ; initial floating-point register
+//! .data 128: 01 02 ff ; hex bytes poked at an address
+//! .region vector      ; region tag for subsequent instructions
+//! li r1, 5
+//! bne r1, #0, @1      ; branch targets are absolute instruction indices
+//! halt
+//! ```
+//!
+//! Directive lines do not consume instruction indices, so `@N` targets
+//! count instructions only — the same numbering `Program::listing`
+//! prints.
+
+use crate::refint::RefMachine;
+use simdsim_emu::Machine;
+use simdsim_isa::{
+    AReg, AccOp, AluOp, Cond, Esz, Ext, FOp, FReg, IReg, Instr, MOperand, MReg, MemSz, Operand2,
+    Program, Region, Sat, VLoc, VOp, VReg, VShiftOp,
+};
+
+/// A parsed corpus source: the program plus initial machine state.
+#[derive(Debug, Clone)]
+pub struct CorpusProgram {
+    /// Target extension.
+    pub ext: Ext,
+    /// Memory image size in bytes.
+    pub mem_size: usize,
+    /// Initial integer registers.
+    pub init_iregs: Vec<(usize, i64)>,
+    /// Initial floating-point registers.
+    pub init_fregs: Vec<(usize, f64)>,
+    /// Memory pokes `(addr, bytes)`.
+    pub data: Vec<(u64, Vec<u8>)>,
+    /// The assembled program.
+    pub program: Program,
+}
+
+impl CorpusProgram {
+    /// Parses a corpus source file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on any syntax error.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut ext = Ext::Vmmx128;
+        let mut mem_size = 4096usize;
+        let mut init_iregs = Vec::new();
+        let mut init_fregs = Vec::new();
+        let mut data = Vec::new();
+        let mut region = Region::Scalar;
+        let mut code = Vec::new();
+        let mut regions = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split(';').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+            if let Some(rest) = line.strip_prefix('.') {
+                let (dir, body) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+                let body = body.trim();
+                match dir {
+                    "ext" => {
+                        ext = Ext::ALL
+                            .iter()
+                            .copied()
+                            .find(|e| e.name() == body)
+                            .ok_or_else(|| err(format!("unknown extension `{body}`")))?;
+                    }
+                    "mem" => {
+                        mem_size = body
+                            .parse()
+                            .map_err(|_| err(format!("bad memory size `{body}`")))?;
+                    }
+                    "reg" => {
+                        let (r, v) = parse_assign(body).map_err(&err)?;
+                        let r = parse_ireg(r).map_err(&err)?;
+                        let v: i64 = v.parse().map_err(|_| err(format!("bad value `{v}`")))?;
+                        init_iregs.push((r.index(), v));
+                    }
+                    "freg" => {
+                        let (r, v) = parse_assign(body).map_err(&err)?;
+                        let r = parse_freg(r).map_err(&err)?;
+                        let v: f64 = v.parse().map_err(|_| err(format!("bad value `{v}`")))?;
+                        init_fregs.push((r.index(), v));
+                    }
+                    "data" => {
+                        let (addr, bytes) = body
+                            .split_once(':')
+                            .ok_or_else(|| err("expected `.data addr: hex…`".to_owned()))?;
+                        let addr: u64 = addr
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(format!("bad address `{addr}`")))?;
+                        let mut v = Vec::new();
+                        for tok in bytes.split_whitespace() {
+                            v.push(
+                                u8::from_str_radix(tok, 16)
+                                    .map_err(|_| err(format!("bad hex byte `{tok}`")))?,
+                            );
+                        }
+                        data.push((addr, v));
+                    }
+                    "region" => {
+                        region = match body {
+                            "scalar" => Region::Scalar,
+                            "vector" => Region::Vector,
+                            other => return Err(err(format!("unknown region `{other}`"))),
+                        };
+                    }
+                    other => return Err(err(format!("unknown directive `.{other}`"))),
+                }
+                continue;
+            }
+            code.push(parse_instr(line).map_err(&err)?);
+            regions.push(region);
+        }
+        Ok(Self {
+            ext,
+            mem_size,
+            init_iregs,
+            init_fregs,
+            data,
+            program: Program::new(code, regions),
+        })
+    }
+
+    /// Builds the emulator machine in this corpus case's initial state.
+    #[must_use]
+    pub fn machine(&self) -> Machine {
+        let mut m = Machine::new(self.ext, self.mem_size);
+        for &(i, v) in &self.init_iregs {
+            m.set_ireg(i, v);
+        }
+        for &(i, v) in &self.init_fregs {
+            m.set_freg(i, v);
+        }
+        for (addr, bytes) in &self.data {
+            m.write_bytes(*addr, bytes).expect("corpus .data in bounds");
+        }
+        m
+    }
+
+    /// Builds the reference interpreter in the same initial state.
+    #[must_use]
+    pub fn ref_machine(&self) -> RefMachine {
+        let mut m = RefMachine::new(self.ext, self.mem_size);
+        for &(i, v) in &self.init_iregs {
+            m.set_ireg(i, v);
+        }
+        for &(i, v) in &self.init_fregs {
+            m.set_freg(i, v);
+        }
+        for (addr, bytes) in &self.data {
+            m.write_bytes(*addr, bytes);
+        }
+        m
+    }
+}
+
+fn parse_assign(body: &str) -> Result<(&str, &str), String> {
+    body.split_once('=')
+        .map(|(a, b)| (a.trim(), b.trim()))
+        .ok_or_else(|| format!("expected `reg = value`, got `{body}`"))
+}
+
+fn reg_num(s: &str, prefix: &str) -> Result<u8, String> {
+    s.strip_prefix(prefix)
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("bad `{prefix}` register `{s}`"))
+}
+
+fn parse_ireg(s: &str) -> Result<IReg, String> {
+    IReg::try_new(reg_num(s, "r")?).ok_or_else(|| format!("register `{s}` out of range"))
+}
+
+fn parse_freg(s: &str) -> Result<FReg, String> {
+    FReg::try_new(reg_num(s, "f")?).ok_or_else(|| format!("register `{s}` out of range"))
+}
+
+fn parse_vreg(s: &str) -> Result<VReg, String> {
+    VReg::try_new(reg_num(s, "v")?).ok_or_else(|| format!("register `{s}` out of range"))
+}
+
+fn parse_mreg(s: &str) -> Result<MReg, String> {
+    MReg::try_new(reg_num(s, "m")?).ok_or_else(|| format!("register `{s}` out of range"))
+}
+
+fn parse_areg(s: &str) -> Result<AReg, String> {
+    AReg::try_new(reg_num(s, "acc")?).ok_or_else(|| format!("register `{s}` out of range"))
+}
+
+/// `m2[3]` → (m2, 3).  Splits on the *last* bracket so a lane index
+/// on a matrix row (`m0[2][5]`) leaves `m0[2]` for the operand parser.
+fn parse_indexed(s: &str) -> Option<(&str, u8)> {
+    let open = s.rfind('[')?;
+    let close = s.strip_suffix(']')?;
+    let idx = close.get(open + 1..)?.parse().ok()?;
+    Some((&s[..open], idx))
+}
+
+fn parse_vloc(s: &str) -> Result<VLoc, String> {
+    if let Some((m, row)) = parse_indexed(s) {
+        Ok(VLoc::Row(parse_mreg(m)?, row))
+    } else if s.starts_with('v') {
+        Ok(VLoc::V(parse_vreg(s)?))
+    } else {
+        Err(format!("bad SIMD operand `{s}`"))
+    }
+}
+
+fn parse_moperand(s: &str) -> Result<MOperand, String> {
+    if let Some(bcast) = s.strip_suffix(":bcast") {
+        let (m, row) =
+            parse_indexed(bcast).ok_or_else(|| format!("bad broadcast operand `{s}`"))?;
+        Ok(MOperand::RowBcast(parse_mreg(m)?, row))
+    } else {
+        Ok(MOperand::M(parse_mreg(s)?))
+    }
+}
+
+fn parse_op2(s: &str) -> Result<Operand2, String> {
+    if let Some(imm) = s.strip_prefix('#') {
+        imm.parse()
+            .map(Operand2::Imm)
+            .map_err(|_| format!("bad immediate `{s}`"))
+    } else {
+        Ok(Operand2::Reg(parse_ireg(s)?))
+    }
+}
+
+/// `{off}({base})` → (off, base)
+fn parse_memop(s: &str) -> Result<(i32, IReg), String> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let base = s
+        .get(open + 1..s.len() - 1)
+        .filter(|_| s.ends_with(')'))
+        .ok_or_else(|| format!("bad memory operand `{s}`"))?;
+    let off = if open == 0 {
+        0
+    } else {
+        s[..open]
+            .parse()
+            .map_err(|_| format!("bad offset in `{s}`"))?
+    };
+    Ok((off, parse_ireg(base)?))
+}
+
+fn parse_target(s: &str) -> Result<u32, String> {
+    s.strip_prefix('@')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("bad branch target `{s}` (expected `@index`)"))
+}
+
+fn parse_esz(s: &str) -> Result<Esz, String> {
+    match s {
+        "b" => Ok(Esz::B),
+        "h" => Ok(Esz::H),
+        "w" => Ok(Esz::W),
+        "d" => Ok(Esz::D),
+        other => Err(format!("bad element-size suffix `{other}`")),
+    }
+}
+
+fn parse_amount(s: &str) -> Result<u8, String> {
+    s.strip_prefix('#')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("bad shift amount `{s}`"))
+}
+
+fn parse_accop(s: &str) -> Result<AccOp, String> {
+    match s {
+        "sad" => Ok(AccOp::Sad),
+        "mac" => Ok(AccOp::Mac),
+        "addh" => Ok(AccOp::AddH),
+        "ssd" => Ok(AccOp::Ssd),
+        other => Err(format!("bad accumulator op `{other}`")),
+    }
+}
+
+/// Parses a `v…` mnemonic (already split from its operands) into a
+/// [`VOp`], or `None` when it is not an element-wise operation.
+fn parse_vop(mn: &str) -> Option<Result<VOp, String>> {
+    let (base, sfx) = mn.split_once('.').map_or((mn, None), |(b, s)| (b, Some(s)));
+    let esz = || -> Result<Esz, String> {
+        parse_esz(sfx.ok_or_else(|| format!("`{base}` needs an element-size suffix"))?)
+    };
+    let op = match base {
+        "vadd" => esz().map(VOp::Add),
+        "vadds" => esz().map(VOp::AddS),
+        "vaddu" => esz().map(VOp::AddU),
+        "vsub" => esz().map(VOp::Sub),
+        "vsubs" => esz().map(VOp::SubS),
+        "vsubu" => esz().map(VOp::SubU),
+        "vmullo" => esz().map(VOp::Mullo),
+        "vmulhi" => esz().map(VOp::Mulhi),
+        "vmadd" => Ok(VOp::Madd),
+        "vsad" => Ok(VOp::Sad),
+        "vavg" => esz().map(VOp::Avg),
+        "vmins" => esz().map(VOp::MinS),
+        "vminu" => esz().map(VOp::MinU),
+        "vmaxs" => esz().map(VOp::MaxS),
+        "vmaxu" => esz().map(VOp::MaxU),
+        "vcmpeq" => esz().map(VOp::CmpEq),
+        "vcmpgt" => esz().map(VOp::CmpGt),
+        "vand" => Ok(VOp::And),
+        "vor" => Ok(VOp::Or),
+        "vxor" => Ok(VOp::Xor),
+        "vandn" => Ok(VOp::AndNot),
+        "vpacks" => esz().map(VOp::PackS),
+        "vpacku" => esz().map(VOp::PackU),
+        "vunpklo" => esz().map(VOp::UnpackLo),
+        "vunpkhi" => esz().map(VOp::UnpackHi),
+        _ => return None,
+    };
+    Some(op)
+}
+
+fn parse_vshift(mn: &str) -> Option<Result<VShiftOp, String>> {
+    let (base, sfx) = mn.split_once('.')?;
+    let ctor = match base {
+        "vsll" => VShiftOp::Sll,
+        "vsrl" => VShiftOp::Srl,
+        "vsra" => VShiftOp::Sra,
+        _ => return None,
+    };
+    Some(parse_esz(sfx).map(ctor))
+}
+
+/// Parses one instruction in the `Display` grammar.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax problem.
+#[allow(clippy::too_many_lines)]
+pub fn parse_instr(line: &str) -> Result<Instr, String> {
+    let line = line.trim();
+    let (mn, rest) = line
+        .split_once(char::is_whitespace)
+        .map_or((line, ""), |(m, r)| (m, r.trim()));
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let nops = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{mn}` expects {n} operands, got {}", ops.len()))
+        }
+    };
+
+    // Fixed mnemonics first.
+    match mn {
+        "li" => {
+            nops(2)?;
+            return Ok(Instr::Li {
+                rd: parse_ireg(ops[0])?,
+                imm: ops[1]
+                    .parse()
+                    .map_err(|_| format!("bad immediate `{}`", ops[1]))?,
+            });
+        }
+        "j" => {
+            nops(1)?;
+            return Ok(Instr::Jump {
+                target: parse_target(ops[0])?,
+            });
+        }
+        "halt" => {
+            nops(0)?;
+            return Ok(Instr::Halt);
+        }
+        "nop" => {
+            nops(0)?;
+            return Ok(Instr::Nop);
+        }
+        "fadd" | "fsub" | "fmul" | "fdiv" => {
+            nops(3)?;
+            let op = match mn {
+                "fadd" => FOp::Add,
+                "fsub" => FOp::Sub,
+                "fmul" => FOp::Mul,
+                _ => FOp::Div,
+            };
+            return Ok(Instr::FpOp {
+                op,
+                fd: parse_freg(ops[0])?,
+                fa: parse_freg(ops[1])?,
+                fb: parse_freg(ops[2])?,
+            });
+        }
+        "fld" => {
+            nops(2)?;
+            let (off, base) = parse_memop(ops[1])?;
+            return Ok(Instr::FpLoad {
+                fd: parse_freg(ops[0])?,
+                base,
+                off,
+            });
+        }
+        "fst" => {
+            nops(2)?;
+            let (off, base) = parse_memop(ops[1])?;
+            return Ok(Instr::FpStore {
+                fs: parse_freg(ops[0])?,
+                base,
+                off,
+            });
+        }
+        "cvtif" => {
+            nops(2)?;
+            return Ok(Instr::CvtIF {
+                fd: parse_freg(ops[0])?,
+                ra: parse_ireg(ops[1])?,
+            });
+        }
+        "cvtfi" => {
+            nops(2)?;
+            return Ok(Instr::CvtFI {
+                rd: parse_ireg(ops[0])?,
+                fa: parse_freg(ops[1])?,
+            });
+        }
+        "vmov" => {
+            nops(2)?;
+            return Ok(Instr::VMov {
+                dst: parse_vloc(ops[0])?,
+                src: parse_vloc(ops[1])?,
+            });
+        }
+        "setvl" => {
+            nops(1)?;
+            return Ok(Instr::SetVl {
+                src: parse_op2(ops[0])?,
+            });
+        }
+        "mmov" => {
+            nops(2)?;
+            return Ok(Instr::MMov {
+                dst: parse_mreg(ops[0])?,
+                src: parse_mreg(ops[1])?,
+            });
+        }
+        "accsum" => {
+            nops(2)?;
+            return Ok(Instr::AccSum {
+                rd: parse_ireg(ops[0])?,
+                acc: parse_areg(ops[1])?,
+            });
+        }
+        "accclr" => {
+            nops(1)?;
+            return Ok(Instr::AccClear {
+                acc: parse_areg(ops[0])?,
+            });
+        }
+        _ => {}
+    }
+
+    // Scalar ALU.
+    if let Some(op) = match mn {
+        "add" => Some(AluOp::Add),
+        "sub" => Some(AluOp::Sub),
+        "mul" => Some(AluOp::Mul),
+        "div" => Some(AluOp::Div),
+        "rem" => Some(AluOp::Rem),
+        "and" => Some(AluOp::And),
+        "or" => Some(AluOp::Or),
+        "xor" => Some(AluOp::Xor),
+        "sll" => Some(AluOp::Sll),
+        "srl" => Some(AluOp::Srl),
+        "sra" => Some(AluOp::Sra),
+        "slt" => Some(AluOp::Slt),
+        "sltu" => Some(AluOp::Sltu),
+        "seq" => Some(AluOp::Seq),
+        _ => None,
+    } {
+        nops(3)?;
+        return Ok(Instr::IntOp {
+            op,
+            rd: parse_ireg(ops[0])?,
+            ra: parse_ireg(ops[1])?,
+            b: parse_op2(ops[2])?,
+        });
+    }
+
+    // Branches: b{cond}.
+    if let Some(cond) = mn.strip_prefix('b').and_then(|c| match c {
+        "eq" => Some(Cond::Eq),
+        "ne" => Some(Cond::Ne),
+        "lt" => Some(Cond::Lt),
+        "ge" => Some(Cond::Ge),
+        "le" => Some(Cond::Le),
+        "gt" => Some(Cond::Gt),
+        "ltu" => Some(Cond::LtU),
+        "geu" => Some(Cond::GeU),
+        _ => None,
+    }) {
+        nops(3)?;
+        return Ok(Instr::Branch {
+            cond,
+            ra: parse_ireg(ops[0])?,
+            b: parse_op2(ops[1])?,
+            target: parse_target(ops[2])?,
+        });
+    }
+
+    // Scalar loads/stores: l{b,h,w,d} / lu{…} / s{…}.
+    let memsz = |c: &str| match c {
+        "b" => Some(MemSz::B),
+        "h" => Some(MemSz::H),
+        "w" => Some(MemSz::W),
+        "d" => Some(MemSz::D),
+        _ => None,
+    };
+    for (prefix, load, sext) in [("lu", true, false), ("l", true, true), ("s", false, false)] {
+        if let Some(sz) = mn.strip_prefix(prefix).and_then(memsz) {
+            nops(2)?;
+            let (off, base) = parse_memop(ops[1])?;
+            return Ok(if load {
+                Instr::Load {
+                    sz,
+                    sext,
+                    rd: parse_ireg(ops[0])?,
+                    base,
+                    off,
+                }
+            } else {
+                Instr::Store {
+                    sz,
+                    rs: parse_ireg(ops[0])?,
+                    base,
+                    off,
+                }
+            });
+        }
+    }
+
+    // Dotted mnemonics.
+    if let Some((base, sfx)) = mn.split_once('.') {
+        match base {
+            "vsplat" => {
+                nops(2)?;
+                return Ok(Instr::VSplat {
+                    dst: parse_vloc(ops[0])?,
+                    src: parse_ireg(ops[1])?,
+                    esz: parse_esz(sfx)?,
+                });
+            }
+            "msplat" => {
+                nops(2)?;
+                return Ok(Instr::MSplat {
+                    dst: parse_mreg(ops[0])?,
+                    src: parse_ireg(ops[1])?,
+                    esz: parse_esz(sfx)?,
+                });
+            }
+            "mtrans" => {
+                nops(2)?;
+                return Ok(Instr::MTranspose {
+                    dst: parse_mreg(ops[0])?,
+                    src: parse_mreg(ops[1])?,
+                    esz: parse_esz(sfx)?,
+                });
+            }
+            "movsv" | "movsvu" => {
+                nops(2)?;
+                let (src, lane) = parse_indexed(ops[1])
+                    .ok_or_else(|| format!("bad lane operand `{}`", ops[1]))?;
+                return Ok(Instr::MovSV {
+                    rd: parse_ireg(ops[0])?,
+                    src: parse_vloc(src)?,
+                    lane,
+                    esz: parse_esz(sfx)?,
+                    sext: base == "movsv",
+                });
+            }
+            "movvs" => {
+                nops(2)?;
+                let (dst, lane) = parse_indexed(ops[0])
+                    .ok_or_else(|| format!("bad lane operand `{}`", ops[0]))?;
+                return Ok(Instr::MovVS {
+                    dst: parse_vloc(dst)?,
+                    src: parse_ireg(ops[1])?,
+                    lane,
+                    esz: parse_esz(sfx)?,
+                });
+            }
+            "vld" | "vst" => {
+                nops(2)?;
+                let bytes: u8 = sfx
+                    .parse()
+                    .map_err(|_| format!("bad transfer size `{sfx}`"))?;
+                let (off, base_r) = parse_memop(ops[1])?;
+                return Ok(if base == "vld" {
+                    Instr::VLoad {
+                        dst: parse_vloc(ops[0])?,
+                        base: base_r,
+                        off,
+                        bytes,
+                    }
+                } else {
+                    Instr::VStore {
+                        src: parse_vloc(ops[0])?,
+                        base: base_r,
+                        off,
+                        bytes,
+                    }
+                });
+            }
+            "mld" | "mst" => {
+                // `mld.16 m3, (r4) vs=r5` — the second comma-operand
+                // carries both the base and the stride.
+                nops(2)?;
+                let row_bytes: u8 = sfx.parse().map_err(|_| format!("bad row size `{sfx}`"))?;
+                let (memop, stride) = ops[1]
+                    .split_once("vs=")
+                    .ok_or_else(|| format!("`{mn}` needs a `vs=` stride in `{}`", ops[1]))?;
+                let (off, base_r) = parse_memop(memop.trim())?;
+                if off != 0 {
+                    return Err(format!("`{mn}` takes no offset, got {off}"));
+                }
+                let stride = parse_op2(stride.trim())?;
+                return Ok(if base == "mld" {
+                    Instr::MLoad {
+                        dst: parse_mreg(ops[0])?,
+                        base: base_r,
+                        stride,
+                        row_bytes,
+                    }
+                } else {
+                    Instr::MStore {
+                        src: parse_mreg(ops[0])?,
+                        base: base_r,
+                        stride,
+                        row_bytes,
+                    }
+                });
+            }
+            "macc" | "vacc" => {
+                nops(3)?;
+                let op = parse_accop(sfx)?;
+                let acc = parse_areg(ops[0])?;
+                return Ok(if base == "macc" {
+                    Instr::MAcc {
+                        op,
+                        acc,
+                        a: parse_mreg(ops[1])?,
+                        b: parse_mreg(ops[2])?,
+                    }
+                } else {
+                    Instr::VAcc {
+                        op,
+                        acc,
+                        a: parse_vloc(ops[1])?,
+                        b: parse_vloc(ops[2])?,
+                    }
+                });
+            }
+            "accpack" => {
+                nops(3)?;
+                let (esz_s, sat_s) = sfx
+                    .split_once('.')
+                    .ok_or_else(|| format!("`accpack` needs `.esz.sat`, got `.{sfx}`"))?;
+                let sat = match sat_s {
+                    "wrap" => Sat::Wrap,
+                    "sat" => Sat::Signed,
+                    "satu" => Sat::Unsigned,
+                    other => return Err(format!("bad saturation mode `{other}`")),
+                };
+                let shift: u8 = ops[2]
+                    .strip_prefix(">>")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("bad shift `{}` (expected `>>n`)", ops[2]))?;
+                return Ok(Instr::AccPack {
+                    dst: parse_vloc(ops[0])?,
+                    acc: parse_areg(ops[1])?,
+                    esz: parse_esz(esz_s)?,
+                    sat,
+                    shift,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Element-wise SIMD ops and shifts, in both the one-word (`v…`) and
+    // full-VL matrix (`mv…`) spellings.
+    let (vmn, matrix) = mn
+        .strip_prefix("mv")
+        .map_or((mn.to_owned(), false), |s| (format!("v{s}"), true));
+    if let Some(shift) = parse_vshift(&vmn) {
+        let op = shift?;
+        nops(3)?;
+        let amount = parse_amount(ops[2])?;
+        return Ok(if matrix {
+            Instr::MShift {
+                op,
+                dst: parse_mreg(ops[0])?,
+                src: parse_mreg(ops[1])?,
+                amount,
+            }
+        } else {
+            Instr::SimdShift {
+                op,
+                dst: parse_vloc(ops[0])?,
+                src: parse_vloc(ops[1])?,
+                amount,
+            }
+        });
+    }
+    if let Some(vop) = parse_vop(&vmn) {
+        let op = vop?;
+        nops(3)?;
+        return Ok(if matrix {
+            Instr::MOp {
+                op,
+                dst: parse_mreg(ops[0])?,
+                a: parse_mreg(ops[1])?,
+                b: parse_moperand(ops[2])?,
+            }
+        } else {
+            Instr::Simd {
+                op,
+                dst: parse_vloc(ops[0])?,
+                a: parse_vloc(ops[1])?,
+                b: parse_vloc(ops[2])?,
+            }
+        });
+    }
+
+    Err(format!("unknown mnemonic `{mn}`"))
+}

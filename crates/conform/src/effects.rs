@@ -1,0 +1,120 @@
+//! Architectural-effects traces: what each committed instruction wrote.
+//!
+//! Every engine under test produces one [`Effect`] per committed dynamic
+//! instruction — the defined register's post-instruction value plus the
+//! control-flow and memory facts the timing model consumes
+//! ([`DynInstr`]'s `taken` / `mem` / `vl` fields).  Two engines conform
+//! when their effect streams are element-wise identical and they end in
+//! the same architectural state.
+
+use simdsim_emu::{DynInstr, Machine, MemAccess, StepObserver};
+use simdsim_isa::{Instr, RegId, MAX_VL};
+
+/// Post-instruction value of one architectural register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegVal {
+    /// Integer register value.
+    I(i64),
+    /// Floating-point register value, as raw bits for exact comparison.
+    F(u64),
+    /// SIMD register value.
+    V(u128),
+    /// All rows of a matrix register (defs are whole-register grain).
+    M([u128; MAX_VL]),
+    /// All lanes of an accumulator.
+    A([i64; 8]),
+    /// The vector-length register.
+    Vl(u8),
+}
+
+/// The observable architectural effect of one committed instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Effect {
+    /// Static instruction index.
+    pub pc: u32,
+    /// `Some(target)` when a branch/jump was taken.
+    pub taken: Option<u32>,
+    /// Effective vector length ([`DynInstr::vl`] convention: the
+    /// post-instruction VL for full-VL matrix operations, 1 otherwise).
+    pub vl: u8,
+    /// Memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// The defined register and its post-instruction value, if the
+    /// instruction defines one (the ISA allows at most one def).
+    pub write: Option<(RegId, RegVal)>,
+}
+
+/// Samples the register `instr` defines from post-instruction machine
+/// state, shared by the emulator-side observer; the reference
+/// interpreter builds the same shape from its own state.
+#[must_use]
+pub fn sample_write(m: &Machine, instr: &Instr) -> Option<(RegId, RegVal)> {
+    let du = instr.def_use();
+    let reg = *du.defs().first()?;
+    let val = match reg {
+        RegId::I(i) => RegVal::I(m.ireg(i as usize)),
+        RegId::F(i) => RegVal::F(m.freg(i as usize).to_bits()),
+        RegId::V(i) => RegVal::V(m.vreg(i as usize)),
+        RegId::M(i) => {
+            let mut rows = [0u128; MAX_VL];
+            for (r, row) in rows.iter_mut().enumerate() {
+                *row = m.mrow(i as usize, r);
+            }
+            RegVal::M(rows)
+        }
+        RegId::A(i) => RegVal::A(m.acc(i as usize)),
+        RegId::Vl => RegVal::Vl(m.vl() as u8),
+    };
+    Some((reg, val))
+}
+
+/// A [`StepObserver`] that records the effect stream of an emulator run.
+#[derive(Debug, Default)]
+pub struct EffectsRecorder {
+    /// Collected effects, one per committed instruction.
+    pub effects: Vec<Effect>,
+}
+
+impl StepObserver for EffectsRecorder {
+    fn step(&mut self, m: &Machine, di: &DynInstr) {
+        self.effects.push(Effect {
+            pc: di.pc,
+            taken: di.taken,
+            vl: di.vl,
+            mem: di.mem,
+            write: sample_write(m, &di.instr),
+        });
+    }
+}
+
+/// First divergence between two effect streams, as a human-readable
+/// report, or `None` when the streams are identical.
+#[must_use]
+pub fn diff_effects(
+    label_a: &str,
+    a: &[Effect],
+    label_b: &str,
+    b: &[Effect],
+    code: &[Instr],
+) -> Option<String> {
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        if a[i] != b[i] {
+            let instr = code
+                .get(a[i].pc as usize)
+                .map_or_else(|| "<out of range>".to_owned(), ToString::to_string);
+            return Some(format!(
+                "effect #{i} diverges (pc {}: `{instr}`)\n  {label_a}: {:?}\n  {label_b}: {:?}",
+                a[i].pc, a[i], b[i]
+            ));
+        }
+    }
+    if a.len() != b.len() {
+        return Some(format!(
+            "effect streams diverge in length: {label_a} committed {} instructions, {label_b} {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    None
+}

@@ -1,0 +1,347 @@
+//! Static linter over assembled programs.
+//!
+//! Four rule families over the CFG of a [`Program`]:
+//!
+//! * **illegal-instr** (error) — static mirrors of every condition the
+//!   emulator faults or panics on at runtime: transfer sizes out of
+//!   range for the machine width, out-of-range element lanes and matrix
+//!   rows, non-positive immediate `setvl`, byte-element packs, matrix
+//!   instructions on a non-matrix extension, branch targets out of
+//!   range.  A program with one of these *will* trap, so they are hard
+//!   errors.
+//! * **undefined-before-use** (warning) — a register read on some path
+//!   before any write, where the program *does* write it elsewhere
+//!   (registers never written anywhere are treated as external inputs
+//!   set up by the host machine — that is the kernel ABI).  Computed as
+//!   a definitely-assigned forward dataflow with intersection at joins;
+//!   `r0..r7` are the builder's argument registers and start defined.
+//! * **unreachable** (warning) — instructions no path from entry
+//!   reaches.
+//! * **vl-unset** (warning) — a full-VL matrix operation reachable
+//!   without a dominating `setvl`, i.e. code silently relying on the
+//!   architectural default `VL = MAX_VL`.
+//!
+//! The error/warning split is part of the contract: every built-in
+//! kernel and application must lint with **zero errors**, and CI
+//! enforces that.
+
+use simdsim_isa::{Esz, Ext, Instr, MOperand, Operand2, Program, RegId, VLoc, VOp, MAX_VL};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The program will fault or panic at runtime.
+    Error,
+    /// Suspicious but architecturally defined.
+    Warning,
+}
+
+/// One linter finding.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// Instruction index the finding anchors to.
+    pub idx: usize,
+    /// Severity.
+    pub severity: Severity,
+    /// Rule family (`illegal-instr`, `undefined-before-use`,
+    /// `unreachable`, `vl-unset`).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diag {
+    /// Renders as `error[rule] @idx: message`.
+    #[must_use]
+    pub fn render(&self, code: &[Instr]) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let instr = code
+            .get(self.idx)
+            .map_or_else(String::new, |i| format!(" `{i}`"));
+        format!(
+            "{sev}[{}] @{}:{instr} {}",
+            self.rule, self.idx, self.message
+        )
+    }
+}
+
+/// Successor instruction indices of `idx` in the CFG.
+fn succs(code: &[Instr], idx: usize) -> Vec<usize> {
+    match code[idx] {
+        Instr::Halt => Vec::new(),
+        Instr::Jump { target } => vec![target as usize],
+        Instr::Branch { target, .. } => {
+            let mut s = Vec::new();
+            if idx + 1 < code.len() {
+                s.push(idx + 1);
+            }
+            s.push(target as usize);
+            s
+        }
+        _ => {
+            if idx + 1 < code.len() {
+                vec![idx + 1]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+fn pack_esz(op: VOp) -> Option<Esz> {
+    match op {
+        VOp::PackS(e) | VOp::PackU(e) => Some(e),
+        _ => None,
+    }
+}
+
+/// Rule family 1: static mirrors of runtime faults.
+#[allow(clippy::too_many_lines)]
+fn illegal_instr(idx: usize, ins: &Instr, ext: Ext, len: usize, out: &mut Vec<Diag>) {
+    let width = ext.width_bytes();
+    let mut err = |message: String| {
+        out.push(Diag {
+            idx,
+            severity: Severity::Error,
+            rule: "illegal-instr",
+            message,
+        });
+    };
+    let check_row = |loc: VLoc, err: &mut dyn FnMut(String)| {
+        if let VLoc::Row(_, r) = loc {
+            if r as usize >= MAX_VL {
+                err(format!("matrix row {r} out of range (MAX_VL = {MAX_VL})"));
+            }
+        }
+    };
+    match *ins {
+        Instr::Branch { target, .. } | Instr::Jump { target } if target as usize >= len => {
+            err(format!("branch target {target} out of range"));
+        }
+        Instr::Simd { op, dst, a, b } => {
+            for loc in [dst, a, b] {
+                check_row(loc, &mut err);
+            }
+            if pack_esz(op) == Some(Esz::B) {
+                err("cannot pack byte elements".to_owned());
+            }
+        }
+        Instr::MOp { op, b, .. } => {
+            if let MOperand::RowBcast(_, r) = b {
+                if r as usize >= MAX_VL {
+                    err(format!(
+                        "broadcast row {r} out of range (MAX_VL = {MAX_VL})"
+                    ));
+                }
+            }
+            if pack_esz(op) == Some(Esz::B) {
+                err("cannot pack byte elements".to_owned());
+            }
+        }
+        Instr::SimdShift { dst, src, .. } | Instr::VMov { dst, src } => {
+            for loc in [dst, src] {
+                check_row(loc, &mut err);
+            }
+        }
+        Instr::VSplat { dst, .. } | Instr::AccPack { dst, .. } => check_row(dst, &mut err),
+        Instr::MovSV { src, lane, esz, .. } => {
+            check_row(src, &mut err);
+            if lane as usize >= esz.lanes(width * 8) {
+                err(format!("lane {lane} out of range for {esz:?}"));
+            }
+        }
+        Instr::MovVS { dst, lane, esz, .. } => {
+            check_row(dst, &mut err);
+            if lane as usize >= esz.lanes(width * 8) {
+                err(format!("lane {lane} out of range for {esz:?}"));
+            }
+        }
+        Instr::VLoad { dst, bytes, .. } => {
+            check_row(dst, &mut err);
+            if bytes == 0 || bytes as usize > width {
+                err(format!("vload of {bytes} bytes on {width}-byte machine"));
+            }
+        }
+        Instr::VStore { src, bytes, .. } => {
+            check_row(src, &mut err);
+            if bytes == 0 || bytes as usize > width {
+                err(format!("vstore of {bytes} bytes on {width}-byte machine"));
+            }
+        }
+        Instr::SetVl {
+            src: Operand2::Imm(v),
+        } if v <= 0 => {
+            err(format!("setvl with non-positive length {v}"));
+        }
+        Instr::MLoad { row_bytes, .. } if row_bytes == 0 || row_bytes as usize > width => {
+            err(format!(
+                "mload of {row_bytes} bytes/row on {width}-byte machine"
+            ));
+        }
+        Instr::MStore { row_bytes, .. } if row_bytes == 0 || row_bytes as usize > width => {
+            err(format!(
+                "mstore of {row_bytes} bytes/row on {width}-byte machine"
+            ));
+        }
+        Instr::VAcc { a, b, .. } => {
+            for loc in [a, b] {
+                check_row(loc, &mut err);
+            }
+        }
+        _ => {}
+    }
+    if !ext.is_matrix() && ins.requires_matrix_ext() {
+        err(format!("{ins} requires the matrix extension"));
+    }
+}
+
+/// Bitset over the flat register index space.
+#[derive(Clone, PartialEq, Eq)]
+struct RegSet(Vec<u64>);
+
+impl RegSet {
+    fn empty() -> Self {
+        Self(vec![0; simdsim_isa::NUM_FLAT_REGS.div_ceil(64)])
+    }
+    fn full() -> Self {
+        Self(vec![u64::MAX; simdsim_isa::NUM_FLAT_REGS.div_ceil(64)])
+    }
+    fn set(&mut self, r: RegId) {
+        let i = r.flat() as usize;
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn has(&self, r: RegId) -> bool {
+        let i = r.flat() as usize;
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+    fn intersect(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            let n = *a & b;
+            if n != *a {
+                *a = n;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Lints one program as it would run on extension `ext`.
+#[must_use]
+pub fn lint(prog: &Program, ext: Ext) -> Vec<Diag> {
+    let code = prog.code();
+    let mut diags = Vec::new();
+    for (idx, ins) in code.iter().enumerate() {
+        illegal_instr(idx, ins, ext, code.len(), &mut diags);
+    }
+    if code.is_empty() {
+        return diags;
+    }
+
+    // Reachability from entry.
+    let mut reachable = vec![false; code.len()];
+    let mut stack = vec![0usize];
+    while let Some(i) = stack.pop() {
+        if i >= code.len() || reachable[i] {
+            continue;
+        }
+        reachable[i] = true;
+        for s in succs(code, i) {
+            stack.push(s);
+        }
+    }
+    for (idx, r) in reachable.iter().enumerate() {
+        if !r {
+            diags.push(Diag {
+                idx,
+                severity: Severity::Warning,
+                rule: "unreachable",
+                message: "no path from entry reaches this instruction".to_owned(),
+            });
+        }
+    }
+
+    // Registers the program writes anywhere: reads of anything else are
+    // host-initialised inputs, not use-before-def candidates.
+    let mut written_somewhere = RegSet::empty();
+    for ins in code {
+        for &d in ins.def_use().defs() {
+            written_somewhere.set(d);
+        }
+    }
+
+    // Definitely-assigned forward dataflow (intersection at joins).
+    // Entry state: the builder's argument registers.  VL is tracked via
+    // RegId::Vl for the vl-unset rule and starts *unset*.
+    let mut entry = RegSet::empty();
+    for i in 0..8u8 {
+        entry.set(RegId::I(i));
+    }
+    let mut in_states: Vec<RegSet> = vec![RegSet::full(); code.len()];
+    in_states[0] = entry;
+    let mut work: Vec<usize> = (0..code.len()).filter(|&i| reachable[i]).collect();
+    while let Some(i) = work.pop() {
+        let mut state = in_states[i].clone();
+        for &d in code[i].def_use().defs() {
+            state.set(d);
+        }
+        for s in succs(code, i) {
+            if s < code.len() && reachable[s] && in_states[s].intersect(&state) {
+                work.push(s);
+            }
+        }
+    }
+
+    // Report pass over the converged states.
+    for (idx, ins) in code.iter().enumerate() {
+        if !reachable[idx] {
+            continue;
+        }
+        let state = &in_states[idx];
+        let du = ins.def_use();
+        let def = du.defs().first().copied();
+        for &u in du.uses() {
+            if u == RegId::Vl {
+                // Architecturally defined default; separate rule below.
+                continue;
+            }
+            if Some(u) == def {
+                // Read-modify-write of the destination (partial writes,
+                // strided loads): not a use of a prior value per se.
+                continue;
+            }
+            if !state.has(u) && written_somewhere.has(u) {
+                diags.push(Diag {
+                    idx,
+                    severity: Severity::Warning,
+                    rule: "undefined-before-use",
+                    message: format!("{u:?} may be read before it is written"),
+                });
+            }
+        }
+        if ins.is_full_vl() && !state.has(RegId::Vl) {
+            diags.push(Diag {
+                idx,
+                severity: Severity::Warning,
+                rule: "vl-unset",
+                message: "full-VL operation relies on the default VL (no dominating setvl)"
+                    .to_owned(),
+            });
+        }
+    }
+    diags.sort_by_key(|d| d.idx);
+    diags
+}
+
+/// Convenience: the number of [`Severity::Error`] findings.
+#[must_use]
+pub fn error_count(diags: &[Diag]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}

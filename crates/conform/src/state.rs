@@ -1,0 +1,202 @@
+//! Final architectural-state snapshots for corpus fixtures.
+//!
+//! An [`ArchState`] is a stable, human-reviewable summary of a
+//! machine's post-run state: every non-zero register rendered as a
+//! string, the vector length, and an FNV-1a-64 digest of the memory
+//! image.  Snapshots are taken from both the emulator and the
+//! reference interpreter, compared for equality, and committed next to
+//! each corpus program as its `.expect.json` fixture.
+//!
+//! Registers are rendered as strings (decimal for scalars, hex for
+//! SIMD words) rather than nested JSON so fixtures diff cleanly and
+//! adding a register class never changes the schema.
+
+use crate::refint::RefMachine;
+use serde::{Deserialize, Serialize};
+use simdsim_emu::Machine;
+use simdsim_isa::MAX_VL;
+
+/// One non-zero architectural register and its rendered value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateEntry {
+    /// Register name in assembly syntax (`r3`, `f1`, `v2`, `m0[5]`, `acc1`).
+    pub reg: String,
+    /// Rendered value (decimal for `r`/`acc`, `0x…` bit patterns for
+    /// `f`/`v`/`m`).
+    pub val: String,
+}
+
+/// Post-run architectural state: non-zero registers, VL and a memory digest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchState {
+    /// Extension name (`mmx64` … `vmmx128`).
+    pub ext: String,
+    /// Final vector length.
+    pub vl: u8,
+    /// Non-zero registers in a fixed scan order (r, f, v, m rows, acc).
+    pub regs: Vec<StateEntry>,
+    /// Memory image size in bytes.
+    pub mem_len: u64,
+    /// FNV-1a-64 digest of the memory image, as 16 hex digits.
+    pub mem_fnv: String,
+}
+
+/// FNV-1a-64 over a byte slice (the same construction the sweep cache
+/// uses for its keys; collisions are irrelevant at corpus scale).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Generic snapshot builder over any state source that can answer the
+/// accessor questions both machines share.
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    ext_name: &str,
+    vl: usize,
+    ireg: &dyn Fn(usize) -> i64,
+    freg: &dyn Fn(usize) -> f64,
+    vreg: &dyn Fn(usize) -> u128,
+    mrow: &dyn Fn(usize, usize) -> u128,
+    acc: &dyn Fn(usize) -> [i64; 8],
+    mem: &[u8],
+) -> ArchState {
+    let mut regs = Vec::new();
+    for i in 0..simdsim_isa::NUM_IREGS {
+        let v = ireg(i);
+        if v != 0 {
+            regs.push(StateEntry {
+                reg: format!("r{i}"),
+                val: v.to_string(),
+            });
+        }
+    }
+    for i in 0..simdsim_isa::NUM_FREGS {
+        let bits = freg(i).to_bits();
+        if bits != 0 {
+            regs.push(StateEntry {
+                reg: format!("f{i}"),
+                val: format!("{bits:#x}"),
+            });
+        }
+    }
+    for i in 0..simdsim_isa::NUM_VREGS {
+        let v = vreg(i);
+        if v != 0 {
+            regs.push(StateEntry {
+                reg: format!("v{i}"),
+                val: format!("{v:#x}"),
+            });
+        }
+    }
+    for m in 0..simdsim_isa::NUM_MREGS {
+        for r in 0..MAX_VL {
+            let v = mrow(m, r);
+            if v != 0 {
+                regs.push(StateEntry {
+                    reg: format!("m{m}[{r}]"),
+                    val: format!("{v:#x}"),
+                });
+            }
+        }
+    }
+    for i in 0..simdsim_isa::NUM_AREGS {
+        let lanes = acc(i);
+        if lanes.iter().any(|&l| l != 0) {
+            let rendered = lanes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            regs.push(StateEntry {
+                reg: format!("acc{i}"),
+                val: rendered,
+            });
+        }
+    }
+    ArchState {
+        ext: ext_name.to_owned(),
+        vl: vl as u8,
+        regs,
+        mem_len: mem.len() as u64,
+        mem_fnv: format!("{:016x}", fnv1a64(mem)),
+    }
+}
+
+impl ArchState {
+    /// Snapshots an emulator instance.
+    #[must_use]
+    pub fn of_machine(m: &Machine) -> Self {
+        snapshot(
+            m.ext().name(),
+            m.vl(),
+            &|i| m.ireg(i),
+            &|i| m.freg(i),
+            &|i| m.vreg(i),
+            &|r, c| m.mrow(r, c),
+            &|i| m.acc(i),
+            m.read_bytes(0, m.mem_size()).expect("full image"),
+        )
+    }
+
+    /// Snapshots the reference interpreter.
+    #[must_use]
+    pub fn of_ref(m: &RefMachine) -> Self {
+        snapshot(
+            m.ext().name(),
+            m.vl(),
+            &|i| m.ireg(i),
+            &|i| m.freg(i),
+            &|i| m.vreg(i),
+            &|r, c| m.mrow(r, c),
+            &|i| m.acc(i),
+            m.read_bytes(0, m.mem_size()),
+        )
+    }
+
+    /// Human-readable first difference against `other`, or `None` when equal.
+    #[must_use]
+    pub fn diff(&self, label_self: &str, other: &Self, label_other: &str) -> Option<String> {
+        if self == other {
+            return None;
+        }
+        if self.vl != other.vl {
+            return Some(format!(
+                "vl: {label_self}={} {label_other}={}",
+                self.vl, other.vl
+            ));
+        }
+        for e in &self.regs {
+            match other.regs.iter().find(|o| o.reg == e.reg) {
+                None => return Some(format!("{}: {label_self}={} {label_other}=0", e.reg, e.val)),
+                Some(o) if o.val != e.val => {
+                    return Some(format!(
+                        "{}: {label_self}={} {label_other}={}",
+                        e.reg, e.val, o.val
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        for o in &other.regs {
+            if !self.regs.iter().any(|e| e.reg == o.reg) {
+                return Some(format!("{}: {label_self}=0 {label_other}={}", o.reg, o.val));
+            }
+        }
+        if self.mem_fnv != other.mem_fnv || self.mem_len != other.mem_len {
+            return Some(format!(
+                "memory: {label_self}={}B fnv {} / {label_other}={}B fnv {}",
+                self.mem_len, self.mem_fnv, other.mem_len, other.mem_fnv
+            ));
+        }
+        Some(format!(
+            "ext: {label_self}={} {label_other}={}",
+            self.ext, other.ext
+        ))
+    }
+}

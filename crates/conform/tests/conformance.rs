@@ -1,0 +1,185 @@
+//! Conformance-subsystem integration tests: the committed corpus, the
+//! differential fuzzer, the linter over every built-in program, and the
+//! listing round-trip that keeps the corpus grammar synchronized with
+//! the disassembler.
+
+use proptest::prelude::*;
+use simdsim_conform::{
+    differential, error_count, fuzz_case, lint, parse_instr, run_corpus, CorpusProgram, Severity,
+};
+use simdsim_kernels::Variant;
+
+#[test]
+fn corpus_passes_all_three_engines() {
+    let results = run_corpus(&simdsim_conform::corpus::corpus_dir());
+    assert!(
+        results.len() >= 30,
+        "corpus shrank to {} cases",
+        results.len()
+    );
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|r| r.failure.as_ref().map(|f| format!("{}: {f}", r.name)))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "corpus failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+proptest! {
+    #[test]
+    fn fuzzed_programs_conform(seed in 0u64..1_000_000) {
+        let out = fuzz_case(seed);
+        prop_assert!(
+            out.failure.is_none(),
+            "seed {} diverged: {}\n{}",
+            seed,
+            out.failure.as_deref().unwrap_or(""),
+            out.listing.as_deref().unwrap_or("")
+        );
+    }
+}
+
+/// Every built-in kernel and application, on every variant, lints with
+/// zero errors — the acceptance bar the CI smoke job enforces.
+#[test]
+fn builtin_programs_lint_clean() {
+    let mut checked = 0;
+    for k in simdsim_kernels::registry() {
+        for v in Variant::ALL {
+            let built = k.build(v);
+            let diags = lint(&built.program, v.machine_ext());
+            let errs: Vec<String> = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .map(|d| d.render(built.program.code()))
+                .collect();
+            assert!(
+                errs.is_empty(),
+                "kernel {}/{v}: {}",
+                k.spec().name,
+                errs.join("\n")
+            );
+            checked += 1;
+        }
+    }
+    for a in simdsim_apps::registry() {
+        for v in Variant::ALL {
+            let built = a.build(v);
+            let diags = lint(&built.program, v.machine_ext());
+            assert_eq!(
+                error_count(&diags),
+                0,
+                "app {}/{v} has lint errors",
+                a.spec().name
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 80, "only {checked} programs linted");
+}
+
+/// The corpus grammar is exactly the `Display` grammar: every line of
+/// every built-in program's listing parses back to the same `Instr`.
+#[test]
+fn listing_round_trips_through_parser() {
+    let mut programs = Vec::new();
+    for k in simdsim_kernels::registry() {
+        for v in Variant::ALL {
+            programs.push((format!("kernel {}/{v}", k.spec().name), k.build(v).program));
+        }
+    }
+    for a in simdsim_apps::registry() {
+        for v in Variant::ALL {
+            programs.push((format!("app {}/{v}", a.spec().name), a.build(v).program));
+        }
+    }
+    for (label, prog) in programs {
+        for (idx, line) in prog.listing().lines().enumerate() {
+            // `{i:6} {tag} {ins}`: the instruction text starts at column 9.
+            let text = &line[9..];
+            let parsed = parse_instr(text)
+                .unwrap_or_else(|e| panic!("{label} @{idx}: `{text}` does not parse: {e}"));
+            assert_eq!(
+                parsed,
+                prog.code()[idx],
+                "{label} @{idx}: `{text}` re-parses differently"
+            );
+        }
+    }
+}
+
+/// The reference interpreter is usable directly as a library oracle.
+#[test]
+fn differential_accepts_handwritten_source() {
+    let cp = CorpusProgram::parse(
+        "; inline case\n\
+         .ext mmx64\n\
+         .reg r1 = 6\n\
+         mul r2, r1, #7\n\
+         halt\n",
+    )
+    .expect("parses");
+    let state = differential(&cp, 1000).expect("conforms");
+    assert!(state.regs.iter().any(|e| e.reg == "r2" && e.val == "42"));
+}
+
+#[test]
+fn lint_flags_undefined_use_and_unreachable() {
+    let cp = CorpusProgram::parse(
+        ".ext mmx64\n\
+         add r9, r8, #1\n\
+         li r8, 5\n\
+         halt\n\
+         li r10, 1\n",
+    )
+    .expect("parses");
+    let diags = lint(&cp.program, cp.ext);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "undefined-before-use" && d.idx == 0),
+        "expected undefined-before-use at @0, got {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "unreachable" && d.idx == 3),
+        "expected unreachable at @3, got {diags:?}"
+    );
+}
+
+#[test]
+fn lint_flags_illegal_instrs_as_errors() {
+    let cp = CorpusProgram::parse(
+        ".ext vmmx64\n\
+         vld.16 v0, (r0)\n\
+         setvl #0\n\
+         movsv.h r1, v0[9]\n\
+         j @99\n",
+    )
+    .expect("parses");
+    let diags = lint(&cp.program, cp.ext);
+    // vld.16 on an 8-byte machine, setvl #0, lane 9 of 4 h-lanes,
+    // and a wild jump.
+    assert_eq!(error_count(&diags), 4, "got {diags:?}");
+}
+
+#[test]
+fn lint_warns_on_default_vl_reliance() {
+    let cp = CorpusProgram::parse(
+        ".ext vmmx64\n\
+         msplat.b m0, r0\n\
+         setvl #4\n\
+         msplat.b m1, r0\n\
+         halt\n",
+    )
+    .expect("parses");
+    let diags = lint(&cp.program, cp.ext);
+    let vl_unset: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == "vl-unset")
+        .map(|d| d.idx)
+        .collect();
+    assert_eq!(vl_unset, vec![0], "got {diags:?}");
+}

@@ -40,6 +40,7 @@ pub mod tables;
 pub use simdsim_api as api;
 pub use simdsim_asm as asm;
 pub use simdsim_client as client;
+pub use simdsim_conform as conform;
 pub use simdsim_emu as emu;
 pub use simdsim_isa as isa;
 pub use simdsim_kernels as kernels;

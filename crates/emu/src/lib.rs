@@ -43,7 +43,7 @@ mod trace;
 
 pub use error::EmuError;
 pub use layout::Layout;
-pub use machine::{Machine, RunStats};
+pub use machine::{Machine, NoObserver, RunStats, StepObserver};
 pub use trace::{DynInstr, MemAccess, NullSink, TraceSink, VecSink};
 
 /// Emulator revision, part of `simdsim-sweep`'s content-addressed cache

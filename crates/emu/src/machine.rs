@@ -31,6 +31,33 @@ pub struct RunStats {
     pub side_exits: u64,
 }
 
+/// Per-committed-instruction observer for conformance checking.
+///
+/// Unlike [`TraceSink`], which receives whole superblocks after they
+/// retire (and therefore cannot see intermediate architectural state),
+/// an observer is called synchronously after every committed
+/// instruction, while the machine still holds the state that
+/// instruction produced.  The differential tester (`simdsim-conform`)
+/// samples the registers an instruction defines here and compares them
+/// against the reference interpreter's effects trace.
+///
+/// The default entry points use [`NoObserver`], which monomorphizes the
+/// hot loop back to the unobserved code, so timing-model callers pay
+/// nothing for this seam.
+pub trait StepObserver {
+    /// Called after `di` committed; `m` holds post-instruction state.
+    fn step(&mut self, m: &Machine, di: &DynInstr);
+}
+
+/// The no-op observer used by [`Machine::run`] / [`Machine::run_decoded`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl StepObserver for NoObserver {
+    #[inline(always)]
+    fn step(&mut self, _m: &Machine, _di: &DynInstr) {}
+}
+
 /// A functional emulator instance: registers, accumulators and a flat
 /// little-endian memory image.
 ///
@@ -135,6 +162,20 @@ impl Machine {
     #[must_use]
     pub fn mrow(&self, m: usize, row: usize) -> u128 {
         self.mregs[m][row]
+    }
+    /// Reads floating-point register `i`.
+    #[must_use]
+    pub fn freg(&self, i: usize) -> f64 {
+        self.fregs[i]
+    }
+    /// Writes floating-point register `i`.
+    pub fn set_freg(&mut self, i: usize, v: f64) {
+        self.fregs[i] = v;
+    }
+    /// Reads the lane array of accumulator `i`.
+    #[must_use]
+    pub fn acc(&self, i: usize) -> [i64; 8] {
+        self.accs[i]
     }
 
     // ------------------------------------------------------------------
@@ -338,6 +379,23 @@ impl Machine {
         self.run_decoded(&prog.decode(), sink, max_instrs)
     }
 
+    /// [`Machine::run`] with a per-step [`StepObserver`] for conformance
+    /// checking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on validation failure, illegal instructions,
+    /// out-of-bounds accesses, or when `max_instrs` is exceeded.
+    pub fn run_observed(
+        &mut self,
+        prog: &Program,
+        sink: &mut impl TraceSink,
+        max_instrs: u64,
+        obs: &mut impl StepObserver,
+    ) -> Result<RunStats, EmuError> {
+        self.run_decoded_observed(&prog.decode(), sink, max_instrs, obs)
+    }
+
     /// Runs a predecoded program from instruction 0 until `Halt` (or
     /// falling off the end), streaming every committed instruction into
     /// `sink` together with its predecoded metadata.
@@ -355,6 +413,26 @@ impl Machine {
         dec: &Decoded,
         sink: &mut impl TraceSink,
         max_instrs: u64,
+    ) -> Result<RunStats, EmuError> {
+        self.run_decoded_observed(dec, sink, max_instrs, &mut NoObserver)
+    }
+
+    /// [`Machine::run_decoded`] with a per-step [`StepObserver`] for
+    /// conformance checking.  The observer fires after every committed
+    /// instruction in both the block and the per-instruction paths,
+    /// before control transfers; the trace streamed to `sink` is
+    /// identical to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on validation failure, illegal instructions,
+    /// out-of-bounds accesses, or when `max_instrs` is exceeded.
+    pub fn run_decoded_observed(
+        &mut self,
+        dec: &Decoded,
+        sink: &mut impl TraceSink,
+        max_instrs: u64,
+        obs: &mut impl StepObserver,
     ) -> Result<RunStats, EmuError> {
         dec.validate(self.ext.is_matrix())
             .map_err(EmuError::Validation)?;
@@ -390,6 +468,7 @@ impl Machine {
                     mem,
                     vl: if d.is_full_vl { self.vl as u8 } else { 1 },
                 };
+                obs.step(self, &di);
                 sink.push(&di, d);
                 Self::account(&mut stats, d);
                 stats.side_exits += 1;
@@ -422,14 +501,16 @@ impl Machine {
                     sink.push_block(&buf, decs, block);
                     return Err(e);
                 }
-                buf.push(DynInstr {
+                let di = DynInstr {
                     pc: ipc,
                     instr: d.instr,
                     region: d.region,
                     taken,
                     mem,
                     vl: if d.is_full_vl { self.vl as u8 } else { 1 },
-                });
+                };
+                obs.step(self, &di);
+                buf.push(di);
                 Self::account(&mut stats, d);
                 pc = taken.unwrap_or(ipc + 1);
                 if halted {

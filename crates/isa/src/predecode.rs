@@ -367,6 +367,20 @@ impl Decoded {
         self.instrs.is_empty()
     }
 
+    /// A copy of this table with no superblocks: every pc maps to
+    /// [`NO_BLOCK`], so the emulator's per-instruction side-exit path
+    /// executes the whole program.  Differential testers use this to
+    /// exercise that path as a distinct engine; timing-model callers
+    /// never want it.
+    #[must_use]
+    pub fn without_blocks(&self) -> Self {
+        Self {
+            instrs: self.instrs.clone(),
+            blocks: Vec::new(),
+            block_idx: vec![NO_BLOCK; self.instrs.len()],
+        }
+    }
+
     /// Validates structural well-formedness exactly like
     /// [`Program::validate`] (both call the same shared per-instruction
     /// check): branch targets in range and, when `matrix_ext` is false,

@@ -28,7 +28,7 @@ use simdsim_obs::{Event, FlightRecorder};
 use simdsim_sweep::{
     CellExecutor, CellTask, LocalExecutor, SweepError, TaskOutcome, CANCELLED_CELL_MESSAGE,
 };
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -72,14 +72,19 @@ struct WorkerState {
     last_seen: Instant,
     leased: u64,
     completed: u64,
+    /// Content-address keys known to sit in the worker's local result
+    /// store: seeded from `cache_keys` at registration and grown with
+    /// every result the worker reports.  Used for lease affinity.
+    keys: HashSet<String>,
 }
 
 /// One unresolved cell: which batch wants it, which lease (if any) holds
-/// it, and the task itself.
+/// it, the task itself, and its content-address key for lease affinity.
 #[derive(Debug)]
 struct OpenUnit {
     batch: u64,
     lease: Option<u64>,
+    key: String,
     task: CellTask,
 }
 
@@ -192,6 +197,7 @@ impl Fleet {
                 last_seen: Instant::now(),
                 leased: 0,
                 completed: 0,
+                keys: req.cache_keys.iter().cloned().collect(),
             },
         );
         drop(st);
@@ -277,26 +283,57 @@ impl Fleet {
 
     fn try_grant_locked(&self, st: &mut FleetState, worker: u64, max_cells: u64) -> Option<Lease> {
         let cap = max_cells.clamp(1, self.cfg.max_lease_cells) as usize;
-        let mut cells = Vec::new();
-        while cells.len() < cap {
+        // Affinity pass: offer this worker the queued cells whose content
+        // address it already caches — those resolve as cache probes, not
+        // simulations.  Ids resolved or re-routed since queueing are
+        // dropped lazily here, same as the dispatch-order pass below.
+        let mut picked = Vec::new();
+        let mut affinity = 0u64;
+        if let Some(w) = st.workers.get(&worker) {
+            if !w.keys.is_empty() {
+                let keys = &w.keys;
+                let units = &st.units;
+                st.pending.retain(|&unit| {
+                    let Some(open) = units.get(&unit) else {
+                        return false;
+                    };
+                    if picked.len() < cap && keys.contains(&open.key) {
+                        picked.push(unit);
+                        return false;
+                    }
+                    true
+                });
+                affinity = picked.len() as u64;
+            }
+        }
+        // Dispatch-order pass fills the remainder.
+        while picked.len() < cap {
             let Some(unit) = st.pending.pop_front() else {
                 break;
             };
-            // Ids resolved or re-routed since queueing are skipped lazily.
-            let Some(open) = st.units.get(&unit) else {
-                continue;
-            };
-            let batch = st.batches.get(&open.batch);
-            cells.push(LeasedCell {
-                unit,
-                cell: open.task.cell.clone(),
-                job: batch.and_then(|b| b.job),
-                trace: batch.and_then(|b| b.trace.clone()),
-            });
+            if st.units.contains_key(&unit) {
+                picked.push(unit);
+            }
         }
+        let cells: Vec<LeasedCell> = picked
+            .iter()
+            .map(|&unit| {
+                let open = st.units.get(&unit).expect("picked unit");
+                let batch = st.batches.get(&open.batch);
+                LeasedCell {
+                    unit,
+                    cell: open.task.cell.clone(),
+                    job: batch.and_then(|b| b.job),
+                    trace: batch.and_then(|b| b.trace.clone()),
+                }
+            })
+            .collect();
         if cells.is_empty() {
             return None;
         }
+        self.metrics
+            .fleet_leases_affinity
+            .fetch_add(affinity, Ordering::Relaxed);
         st.next_lease += 1;
         let lease_id = st.next_lease;
         for c in &cells {
@@ -322,7 +359,9 @@ impl Fleet {
         let mut grant = Event::new("lease.grant")
             .with_trace(cells[0].trace.clone())
             .with_worker(worker)
-            .with_detail(format!("lease {lease_id}: {granted} cells"));
+            .with_detail(format!(
+                "lease {lease_id}: {granted} cells ({affinity} affine)"
+            ));
         grant.job = cells[0].job;
         self.recorder.record(grant);
         Some(Lease {
@@ -352,11 +391,13 @@ impl Fleet {
         let grant_latency = st.leases.get(&req.lease_id).map(|l| l.granted.elapsed());
         let (mut accepted, mut stale) = (0u64, 0u64);
         let mut trace = None;
+        let mut keys = Vec::new();
         for r in &req.results {
             match self.resolve_unit_locked(&mut st, r) {
-                Some(t) => {
+                Some((t, key)) => {
                     accepted += 1;
                     trace = trace.or(t);
+                    keys.push(key);
                 }
                 None => stale += 1,
             }
@@ -367,6 +408,9 @@ impl Fleet {
         if let Some(w) = st.workers.get_mut(&worker) {
             w.last_seen = Instant::now();
             w.completed += accepted;
+            // Whatever a worker resolves it now caches locally, so future
+            // duplicates of these cells lease back to it with affinity.
+            w.keys.extend(keys);
         }
         drop(st);
         self.metrics
@@ -406,9 +450,14 @@ impl Fleet {
     }
 
     /// Resolves one reported unit into its batch.  `None` means the unit
-    /// was no longer open (stale); `Some(trace)` is the accepted unit's
-    /// batch trace, for the caller's `lease.report` event.
-    fn resolve_unit_locked(&self, st: &mut FleetState, r: &UnitResult) -> Option<Option<String>> {
+    /// was no longer open (stale); the accepted case carries the unit's
+    /// batch trace (for the caller's `lease.report` event) and its
+    /// content-address key (for worker affinity tracking).
+    fn resolve_unit_locked(
+        &self,
+        st: &mut FleetState,
+        r: &UnitResult,
+    ) -> Option<(Option<String>, String)> {
         let open = st.units.remove(&r.unit)?;
         if let Some(lid) = open.lease {
             if let Some(l) = st.leases.get_mut(&lid) {
@@ -449,7 +498,7 @@ impl Fleet {
             b.open = b.open.saturating_sub(1);
             trace = b.trace.clone();
         }
-        Some(trace)
+        Some((trace, open.key))
     }
 
     /// The fleet listing: every registered worker plus the queue depth.
@@ -616,11 +665,15 @@ impl Fleet {
         for task in tasks {
             st.next_unit += 1;
             let unit = st.next_unit;
+            let key = simdsim_sweep::cell_key(&task.cell, &task.cfg)
+                .as_str()
+                .to_owned();
             st.units.insert(
                 unit,
                 OpenUnit {
                     batch,
                     lease: None,
+                    key,
                     task,
                 },
             );
@@ -822,11 +875,15 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn task(index: usize) -> CellTask {
+        task_way(index, 2)
+    }
+
+    fn task_way(index: usize, way: usize) -> CellTask {
         let cell = Cell {
             scenario: "t".to_owned(),
             workload: WorkloadRef::Kernel("idct".to_owned()),
             ext: Ext::Mmx64,
-            way: 2,
+            way,
             overrides: OverrideSet::default(),
             instr_limit: 200_000,
         };
@@ -942,6 +999,101 @@ mod tests {
     }
 
     #[test]
+    fn leases_prefer_workers_that_cache_the_cell() {
+        let fleet = fast_fleet(10_000, 60_000);
+        // The hot worker registered advertising the way-4 cell's key;
+        // nothing else in the batch is in anyone's cache.
+        let hot_task = task_way(3, 4);
+        let key = simdsim_sweep::cell_key(&hot_task.cell, &hot_task.cfg)
+            .as_str()
+            .to_owned();
+        let hot = fleet.register(&RegisterRequest {
+            name: "hot".to_owned(),
+            slots: 1,
+            cache_keys: vec![key],
+        });
+        fleet.open_batch(
+            vec![task_way(0, 2), task_way(1, 2), task_way(2, 2), hot_task],
+            None,
+            None,
+        );
+        // With one slot, dispatch order would hand the hot worker the
+        // first way-2 cell; affinity steers its cached cell to it
+        // instead, even though it was queued last.
+        let lease = fleet
+            .lease(
+                hot.worker_id,
+                &LeaseRequest {
+                    max_cells: 1,
+                    wait_ms: 0,
+                },
+            )
+            .expect("known worker")
+            .lease
+            .expect("work available");
+        assert_eq!(lease.cells.len(), 1);
+        assert_eq!(lease.cells[0].cell.way, 4);
+        let affine = |fleet: &Fleet| fleet.metrics.fleet_leases_affinity.load(Ordering::Relaxed);
+        assert_eq!(affine(&fleet), 1);
+
+        // A keyless worker falls through to plain dispatch order.
+        let cold = fleet.register(&RegisterRequest::default());
+        let lease = fleet
+            .lease(
+                cold.worker_id,
+                &LeaseRequest {
+                    max_cells: 8,
+                    wait_ms: 0,
+                },
+            )
+            .expect("known worker")
+            .lease
+            .expect("work available");
+        assert_eq!(lease.cells.len(), 3);
+        assert!(lease.cells.iter().all(|c| c.cell.way == 2));
+        assert_eq!(affine(&fleet), 1, "no affinity credit without keys");
+
+        // Accepted reports teach the coordinator what the cold worker
+        // now caches, so a re-queued duplicate routes back to it.
+        let results: Vec<UnitResult> = lease
+            .cells
+            .iter()
+            .map(|c| UnitResult {
+                unit: c.unit,
+                cached: false,
+                wall_ms: 1.0,
+                stats: Some(fake_stats()),
+                error: None,
+                phases: None,
+            })
+            .collect();
+        fleet
+            .report(
+                cold.worker_id,
+                &ReportRequest {
+                    lease_id: lease.lease_id,
+                    results,
+                    spans: Vec::new(),
+                },
+            )
+            .expect("known worker");
+        fleet.open_batch(vec![task_way(0, 2)], None, None);
+        let lease = fleet
+            .lease(
+                cold.worker_id,
+                &LeaseRequest {
+                    max_cells: 8,
+                    wait_ms: 0,
+                },
+            )
+            .expect("known worker")
+            .lease
+            .expect("work available");
+        assert_eq!(lease.cells.len(), 1);
+        assert_eq!(affine(&fleet), 2, "learned keys earn affinity credit");
+    }
+
+    #[test]
     fn expired_leases_requeue_and_late_reports_go_stale() {
         let fleet = fast_fleet(10_000, 30);
         let reg = fleet.register(&RegisterRequest::default());
@@ -1029,6 +1181,7 @@ mod tests {
         let reg = fleet.register(&RegisterRequest {
             name: "sim".to_owned(),
             slots: 2,
+            cache_keys: Vec::new(),
         });
         // A worker loop speaking the fleet API directly: lease, simulate
         // for real, report per cell — the HTTP worker does exactly this.

@@ -132,6 +132,9 @@ pub struct Metrics {
     pub fleet_leases_granted: AtomicU64,
     /// Leases that expired without a full report.
     pub fleet_leases_expired: AtomicU64,
+    /// Cells leased with cache affinity: the receiving worker had
+    /// advertised (or earned, by reporting) the cell's content address.
+    pub fleet_leases_affinity: AtomicU64,
     /// Cell results accepted from fleet workers.
     pub fleet_cells_reported: AtomicU64,
     /// Reported results dropped as stale (duplicate or re-queued-and-
@@ -214,6 +217,8 @@ pub struct MetricsSnapshot {
     pub fleet_leases_granted: u64,
     /// Leases that expired without a full report.
     pub fleet_leases_expired: u64,
+    /// Cells leased with cache affinity.
+    pub fleet_leases_affinity: u64,
     /// Cell results accepted from fleet workers.
     pub fleet_cells_reported: u64,
     /// Reported results dropped as stale.
@@ -346,6 +351,7 @@ impl Metrics {
             fleet_workers_evicted: get(&self.fleet_workers_evicted),
             fleet_leases_granted: get(&self.fleet_leases_granted),
             fleet_leases_expired: get(&self.fleet_leases_expired),
+            fleet_leases_affinity: get(&self.fleet_leases_affinity),
             fleet_cells_reported: get(&self.fleet_cells_reported),
             fleet_reports_stale: get(&self.fleet_reports_stale),
             fleet_cells_requeued: get(&self.fleet_cells_requeued),
@@ -472,6 +478,11 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         ],
     );
     counter(
+        "simdsim_leases_affinity_total",
+        "Cells leased to the worker whose cache already held their key.",
+        &[("", s.fleet_leases_affinity)],
+    );
+    counter(
         "simdsim_fleet_cells_total",
         "Fleet-dispatched cells, by disposition.",
         &[
@@ -552,6 +563,7 @@ mod tests {
         m.requests_healthz.fetch_add(2, Ordering::Relaxed);
         m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
         m.fleet_workers_registered.fetch_add(1, Ordering::Relaxed);
+        m.fleet_leases_affinity.fetch_add(6, Ordering::Relaxed);
         m.record_job(5, 7, 1_000_000, Duration::from_millis(250));
         m.record_blocks(40, 9_000, 12);
         let mut stack = CpiStack::default();
@@ -585,6 +597,7 @@ mod tests {
             "simdsim_superblocks_total{event=\"fused_hit\"} 9000",
             "simdsim_superblocks_total{event=\"side_exit\"} 12",
             "simdsim_fleet_workers_total{event=\"registered\"} 1",
+            "simdsim_leases_affinity_total 6",
             "simdsim_fleet_cells_total{event=\"requeued\"} 0",
             "simdsim_fleet_workers_live 1",
             "simdsim_fleet_pending_cells 3",

@@ -150,6 +150,7 @@ fn worker_death_mid_lease_requeues_cells_and_stays_golden() {
         .register_worker(&RegisterRequest {
             name: "doomed".to_owned(),
             slots: 8,
+            ..RegisterRequest::default()
         })
         .expect("register");
 
@@ -234,6 +235,7 @@ fn duplicate_report_is_a_stale_no_op() {
         .register_worker(&RegisterRequest {
             name: "dup".to_owned(),
             slots: 8,
+            ..RegisterRequest::default()
         })
         .expect("register");
 

@@ -6,9 +6,13 @@
 //! [`prop_oneof!`], [`Strategy`] with `prop_map`, [`any`], integer-range
 //! strategies, tuple strategies, `collection::vec` and `sample::select`.
 //!
-//! Unlike the real proptest there is no shrinking and no persisted failure
-//! seeds: each test runs a fixed number of cases driven by a deterministic
-//! xorshift generator, so failures reproduce across runs and machines.
+//! Unlike the real proptest there are no persisted failure seeds: each
+//! test runs a fixed number of cases driven by a deterministic xorshift
+//! generator, so failures reproduce across runs and machines.  Failing
+//! cases are greedily shrunk ([`Strategy::shrink`]) before being
+//! reported: integers move toward the range start, vectors drop
+//! elements, tuples shrink one component at a time — enough to minimize
+//! a failing fuzz case to a small input.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +68,16 @@ pub mod strategy {
         /// Draws one value.
         fn sample(&self, rng: &mut Rng) -> Self::Value;
 
+        /// Candidate simplifications of a failing `value`, most
+        /// aggressive first.  The [`proptest!`](crate::proptest) runner
+        /// greedily adopts any candidate that still fails, so returning
+        /// an empty list (the default) just disables shrinking for this
+        /// strategy.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+
         /// Maps the produced value through `f` (proptest's `prop_map`).
         fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
         where
@@ -78,12 +92,18 @@ pub mod strategy {
         fn sample(&self, rng: &mut Rng) -> S::Value {
             (**self).sample(rng)
         }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            (**self).shrink(value)
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
         type Value = S::Value;
         fn sample(&self, rng: &mut Rng) -> S::Value {
             (**self).sample(rng)
+        }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            (**self).shrink(value)
         }
     }
 
@@ -146,6 +166,20 @@ pub mod strategy {
                     let off = rng.next_u128() % span;
                     ((self.start as $wide).wrapping_add(off as $wide)) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    // Toward the range start: the start itself, then the
+                    // halfway point (repeated adoption converges).
+                    let mut out = Vec::new();
+                    if *value != self.start {
+                        out.push(self.start);
+                        let dist = (*value as $wide).wrapping_sub(self.start as $wide);
+                        let half = (self.start as $wide).wrapping_add(dist / 2) as $t;
+                        if half != self.start && half != *value {
+                            out.push(half);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -157,10 +191,25 @@ pub mod strategy {
 
     macro_rules! tuple_strategy {
         ($(($($n:tt $s:ident),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn sample(&self, rng: &mut Rng) -> Self::Value {
                     ($(self.$n.sample(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One component at a time, the others held fixed.
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$n.shrink(&value.$n) {
+                            let mut v = value.clone();
+                            v.$n = cand;
+                            out.push(v);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
@@ -185,6 +234,13 @@ pub mod arbitrary {
     pub trait Arbitrary: Sized {
         /// Draws an unconstrained value.
         fn arbitrary(rng: &mut Rng) -> Self;
+
+        /// Simplification candidates for a failing value (see
+        /// [`Strategy::shrink`]).
+        fn shrink(value: &Self) -> Vec<Self> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     /// Strategy returned by [`any`](crate::any).
@@ -195,6 +251,9 @@ pub mod arbitrary {
         fn sample(&self, rng: &mut Rng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink(value)
+        }
     }
 
     macro_rules! int_arbitrary {
@@ -203,6 +262,18 @@ pub mod arbitrary {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
                 fn arbitrary(rng: &mut Rng) -> $t {
                     rng.next_u128() as $t
+                }
+                fn shrink(value: &$t) -> Vec<$t> {
+                    // Toward zero: zero itself, then halfway.
+                    let mut out = Vec::new();
+                    if *value != 0 {
+                        out.push(0);
+                        let half = *value / 2;
+                        if half != 0 {
+                            out.push(half);
+                        }
+                    }
+                    out
                 }
             }
         )*};
@@ -213,6 +284,13 @@ pub mod arbitrary {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut Rng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -252,7 +330,10 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
             let bounds = &self.size.0;
@@ -265,6 +346,33 @@ pub mod collection {
             let span = (bounds.end - bounds.start) as u64;
             let len = bounds.start + rng.below(span) as usize;
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.size.0.start;
+            let mut out = Vec::new();
+            // Shorter vectors first (the big lever for "minimize to a
+            // small program"), then element-wise simplification.
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half < value.len() && half > min {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+                for i in 0..value.len().min(8) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            for (i, elem) in value.iter().enumerate().take(8) {
+                for cand in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -305,8 +413,25 @@ pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::Any<T> {
 /// Number of cases each [`proptest!`] test runs.
 pub const CASES: u32 = 64;
 
+/// Runs one probe of a property body on `v`, reporting whether it
+/// panicked.  Support function for [`proptest!`] — the generic signature
+/// gives the body closure its parameter types, which a bare closure
+/// binding could not infer.
+#[doc(hidden)]
+pub fn __run_probe<V, F: FnOnce(V)>(v: V, f: F) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f(v))).is_err()
+}
+
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
 /// expands to a `#[test]` running [`CASES`] deterministic cases.
+///
+/// A failing case is greedily shrunk through [`Strategy::shrink`]
+/// (adopting any simplification that still fails, until none does), the
+/// minimized input is printed, and the body re-runs on it so the test
+/// fails with the original assertion message.  Argument values must be
+/// `Clone + Debug` for this machinery.
+///
+/// [`Strategy::shrink`]: crate::strategy::Strategy::shrink
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
@@ -319,9 +444,45 @@ macro_rules! proptest {
                     0x9E37_79B9_7F4A_7C15 ^ (stringify!($name).len() as u64) << 32
                         ^ stringify!($name).as_bytes()[0] as u64,
                 );
+                // One combined strategy so shrinking can vary each
+                // argument while holding the rest at failing values.
+                let __strat = ($($strat,)+);
                 for __case in 0..$crate::CASES {
-                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                    let __vals = $crate::strategy::Strategy::sample(&__strat, &mut __rng);
+                    if !$crate::__run_probe(
+                        ::std::clone::Clone::clone(&__vals),
+                        |($($arg,)+)| {
+                            $body
+                        },
+                    ) {
+                        continue;
+                    }
+                    // Shrink quietly: every probe panics by construction.
+                    let __hook = ::std::panic::take_hook();
+                    ::std::panic::set_hook(::std::boxed::Box::new(|_| {}));
+                    let mut __vals = __vals;
+                    while let Some(__c) = $crate::strategy::Strategy::shrink(&__strat, &__vals)
+                        .into_iter()
+                        .find(|__c| {
+                            $crate::__run_probe(::std::clone::Clone::clone(__c), |($($arg,)+)| {
+                                $body
+                            })
+                        })
+                    {
+                        __vals = __c;
+                    }
+                    ::std::panic::set_hook(__hook);
+                    ::std::eprintln!(
+                        "proptest {}: minimized failing input (case {}): {:?}",
+                        stringify!($name),
+                        __case,
+                        &__vals
+                    );
+                    // Re-run on the minimized input outside catch_unwind
+                    // so the test fails with the real assertion message.
+                    let ($($arg,)+) = __vals;
                     $body
+                    ::std::panic!("proptest case failed under catch_unwind but passed on rerun");
                 }
             }
         )*
@@ -367,6 +528,47 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn range_shrink_moves_toward_start() {
+        let cands = Strategy::shrink(&(3u8..100), &90);
+        assert!(cands.contains(&3));
+        assert!(cands.iter().all(|c| *c < 90 && *c >= 3));
+        assert!(Strategy::shrink(&(3u8..100), &3).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len_and_reduces() {
+        let strat = prop::collection::vec(0u32..10, 2..8);
+        let cands = Strategy::shrink(&strat, &vec![5, 6, 7, 8]);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.len() >= 2));
+        assert!(cands.iter().any(|c| c.len() < 4));
+        // Element-wise shrink keeps the length but simplifies a value.
+        assert!(cands.iter().any(|c| c.len() == 4 && c[0] < 5));
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component() {
+        let strat = (0u32..10, 0u32..10);
+        let cands = Strategy::shrink(&strat, &(4, 6));
+        assert!(cands.iter().any(|&(a, b)| a < 4 && b == 6));
+        assert!(cands.iter().any(|&(a, b)| a == 4 && b < 6));
+        assert!(!cands.iter().any(|&(a, b)| a < 4 && b < 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_property_still_fails_after_shrinking() {
+        proptest! {
+            fn always_fails(x in 0u32..100, v in prop::collection::vec(0u8..9, 0..6)) {
+                // Force a failure on every input so the shrink loop runs
+                // to the fixpoint (0, []) before the rerun panics.
+                prop_assert!(x > u32::from(v.iter().copied().max().unwrap_or(0)) + 1000);
+            }
+        }
+        always_fails();
+    }
 
     proptest! {
         #[test]

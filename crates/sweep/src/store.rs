@@ -176,6 +176,26 @@ impl ResultStore {
         }
     }
 
+    /// Every key currently present in the store, sorted.  This is what a
+    /// worker advertises at registration so the coordinator can lease
+    /// with cache affinity; it reads directory names only, never entry
+    /// contents.
+    #[must_use]
+    pub fn keys(&self) -> Vec<CacheKey> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out: Vec<CacheKey> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                CacheKey::parse(name.strip_suffix(".json")?)
+            })
+            .collect();
+        out.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        out
+    }
+
     /// Every `(key, entry)` pair in the store, sorted by key for a
     /// deterministic snapshot.  Unreadable or misnamed files are skipped —
     /// the same degrade-to-miss policy as [`ResultStore::load`].

@@ -38,6 +38,11 @@ sweep-smoke:
     grep -q 'cached$' /tmp/simdsim-sweep-second.txt
     ! grep -q 'ran$' /tmp/simdsim-sweep-second.txt
 
+# The CI conformance smoke: the full differential corpus, a 200-case
+# fuzz run and the linter over every built-in program, via one binary.
+conform *ARGS:
+    cargo run --release --locked -p simdsim-conform --bin conform -- smoke {{ARGS}}
+
 # Run the criterion microbenchmarks (shimmed harness; prints timings).
 bench:
     cargo bench

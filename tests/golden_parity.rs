@@ -16,6 +16,8 @@
 //!
 //! and commit the updated fixture together with the model change.
 
+use simdsim::conform::{diff_effects, ArchState, EffectsRecorder, RefMachine};
+use simdsim::emu::NullSink;
 use simdsim::pipe::simulate;
 use simdsim::sweep::{catalog, scheduler, Cell};
 
@@ -105,5 +107,75 @@ fn fig4_fig5_pipestats_match_golden_fixture() {
             pairs.len(),
             rows.len()
         );
+    }
+}
+
+/// The conformance crate's deliberately-simple reference interpreter
+/// agrees with both emulator dispatch paths on *real paper workloads*,
+/// not just the hand-written corpus: per-instruction architectural
+/// effects, final machine state and dynamic instruction statistics all
+/// match over a fig4 kernel subset on every extension.
+#[test]
+fn fig4_subset_matches_reference_interpreter() {
+    const SUBSET: [&str; 3] = ["idct", "motion1", "rgb"];
+    let cells: Vec<Cell> = catalog::fig4()
+        .expand()
+        .into_iter()
+        .filter(|c| SUBSET.contains(&c.workload.name()))
+        .collect();
+    // One cell per (kernel, ext): fig4 sweeps only the paper's 2-way.
+    assert_eq!(cells.len(), SUBSET.len() * simdsim::isa::Ext::ALL.len());
+
+    for cell in &cells {
+        let built = cell
+            .workload
+            .build(cell.ext)
+            .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+        let mut rm = RefMachine::from_machine(&built.machine);
+        let ref_run = rm.run(&built.program, cell.instr_limit);
+        assert_eq!(
+            ref_run.error,
+            None,
+            "{}: reference run faulted",
+            cell.label()
+        );
+        let ref_state = ArchState::of_ref(&rm);
+
+        let dec = built.program.decode();
+        for (label, table) in [("blocks", dec.clone()), ("stepped", dec.without_blocks())] {
+            let mut m = cell
+                .workload
+                .build(cell.ext)
+                .expect("workload rebuilds")
+                .machine;
+            let mut rec = EffectsRecorder::default();
+            let res = m.run_decoded_observed(&table, &mut NullSink, cell.instr_limit, &mut rec);
+            assert_eq!(
+                res.as_ref().err(),
+                None,
+                "{}: emulator/{label} faulted",
+                cell.label()
+            );
+            if let Some(d) = diff_effects(
+                "reference",
+                &ref_run.effects,
+                label,
+                &rec.effects,
+                built.program.code(),
+            ) {
+                panic!("{}: {d}", cell.label());
+            }
+            let emu_state = ArchState::of_machine(&m);
+            if let Some(d) = ref_state.diff("reference", &emu_state, label) {
+                panic!("{}: final state divergence: {d}", cell.label());
+            }
+            let stats = res.expect("checked above");
+            assert_eq!(
+                (stats.dyn_instrs, stats.element_ops),
+                (ref_run.dyn_instrs, ref_run.element_ops),
+                "{}: stats divergence vs {label}",
+                cell.label()
+            );
+        }
     }
 }
